@@ -1,0 +1,211 @@
+// Ablation benchmarks beyond the paper's figures (DESIGN.md §5):
+//   A. FP-Growth vs Apriori mining cost (validates the §3.3 choice)
+//   B. Itemset budget sweep (Eq. 1): mining time vs extraction coverage
+//   C. Reordering on Figure-3-style type-interleaved data: extraction
+//      coverage and query speed before/after
+//   D. JSONB O(log n) object lookup vs BSON linear scan as objects widen
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "exec/operators.h"
+#include "json/bson.h"
+#include "json/jsonb.h"
+#include "mining/apriori.h"
+#include "mining/fpgrowth.h"
+#include "opt/query.h"
+#include "tiles/keypath.h"
+#include "tiles/tile_builder.h"
+#include "util/random.h"
+#include "util/rle.h"
+#include "workload/hackernews.h"
+
+namespace {
+
+using namespace jsontiles;         // NOLINT
+using namespace jsontiles::bench;  // NOLINT
+
+std::vector<mining::Transaction> MakeTransactions(size_t n, int num_items,
+                                                  uint64_t seed) {
+  Random rng(seed);
+  std::vector<mining::Transaction> txs;
+  for (size_t i = 0; i < n; i++) {
+    mining::Transaction tx;
+    for (int item = 0; item < num_items; item++) {
+      double p = item < num_items / 2 ? 0.8 : 0.3;
+      if (rng.Chance(p)) tx.push_back(static_cast<mining::Item>(item));
+    }
+    txs.push_back(std::move(tx));
+  }
+  return txs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  // --- A: FP-Growth vs Apriori -------------------------------------------
+  {
+    TablePrinter t("Ablation A: miner runtime [ms], 1024 transactions");
+    t.SetHeader({"Items", "FP-Growth", "Apriori", "speedup"});
+    for (int items : {8, 12, 16, 20}) {
+      auto txs = MakeTransactions(1024, items, 7);
+      uint32_t min_support = 614;  // 60%
+      mining::FpGrowthMiner fp;
+      mining::MinerOptions options;
+      options.min_support = min_support;
+      options.budget = 1 << 20;
+      double fp_secs = TimeBest([&] {
+        benchmark::DoNotOptimize(fp.Mine(txs, options));
+      });
+      mining::AprioriMiner ap;
+      double ap_secs = TimeBest([&] {
+        benchmark::DoNotOptimize(ap.Mine(txs, min_support, items));
+      });
+      t.AddRow({std::to_string(items), Fmt(fp_secs * 1000, "%.3f"),
+                Fmt(ap_secs * 1000, "%.3f"), Fmt(ap_secs / fp_secs, "%.1fx")});
+    }
+    t.Print();
+  }
+
+  // --- B: itemset budget sweep (Eq. 1) ------------------------------------
+  {
+    TablePrinter t("Ablation B: budget u vs max itemset size k and mining time");
+    t.SetHeader({"Budget", "k (n=20)", "itemsets", "time [ms]"});
+    auto txs = MakeTransactions(1024, 20, 9);
+    for (uint64_t budget : {16ULL, 256ULL, 4096ULL, 65536ULL, 1048576ULL}) {
+      mining::FpGrowthMiner fp;
+      mining::MinerOptions options;
+      options.min_support = 300;
+      options.budget = budget;
+      auto result = fp.Mine(txs, options);
+      double secs = TimeBest([&] { benchmark::DoNotOptimize(fp.Mine(txs, options)); });
+      t.AddRow({std::to_string(budget),
+                std::to_string(mining::MaxItemsetSize(20, budget)),
+                std::to_string(result.size()), Fmt(secs * 1000, "%.3f")});
+    }
+    t.Print();
+  }
+
+  // --- C: reordering on type-interleaved news items ------------------------
+  {
+    workload::HackerNewsOptions options;
+    options.num_items = 32768;
+    auto docs = workload::GenerateHackerNews(options);
+    TablePrinter t("Ablation C: reordering on interleaved news items (Fig 3/4)");
+    t.SetHeader({"Reordering", "columns extracted", "load [s]", "geo-mean query [s]"});
+    for (bool reorder : {false, true}) {
+      tiles::TileConfig config;
+      config.enable_reordering = reorder;
+      storage::LoadOptions load_options;
+      load_options.num_threads = BenchThreads();
+      storage::Loader loader(storage::StorageMode::kTiles, config, load_options);
+      storage::LoadBreakdown b;
+      auto rel = loader.Load(docs, "hn", &b).MoveValueOrDie();
+      size_t columns = 0;
+      for (const auto& tile : rel->tiles()) columns += tile.columns.size();
+      // Queries: per-type aggregates (score by type; comment count by parent).
+      exec::ExecOptions exec_options;
+      exec_options.num_threads = BenchThreads();
+      std::vector<double> times;
+      times.push_back(TimeBest([&] {
+        exec::QueryContext ctx(exec_options);
+        opt::QueryBlock q;
+        q.AddTable(opt::TableRef::Rel(
+            "s", rel.get(),
+            exec::IsNotNull(exec::Access("s", {"url"}, exec::ValueType::kString))));
+        q.GroupBy({exec::Access("s", {"type"}, exec::ValueType::kString)});
+        q.Aggregate(exec::AggSpec::Avg(
+            exec::Access("s", {"score"}, exec::ValueType::kInt)));
+        benchmark::DoNotOptimize(q.Execute(ctx));
+      }, 3));
+      times.push_back(TimeBest([&] {
+        exec::QueryContext ctx(exec_options);
+        opt::QueryBlock q;
+        q.AddTable(opt::TableRef::Rel(
+            "c", rel.get(),
+            exec::IsNotNull(exec::Access("c", {"parent"}, exec::ValueType::kInt))));
+        q.GroupBy({});
+        q.Aggregate(exec::AggSpec::CountStar());
+        q.Aggregate(exec::AggSpec::CountDistinct(
+            exec::Access("c", {"parent"}, exec::ValueType::kInt)));
+        benchmark::DoNotOptimize(q.Execute(ctx));
+      }, 3));
+      t.AddRow({reorder ? "on" : "off", std::to_string(columns),
+                Fmt(b.total_wall_secs, "%.2f"), Fmt(GeoMean(times))});
+    }
+    t.Print();
+  }
+
+  // --- E: reordering improves RLE compression (§3.3) -----------------------
+  {
+    workload::HackerNewsOptions options;
+    options.num_items = 32768;
+    auto docs = workload::GenerateHackerNews(options);
+    TablePrinter t("Ablation E: RLE on int columns, with/without reordering");
+    t.SetHeader({"Reordering", "runs", "RLE bytes", "raw bytes"});
+    for (bool reorder : {false, true}) {
+      tiles::TileConfig config;
+      config.enable_reordering = reorder;
+      storage::Loader loader(storage::StorageMode::kTiles, config);
+      auto rel = loader.Load(docs, "hn").MoveValueOrDie();
+      size_t runs = 0, rle_bytes = 0, raw_bytes = 0;
+      for (const auto& tile : rel->tiles()) {
+        for (const auto& col : tile.columns) {
+          const auto& data = col.column.i64_data();
+          if (data.empty()) continue;
+          runs += rle::CountRuns(data.data(), data.size());
+          rle_bytes += rle::EncodedSizeInt64(data.data(), data.size());
+          raw_bytes += data.size() * sizeof(int64_t);
+        }
+      }
+      t.AddRow({reorder ? "on" : "off", std::to_string(runs),
+                std::to_string(rle_bytes), std::to_string(raw_bytes)});
+    }
+    t.Print();
+  }
+
+  // --- D: object lookup complexity ------------------------------------------
+  {
+    TablePrinter t("Ablation D: member lookup [ns] vs object width");
+    t.SetHeader({"Members", "JSONB O(log n)", "BSON O(n)"});
+    Random rng(3);
+    for (size_t width : {4, 16, 64, 256, 1024}) {
+      std::string text = "{";
+      std::vector<std::string> keys;
+      for (size_t i = 0; i < width; i++) {
+        keys.push_back("key_" + std::to_string(i) + "_" + rng.NextString(4, 8));
+        if (i) text += ",";
+        text += "\"" + keys.back() + "\":" + std::to_string(i);
+      }
+      text += "}";
+      auto jsonb = json::JsonbFromText(text).MoveValueOrDie();
+      json::JsonValue dom = json::ParseJson(text).ValueOrDie();
+      std::vector<uint8_t> bson;
+      (void)json::bson::Encode(dom, &bson);
+      const int kLookups = 2000;
+      double jsonb_secs = TimeBest([&] {
+        json::JsonbValue v(jsonb.data());
+        for (int i = 0; i < kLookups; i++) {
+          benchmark::DoNotOptimize(v.FindKey(keys[static_cast<size_t>(i) % width]));
+        }
+      });
+      double bson_secs = TimeBest([&] {
+        for (int i = 0; i < kLookups; i++) {
+          uint8_t type;
+          const uint8_t* payload;
+          size_t payload_size;
+          benchmark::DoNotOptimize(
+              json::bson::FindField(bson.data(), bson.size(),
+                                    keys[static_cast<size_t>(i) % width], &type,
+                                    &payload, &payload_size));
+        }
+      });
+      t.AddRow({std::to_string(width), Fmt(jsonb_secs / kLookups * 1e9, "%.0f"),
+                Fmt(bson_secs / kLookups * 1e9, "%.0f")});
+    }
+    t.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Shared helpers for the paper-reproduction benchmarks.
+//
+// Every binary regenerates one table/figure of the paper: it loads the
+// workload under the relevant storage modes, measures with google-benchmark,
+// and prints a paper-style summary table at the end. Environment knobs:
+//   JSONTILES_SF       TPC-H scale factor (default 0.01)
+//   JSONTILES_THREADS  worker threads for loading/scans (default 1)
+//   JSONTILES_TWEETS   Twitter stream size (default 20000)
+//   JSONTILES_YELP     Yelp businesses (default 300)
+
+#ifndef JSONTILES_BENCH_BENCH_COMMON_H_
+#define JSONTILES_BENCH_BENCH_COMMON_H_
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/loader.h"
+
+namespace jsontiles::bench {
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atof(v);
+}
+inline size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : static_cast<size_t>(std::atoll(v));
+}
+
+inline double TpchScaleFactor() { return EnvDouble("JSONTILES_SF", 0.01); }
+inline size_t BenchThreads() { return EnvSize("JSONTILES_THREADS", 1); }
+inline size_t TwitterTweets() { return EnvSize("JSONTILES_TWEETS", 20000); }
+inline size_t YelpBusinesses() { return EnvSize("JSONTILES_YELP", 300); }
+
+inline const std::vector<storage::StorageMode>& AllModes() {
+  static const std::vector<storage::StorageMode> kModes = {
+      storage::StorageMode::kJsonText, storage::StorageMode::kJsonb,
+      storage::StorageMode::kSinew, storage::StorageMode::kTiles};
+  return kModes;
+}
+
+/// Load one document stream under every storage mode.
+inline std::map<storage::StorageMode, std::unique_ptr<storage::Relation>>
+LoadAllModes(const std::vector<std::string>& docs, const std::string& name,
+             tiles::TileConfig config = {},
+             storage::LoadOptions options = {}) {
+  std::map<storage::StorageMode, std::unique_ptr<storage::Relation>> out;
+  if (options.num_threads == 0) options.num_threads = BenchThreads();
+  for (auto mode : AllModes()) {
+    storage::Loader loader(mode, config, options);
+    out[mode] = loader.Load(docs, name).MoveValueOrDie();
+  }
+  return out;
+}
+
+/// Wall-clock seconds of one invocation.
+template <typename Fn>
+double TimeOnce(Fn&& fn) {
+  auto begin = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+      .count();
+}
+
+/// Best-of-n wall time (the paper reports per-query execution times).
+template <typename Fn>
+double TimeBest(Fn&& fn, int repetitions = 3) {
+  double best = 1e300;
+  for (int i = 0; i < repetitions; i++) {
+    double t = TimeOnce(fn);
+    if (t < best) best = t;
+  }
+  return best;
+}
+
+inline double GeoMean(const std::vector<double>& values) {
+  if (values.empty()) return 0;
+  double log_sum = 0;
+  for (double v : values) log_sum += std::log(v);
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+/// Simple fixed-width table printer for the paper-style summaries.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  void SetHeader(std::vector<std::string> header) { header_ = std::move(header); }
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::printf("\n=== %s ===\n", title_.c_str());
+    std::vector<size_t> widths(header_.size(), 0);
+    auto measure = [&](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < row.size() && i < widths.size(); i++) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    };
+    measure(header_);
+    for (const auto& row : rows_) measure(row);
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < row.size(); i++) {
+        std::printf("%-*s  ", static_cast<int>(widths[i]), row[i].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(header_);
+    for (const auto& row : rows_) print_row(row);
+    std::fflush(stdout);
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double v, const char* fmt = "%.4f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+}  // namespace jsontiles::bench
+
+#endif  // JSONTILES_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,219 @@
+// Reproduces paper Figures 18-20: binary JSON format comparison (our JSONB
+// vs BSON vs CBOR) on synthetic stand-ins for the SIMD-JSON corpus.
+//   Fig 18 — (de)serialization slowdown relative to JSONB
+//   Fig 19 — storage size relative to the JSON text
+//   Fig 20 — random accesses/sec at the documents' natural nesting levels
+//
+// Access methods mirror the real libraries: JSONB uses O(log n) binary
+// search per object level; BSON scans elements linearly per level (skipping
+// values via their size prefixes); CBOR has no random access — the document
+// is decoded and the DOM is walked (as with JsonCons extraction).
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+#include "bench_common.h"
+#include "json/bson.h"
+#include "json/cbor.h"
+#include "json/dom.h"
+#include "json/jsonb.h"
+#include "util/random.h"
+#include "workload/simdjson_corpus.h"
+
+namespace {
+
+using namespace jsontiles;         // NOLINT
+using namespace jsontiles::bench;  // NOLINT
+using json::JsonValue;
+
+struct PathStep {
+  bool is_index;
+  std::string key;
+  size_t index;
+};
+using Path = std::vector<PathStep>;
+
+// Sample random leaf paths from the DOM.
+void SamplePaths(const JsonValue& v, Random& rng, Path* current,
+                 std::vector<Path>* out, size_t limit) {
+  if (out->size() >= limit) return;
+  switch (v.type()) {
+    case json::JsonType::kObject: {
+      if (v.members().empty()) return;
+      const auto& [key, child] = v.members()[rng.Uniform(v.members().size())];
+      current->push_back({false, key, 0});
+      SamplePaths(child, rng, current, out, limit);
+      current->pop_back();
+      return;
+    }
+    case json::JsonType::kArray: {
+      if (v.elements().empty()) return;
+      size_t i = rng.Uniform(v.elements().size());
+      current->push_back({true, "", i});
+      SamplePaths(v.elements()[i], rng, current, out, limit);
+      current->pop_back();
+      return;
+    }
+    default:
+      out->push_back(*current);
+  }
+}
+
+// --- access routines per format --------------------------------------------
+
+bool AccessJsonb(const uint8_t* data, const Path& path) {
+  json::JsonbValue v(data);
+  for (const auto& step : path) {
+    if (step.is_index) {
+      if (v.type() != json::JsonType::kArray || step.index >= v.Count()) {
+        return false;
+      }
+      v = v.ArrayElement(step.index);
+    } else {
+      auto next = v.FindKey(step.key);
+      if (!next.has_value()) return false;
+      v = *next;
+    }
+  }
+  return true;
+}
+
+bool AccessBson(const uint8_t* data, size_t size, const Path& path) {
+  const uint8_t* doc = data;
+  size_t doc_size = size;
+  for (const auto& step : path) {
+    uint8_t type;
+    const uint8_t* payload;
+    size_t payload_size;
+    std::string key = step.is_index ? std::to_string(step.index) : step.key;
+    if (!json::bson::FindField(doc, doc_size, key, &type, &payload,
+                               &payload_size)) {
+      return false;
+    }
+    if (type == 0x03 || type == 0x04) {
+      doc = payload;
+      doc_size = payload_size;
+    } else {
+      return true;  // scalar reached
+    }
+  }
+  return true;
+}
+
+bool AccessCbor(const uint8_t* data, size_t size, const Path& path) {
+  // No random access in CBOR: decode, then walk the DOM.
+  auto dom = json::cbor::Decode(data, size);
+  if (!dom.ok()) return false;
+  const JsonValue* v = &dom.ValueOrDie();
+  for (const auto& step : path) {
+    if (step.is_index) {
+      if (step.index >= v->elements().size()) return false;
+      v = &v->elements()[step.index];
+    } else {
+      v = v->Find(step.key);
+      if (v == nullptr) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  auto corpus = workload::GenerateSimdJsonCorpus();
+  TablePrinter fig18("Figure 18: (de)serialization slowdown vs JSONB (x)");
+  fig18.SetHeader({"File", "ser BSON", "ser CBOR", "deser BSON", "deser CBOR"});
+  TablePrinter fig19("Figure 19: storage size relative to JSON text");
+  fig19.SetHeader({"File", "BSON", "CBOR", "JSONB"});
+  TablePrinter fig20("Figure 20: random accesses/sec [log scale in paper]");
+  fig20.SetHeader({"File", "BSON", "CBOR", "JSONB"});
+
+  for (const auto& file : corpus) {
+    JsonValue dom = json::ParseJson(file.json).ValueOrDie();
+    // Serialize: all formats start from the JSON text (JSONB transforms in
+    // two passes; BSON/CBOR parse a DOM and encode it, as the libraries do).
+    json::JsonbBuilder builder;
+    std::vector<uint8_t> jsonb, bson, cbor;
+    double ser_jsonb = TimeBest([&] { (void)builder.Transform(file.json, &jsonb); });
+    bool has_bson = json::bson::Encode(dom, &bson).ok();
+    double ser_bson = has_bson ? TimeBest([&] {
+      JsonValue parsed = json::ParseJson(file.json).ValueOrDie();
+      (void)json::bson::Encode(parsed, &bson);
+    })
+                               : 0;
+    double ser_cbor = TimeBest([&] {
+      JsonValue parsed = json::ParseJson(file.json).ValueOrDie();
+      (void)json::cbor::Encode(parsed, &cbor);
+    });
+
+    // Deserialize (back to JSON text).
+    std::string text;
+    double de_jsonb = TimeBest([&] {
+      text.clear();
+      json::JsonbValue(jsonb.data()).ToJsonText(&text);
+    });
+    double de_bson = has_bson ? TimeBest([&] {
+      auto v = json::bson::Decode(bson.data(), bson.size());
+      text = json::WriteJson(v.ValueOrDie());
+    })
+                              : 0;
+    double de_cbor = TimeBest([&] {
+      auto v = json::cbor::Decode(cbor.data(), cbor.size());
+      text = json::WriteJson(v.ValueOrDie());
+    });
+
+    auto ratio = [&](double v, double base) {
+      return v == 0 ? std::string("n/a") : Fmt(v / base, "%.2f");
+    };
+    fig18.AddRow({file.name, ratio(ser_bson, ser_jsonb), ratio(ser_cbor, ser_jsonb),
+                  ratio(de_bson, de_jsonb), ratio(de_cbor, de_jsonb)});
+    fig19.AddRow({file.name,
+                  has_bson ? Fmt(static_cast<double>(bson.size()) /
+                                     static_cast<double>(file.json.size()),
+                                 "%.2f")
+                           : "n/a",
+                  Fmt(static_cast<double>(cbor.size()) /
+                          static_cast<double>(file.json.size()),
+                      "%.2f"),
+                  Fmt(static_cast<double>(jsonb.size()) /
+                          static_cast<double>(file.json.size()),
+                      "%.2f")});
+
+    // Random accesses.
+    Random rng(42);
+    std::vector<Path> paths;
+    Path scratch;
+    for (int i = 0; i < 64 && paths.size() < 64; i++) {
+      SamplePaths(dom, rng, &scratch, &paths, 64);
+    }
+    if (paths.empty()) continue;
+    auto accesses_per_sec = [&](const std::function<void()>& one_round) {
+      double secs = TimeBest(one_round);
+      return static_cast<double>(paths.size()) / secs;
+    };
+    double aps_jsonb = accesses_per_sec([&] {
+      for (const auto& p : paths) benchmark::DoNotOptimize(AccessJsonb(jsonb.data(), p));
+    });
+    double aps_bson =
+        has_bson ? accesses_per_sec([&] {
+          for (const auto& p : paths) {
+            benchmark::DoNotOptimize(AccessBson(bson.data(), bson.size(), p));
+          }
+        })
+                 : 0;
+    double aps_cbor = accesses_per_sec([&] {
+      for (const auto& p : paths) {
+        benchmark::DoNotOptimize(AccessCbor(cbor.data(), cbor.size(), p));
+      }
+    });
+    fig20.AddRow({file.name, has_bson ? Fmt(aps_bson, "%.0f") : "n/a",
+                  Fmt(aps_cbor, "%.0f"), Fmt(aps_jsonb, "%.0f")});
+  }
+  fig18.Print();
+  fig19.Print();
+  fig20.Print();
+  return 0;
+}

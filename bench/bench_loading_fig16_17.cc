@@ -1,0 +1,81 @@
+// Reproduces paper Figures 16 and 17:
+//   Fig 16 — insertion time breakdown for JSON tiles (extract / mining /
+//            reordering / write JSONB) per workload
+//   Fig 17 — parallel bulk-loading throughput (1000 tuples/sec) for every
+//            storage mode per workload
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "workload/tpch.h"
+#include "workload/twitter.h"
+#include "workload/yelp.h"
+
+namespace {
+
+using namespace jsontiles;         // NOLINT
+using namespace jsontiles::bench;  // NOLINT
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  struct Workload {
+    std::string name;
+    std::vector<std::string> docs;
+  };
+  std::vector<Workload> workloads;
+  {
+    workload::TpchOptions options;
+    options.scale_factor = TpchScaleFactor();
+    workloads.push_back({"TPC-H", workload::GenerateTpch(options).combined});
+    options.shuffle = true;
+    workloads.push_back({"Shuffled", workload::GenerateTpch(options).combined});
+  }
+  {
+    workload::YelpOptions options;
+    options.num_business = YelpBusinesses();
+    workloads.push_back({"Yelp", workload::GenerateYelp(options)});
+  }
+  {
+    workload::TwitterOptions options;
+    options.num_tweets = TwitterTweets();
+    workloads.push_back({"Twitter", workload::GenerateTwitter(options)});
+    options.changing_schema = true;
+    workloads.push_back({"Changing", workload::GenerateTwitter(options)});
+  }
+
+  storage::LoadOptions load_options;
+  load_options.num_threads = BenchThreads();
+
+  // Figure 16: phase breakdown of the Tiles insertion (percent of phase sum).
+  TablePrinter fig16("Figure 16: insertion time breakdown [% of tile phases]");
+  fig16.SetHeader({"Workload", "Extract", "Mining", "Reordering", "WriteJSONB"});
+  for (const auto& w : workloads) {
+    storage::Loader loader(storage::StorageMode::kTiles, {}, load_options);
+    storage::LoadBreakdown b;
+    auto rel = loader.Load(w.docs, w.name, &b).MoveValueOrDie();
+    double total = b.extract_secs + b.mine_secs + b.reorder_secs + b.jsonb_secs;
+    auto pct = [&](double v) { return Fmt(100.0 * v / total, "%.1f%%"); };
+    fig16.AddRow({w.name, pct(b.extract_secs), pct(b.mine_secs),
+                  pct(b.reorder_secs), pct(b.jsonb_secs)});
+  }
+  fig16.Print();
+
+  // Figure 17: loading throughput per mode (in 1000 tuples/sec).
+  TablePrinter fig17("Figure 17: parallel loading [1000 tuples/sec]");
+  fig17.SetHeader({"Workload", "JSON", "JSONB", "Sinew", "Tiles"});
+  for (const auto& w : workloads) {
+    std::vector<std::string> row = {w.name};
+    for (auto mode : AllModes()) {
+      storage::Loader loader(mode, {}, load_options);
+      storage::LoadBreakdown b;
+      auto rel = loader.Load(w.docs, w.name, &b).MoveValueOrDie();
+      row.push_back(Fmt(b.TuplesPerSecond() / 1000.0, "%.0f"));
+    }
+    fig17.AddRow(std::move(row));
+  }
+  fig17.Print();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Reproduces paper Figure 14: the impact of the JSON-tiles optimizations —
+// tile skipping (§4.8) and date/time extraction (§4.9) — as geometric means
+// over TPC-H, shuffled TPC-H and Yelp at four optimization levels:
+//   no Opt  : skipping off, date extraction off
+//   no Date : skipping on,  date extraction off
+//   no Skip : skipping off, date extraction on
+//   Tiles   : everything on
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "workload/tpch.h"
+#include "workload/tpch_queries.h"
+#include "workload/yelp.h"
+
+namespace {
+
+using namespace jsontiles;         // NOLINT
+using namespace jsontiles::bench;  // NOLINT
+
+struct Level {
+  const char* name;
+  bool date_extraction;
+  bool tile_skipping;
+};
+constexpr Level kLevels[] = {{"no Opt", false, false},
+                             {"no Date", false, true},
+                             {"no Skip", true, false},
+                             {"Tiles", true, true}};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  workload::TpchOptions tpch_options;
+  tpch_options.scale_factor = TpchScaleFactor();
+  auto tpch = workload::GenerateTpch(tpch_options);
+  tpch_options.shuffle = true;
+  auto shuffled = workload::GenerateTpch(tpch_options);
+  workload::YelpOptions yelp_options;
+  yelp_options.num_business = YelpBusinesses();
+  auto yelp = workload::GenerateYelp(yelp_options);
+
+  TablePrinter fig("Figure 14: geo-mean query time [s] per optimization level");
+  fig.SetHeader({"Workload", "no Opt", "no Date", "no Skip", "Tiles"});
+
+  auto run_workload = [&](const char* name, const std::vector<std::string>& docs,
+                          bool is_yelp) {
+    std::vector<std::string> row = {name};
+    for (const Level& level : kLevels) {
+      tiles::TileConfig config;
+      config.enable_date_extraction = level.date_extraction;
+      storage::LoadOptions load_options;
+      load_options.num_threads = BenchThreads();
+      storage::Loader loader(storage::StorageMode::kTiles, config, load_options);
+      auto rel = loader.Load(docs, name).MoveValueOrDie();
+      exec::ExecOptions exec_options;
+      exec_options.num_threads = BenchThreads();
+      exec_options.enable_tile_skipping = level.tile_skipping;
+      std::vector<double> times;
+      if (is_yelp) {
+        for (int q = 1; q <= 5; q++) {
+          times.push_back(TimeBest([&] {
+            exec::QueryContext ctx(exec_options);
+            benchmark::DoNotOptimize(workload::RunYelpQuery(q, *rel, ctx));
+          }, 2));
+        }
+      } else {
+        for (int q = 1; q <= 22; q++) {
+          times.push_back(TimeBest([&] {
+            exec::QueryContext ctx(exec_options);
+            benchmark::DoNotOptimize(workload::RunTpchQuery(q, *rel, ctx));
+          }, 1));
+        }
+      }
+      row.push_back(Fmt(GeoMean(times)));
+    }
+    fig.AddRow(std::move(row));
+  };
+
+  run_workload("TPC-H", tpch.combined, false);
+  run_workload("Shuffled", shuffled.combined, false);
+  run_workload("Yelp", yelp, true);
+  fig.Print();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces paper Figure 9: geometric-mean TPC-H query time on the
+// *shuffled* combined relation (no local tuple patterns at insertion time),
+// demonstrating the robustness of the partition-based reordering (§6.4).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "workload/tpch.h"
+#include "workload/tpch_queries.h"
+
+namespace {
+
+using namespace jsontiles;         // NOLINT
+using namespace jsontiles::bench;  // NOLINT
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  workload::TpchOptions options;
+  options.scale_factor = TpchScaleFactor();
+  options.shuffle = true;
+  workload::TpchData data = workload::GenerateTpch(options);
+  std::printf("Shuffled TPC-H documents: %zu\n", data.combined.size());
+
+  tiles::TileConfig config;  // tile 2^10, partition 8 (paper's robust choice)
+  storage::LoadOptions load_options;
+  load_options.num_threads = BenchThreads();
+  auto relations = LoadAllModes(data.combined, "tpch_shuffled", config, load_options);
+
+  exec::ExecOptions exec_options;
+  exec_options.num_threads = BenchThreads();
+
+  TablePrinter fig("Figure 9: shuffled TPC-H geo-mean query time [s]");
+  fig.SetHeader({"Mode", "geo-mean", "vs Tiles"});
+  std::map<storage::StorageMode, double> geo;
+  for (auto mode : AllModes()) {
+    std::vector<double> times;
+    for (int q = 1; q <= 22; q++) {
+      times.push_back(TimeBest(
+          [&] {
+            exec::QueryContext ctx(exec_options);
+            benchmark::DoNotOptimize(
+                workload::RunTpchQuery(q, *relations.at(mode), ctx));
+          },
+          mode == storage::StorageMode::kJsonText ? 1 : 2));
+    }
+    geo[mode] = GeoMean(times);
+  }
+  for (auto mode : AllModes()) {
+    fig.AddRow({storage::StorageModeName(mode), Fmt(geo[mode]),
+                Fmt(geo[mode] / geo[storage::StorageMode::kTiles], "%.1fx")});
+  }
+  fig.Print();
+  return 0;
+}

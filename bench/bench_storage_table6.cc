@@ -1,0 +1,99 @@
+// Reproduces paper Table 6: storage consumption in MB for the JSON text, the
+// binary JSONB, the additionally-materialized JSON tiles, and LZ4-compressed
+// tiles (columnar chunks compress well because values of one key path are
+// contiguous).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "util/lz4.h"
+#include "workload/tpch.h"
+#include "workload/twitter.h"
+#include "workload/yelp.h"
+
+namespace {
+
+using namespace jsontiles;         // NOLINT
+using namespace jsontiles::bench;  // NOLINT
+
+size_t CompressedTileBytes(const storage::Relation& rel) {
+  size_t total = 0;
+  for (const auto& tile : rel.tiles()) {
+    for (const auto& col : tile.columns) {
+      const auto& c = col.column;
+      if (!c.i64_data().empty()) {
+        const auto* p = reinterpret_cast<const uint8_t*>(c.i64_data().data());
+        total += lz4::Compress(p, c.i64_data().size() * sizeof(int64_t)).size();
+      }
+      if (!c.f64_data().empty()) {
+        const auto* p = reinterpret_cast<const uint8_t*>(c.f64_data().data());
+        total += lz4::Compress(p, c.f64_data().size() * sizeof(double)).size();
+      }
+      if (!c.string_heap().empty()) {
+        const auto* p =
+            reinterpret_cast<const uint8_t*>(c.string_heap().data());
+        total += lz4::Compress(p, c.string_heap().size()).size();
+        total += c.size() * sizeof(uint32_t) / 2;  // offsets compress ~2x
+      }
+    }
+  }
+  return total;
+}
+
+double Mb(size_t bytes) { return static_cast<double>(bytes) / (1024.0 * 1024.0); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  struct Workload {
+    std::string name;
+    std::vector<std::string> docs;
+  };
+  std::vector<Workload> workloads;
+  {
+    workload::TpchOptions options;
+    options.scale_factor = TpchScaleFactor();
+    workloads.push_back({"TPC-H", workload::GenerateTpch(options).combined});
+  }
+  {
+    workload::YelpOptions options;
+    options.num_business = YelpBusinesses();
+    workloads.push_back({"Yelp", workload::GenerateYelp(options)});
+  }
+  {
+    workload::TwitterOptions options;
+    options.num_tweets = TwitterTweets();
+    workloads.push_back({"Twitter", workload::GenerateTwitter(options)});
+  }
+
+  TablePrinter table("Table 6: storage size in MB (tiles as % of JSONB)");
+  table.SetHeader({"Workload", "JSON", "JSONB", "+Tiles", "+LZ4-Tiles"});
+  storage::LoadOptions load_options;
+  load_options.num_threads = BenchThreads();
+  for (const auto& w : workloads) {
+    size_t json_bytes = 0;
+    for (const auto& d : w.docs) json_bytes += d.size();
+
+    storage::Loader jsonb_loader(storage::StorageMode::kJsonb, {}, load_options);
+    auto jsonb_rel = jsonb_loader.Load(w.docs, w.name).MoveValueOrDie();
+    size_t jsonb_bytes = jsonb_rel->DocumentBytes();
+
+    storage::Loader tiles_loader(storage::StorageMode::kTiles, {}, load_options);
+    auto tiles_rel = tiles_loader.Load(w.docs, w.name).MoveValueOrDie();
+    size_t tile_bytes = tiles_rel->TileBytes();
+    size_t lz4_bytes = CompressedTileBytes(*tiles_rel);
+
+    auto pct = [&](size_t b) {
+      return Fmt(Mb(b), "%.1f") + " (" +
+             Fmt(100.0 * static_cast<double>(b) / static_cast<double>(jsonb_bytes),
+                 "%.0f%%") +
+             ")";
+    };
+    table.AddRow({w.name, Fmt(Mb(json_bytes), "%.1f"), Fmt(Mb(jsonb_bytes), "%.1f"),
+                  pct(tile_bytes), pct(lz4_bytes)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Reproduces paper Figures 10-13: tile-size and partition-size sensitivity.
+//   Fig 10: shuffled TPC-H geo-mean query time vs tile size (2^8..2^16) for
+//           partition sizes 1/4/8/16
+//   Fig 11: shuffled TPC-H loading time vs tile size
+//   Fig 12: Yelp geo-mean vs tile size
+//   Fig 13: Twitter geo-mean vs tile size
+// (The paper sweeps to 2^18; the default laptop scale stops at 2^16 — set
+// JSONTILES_SF / JSONTILES_TWEETS higher to extend the sweep meaningfully.)
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+#include "bench_common.h"
+#include "workload/tpch.h"
+#include "workload/tpch_queries.h"
+#include "workload/twitter.h"
+#include "workload/yelp.h"
+
+namespace {
+
+using namespace jsontiles;         // NOLINT
+using namespace jsontiles::bench;  // NOLINT
+
+using QueryFn = std::function<double(const storage::Relation&)>;
+
+void Sweep(const char* title, const std::vector<std::string>& docs,
+           const QueryFn& geo_mean_fn, bool print_load_time) {
+  std::vector<size_t> tile_sizes;
+  for (size_t s = 256; s <= 65536; s *= 4) tile_sizes.push_back(s);
+  std::vector<size_t> partitions = {1, 4, 8, 16};
+
+  TablePrinter fig(std::string(title) + " — geo-mean query time [s]");
+  std::vector<std::string> header = {"Tile size"};
+  for (size_t p : partitions) header.push_back("part=" + std::to_string(p));
+  fig.SetHeader(header);
+  TablePrinter load_fig(std::string(title) + " — loading time [s]");
+  load_fig.SetHeader(header);
+
+  for (size_t tile_size : tile_sizes) {
+    std::vector<std::string> row = {std::to_string(tile_size)};
+    std::vector<std::string> load_row = {std::to_string(tile_size)};
+    for (size_t partition : partitions) {
+      tiles::TileConfig config;
+      config.tile_size = tile_size;
+      config.partition_size = partition;
+      storage::LoadOptions load_options;
+      load_options.num_threads = BenchThreads();
+      storage::Loader loader(storage::StorageMode::kTiles, config, load_options);
+      storage::LoadBreakdown breakdown;
+      auto rel = loader.Load(docs, "sweep", &breakdown).MoveValueOrDie();
+      row.push_back(Fmt(geo_mean_fn(*rel)));
+      load_row.push_back(Fmt(breakdown.total_wall_secs, "%.2f"));
+    }
+    fig.AddRow(std::move(row));
+    load_fig.AddRow(std::move(load_row));
+  }
+  fig.Print();
+  if (print_load_time) load_fig.Print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  exec::ExecOptions exec_options;
+  exec_options.num_threads = BenchThreads();
+
+  {
+    workload::TpchOptions options;
+    options.scale_factor = TpchScaleFactor();
+    options.shuffle = true;
+    workload::TpchData data = workload::GenerateTpch(options);
+    // The geo-mean uses a representative query subset to keep the sweep fast.
+    std::vector<int> queries = {1, 3, 6, 12, 14, 18};
+    Sweep("Figures 10/11: shuffled TPC-H", data.combined,
+          [&](const storage::Relation& rel) {
+            std::vector<double> times;
+            for (int q : queries) {
+              times.push_back(TimeBest([&] {
+                exec::QueryContext ctx(exec_options);
+                benchmark::DoNotOptimize(workload::RunTpchQuery(q, rel, ctx));
+              }, 2));
+            }
+            return GeoMean(times);
+          },
+          /*print_load_time=*/true);
+  }
+  {
+    workload::YelpOptions options;
+    options.num_business = YelpBusinesses();
+    auto docs = workload::GenerateYelp(options);
+    Sweep("Figure 12: Yelp", docs,
+          [&](const storage::Relation& rel) {
+            std::vector<double> times;
+            for (int q = 1; q <= 5; q++) {
+              times.push_back(TimeBest([&] {
+                exec::QueryContext ctx(exec_options);
+                benchmark::DoNotOptimize(workload::RunYelpQuery(q, rel, ctx));
+              }, 2));
+            }
+            return GeoMean(times);
+          },
+          /*print_load_time=*/false);
+  }
+  {
+    workload::TwitterOptions options;
+    options.num_tweets = TwitterTweets();
+    auto docs = workload::GenerateTwitter(options);
+    Sweep("Figure 13: Twitter", docs,
+          [&](const storage::Relation& rel) {
+            std::vector<double> times;
+            for (int q = 1; q <= 5; q++) {
+              times.push_back(TimeBest([&] {
+                exec::QueryContext ctx(exec_options);
+                benchmark::DoNotOptimize(workload::RunTwitterQuery(q, rel, ctx));
+              }, 2));
+            }
+            return GeoMean(times);
+          },
+          /*print_load_time=*/false);
+  }
+  return 0;
+}

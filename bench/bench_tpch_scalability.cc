@@ -1,0 +1,66 @@
+// Reproduces paper Figure 8: thread scalability of the internal competitors
+// on TPC-H Q1 (scan + aggregation) and Q18 (join + high-cardinality
+// aggregation), reported in queries/sec.
+//
+// Note: the paper's testbed has 16 cores / 32 threads; this container may
+// expose a single core, in which case the curves flatten (EXPERIMENTS.md).
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "bench_common.h"
+#include "workload/tpch.h"
+#include "workload/tpch_queries.h"
+
+namespace {
+
+using namespace jsontiles;         // NOLINT
+using namespace jsontiles::bench;  // NOLINT
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  workload::TpchOptions options;
+  options.scale_factor = TpchScaleFactor();
+  workload::TpchData data = workload::GenerateTpch(options);
+
+  tiles::TileConfig config;
+  storage::LoadOptions load_options;
+  load_options.num_threads = std::thread::hardware_concurrency();
+  auto relations = LoadAllModes(data.combined, "tpch", config, load_options);
+
+  unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<size_t> thread_counts;
+  for (size_t t = 1; t <= hw; t *= 2) thread_counts.push_back(t);
+  if (thread_counts.back() != hw) thread_counts.push_back(hw);
+
+  for (int query : {1, 18}) {
+    TablePrinter fig("Figure 8: Q" + std::to_string(query) +
+                     " scalability [queries/sec] (hardware threads: " +
+                     std::to_string(hw) + ")");
+    std::vector<std::string> header = {"Mode"};
+    for (size_t t : thread_counts) header.push_back(std::to_string(t) + "T");
+    fig.SetHeader(header);
+    for (auto mode : AllModes()) {
+      std::vector<std::string> row = {storage::StorageModeName(mode)};
+      for (size_t threads : thread_counts) {
+        exec::ExecOptions exec_options;
+        exec_options.num_threads = threads;
+        double secs = TimeBest(
+            [&] {
+              exec::QueryContext ctx(exec_options);
+              benchmark::DoNotOptimize(
+                  workload::RunTpchQuery(query, *relations.at(mode), ctx));
+            },
+            mode == storage::StorageMode::kJsonText ? 1 : 2);
+        row.push_back(Fmt(1.0 / secs, "%.2f"));
+      }
+      fig.AddRow(std::move(row));
+    }
+    fig.Print();
+  }
+  return 0;
+}

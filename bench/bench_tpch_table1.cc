@@ -1,0 +1,102 @@
+// Reproduces paper Table 1 (execution times of all 22 TPC-H queries on the
+// combined JSON relation for the internal competitor set JSON / JSONB /
+// Sinew / Tiles) and the Figure 7 focus queries (Q1 / Q18 in queries/sec).
+//
+// The external systems of Table 1 (PostgreSQL, Spark, Hyper) are not
+// reproduced; see DESIGN.md substitution #2.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "workload/tpch.h"
+#include "workload/tpch_queries.h"
+
+namespace {
+
+using namespace jsontiles;         // NOLINT
+using namespace jsontiles::bench;  // NOLINT
+
+struct State {
+  std::map<storage::StorageMode, std::unique_ptr<storage::Relation>> relations;
+};
+State* g_state = nullptr;
+
+void RunQuery(storage::StorageMode mode, int query) {
+  exec::ExecOptions options;
+  options.num_threads = BenchThreads();
+  exec::QueryContext ctx(options);
+  benchmark::DoNotOptimize(
+      workload::RunTpchQuery(query, *g_state->relations.at(mode), ctx));
+}
+
+void BM_TpchQuery(benchmark::State& state) {
+  auto mode = static_cast<storage::StorageMode>(state.range(0));
+  int query = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    RunQuery(mode, query);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  State state;
+  g_state = &state;
+
+  workload::TpchOptions options;
+  options.scale_factor = TpchScaleFactor();
+  std::printf("TPC-H combined JSON, SF=%.3f, threads=%zu ... generating\n",
+              options.scale_factor, BenchThreads());
+  workload::TpchData data = workload::GenerateTpch(options);
+  std::printf("documents: %zu (lineitem %zu, orders %zu)\n",
+              data.combined.size(), data.num_lineitem, data.num_orders);
+
+  tiles::TileConfig config;  // paper defaults: 2^10, partition 8, 60%
+  storage::LoadOptions load_options;
+  load_options.num_threads = BenchThreads();
+  state.relations = LoadAllModes(data.combined, "tpch", config, load_options);
+
+  // Table 1: all 22 queries x 4 storage modes.
+  TablePrinter table("Table 1: TPC-H execution times [s] (internal competitors)");
+  table.SetHeader({"Query", "JSON", "JSONB", "Sinew", "Tiles"});
+  std::map<storage::StorageMode, std::vector<double>> per_mode;
+  for (int q = 1; q <= 22; q++) {
+    std::vector<std::string> row = {"Q" + std::to_string(q)};
+    for (auto mode : AllModes()) {
+      double secs = TimeBest([&] { RunQuery(mode, q); },
+                             mode == storage::StorageMode::kJsonText ? 1 : 2);
+      per_mode[mode].push_back(secs);
+      row.push_back(Fmt(secs));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::vector<std::string> geo_row = {"geo-mean"};
+  for (auto mode : AllModes()) geo_row.push_back(Fmt(GeoMean(per_mode[mode])));
+  table.AddRow(std::move(geo_row));
+  table.Print();
+
+  // Figure 7: Q1 / Q18 throughput.
+  TablePrinter fig7("Figure 7: Q1 and Q18 throughput [queries/sec]");
+  fig7.SetHeader({"Mode", "Q1", "Q18"});
+  for (auto mode : AllModes()) {
+    fig7.AddRow({storage::StorageModeName(mode),
+                 Fmt(1.0 / per_mode[mode][0], "%.2f"),
+                 Fmt(1.0 / per_mode[mode][17], "%.2f")});
+  }
+  fig7.Print();
+
+  // google-benchmark micro view on the chokepoint queries.
+  for (auto mode : AllModes()) {
+    for (int q : {1, 6, 18}) {
+      std::string name = std::string("BM_Tpch/") +
+                         storage::StorageModeName(mode) + "/Q" + std::to_string(q);
+      benchmark::RegisterBenchmark(name.c_str(), BM_TpchQuery)
+          ->Args({static_cast<int64_t>(mode), q})
+          ->Unit(benchmark::kMillisecond)
+          ->MinTime(0.1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

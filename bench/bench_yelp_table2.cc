@@ -1,0 +1,55 @@
+// Reproduces paper Table 2: execution times of the five Yelp queries for the
+// internal competitor set, plus the Yelp tile-size sensitivity point used by
+// Figure 12 at the default configuration.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "workload/yelp.h"
+
+namespace {
+
+using namespace jsontiles;         // NOLINT
+using namespace jsontiles::bench;  // NOLINT
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+
+  workload::YelpOptions options;
+  options.num_business = YelpBusinesses();
+  auto docs = workload::GenerateYelp(options);
+  std::printf("Yelp combined documents: %zu\n", docs.size());
+
+  tiles::TileConfig config;
+  storage::LoadOptions load_options;
+  load_options.num_threads = BenchThreads();
+  auto relations = LoadAllModes(docs, "yelp", config, load_options);
+
+  TablePrinter table("Table 2: Yelp query execution times [s]");
+  table.SetHeader({"Query", "JSON", "JSONB", "Sinew", "Tiles"});
+  std::map<storage::StorageMode, std::vector<double>> per_mode;
+  for (int q = 1; q <= 5; q++) {
+    std::vector<std::string> row = {workload::YelpQueryName(q)};
+    for (auto mode : AllModes()) {
+      exec::ExecOptions exec_options;
+      exec_options.num_threads = BenchThreads();
+      double secs = TimeBest(
+          [&] {
+            exec::QueryContext ctx(exec_options);
+            benchmark::DoNotOptimize(
+                workload::RunYelpQuery(q, *relations.at(mode), ctx));
+          },
+          mode == storage::StorageMode::kJsonText ? 1 : 3);
+      per_mode[mode].push_back(secs);
+      row.push_back(Fmt(secs));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::vector<std::string> geo = {"geo-mean"};
+  for (auto mode : AllModes()) geo.push_back(Fmt(GeoMean(per_mode[mode])));
+  table.AddRow(std::move(geo));
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,431 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace jsontiles::exec {
+
+namespace {
+
+uint64_t HashKeys(const std::vector<ExprPtr>& keys, const Value* slots,
+                  Arena* arena) {
+  uint64_t h = 0x2545F4914F6CDD1DULL;
+  for (const auto& k : keys) {
+    h = HashCombine(h, EvalExpr(*k, slots, arena).Hash());
+  }
+  return h;
+}
+
+bool KeysEqual(const std::vector<Value>& a, const std::vector<Value>& b) {
+  for (size_t i = 0; i < a.size(); i++) {
+    // Join keys: SQL equality — null never matches null.
+    if (a[i].is_null() || b[i].is_null()) return false;
+    if (!a[i].EqualsForGrouping(b[i])) return false;
+  }
+  return true;
+}
+
+std::vector<Value> EvalKeyList(const std::vector<ExprPtr>& keys,
+                               const Value* slots, Arena* arena) {
+  std::vector<Value> out;
+  out.reserve(keys.size());
+  for (const auto& k : keys) out.push_back(EvalExpr(*k, slots, arena));
+  return out;
+}
+
+}  // namespace
+
+RowSet FilterExec(RowSet in, const ExprPtr& predicate, QueryContext& ctx) {
+  if (predicate == nullptr) return in;
+  Arena* arena = ctx.arena(0);
+  RowSet out;
+  out.reserve(in.size());
+  for (auto& row : in) {
+    Value keep = EvalExpr(*predicate, row.data(), arena);
+    if (!keep.is_null() && keep.bool_value()) out.push_back(std::move(row));
+  }
+  return out;
+}
+
+RowSet ProjectExec(const RowSet& in, const std::vector<ExprPtr>& exprs,
+                   QueryContext& ctx) {
+  Arena* arena = ctx.arena(0);
+  RowSet out;
+  out.reserve(in.size());
+  for (const auto& row : in) {
+    Row projected;
+    projected.reserve(exprs.size());
+    for (const auto& e : exprs) projected.push_back(EvalExpr(*e, row.data(), arena));
+    out.push_back(std::move(projected));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Accumulator {
+  // Sum: integer until a float arrives.
+  int64_t sum_i = 0;
+  double sum_d = 0;
+  bool sum_is_float = false;
+  bool sum_seen = false;
+  int64_t count = 0;  // non-null args (kCount) or rows (kCountStar)
+  Value min, max;
+  std::unordered_set<uint64_t> distinct;  // hash-based distinct
+
+  void AddValue(AggSpec::Kind kind, const Value& v) {
+    switch (kind) {
+      case AggSpec::Kind::kCountStar:
+        count++;
+        return;
+      case AggSpec::Kind::kCount:
+        if (!v.is_null()) count++;
+        return;
+      case AggSpec::Kind::kSum:
+      case AggSpec::Kind::kAvg:
+        if (v.is_null()) return;
+        count++;
+        sum_seen = true;
+        if (v.type == ValueType::kInt && !sum_is_float) {
+          sum_i += v.i;
+        } else {
+          if (!sum_is_float) {
+            sum_d = static_cast<double>(sum_i);
+            sum_is_float = true;
+          }
+          sum_d += v.AsDouble();
+        }
+        return;
+      case AggSpec::Kind::kMin:
+        if (v.is_null()) return;
+        if (min.is_null() || v.Compare(min) < 0) min = v;
+        return;
+      case AggSpec::Kind::kMax:
+        if (v.is_null()) return;
+        if (max.is_null() || v.Compare(max) > 0) max = v;
+        return;
+      case AggSpec::Kind::kCountDistinct:
+        if (!v.is_null()) distinct.insert(v.Hash());
+        return;
+    }
+  }
+
+  void Merge(AggSpec::Kind kind, const Accumulator& other) {
+    switch (kind) {
+      case AggSpec::Kind::kCountStar:
+      case AggSpec::Kind::kCount:
+        count += other.count;
+        return;
+      case AggSpec::Kind::kSum:
+      case AggSpec::Kind::kAvg:
+        count += other.count;
+        sum_seen |= other.sum_seen;
+        if (other.sum_is_float || sum_is_float) {
+          if (!sum_is_float) {
+            sum_d = static_cast<double>(sum_i);
+            sum_is_float = true;
+          }
+          sum_d += other.sum_is_float ? other.sum_d
+                                      : static_cast<double>(other.sum_i);
+        } else {
+          sum_i += other.sum_i;
+        }
+        return;
+      case AggSpec::Kind::kMin:
+        if (!other.min.is_null() && (min.is_null() || other.min.Compare(min) < 0)) {
+          min = other.min;
+        }
+        return;
+      case AggSpec::Kind::kMax:
+        if (!other.max.is_null() && (max.is_null() || other.max.Compare(max) > 0)) {
+          max = other.max;
+        }
+        return;
+      case AggSpec::Kind::kCountDistinct:
+        distinct.insert(other.distinct.begin(), other.distinct.end());
+        return;
+    }
+  }
+
+  Value Finalize(AggSpec::Kind kind) const {
+    switch (kind) {
+      case AggSpec::Kind::kCountStar:
+      case AggSpec::Kind::kCount:
+        return Value::Int(count);
+      case AggSpec::Kind::kSum:
+        if (!sum_seen) return Value::Null();
+        return sum_is_float ? Value::Float(sum_d) : Value::Int(sum_i);
+      case AggSpec::Kind::kAvg: {
+        if (count == 0) return Value::Null();
+        double total = sum_is_float ? sum_d : static_cast<double>(sum_i);
+        return Value::Float(total / static_cast<double>(count));
+      }
+      case AggSpec::Kind::kMin: return min;
+      case AggSpec::Kind::kMax: return max;
+      case AggSpec::Kind::kCountDistinct:
+        return Value::Int(static_cast<int64_t>(distinct.size()));
+    }
+    return Value::Null();
+  }
+};
+
+struct Group {
+  std::vector<Value> keys;
+  std::vector<Accumulator> accs;
+};
+
+using GroupMap = std::unordered_map<uint64_t, std::vector<Group>>;
+
+void Accumulate(GroupMap& groups, const std::vector<ExprPtr>& group_by,
+                const std::vector<AggSpec>& aggs, const Row& row, Arena* arena) {
+  uint64_t h = HashKeys(group_by, row.data(), arena);
+  std::vector<Value> keys = EvalKeyList(group_by, row.data(), arena);
+  auto& bucket = groups[h];
+  Group* group = nullptr;
+  for (auto& g : bucket) {
+    bool equal = true;
+    for (size_t i = 0; i < keys.size() && equal; i++) {
+      equal = g.keys[i].EqualsForGrouping(keys[i]);
+    }
+    if (equal) {
+      group = &g;
+      break;
+    }
+  }
+  if (group == nullptr) {
+    bucket.push_back(Group{std::move(keys), std::vector<Accumulator>(aggs.size())});
+    group = &bucket.back();
+  }
+  for (size_t a = 0; a < aggs.size(); a++) {
+    Value v = aggs[a].arg != nullptr ? EvalExpr(*aggs[a].arg, row.data(), arena)
+                                     : Value::Null();
+    group->accs[a].AddValue(aggs[a].kind, v);
+  }
+}
+
+}  // namespace
+
+RowSet AggregateExec(const RowSet& in, const std::vector<ExprPtr>& group_by,
+                     const std::vector<AggSpec>& aggs, QueryContext& ctx) {
+  const size_t parallel_threshold = 16384;
+  std::vector<GroupMap> partials;
+
+  if (ctx.pool() != nullptr && in.size() >= parallel_threshold) {
+    size_t workers = ctx.num_workers();
+    partials.resize(workers);
+    size_t chunk = (in.size() + workers - 1) / workers;
+    ctx.pool()->ParallelFor(
+        workers,
+        [&](size_t w, size_t) {
+          size_t begin = w * chunk;
+          size_t end = std::min(begin + chunk, in.size());
+          Arena* arena = ctx.arena(w);
+          for (size_t r = begin; r < end; r++) {
+            Accumulate(partials[w], group_by, aggs, in[r], arena);
+          }
+        },
+        1);
+  } else {
+    partials.resize(1);
+    Arena* arena = ctx.arena(0);
+    for (const auto& row : in) Accumulate(partials[0], group_by, aggs, row, arena);
+  }
+
+  // Merge partials into the first map.
+  GroupMap& merged = partials[0];
+  for (size_t p = 1; p < partials.size(); p++) {
+    for (auto& [h, bucket] : partials[p]) {
+      auto& dst_bucket = merged[h];
+      for (auto& g : bucket) {
+        Group* target = nullptr;
+        for (auto& existing : dst_bucket) {
+          bool equal = true;
+          for (size_t i = 0; i < g.keys.size() && equal; i++) {
+            equal = existing.keys[i].EqualsForGrouping(g.keys[i]);
+          }
+          if (equal) {
+            target = &existing;
+            break;
+          }
+        }
+        if (target == nullptr) {
+          dst_bucket.push_back(std::move(g));
+        } else {
+          for (size_t a = 0; a < aggs.size(); a++) {
+            target->accs[a].Merge(aggs[a].kind, g.accs[a]);
+          }
+        }
+      }
+    }
+  }
+
+  RowSet out;
+  for (auto& [h, bucket] : merged) {
+    (void)h;
+    for (auto& g : bucket) {
+      Row row;
+      row.reserve(group_by.size() + aggs.size());
+      for (auto& k : g.keys) row.push_back(k);
+      for (size_t a = 0; a < aggs.size(); a++) {
+        row.push_back(g.accs[a].Finalize(aggs[a].kind));
+      }
+      out.push_back(std::move(row));
+    }
+  }
+  // Global aggregate of empty input still yields one row.
+  if (group_by.empty() && out.empty()) {
+    Row row;
+    std::vector<Accumulator> accs(aggs.size());
+    for (size_t a = 0; a < aggs.size(); a++) {
+      row.push_back(accs[a].Finalize(aggs[a].kind));
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Hash join
+// ---------------------------------------------------------------------------
+
+RowSet HashJoinExec(const RowSet& build, const RowSet& probe,
+                    const std::vector<ExprPtr>& build_keys,
+                    const std::vector<ExprPtr>& probe_keys, JoinType type,
+                    const ExprPtr& residual, QueryContext& ctx) {
+  JSONTILES_CHECK(build_keys.size() == probe_keys.size());
+  Arena* arena = ctx.arena(0);
+
+  // Build phase.
+  std::unordered_map<uint64_t, std::vector<size_t>> table;
+  std::vector<std::vector<Value>> build_key_values;
+  build_key_values.reserve(build.size());
+  table.reserve(build.size() * 2);
+  for (size_t b = 0; b < build.size(); b++) {
+    build_key_values.push_back(EvalKeyList(build_keys, build[b].data(), arena));
+    bool has_null = false;
+    for (const auto& v : build_key_values.back()) has_null |= v.is_null();
+    if (has_null) continue;  // null keys never match
+    table[HashKeys(build_keys, build[b].data(), arena)].push_back(b);
+  }
+  const size_t build_width = build.empty() ? 0 : build[0].size();
+
+  // Probe phase (parallel chunks).
+  auto probe_chunk = [&](size_t begin, size_t end, Arena* worker_arena,
+                         RowSet* out) {
+    std::vector<Value> combined;
+    for (size_t p = begin; p < end; p++) {
+      const Row& prow = probe[p];
+      std::vector<Value> pkeys = EvalKeyList(probe_keys, prow.data(), worker_arena);
+      bool has_null = false;
+      for (const auto& v : pkeys) has_null |= v.is_null();
+      bool matched = false;
+      if (!has_null) {
+        uint64_t h = HashKeys(probe_keys, prow.data(), worker_arena);
+        auto it = table.find(h);
+        if (it != table.end()) {
+          for (size_t b : it->second) {
+            if (!KeysEqual(build_key_values[b], pkeys)) continue;
+            // Residual predicate over [probe..., build...].
+            if (residual != nullptr) {
+              combined.assign(prow.begin(), prow.end());
+              combined.insert(combined.end(), build[b].begin(), build[b].end());
+              Value keep = EvalExpr(*residual, combined.data(), worker_arena);
+              if (keep.is_null() || !keep.bool_value()) continue;
+            }
+            matched = true;
+            if (type == JoinType::kInner || type == JoinType::kLeft) {
+              Row out_row;
+              out_row.reserve(prow.size() + build_width);
+              out_row.insert(out_row.end(), prow.begin(), prow.end());
+              out_row.insert(out_row.end(), build[b].begin(), build[b].end());
+              out->push_back(std::move(out_row));
+            } else {
+              break;  // semi/anti need only existence
+            }
+          }
+        }
+      }
+      switch (type) {
+        case JoinType::kInner:
+          break;
+        case JoinType::kLeft:
+          if (!matched) {
+            Row out_row;
+            out_row.reserve(prow.size() + build_width);
+            out_row.insert(out_row.end(), prow.begin(), prow.end());
+            for (size_t i = 0; i < build_width; i++) out_row.push_back(Value::Null());
+            out->push_back(std::move(out_row));
+          }
+          break;
+        case JoinType::kSemi:
+          if (matched) out->push_back(prow);
+          break;
+        case JoinType::kAnti:
+          if (!matched) out->push_back(prow);
+          break;
+      }
+    }
+  };
+
+  const size_t parallel_threshold = 16384;
+  if (ctx.pool() != nullptr && probe.size() >= parallel_threshold) {
+    size_t workers = ctx.num_workers();
+    std::vector<RowSet> partials(workers);
+    size_t chunk = (probe.size() + workers - 1) / workers;
+    ctx.pool()->ParallelFor(
+        workers,
+        [&](size_t w, size_t) {
+          size_t begin = w * chunk;
+          size_t end = std::min(begin + chunk, probe.size());
+          if (begin < end) probe_chunk(begin, end, ctx.arena(w), &partials[w]);
+        },
+        1);
+    size_t total = 0;
+    for (const auto& p : partials) total += p.size();
+    RowSet out;
+    out.reserve(total);
+    for (auto& p : partials) {
+      for (auto& row : p) out.push_back(std::move(row));
+    }
+    return out;
+  }
+  RowSet out;
+  probe_chunk(0, probe.size(), arena, &out);
+  return out;
+}
+
+RowSet SortExec(RowSet in, const std::vector<SortKey>& keys, QueryContext& ctx) {
+  Arena* arena = ctx.arena(0);
+  std::stable_sort(in.begin(), in.end(), [&](const Row& a, const Row& b) {
+    for (const auto& key : keys) {
+      Value va = EvalExpr(*key.expr, a.data(), arena);
+      Value vb = EvalExpr(*key.expr, b.data(), arena);
+      int cmp;
+      if (va.is_null() || vb.is_null()) {
+        // PostgreSQL default: nulls sort as the largest value (last when
+        // ascending, first when descending).
+        cmp = va.is_null() == vb.is_null() ? 0 : va.is_null() ? 1 : -1;
+      } else {
+        cmp = va.Compare(vb);
+      }
+      if (cmp != 0) return key.descending ? cmp > 0 : cmp < 0;
+    }
+    return false;
+  });
+  return in;
+}
+
+RowSet LimitExec(RowSet in, size_t limit) {
+  if (in.size() > limit) in.resize(limit);
+  return in;
+}
+
+}  // namespace jsontiles::exec

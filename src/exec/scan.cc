@@ -1,0 +1,370 @@
+#include "exec/scan.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "tiles/keypath.h"
+#include "tiles/tile.h"
+
+namespace jsontiles::exec {
+
+QueryContext::QueryContext(ExecOptions options) : options_(options) {
+  size_t workers = std::max<size_t>(1, options.num_threads);
+  for (size_t i = 0; i < workers; i++) {
+    arenas_.push_back(std::make_unique<Arena>());
+  }
+  if (workers > 1) pool_ = std::make_unique<ThreadPool>(workers - 1);
+}
+
+namespace {
+
+using storage::Relation;
+using storage::StorageMode;
+using tiles::ColumnType;
+using tiles::ExtractedColumn;
+using tiles::Tile;
+
+std::string_view ArenaCopy(std::string_view s, Arena* arena) {
+  if (s.empty()) return {};
+  uint8_t* p = arena->AllocateCopy(s.data(), s.size());
+  return {reinterpret_cast<const char*>(p), s.size()};
+}
+
+// Convert a JSONB scalar into an engine value of the requested type.
+Value JsonbScalarToValue(const json::JsonbValue& v, ValueType requested,
+                         Arena* arena, bool copy_strings) {
+  Value raw;
+  switch (v.type()) {
+    case json::JsonType::kNull:
+      return Value::Null();
+    case json::JsonType::kBool:
+      raw = Value::Bool(v.GetBool());
+      break;
+    case json::JsonType::kInt:
+      raw = Value::Int(v.GetInt());
+      break;
+    case json::JsonType::kFloat:
+      raw = Value::Float(v.GetDouble());
+      break;
+    case json::JsonType::kString: {
+      std::string_view s = v.GetString();
+      raw = Value::String(copy_strings ? ArenaCopy(s, arena) : s);
+      break;
+    }
+    case json::JsonType::kNumericString:
+      raw = Value::Num(v.GetNumeric());
+      break;
+    case json::JsonType::kObject:
+    case json::JsonType::kArray: {
+      // ->> of a container returns its JSON text; other casts yield null.
+      if (requested != ValueType::kString) return Value::Null();
+      std::string text = v.ToJsonText();
+      return Value::String(ArenaCopy(text, arena));
+    }
+  }
+  if (raw.type == requested) return raw;
+  return CastValue(raw, requested, arena);
+}
+
+}  // namespace
+
+Value EvalAccessOnJsonb(json::JsonbValue doc, const std::string& path,
+                        ValueType requested, Arena* arena, bool copy_strings) {
+  auto found = tiles::LookupPath(doc, path);
+  if (!found.has_value()) return Value::Null();
+  return JsonbScalarToValue(*found, requested, arena, copy_strings);
+}
+
+Value EvalScanExprOnJsonb(const Expr& access, json::JsonbValue doc,
+                          int64_t row_id, Arena* arena, bool copy_strings) {
+  if (access.kind == ExprKind::kArrayContains) {
+    auto array = tiles::LookupPath(doc, access.path);
+    if (!array.has_value() || array->type() != json::JsonType::kArray) {
+      return Value::Bool(false);
+    }
+    size_t count = array->Count();
+    std::string_view needle = access.const_storage;
+    for (size_t i = 0; i < count; i++) {
+      json::JsonbValue element = array->ArrayElement(i);
+      if (access.pattern.empty()) {
+        if (element.type() == json::JsonType::kString &&
+            element.GetString() == needle) {
+          return Value::Bool(true);
+        }
+        continue;
+      }
+      if (element.type() != json::JsonType::kObject) continue;
+      auto member = element.FindKey(access.pattern);
+      if (member.has_value() && member->type() == json::JsonType::kString &&
+          member->GetString() == needle) {
+        return Value::Bool(true);
+      }
+    }
+    return Value::Bool(false);
+  }
+  if (access.path == kRowIdPath) return Value::Int(row_id);
+  return EvalAccessOnJsonb(doc, access.path, access.access_type, arena,
+                           copy_strings);
+}
+
+namespace {
+
+// Per-tile resolution of one access (§4.5), cached for all tuples.
+struct ResolvedAccess {
+  enum class Route : uint8_t { kColumn, kColumnCast, kFallback };
+  Route route = Route::kFallback;
+  const ExtractedColumn* column = nullptr;
+  bool fallback_on_null = false;  // §3.4: outliers live in the binary JSON
+  ValueType requested;
+};
+
+ValueType ColumnValueType(ColumnType type) {
+  switch (type) {
+    case ColumnType::kBool: return ValueType::kBool;
+    case ColumnType::kInt64: return ValueType::kInt;
+    case ColumnType::kFloat64: return ValueType::kFloat;
+    case ColumnType::kString: return ValueType::kString;
+    case ColumnType::kTimestamp: return ValueType::kTimestamp;
+    case ColumnType::kNumeric: return ValueType::kNumeric;
+  }
+  return ValueType::kNull;
+}
+
+ResolvedAccess ResolveAccess(const Tile& tile, const Expr& access) {
+  ResolvedAccess resolved;
+  resolved.requested = access.access_type;
+  // Array containment and row ids never come from materialized columns.
+  if (access.kind != ExprKind::kAccess || access.path == kRowIdPath) {
+    return resolved;
+  }
+  const ExtractedColumn* col = tile.FindColumn(access.path);
+  if (col == nullptr) return resolved;  // fallback
+  // §4.9: a Timestamp extract must not serve a Text request — the exact
+  // string representation lives only in the binary JSON.
+  if (col->is_timestamp && access.access_type == ValueType::kString) {
+    return resolved;
+  }
+  resolved.column = col;
+  resolved.fallback_on_null =
+      col->has_type_outliers || (col->is_timestamp && col->nullable);
+  resolved.route = ColumnValueType(col->storage_type) == access.access_type
+                       ? ResolvedAccess::Route::kColumn
+                       : ResolvedAccess::Route::kColumnCast;
+  return resolved;
+}
+
+Value ReadColumnValue(const ExtractedColumn& col, size_t row) {
+  switch (col.storage_type) {
+    case ColumnType::kBool: return Value::Bool(col.column.GetBool(row));
+    case ColumnType::kInt64: return Value::Int(col.column.GetInt(row));
+    case ColumnType::kFloat64: return Value::Float(col.column.GetFloat(row));
+    case ColumnType::kString: return Value::String(col.column.GetString(row));
+    case ColumnType::kTimestamp: return Value::Ts(col.column.GetTimestamp(row));
+    case ColumnType::kNumeric: return Value::Num(col.column.GetNumeric(row));
+  }
+  return Value::Null();
+}
+
+// Zone-map skipping: can the tile be proven to contain no row satisfying
+// `access OP constant`? Only when the column is extracted, carries a min/max
+// and has no type outliers (outlier values live in the binary JSON, outside
+// the map). Rows where the access is null are rejected by the comparison
+// anyway, so the non-null range is decisive.
+bool CanSkipByZoneMap(const Tile& tile, const RangePredicate& rp) {
+  const ExtractedColumn* col = tile.FindColumn(rp.path);
+  if (col == nullptr || !col->has_minmax || col->has_type_outliers) return false;
+  // The cast from the stored type to the requested type must preserve order
+  // exactly; float->int truncation does not (negatives round toward zero).
+  switch (col->storage_type) {
+    case ColumnType::kInt64:
+      if (rp.access_type != ValueType::kInt && rp.access_type != ValueType::kFloat) {
+        return false;
+      }
+      break;
+    case ColumnType::kFloat64:
+      if (rp.access_type != ValueType::kFloat) return false;
+      break;
+    case ColumnType::kTimestamp:
+      if (rp.access_type != ValueType::kTimestamp) return false;
+      break;
+    default:
+      return false;
+  }
+  double lo, hi;
+  if (col->storage_type == ColumnType::kFloat64) {
+    lo = col->min_d;
+    hi = col->max_d;
+  } else {
+    lo = static_cast<double>(col->min_i);
+    hi = static_cast<double>(col->max_i);
+  }
+  // Guard against double rounding at the extremes of huge int64 domains.
+  if (col->storage_type != ColumnType::kFloat64 &&
+      (std::abs(lo) > 9e15 || std::abs(hi) > 9e15)) {
+    return false;
+  }
+  double c = rp.constant.AsDouble();
+  switch (rp.op) {
+    case BinOp::kLt: return lo >= c;
+    case BinOp::kLe: return lo > c;
+    case BinOp::kGt: return hi <= c;
+    case BinOp::kGe: return hi < c;
+    case BinOp::kEq: return c < lo || c > hi;
+    default: return false;
+  }
+}
+
+}  // namespace
+
+RowSet ScanExec(const ScanSpec& spec, QueryContext& ctx) {
+  const Relation& rel = *spec.relation;
+  const size_t num_slots = spec.accesses.size();
+  const bool tiled = rel.mode() == StorageMode::kTiles ||
+                     rel.mode() == StorageMode::kSinew;
+
+  // Chunk boundaries: tiles for tiled modes, fixed chunks otherwise.
+  struct Chunk {
+    size_t row_begin;
+    size_t row_count;
+    const Tile* tile;  // null for non-tiled modes
+  };
+  std::vector<Chunk> chunks;
+  if (tiled) {
+    for (const Tile& tile : rel.tiles()) {
+      chunks.push_back(Chunk{tile.row_begin, tile.row_count, &tile});
+    }
+  } else {
+    constexpr size_t kChunkRows = 4096;
+    for (size_t begin = 0; begin < rel.num_rows(); begin += kChunkRows) {
+      chunks.push_back(
+          Chunk{begin, std::min(kChunkRows, rel.num_rows() - begin), nullptr});
+    }
+  }
+
+  std::vector<RowSet> partials(chunks.size());
+  std::atomic<size_t> skipped{0};
+
+  auto scan_chunk = [&](size_t c, size_t worker) {
+    const Chunk& chunk = chunks[c];
+    Arena* arena = ctx.arena(worker);
+    RowSet& out = partials[c];
+
+    // §4.8 tile skipping: path existence, then zone maps.
+    if (chunk.tile != nullptr && ctx.options().enable_tile_skipping) {
+      for (const std::string& path : spec.null_rejecting_paths) {
+        if (path == kRowIdPath) continue;  // present in every row
+        if (!chunk.tile->MayContainPath(path)) {
+          skipped.fetch_add(1);
+          return;
+        }
+      }
+      for (const RangePredicate& rp : spec.range_predicates) {
+        if (CanSkipByZoneMap(*chunk.tile, rp)) {
+          skipped.fetch_add(1);
+          return;
+        }
+      }
+    }
+
+    // §4.5: resolve each access once per tile.
+    std::vector<ResolvedAccess> resolved(num_slots);
+    if (chunk.tile != nullptr) {
+      for (size_t i = 0; i < num_slots; i++) {
+        resolved[i] = ResolveAccess(*chunk.tile, *spec.accesses[i]);
+      }
+    } else {
+      for (size_t i = 0; i < num_slots; i++) {
+        resolved[i].requested = spec.accesses[i]->access_type;
+      }
+    }
+
+    json::JsonbBuilder text_builder;  // JSON-text mode: re-parse per document
+    std::vector<uint8_t> text_buf;
+    std::vector<Value> slots(num_slots);
+
+    for (size_t r = 0; r < chunk.row_count; r++) {
+      const size_t row = chunk.row_begin + r;
+      // Lazily materialized document for fallback routes.
+      const uint8_t* doc_bytes = nullptr;
+      bool doc_failed = false;
+      auto get_doc = [&]() -> const uint8_t* {
+        if (doc_bytes != nullptr || doc_failed) return doc_bytes;
+        if (rel.mode() == StorageMode::kJsonText) {
+          if (!text_builder.Transform(rel.JsonText(row), &text_buf).ok()) {
+            doc_failed = true;
+            return nullptr;
+          }
+          doc_bytes = text_buf.data();
+        } else {
+          doc_bytes = rel.Jsonb(row).data();
+        }
+        return doc_bytes;
+      };
+      const bool copy_strings = rel.mode() == StorageMode::kJsonText;
+
+      for (size_t i = 0; i < num_slots; i++) {
+        const ResolvedAccess& ra = resolved[i];
+        const Expr& access = *spec.accesses[i];
+        if (access.kind == ExprKind::kAccess && access.path == kRowIdPath) {
+          slots[i] = Value::Int(static_cast<int64_t>(row));
+          continue;
+        }
+        if (ra.route == ResolvedAccess::Route::kFallback) {
+          const uint8_t* doc = get_doc();
+          slots[i] = doc == nullptr
+                         ? Value::Null()
+                         : EvalScanExprOnJsonb(access, json::JsonbValue(doc),
+                                               static_cast<int64_t>(row), arena,
+                                               copy_strings);
+          continue;
+        }
+        const ExtractedColumn& col = *ra.column;
+        if (col.column.IsNull(r)) {
+          if (ra.fallback_on_null) {
+            const uint8_t* doc = get_doc();
+            slots[i] = doc == nullptr
+                           ? Value::Null()
+                           : EvalScanExprOnJsonb(access, json::JsonbValue(doc),
+                                                 static_cast<int64_t>(row), arena,
+                                                 copy_strings);
+          } else {
+            slots[i] = Value::Null();
+          }
+          continue;
+        }
+        Value v = ReadColumnValue(col, r);
+        slots[i] = ra.route == ResolvedAccess::Route::kColumn
+                       ? v
+                       : CastValue(v, ra.requested, arena);
+      }
+
+      if (spec.filter != nullptr) {
+        Value keep = EvalExpr(*spec.filter, slots.data(), arena);
+        if (keep.is_null() || !keep.bool_value()) continue;
+      }
+      out.push_back(slots);
+    }
+  };
+
+  if (ctx.pool() != nullptr && chunks.size() > 1) {
+    ctx.pool()->ParallelFor(chunks.size(), scan_chunk);
+  } else {
+    for (size_t c = 0; c < chunks.size(); c++) scan_chunk(c, 0);
+  }
+
+  ctx.tiles_skipped += skipped.load();
+  ctx.tiles_scanned += chunks.size();
+
+  // Merge in chunk order (deterministic results).
+  size_t total = 0;
+  for (const auto& p : partials) total += p.size();
+  RowSet out;
+  out.reserve(total);
+  for (auto& p : partials) {
+    for (auto& row : p) out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace jsontiles::exec

@@ -1,0 +1,84 @@
+// Table scan with access-expression push-down (paper §4.2, §4.5, §4.8).
+//
+// The scan receives the typed JSON accesses of the query (placeholders). Per
+// tile it resolves each access once — materialized column (direct or with a
+// cheap cast, §4.3/§4.5), or binary-JSON fallback — caches the resolution for
+// all tuples of the tile, skips tiles that cannot contain a null-rejecting
+// path (§4.8), evaluates the pushed-down filter, and emits rows of slot
+// values. JSONB/JSON-text relations scan documents directly (the JSON-text
+// mode re-parses every document, which is exactly its cost).
+
+#ifndef JSONTILES_EXEC_SCAN_H_
+#define JSONTILES_EXEC_SCAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/expression.h"
+#include "storage/relation.h"
+#include "util/arena.h"
+#include "util/thread_pool.h"
+
+namespace jsontiles::exec {
+
+using Row = std::vector<Value>;
+using RowSet = std::vector<Row>;
+
+struct ExecOptions {
+  size_t num_threads = 1;
+  /// §4.8: skip tiles that cannot contain a null-rejecting key path.
+  bool enable_tile_skipping = true;
+};
+
+/// Per-query state: worker arenas for derived strings (rows reference them,
+/// so the context must outlive all row sets) and an optional thread pool.
+class QueryContext {
+ public:
+  explicit QueryContext(ExecOptions options = {});
+
+  const ExecOptions& options() const { return options_; }
+  size_t num_workers() const { return arenas_.size(); }
+  Arena* arena(size_t worker) { return arenas_[worker].get(); }
+  ThreadPool* pool() { return pool_.get(); }
+
+  /// Tiles skipped by §4.8 across all scans of this query (observability).
+  size_t tiles_skipped = 0;
+  size_t tiles_scanned = 0;
+
+ private:
+  ExecOptions options_;
+  std::vector<std::unique_ptr<Arena>> arenas_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+struct ScanSpec {
+  const storage::Relation* relation = nullptr;
+  std::string table_alias;
+  /// Pushed-down accesses; output slot i = accesses[i].
+  std::vector<ExprPtr> accesses;
+  /// Pushed-down predicate over the output slots (may be null).
+  ExprPtr filter;
+  /// Encoded paths enabling tile skipping for this scan.
+  std::vector<std::string> null_rejecting_paths;
+  /// Range predicates enabling zone-map tile skipping (§4.8 extension).
+  std::vector<RangePredicate> range_predicates;
+};
+
+/// Execute the scan; rows contain one value per access, in order.
+RowSet ScanExec(const ScanSpec& spec, QueryContext& ctx);
+
+/// Evaluate one access against a binary JSON document (the fallback route
+/// and the JSONB storage route). When `copy_strings` is set, string results
+/// are copied into the arena (needed when `doc` is a transient buffer).
+Value EvalAccessOnJsonb(json::JsonbValue doc, const std::string& path,
+                        ValueType requested, Arena* arena, bool copy_strings);
+
+/// Evaluate a scan-level access expression (kAccess, kArrayContains) against
+/// a document. Virtual row-id accesses yield `row_id`.
+Value EvalScanExprOnJsonb(const Expr& access, json::JsonbValue doc,
+                          int64_t row_id, Arena* arena, bool copy_strings);
+
+}  // namespace jsontiles::exec
+
+#endif  // JSONTILES_EXEC_SCAN_H_

@@ -1,0 +1,222 @@
+#include "json/bson.h"
+
+#include <bit>
+#include <cstring>
+
+#include "util/bit_util.h"
+
+namespace jsontiles::json::bson {
+
+namespace {
+
+constexpr uint8_t kTypeDouble = 0x01;
+constexpr uint8_t kTypeString = 0x02;
+constexpr uint8_t kTypeDocument = 0x03;
+constexpr uint8_t kTypeArray = 0x04;
+constexpr uint8_t kTypeBool = 0x08;
+constexpr uint8_t kTypeNull = 0x0A;
+constexpr uint8_t kTypeInt64 = 0x12;
+
+void EncodeValue(const JsonValue& value, std::vector<uint8_t>& out);
+
+void AppendInt32(std::vector<uint8_t>& out, uint32_t v) {
+  size_t pos = out.size();
+  out.resize(pos + 4);
+  bit_util::StoreU32(out.data() + pos, v);
+}
+
+void AppendInt64(std::vector<uint8_t>& out, uint64_t v) {
+  size_t pos = out.size();
+  out.resize(pos + 8);
+  bit_util::StoreU64(out.data() + pos, v);
+}
+
+void AppendCString(std::vector<uint8_t>& out, std::string_view s) {
+  out.insert(out.end(), s.begin(), s.end());
+  out.push_back(0);
+}
+
+uint8_t TypeOf(const JsonValue& v) {
+  switch (v.type()) {
+    case JsonType::kNull: return kTypeNull;
+    case JsonType::kBool: return kTypeBool;
+    case JsonType::kInt: return kTypeInt64;
+    case JsonType::kFloat: return kTypeDouble;
+    case JsonType::kString:
+    case JsonType::kNumericString: return kTypeString;
+    case JsonType::kObject: return kTypeDocument;
+    case JsonType::kArray: return kTypeArray;
+  }
+  return kTypeNull;
+}
+
+void EncodeElement(std::string_view key, const JsonValue& value,
+                   std::vector<uint8_t>& out) {
+  out.push_back(TypeOf(value));
+  AppendCString(out, key);
+  EncodeValue(value, out);
+}
+
+void EncodeDocument(const JsonValue& value, std::vector<uint8_t>& out) {
+  size_t size_pos = out.size();
+  AppendInt32(out, 0);  // patched below
+  if (value.type() == JsonType::kObject) {
+    for (const auto& [k, v] : value.members()) EncodeElement(k, v, out);
+  } else {
+    for (size_t i = 0; i < value.elements().size(); i++) {
+      EncodeElement(std::to_string(i), value.elements()[i], out);
+    }
+  }
+  out.push_back(0);
+  bit_util::StoreU32(out.data() + size_pos,
+                     static_cast<uint32_t>(out.size() - size_pos));
+}
+
+void EncodeValue(const JsonValue& value, std::vector<uint8_t>& out) {
+  switch (value.type()) {
+    case JsonType::kNull:
+      break;  // no payload
+    case JsonType::kBool:
+      out.push_back(value.bool_value() ? 1 : 0);
+      break;
+    case JsonType::kInt:
+      AppendInt64(out, static_cast<uint64_t>(value.int_value()));
+      break;
+    case JsonType::kFloat: {
+      AppendInt64(out, std::bit_cast<uint64_t>(value.double_value()));
+      break;
+    }
+    case JsonType::kString:
+    case JsonType::kNumericString:
+      AppendInt32(out, static_cast<uint32_t>(value.string_value().size() + 1));
+      AppendCString(out, value.string_value());
+      break;
+    case JsonType::kObject:
+    case JsonType::kArray:
+      EncodeDocument(value, out);
+      break;
+  }
+}
+
+// Size of one element payload starting at p (bounded by end); 0 on error.
+size_t PayloadSize(uint8_t type, const uint8_t* p, const uint8_t* end) {
+  switch (type) {
+    case kTypeNull: return 0;
+    case kTypeBool: return 1;
+    case kTypeDouble:
+    case kTypeInt64: return 8;
+    case kTypeString: {
+      if (p + 4 > end) return 0;
+      return 4 + bit_util::LoadU32(p);
+    }
+    case kTypeDocument:
+    case kTypeArray: {
+      if (p + 4 > end) return 0;
+      return bit_util::LoadU32(p);
+    }
+    default: return 0;
+  }
+}
+
+Result<JsonValue> DecodeDocument(const uint8_t* data, size_t size, bool as_array);
+
+Result<JsonValue> DecodeValue(uint8_t type, const uint8_t* p, size_t size) {
+  switch (type) {
+    case kTypeNull: return JsonValue::Null();
+    case kTypeBool: return JsonValue::Bool(p[0] != 0);
+    case kTypeInt64:
+      return JsonValue::Int(static_cast<int64_t>(bit_util::LoadU64(p)));
+    case kTypeDouble:
+      return JsonValue::Float(std::bit_cast<double>(bit_util::LoadU64(p)));
+    case kTypeString: {
+      uint32_t len = bit_util::LoadU32(p);
+      if (len == 0 || 4 + len > size) return Status::ParseError("bad string");
+      return JsonValue::String(
+          std::string(reinterpret_cast<const char*>(p + 4), len - 1));
+    }
+    case kTypeDocument: return DecodeDocument(p, size, /*as_array=*/false);
+    case kTypeArray: return DecodeDocument(p, size, /*as_array=*/true);
+    default: return Status::ParseError("unknown BSON type");
+  }
+}
+
+Result<JsonValue> DecodeDocument(const uint8_t* data, size_t size, bool as_array) {
+  if (size < 5) return Status::ParseError("document too small");
+  uint32_t total = bit_util::LoadU32(data);
+  if (total > size) return Status::ParseError("document size exceeds buffer");
+  const uint8_t* p = data + 4;
+  const uint8_t* end = data + total - 1;  // trailing 0x00
+  JsonValue out = as_array ? JsonValue::Array() : JsonValue::Object();
+  while (p < end) {
+    uint8_t type = *p++;
+    const uint8_t* key_begin = p;
+    while (p < end && *p != 0) p++;
+    if (p >= end) return Status::ParseError("unterminated key");
+    std::string key(reinterpret_cast<const char*>(key_begin),
+                    static_cast<size_t>(p - key_begin));
+    p++;  // skip nul
+    size_t payload = PayloadSize(type, p, end);
+    if (p + payload > end && !(type == kTypeNull && p <= end)) {
+      return Status::ParseError("element exceeds document");
+    }
+    auto value = DecodeValue(type, p, payload);
+    if (!value.ok()) return value.status();
+    if (as_array) {
+      out.Append(value.MoveValueOrDie());
+    } else {
+      out.Add(std::move(key), value.MoveValueOrDie());
+    }
+    p += payload;
+  }
+  return out;
+}
+
+}  // namespace
+
+Status Encode(const JsonValue& root, std::vector<uint8_t>* out) {
+  if (root.type() != JsonType::kObject && root.type() != JsonType::kArray) {
+    return Status::InvalidArgument("BSON root must be a document or array");
+  }
+  out->clear();
+  EncodeDocument(root, *out);
+  return Status::OK();
+}
+
+Result<JsonValue> Decode(const uint8_t* data, size_t size) {
+  return DecodeDocument(data, size, /*as_array=*/false);
+}
+
+bool FindField(const uint8_t* doc, size_t doc_size, std::string_view key,
+               uint8_t* type, const uint8_t** payload, size_t* payload_size) {
+  if (doc_size < 5) return false;
+  uint32_t total = bit_util::LoadU32(doc);
+  if (total > doc_size) return false;
+  const uint8_t* p = doc + 4;
+  const uint8_t* end = doc + total - 1;
+  while (p < end) {
+    uint8_t t = *p++;
+    const uint8_t* key_begin = p;
+    while (p < end && *p != 0) p++;
+    if (p >= end) return false;
+    std::string_view k(reinterpret_cast<const char*>(key_begin),
+                       static_cast<size_t>(p - key_begin));
+    p++;
+    size_t size = PayloadSize(t, p, end);
+    if (p + size > end) return false;
+    if (k == key) {
+      *type = t;
+      *payload = p;
+      *payload_size = size;
+      return true;
+    }
+    p += size;
+  }
+  return false;
+}
+
+Result<JsonValue> DecodeElement(uint8_t type, const uint8_t* payload,
+                                size_t payload_size) {
+  return DecodeValue(type, payload, payload_size);
+}
+
+}  // namespace jsontiles::json::bson

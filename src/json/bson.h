@@ -1,0 +1,44 @@
+// BSON baseline codec (paper §6.9, compared against MongoDB's C++ driver).
+//
+// Implements the BSON wire format (bsonspec.org): a document is
+// [int32 total size][elements...][0x00], each element is
+// [1-byte type][cstring key][payload]. Arrays are documents whose keys are
+// the decimal indices "0", "1", ....
+//
+// The property the paper's Figure 20 measures is BSON's *linear-time* member
+// lookup: there is no key index, so finding a field scans elements front to
+// back (nested documents are skipped in O(1) via their size prefix, but the
+// scan over keys is O(n)).
+
+#ifndef JSONTILES_JSON_BSON_H_
+#define JSONTILES_JSON_BSON_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "json/dom.h"
+#include "util/status.h"
+
+namespace jsontiles::json::bson {
+
+/// Serialize a DOM tree; the root must be an object or an array.
+Status Encode(const JsonValue& root, std::vector<uint8_t>* out);
+
+/// Parse a BSON document back into a DOM tree (root decodes as an object).
+Result<JsonValue> Decode(const uint8_t* data, size_t size);
+
+/// Linear-scan lookup of a top-level field inside a document. On success
+/// `*payload`/`*payload_size`/`*type` describe the raw element payload, which
+/// for nested documents can be fed back into FindField. Returns false when
+/// the key is absent or the document is malformed.
+bool FindField(const uint8_t* doc, size_t doc_size, std::string_view key,
+               uint8_t* type, const uint8_t** payload, size_t* payload_size);
+
+/// Decode one element payload (as located by FindField) into a DOM value.
+Result<JsonValue> DecodeElement(uint8_t type, const uint8_t* payload,
+                                size_t payload_size);
+
+}  // namespace jsontiles::json::bson
+
+#endif  // JSONTILES_JSON_BSON_H_

@@ -1,0 +1,292 @@
+#include "json/cbor.h"
+
+#include <bit>
+#include <cstring>
+
+#include "json/float16.h"
+
+namespace jsontiles::json::cbor {
+
+namespace {
+
+constexpr uint8_t kMajorUint = 0;
+constexpr uint8_t kMajorNegint = 1;
+constexpr uint8_t kMajorText = 3;
+constexpr uint8_t kMajorArray = 4;
+constexpr uint8_t kMajorMap = 5;
+constexpr uint8_t kMajorSimple = 7;
+
+constexpr uint8_t kSimpleFalse = 20;
+constexpr uint8_t kSimpleTrue = 21;
+constexpr uint8_t kSimpleNull = 22;
+constexpr uint8_t kAiHalf = 25;
+constexpr uint8_t kAiSingle = 26;
+constexpr uint8_t kAiDouble = 27;
+
+void AppendBE(std::vector<uint8_t>& out, uint64_t v, int bytes) {
+  for (int i = bytes - 1; i >= 0; i--) {
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void EncodeHead(std::vector<uint8_t>& out, uint8_t major, uint64_t value) {
+  if (value < 24) {
+    out.push_back(static_cast<uint8_t>(major << 5 | value));
+  } else if (value <= 0xFF) {
+    out.push_back(static_cast<uint8_t>(major << 5 | 24));
+    AppendBE(out, value, 1);
+  } else if (value <= 0xFFFF) {
+    out.push_back(static_cast<uint8_t>(major << 5 | 25));
+    AppendBE(out, value, 2);
+  } else if (value <= 0xFFFFFFFF) {
+    out.push_back(static_cast<uint8_t>(major << 5 | 26));
+    AppendBE(out, value, 4);
+  } else {
+    out.push_back(static_cast<uint8_t>(major << 5 | 27));
+    AppendBE(out, value, 8);
+  }
+}
+
+void EncodeValue(const JsonValue& v, std::vector<uint8_t>& out) {
+  switch (v.type()) {
+    case JsonType::kNull:
+      out.push_back(kMajorSimple << 5 | kSimpleNull);
+      break;
+    case JsonType::kBool:
+      out.push_back(static_cast<uint8_t>(
+          kMajorSimple << 5 | (v.bool_value() ? kSimpleTrue : kSimpleFalse)));
+      break;
+    case JsonType::kInt: {
+      int64_t i = v.int_value();
+      if (i >= 0) {
+        EncodeHead(out, kMajorUint, static_cast<uint64_t>(i));
+      } else {
+        EncodeHead(out, kMajorNegint, static_cast<uint64_t>(-(i + 1)));
+      }
+      break;
+    }
+    case JsonType::kFloat: {
+      double d = v.double_value();
+      if (IsLosslessHalf(d)) {
+        out.push_back(kMajorSimple << 5 | kAiHalf);
+        AppendBE(out, FloatToHalf(static_cast<float>(d)), 2);
+      } else if (IsLosslessSingle(d)) {
+        out.push_back(kMajorSimple << 5 | kAiSingle);
+        AppendBE(out, std::bit_cast<uint32_t>(static_cast<float>(d)), 4);
+      } else {
+        out.push_back(kMajorSimple << 5 | kAiDouble);
+        AppendBE(out, std::bit_cast<uint64_t>(d), 8);
+      }
+      break;
+    }
+    case JsonType::kString:
+    case JsonType::kNumericString:
+      EncodeHead(out, kMajorText, v.string_value().size());
+      out.insert(out.end(), v.string_value().begin(), v.string_value().end());
+      break;
+    case JsonType::kArray:
+      EncodeHead(out, kMajorArray, v.elements().size());
+      for (const auto& e : v.elements()) EncodeValue(e, out);
+      break;
+    case JsonType::kObject:
+      EncodeHead(out, kMajorMap, v.members().size());
+      for (const auto& [k, e] : v.members()) {
+        EncodeHead(out, kMajorText, k.size());
+        out.insert(out.end(), k.begin(), k.end());
+        EncodeValue(e, out);
+      }
+      break;
+  }
+}
+
+struct Reader {
+  const uint8_t* data;
+  size_t size;
+  size_t pos = 0;
+
+  bool ReadByte(uint8_t* b) {
+    if (pos >= size) return false;
+    *b = data[pos++];
+    return true;
+  }
+  bool ReadBE(int bytes, uint64_t* v) {
+    if (pos + static_cast<size_t>(bytes) > size) return false;
+    uint64_t r = 0;
+    for (int i = 0; i < bytes; i++) r = r << 8 | data[pos++];
+    *v = r;
+    return true;
+  }
+  // Decode head; for major 7, *value holds the additional-info code and raw
+  // payload handling is done by the caller via ai.
+  bool ReadHead(uint8_t* major, uint8_t* ai, uint64_t* value) {
+    uint8_t b;
+    if (!ReadByte(&b)) return false;
+    *major = b >> 5;
+    *ai = b & 0x1F;
+    if (*ai < 24) {
+      *value = *ai;
+      return true;
+    }
+    switch (*ai) {
+      case 24: return ReadBE(1, value);
+      case 25: return ReadBE(2, value);
+      case 26: return ReadBE(4, value);
+      case 27: return ReadBE(8, value);
+      default: return false;  // indefinite lengths unsupported
+    }
+  }
+};
+
+Status DecodeOne(Reader& r, JsonValue* out, int depth);
+
+// Skip one value without materializing it. Containers require walking every
+// nested element (counts, not byte sizes) — CBOR's access weakness.
+Status SkipOne(Reader& r, int depth) {
+  if (depth > 256) return Status::ParseError("nesting too deep");
+  uint8_t major, ai;
+  uint64_t value;
+  if (!r.ReadHead(&major, &ai, &value)) return Status::ParseError("truncated");
+  switch (major) {
+    case kMajorUint:
+    case kMajorNegint:
+      return Status::OK();
+    case 2:  // byte string
+    case kMajorText:
+      if (r.pos + value > r.size) return Status::ParseError("truncated string");
+      r.pos += value;
+      return Status::OK();
+    case kMajorArray:
+      for (uint64_t i = 0; i < value; i++) JSONTILES_RETURN_NOT_OK(SkipOne(r, depth + 1));
+      return Status::OK();
+    case kMajorMap:
+      for (uint64_t i = 0; i < value; i++) {
+        JSONTILES_RETURN_NOT_OK(SkipOne(r, depth + 1));  // key
+        JSONTILES_RETURN_NOT_OK(SkipOne(r, depth + 1));  // value
+      }
+      return Status::OK();
+    case kMajorSimple:
+      switch (ai) {
+        case kAiHalf: r.pos += 0; return Status::OK();     // payload consumed by head
+        case kAiSingle: return Status::OK();
+        case kAiDouble: return Status::OK();
+        default: return Status::OK();
+      }
+    default:
+      return Status::ParseError("unsupported CBOR major type");
+  }
+}
+
+Status DecodeOne(Reader& r, JsonValue* out, int depth) {
+  if (depth > 256) return Status::ParseError("nesting too deep");
+  uint8_t major, ai;
+  uint64_t value;
+  if (!r.ReadHead(&major, &ai, &value)) return Status::ParseError("truncated");
+  switch (major) {
+    case kMajorUint:
+      *out = JsonValue::Int(static_cast<int64_t>(value));
+      return Status::OK();
+    case kMajorNegint:
+      *out = JsonValue::Int(-1 - static_cast<int64_t>(value));
+      return Status::OK();
+    case kMajorText: {
+      if (r.pos + value > r.size) return Status::ParseError("truncated string");
+      *out = JsonValue::String(
+          std::string(reinterpret_cast<const char*>(r.data + r.pos), value));
+      r.pos += value;
+      return Status::OK();
+    }
+    case kMajorArray: {
+      *out = JsonValue::Array();
+      for (uint64_t i = 0; i < value; i++) {
+        JsonValue child;
+        JSONTILES_RETURN_NOT_OK(DecodeOne(r, &child, depth + 1));
+        out->Append(std::move(child));
+      }
+      return Status::OK();
+    }
+    case kMajorMap: {
+      *out = JsonValue::Object();
+      for (uint64_t i = 0; i < value; i++) {
+        JsonValue key;
+        JSONTILES_RETURN_NOT_OK(DecodeOne(r, &key, depth + 1));
+        if (key.type() != JsonType::kString) {
+          return Status::ParseError("non-text map key");
+        }
+        JsonValue child;
+        JSONTILES_RETURN_NOT_OK(DecodeOne(r, &child, depth + 1));
+        out->Add(key.string_value(), std::move(child));
+      }
+      return Status::OK();
+    }
+    case kMajorSimple:
+      switch (ai) {
+        case kSimpleFalse: *out = JsonValue::Bool(false); return Status::OK();
+        case kSimpleTrue: *out = JsonValue::Bool(true); return Status::OK();
+        case kSimpleNull: *out = JsonValue::Null(); return Status::OK();
+        case kAiHalf:
+          *out = JsonValue::Float(HalfToFloat(static_cast<uint16_t>(value)));
+          return Status::OK();
+        case kAiSingle:
+          *out = JsonValue::Float(
+              std::bit_cast<float>(static_cast<uint32_t>(value)));
+          return Status::OK();
+        case kAiDouble:
+          *out = JsonValue::Float(std::bit_cast<double>(value));
+          return Status::OK();
+        default:
+          return Status::ParseError("unsupported simple value");
+      }
+    default:
+      return Status::ParseError("unsupported CBOR major type");
+  }
+}
+
+}  // namespace
+
+Status Encode(const JsonValue& root, std::vector<uint8_t>* out) {
+  out->clear();
+  EncodeValue(root, *out);
+  return Status::OK();
+}
+
+Result<JsonValue> Decode(const uint8_t* data, size_t size) {
+  Reader r{data, size};
+  JsonValue out;
+  Status st = DecodeOne(r, &out, 0);
+  if (!st.ok()) return st;
+  if (r.pos != size) return Status::ParseError("trailing bytes");
+  return out;
+}
+
+bool FindMapKey(const uint8_t* data, size_t size, std::string_view key,
+                size_t* pos) {
+  Reader r{data, size};
+  uint8_t major, ai;
+  uint64_t count;
+  if (!r.ReadHead(&major, &ai, &count) || major != kMajorMap) return false;
+  for (uint64_t i = 0; i < count; i++) {
+    uint8_t kmajor, kai;
+    uint64_t klen;
+    if (!r.ReadHead(&kmajor, &kai, &klen) || kmajor != kMajorText) return false;
+    if (r.pos + klen > r.size) return false;
+    std::string_view k(reinterpret_cast<const char*>(r.data + r.pos), klen);
+    r.pos += klen;
+    if (k == key) {
+      *pos = r.pos;
+      return true;
+    }
+    if (!SkipOne(r, 0).ok()) return false;
+  }
+  return false;
+}
+
+Result<JsonValue> DecodeValueAt(const uint8_t* data, size_t size, size_t pos) {
+  Reader r{data, size};
+  r.pos = pos;
+  JsonValue out;
+  Status st = DecodeOne(r, &out, 0);
+  if (!st.ok()) return st;
+  return out;
+}
+
+}  // namespace jsontiles::json::cbor

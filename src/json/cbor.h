@@ -1,0 +1,41 @@
+// CBOR baseline codec (paper §6.9, compared against the JsonCons C++
+// implementation).
+//
+// Implements RFC 7049 encoding with definite-length containers: major types
+// 0/1 (integers), 3 (text), 4 (array), 5 (map), 7 (simple values and
+// half/single/double floats). CBOR is byte-compact (the paper's Figure 19
+// shows it smallest) but containers carry element *counts*, not byte sizes,
+// so random access must walk the encoding value by value — the property
+// Figure 20 measures ("accessing keys requires the object to be extracted").
+
+#ifndef JSONTILES_JSON_CBOR_H_
+#define JSONTILES_JSON_CBOR_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "json/dom.h"
+#include "util/status.h"
+
+namespace jsontiles::json::cbor {
+
+/// Serialize a DOM tree to CBOR (floats stored at the smallest lossless
+/// width, integers in the shortest form, as encoders typically do).
+Status Encode(const JsonValue& root, std::vector<uint8_t>* out);
+
+/// Parse CBOR bytes back into a DOM tree.
+Result<JsonValue> Decode(const uint8_t* data, size_t size);
+
+/// Sequentially scan a top-level map for `key`. `*pos` receives the byte
+/// offset of the value. This is O(document) because skipping any container
+/// requires walking all of its contents. Returns false when absent.
+bool FindMapKey(const uint8_t* data, size_t size, std::string_view key,
+                size_t* pos);
+
+/// Decode the single value starting at `data + pos`.
+Result<JsonValue> DecodeValueAt(const uint8_t* data, size_t size, size_t pos);
+
+}  // namespace jsontiles::json::cbor
+
+#endif  // JSONTILES_JSON_CBOR_H_

@@ -1,0 +1,188 @@
+#include "json/dom.h"
+
+#include <charconv>
+#include <cstdio>
+
+#include "json/lexer.h"
+
+namespace jsontiles::json {
+
+namespace {
+
+constexpr int kMaxNesting = 256;
+
+Status ParseValue(JsonLexer& lexer, Token token, JsonValue* out, int depth) {
+  if (depth > kMaxNesting) return Status::ParseError("nesting too deep");
+  switch (token) {
+    case Token::kNull:
+      *out = JsonValue::Null();
+      return Status::OK();
+    case Token::kTrue:
+      *out = JsonValue::Bool(true);
+      return Status::OK();
+    case Token::kFalse:
+      *out = JsonValue::Bool(false);
+      return Status::OK();
+    case Token::kNumber:
+      if (lexer.number_is_int()) {
+        *out = JsonValue::Int(lexer.int_value());
+      } else {
+        *out = JsonValue::Float(lexer.double_value());
+      }
+      return Status::OK();
+    case Token::kString: {
+      if (lexer.string_has_escape()) {
+        std::string decoded;
+        JsonLexer::Unescape(lexer.string_lexeme(), &decoded);
+        *out = JsonValue::String(std::move(decoded));
+      } else {
+        *out = JsonValue::String(std::string(lexer.string_lexeme()));
+      }
+      return Status::OK();
+    }
+    case Token::kObjectBegin: {
+      *out = JsonValue::Object();
+      Token t;
+      JSONTILES_RETURN_NOT_OK(lexer.Next(&t));
+      if (t == Token::kObjectEnd) return Status::OK();
+      while (true) {
+        if (t != Token::kString) return Status::ParseError("expected object key");
+        std::string key;
+        if (lexer.string_has_escape()) {
+          JsonLexer::Unescape(lexer.string_lexeme(), &key);
+        } else {
+          key.assign(lexer.string_lexeme());
+        }
+        JSONTILES_RETURN_NOT_OK(lexer.Next(&t));
+        if (t != Token::kColon) return Status::ParseError("expected ':'");
+        JSONTILES_RETURN_NOT_OK(lexer.Next(&t));
+        JsonValue child;
+        JSONTILES_RETURN_NOT_OK(ParseValue(lexer, t, &child, depth + 1));
+        out->Add(std::move(key), std::move(child));
+        JSONTILES_RETURN_NOT_OK(lexer.Next(&t));
+        if (t == Token::kObjectEnd) return Status::OK();
+        if (t != Token::kComma) return Status::ParseError("expected ',' or '}'");
+        JSONTILES_RETURN_NOT_OK(lexer.Next(&t));
+      }
+    }
+    case Token::kArrayBegin: {
+      *out = JsonValue::Array();
+      Token t;
+      JSONTILES_RETURN_NOT_OK(lexer.Next(&t));
+      if (t == Token::kArrayEnd) return Status::OK();
+      while (true) {
+        JsonValue child;
+        JSONTILES_RETURN_NOT_OK(ParseValue(lexer, t, &child, depth + 1));
+        out->Append(std::move(child));
+        JSONTILES_RETURN_NOT_OK(lexer.Next(&t));
+        if (t == Token::kArrayEnd) return Status::OK();
+        if (t != Token::kComma) return Status::ParseError("expected ',' or ']'");
+        JSONTILES_RETURN_NOT_OK(lexer.Next(&t));
+      }
+    }
+    default:
+      return Status::ParseError("unexpected token");
+  }
+}
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  JsonLexer lexer(text);
+  Token token;
+  Status st = lexer.Next(&token);
+  if (!st.ok()) return st;
+  if (token == Token::kEnd) return Status::ParseError("empty input");
+  JsonValue value;
+  st = ParseValue(lexer, token, &value, 0);
+  if (!st.ok()) return st;
+  st = lexer.Next(&token);
+  if (!st.ok()) return st;
+  if (token != Token::kEnd) return Status::ParseError("trailing content");
+  return value;
+}
+
+void EscapeJsonString(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\b': out->append("\\b"); break;
+      case '\f': out->append("\\f"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+void FormatDouble(double d, std::string* out) {
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  (void)ec;
+  out->append(buf, ptr);
+}
+
+void WriteJson(const JsonValue& value, std::string* out) {
+  switch (value.type()) {
+    case JsonType::kNull:
+      out->append("null");
+      break;
+    case JsonType::kBool:
+      out->append(value.bool_value() ? "true" : "false");
+      break;
+    case JsonType::kInt:
+      out->append(std::to_string(value.int_value()));
+      break;
+    case JsonType::kFloat:
+      FormatDouble(value.double_value(), out);
+      break;
+    case JsonType::kString:
+    case JsonType::kNumericString:
+      out->push_back('"');
+      EscapeJsonString(value.string_value(), out);
+      out->push_back('"');
+      break;
+    case JsonType::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : value.members()) {
+        if (!first) out->push_back(',');
+        first = false;
+        out->push_back('"');
+        EscapeJsonString(k, out);
+        out->append("\":");
+        WriteJson(v, out);
+      }
+      out->push_back('}');
+      break;
+    }
+    case JsonType::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const auto& e : value.elements()) {
+        if (!first) out->push_back(',');
+        first = false;
+        WriteJson(e, out);
+      }
+      out->push_back(']');
+      break;
+    }
+  }
+}
+
+std::string WriteJson(const JsonValue& value) {
+  std::string out;
+  WriteJson(value, &out);
+  return out;
+}
+
+}  // namespace jsontiles::json

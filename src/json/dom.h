@@ -1,0 +1,122 @@
+// A simple JSON DOM used by tests, tools and the BSON/CBOR baseline codecs.
+//
+// The hot paths of the library never materialize a DOM (documents go straight
+// from text to JSONB via the two-pass transformation); the DOM exists for
+// convenience and for the format-comparison experiments of §6.9.
+
+#ifndef JSONTILES_JSON_DOM_H_
+#define JSONTILES_JSON_DOM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "json/json_type.h"
+#include "util/status.h"
+
+namespace jsontiles::json {
+
+/// A mutable JSON value tree. Object member order is preserved on parse
+/// (serialization order is the input order, unlike JSONB which sorts keys).
+class JsonValue {
+ public:
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() : type_(JsonType::kNull) {}
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b) {
+    JsonValue v;
+    v.type_ = JsonType::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static JsonValue Int(int64_t i) {
+    JsonValue v;
+    v.type_ = JsonType::kInt;
+    v.int_ = i;
+    return v;
+  }
+  static JsonValue Float(double d) {
+    JsonValue v;
+    v.type_ = JsonType::kFloat;
+    v.double_ = d;
+    return v;
+  }
+  static JsonValue String(std::string s) {
+    JsonValue v;
+    v.type_ = JsonType::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.type_ = JsonType::kObject;
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.type_ = JsonType::kArray;
+    return v;
+  }
+
+  JsonType type() const { return type_; }
+  bool is_null() const { return type_ == JsonType::kNull; }
+
+  bool bool_value() const { return bool_; }
+  int64_t int_value() const { return int_; }
+  double double_value() const { return double_; }
+  const std::string& string_value() const { return string_; }
+
+  /// Object members (only valid for kObject).
+  std::vector<Member>& members() { return members_; }
+  const std::vector<Member>& members() const { return members_; }
+
+  /// Array elements (only valid for kArray).
+  std::vector<JsonValue>& elements() { return elements_; }
+  const std::vector<JsonValue>& elements() const { return elements_; }
+
+  /// Append a member to an object.
+  void Add(std::string key, JsonValue value) {
+    members_.emplace_back(std::move(key), std::move(value));
+  }
+  /// Append an element to an array.
+  void Append(JsonValue value) { elements_.push_back(std::move(value)); }
+
+  /// Linear-scan member lookup; nullptr when absent.
+  const JsonValue* Find(std::string_view key) const {
+    for (const auto& [k, v] : members_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+ private:
+  JsonType type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<Member> members_;
+  std::vector<JsonValue> elements_;
+};
+
+/// Parse a complete JSON document (one value, trailing whitespace only).
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Serialize to compact JSON text.
+std::string WriteJson(const JsonValue& value);
+void WriteJson(const JsonValue& value, std::string* out);
+
+/// Escape a string into JSON representation (adds no quotes).
+void EscapeJsonString(std::string_view s, std::string* out);
+
+/// Shortest round-trip formatting of a double (no trailing ".0" for whole
+/// numbers; matches std::to_chars).
+void FormatDouble(double d, std::string* out);
+
+}  // namespace jsontiles::json
+
+#endif  // JSONTILES_JSON_DOM_H_

@@ -1,0 +1,91 @@
+// IEEE 754 binary16 (half-float) conversion helpers.
+//
+// The JSONB format stores doubles at the smallest precision level whose
+// conversion back to double is lossless (paper §5.1): half (2 bytes), single
+// (4 bytes) or double (8 bytes).
+
+#ifndef JSONTILES_JSON_FLOAT16_H_
+#define JSONTILES_JSON_FLOAT16_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace jsontiles::json {
+
+/// Convert binary16 bits to float.
+inline float HalfToFloat(uint16_t h) {
+  uint32_t sign = static_cast<uint32_t>(h & 0x8000) << 16;
+  uint32_t exp = (h >> 10) & 0x1F;
+  uint32_t mant = h & 0x3FF;
+  uint32_t bits;
+  if (exp == 0) {
+    if (mant == 0) {
+      bits = sign;  // signed zero
+    } else {
+      // Subnormal half: normalize.
+      int shift = 0;
+      while ((mant & 0x400) == 0) {
+        mant <<= 1;
+        shift++;
+      }
+      mant &= 0x3FF;
+      bits = sign | ((127 - 15 - shift + 1) << 23) | (mant << 13);
+    }
+  } else if (exp == 31) {
+    bits = sign | 0x7F800000 | (mant << 13);  // inf / nan
+  } else {
+    bits = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(bits);
+}
+
+/// Convert float to binary16 bits with round-to-nearest-even; conversions
+/// that overflow become inf (callers check losslessness separately).
+inline uint16_t FloatToHalf(float f) {
+  uint32_t bits = std::bit_cast<uint32_t>(f);
+  uint16_t sign = static_cast<uint16_t>((bits >> 16) & 0x8000);
+  int32_t exp = static_cast<int32_t>((bits >> 23) & 0xFF) - 127 + 15;
+  uint32_t mant = bits & 0x7FFFFF;
+  if (((bits >> 23) & 0xFF) == 0xFF) {
+    // Inf / NaN.
+    return static_cast<uint16_t>(sign | 0x7C00 | (mant ? 0x200 : 0));
+  }
+  if (exp >= 31) return static_cast<uint16_t>(sign | 0x7C00);  // overflow -> inf
+  if (exp <= 0) {
+    // Subnormal or zero.
+    if (exp < -10) return sign;
+    mant |= 0x800000;
+    int shift = 14 - exp;
+    uint32_t sub = mant >> shift;
+    // Round to nearest even.
+    uint32_t rem = mant & ((1u << shift) - 1);
+    uint32_t half = 1u << (shift - 1);
+    if (rem > half || (rem == half && (sub & 1))) sub++;
+    return static_cast<uint16_t>(sign | sub);
+  }
+  uint16_t out =
+      static_cast<uint16_t>(sign | (exp << 10) | (mant >> 13));
+  uint32_t rem = mant & 0x1FFF;
+  if (rem > 0x1000 || (rem == 0x1000 && (out & 1))) out++;
+  return out;
+}
+
+/// True when `d` survives a round trip through binary16.
+inline bool IsLosslessHalf(double d) {
+  float f = static_cast<float>(d);
+  if (static_cast<double>(f) != d) return false;
+  uint16_t h = FloatToHalf(f);
+  float back = HalfToFloat(h);
+  return std::bit_cast<uint32_t>(back) == std::bit_cast<uint32_t>(f);
+}
+
+/// True when `d` survives a round trip through binary32.
+inline bool IsLosslessSingle(double d) {
+  float f = static_cast<float>(d);
+  return static_cast<double>(f) == d;
+}
+
+}  // namespace jsontiles::json
+
+#endif  // JSONTILES_JSON_FLOAT16_H_

@@ -1,0 +1,628 @@
+#include "json/jsonb.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "json/dom.h"
+#include "json/float16.h"
+#include "util/bit_util.h"
+#include "util/logging.h"
+
+namespace jsontiles::json {
+
+namespace {
+
+constexpr uint8_t kTagNull = 0;
+constexpr uint8_t kTagFalse = 1;
+constexpr uint8_t kTagTrue = 2;
+constexpr uint8_t kTagIntSmall = 3;
+constexpr uint8_t kTagInt = 4;
+constexpr uint8_t kTagFloat = 5;
+constexpr uint8_t kTagString = 6;
+constexpr uint8_t kTagNumeric = 7;
+constexpr uint8_t kTagObject = 8;
+constexpr uint8_t kTagArray = 9;
+
+constexpr int kMaxNesting = 256;
+
+inline uint8_t Tag(const uint8_t* p) { return *p >> 4; }
+inline uint8_t Imm(const uint8_t* p) { return *p & 0x0F; }
+
+inline int OffsetWidth(uint8_t code) { return code == 0 ? 1 : code == 1 ? 2 : 4; }
+inline uint8_t OffsetWidthCode(int width) {
+  return width == 1 ? 0 : width == 2 ? 1 : 2;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// JsonbValue accessors
+// ---------------------------------------------------------------------------
+
+JsonType JsonbValue::type() const {
+  switch (Tag(p_)) {
+    case kTagNull: return JsonType::kNull;
+    case kTagFalse:
+    case kTagTrue: return JsonType::kBool;
+    case kTagIntSmall:
+    case kTagInt: return JsonType::kInt;
+    case kTagFloat: return JsonType::kFloat;
+    case kTagString: return JsonType::kString;
+    case kTagNumeric: return JsonType::kNumericString;
+    case kTagObject: return JsonType::kObject;
+    case kTagArray: return JsonType::kArray;
+    default: JSONTILES_CHECK(false);
+  }
+}
+
+JsonbValue::ContainerInfo JsonbValue::DecodeContainer() const {
+  ContainerInfo info;
+  info.offset_width = OffsetWidth(Imm(p_));
+  size_t pos = 1;
+  info.count = bit_util::DecodeVarint(p_, &pos);
+  info.offsets_pos = pos;
+  info.slots_pos = pos + info.count * static_cast<size_t>(info.offset_width);
+  return info;
+}
+
+size_t JsonbValue::SlotEnd(const ContainerInfo& info, size_t i) const {
+  return info.slots_pos +
+         bit_util::LoadLE(p_ + info.offsets_pos +
+                              i * static_cast<size_t>(info.offset_width),
+                          info.offset_width);
+}
+
+size_t JsonbValue::SlotStart(const ContainerInfo& info, size_t i) const {
+  return i == 0 ? info.slots_pos : SlotEnd(info, i - 1);
+}
+
+size_t JsonbValue::Size() const {
+  switch (Tag(p_)) {
+    case kTagNull:
+    case kTagFalse:
+    case kTagTrue:
+    case kTagIntSmall:
+      return 1;
+    case kTagInt:
+      return 1 + static_cast<size_t>(Imm(p_) & 7) + 1;
+    case kTagFloat:
+      return 1 + Imm(p_);
+    case kTagString: {
+      uint8_t imm = Imm(p_);
+      if (imm < 15) return 1 + imm;
+      size_t pos = 1;
+      uint64_t len = bit_util::DecodeVarint(p_, &pos);
+      return pos + len;
+    }
+    case kTagNumeric: {
+      size_t pos = 2;  // header + sign/scale byte
+      bit_util::DecodeVarint(p_, &pos);
+      return pos;
+    }
+    case kTagObject:
+    case kTagArray: {
+      ContainerInfo info = DecodeContainer();
+      if (info.count == 0) return info.slots_pos;
+      return SlotEnd(info, info.count - 1);
+    }
+    default:
+      JSONTILES_CHECK(false);
+  }
+}
+
+bool JsonbValue::GetBool() const { return Tag(p_) == kTagTrue; }
+
+int64_t JsonbValue::GetInt() const {
+  if (Tag(p_) == kTagIntSmall) return Imm(p_);
+  JSONTILES_DCHECK(Tag(p_) == kTagInt);
+  int nbytes = (Imm(p_) & 7) + 1;
+  uint64_t mag = bit_util::LoadLE(p_ + 1, nbytes);
+  return (Imm(p_) & 8) ? -static_cast<int64_t>(mag) : static_cast<int64_t>(mag);
+}
+
+double JsonbValue::GetDouble() const {
+  switch (Tag(p_)) {
+    case kTagIntSmall:
+    case kTagInt:
+      return static_cast<double>(GetInt());
+    case kTagFloat:
+      switch (Imm(p_)) {
+        case 2: return HalfToFloat(bit_util::LoadU16(p_ + 1));
+        case 4: return std::bit_cast<float>(bit_util::LoadU32(p_ + 1));
+        default: return std::bit_cast<double>(bit_util::LoadU64(p_ + 1));
+      }
+    case kTagNumeric:
+      return GetNumeric().ToDouble();
+    default:
+      JSONTILES_DCHECK(false);
+      return 0;
+  }
+}
+
+std::string_view JsonbValue::GetString() const {
+  JSONTILES_DCHECK(Tag(p_) == kTagString);
+  uint8_t imm = Imm(p_);
+  if (imm < 15) {
+    return {reinterpret_cast<const char*>(p_ + 1), imm};
+  }
+  size_t pos = 1;
+  uint64_t len = bit_util::DecodeVarint(p_, &pos);
+  return {reinterpret_cast<const char*>(p_ + pos), len};
+}
+
+Numeric JsonbValue::GetNumeric() const {
+  JSONTILES_DCHECK(Tag(p_) == kTagNumeric);
+  Numeric n;
+  uint8_t sign_scale = p_[1];
+  n.scale = sign_scale & 0x7F;
+  size_t pos = 2;
+  uint64_t mag = bit_util::DecodeVarint(p_, &pos);
+  n.unscaled = (sign_scale & 0x80) ? -static_cast<int64_t>(mag)
+                                   : static_cast<int64_t>(mag);
+  return n;
+}
+
+size_t JsonbValue::Count() const { return DecodeContainer().count; }
+
+std::string_view JsonbValue::MemberKey(size_t i) const {
+  ContainerInfo info = DecodeContainer();
+  size_t end = SlotEnd(info, i);
+  uint16_t keylen = bit_util::LoadU16(p_ + end - 2);
+  return {reinterpret_cast<const char*>(p_ + end - 2 - keylen), keylen};
+}
+
+JsonbValue JsonbValue::MemberValue(size_t i) const {
+  ContainerInfo info = DecodeContainer();
+  return JsonbValue(p_ + SlotStart(info, i));
+}
+
+std::optional<JsonbValue> JsonbValue::FindKey(std::string_view key) const {
+  if (Tag(p_) != kTagObject) return std::nullopt;
+  ContainerInfo info = DecodeContainer();
+  size_t lo = 0;
+  size_t hi = info.count;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    size_t end = SlotEnd(info, mid);
+    uint16_t keylen = bit_util::LoadU16(p_ + end - 2);
+    std::string_view mid_key(reinterpret_cast<const char*>(p_ + end - 2 - keylen),
+                             keylen);
+    int cmp = mid_key.compare(key);
+    if (cmp == 0) return JsonbValue(p_ + SlotStart(info, mid));
+    if (cmp < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::nullopt;
+}
+
+JsonbValue JsonbValue::ArrayElement(size_t i) const {
+  ContainerInfo info = DecodeContainer();
+  JSONTILES_DCHECK(i < info.count);
+  return JsonbValue(p_ + SlotStart(info, i));
+}
+
+void JsonbValue::ToJsonText(std::string* out) const {
+  switch (Tag(p_)) {
+    case kTagNull: out->append("null"); return;
+    case kTagFalse: out->append("false"); return;
+    case kTagTrue: out->append("true"); return;
+    case kTagIntSmall:
+    case kTagInt:
+      out->append(std::to_string(GetInt()));
+      return;
+    case kTagFloat:
+      FormatDouble(GetDouble(), out);
+      return;
+    case kTagString:
+      out->push_back('"');
+      EscapeJsonString(GetString(), out);
+      out->push_back('"');
+      return;
+    case kTagNumeric:
+      out->push_back('"');
+      out->append(GetNumeric().ToString());
+      out->push_back('"');
+      return;
+    case kTagObject: {
+      ContainerInfo info = DecodeContainer();
+      out->push_back('{');
+      for (size_t i = 0; i < info.count; i++) {
+        if (i > 0) out->push_back(',');
+        size_t end = SlotEnd(info, i);
+        uint16_t keylen = bit_util::LoadU16(p_ + end - 2);
+        std::string_view key(reinterpret_cast<const char*>(p_ + end - 2 - keylen),
+                             keylen);
+        out->push_back('"');
+        EscapeJsonString(key, out);
+        out->append("\":");
+        JsonbValue(p_ + SlotStart(info, i)).ToJsonText(out);
+      }
+      out->push_back('}');
+      return;
+    }
+    case kTagArray: {
+      ContainerInfo info = DecodeContainer();
+      out->push_back('[');
+      for (size_t i = 0; i < info.count; i++) {
+        if (i > 0) out->push_back(',');
+        JsonbValue(p_ + SlotStart(info, i)).ToJsonText(out);
+      }
+      out->push_back(']');
+      return;
+    }
+    default:
+      JSONTILES_CHECK(false);
+  }
+}
+
+std::string JsonbValue::ToJsonText() const {
+  std::string out;
+  ToJsonText(&out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JsonbBuilder: pass 1 (parse + size), pass 2 (write)
+// ---------------------------------------------------------------------------
+
+std::string_view JsonbBuilder::DecodeString(const JsonLexer& lexer) {
+  if (!lexer.string_has_escape()) return lexer.string_lexeme();
+  if (decoded_used_ == decoded_.size()) decoded_.emplace_back();
+  std::string& slot = decoded_[decoded_used_++];
+  JsonLexer::Unescape(lexer.string_lexeme(), &slot);
+  return slot;
+}
+
+Status JsonbBuilder::ParseValue(JsonLexer& lexer, Token token, uint32_t* index,
+                                int depth) {
+  if (depth > kMaxNesting) return Status::ParseError("nesting too deep");
+  uint32_t idx = static_cast<uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  *index = idx;
+  switch (token) {
+    case Token::kNull:
+      nodes_[idx].type = JsonType::kNull;
+      nodes_[idx].size = 1;
+      return Status::OK();
+    case Token::kTrue:
+    case Token::kFalse:
+      nodes_[idx].type = JsonType::kBool;
+      nodes_[idx].int_val = token == Token::kTrue ? 1 : 0;
+      nodes_[idx].size = 1;
+      return Status::OK();
+    case Token::kNumber:
+      if (lexer.number_is_int()) {
+        int64_t v = lexer.int_value();
+        nodes_[idx].type = JsonType::kInt;
+        nodes_[idx].int_val = v;
+        if (v >= 0 && v <= 15) {
+          nodes_[idx].size = 1;
+        } else {
+          uint64_t mag = v < 0 ? -static_cast<uint64_t>(v) : static_cast<uint64_t>(v);
+          nodes_[idx].size = 1 + static_cast<uint64_t>(bit_util::MinBytes(mag));
+        }
+      } else {
+        double d = lexer.double_value();
+        nodes_[idx].type = JsonType::kFloat;
+        nodes_[idx].dbl_val = d;
+        nodes_[idx].float_width = IsLosslessHalf(d) ? 2 : IsLosslessSingle(d) ? 4 : 8;
+        nodes_[idx].size = 1 + nodes_[idx].float_width;
+      }
+      return Status::OK();
+    case Token::kString: {
+      std::string_view s = DecodeString(lexer);
+      Numeric num;
+      if (options_.detect_numeric_strings && ParseNumeric(s, &num)) {
+        nodes_[idx].type = JsonType::kNumericString;
+        nodes_[idx].num_val = num;
+        uint64_t mag = num.unscaled < 0 ? -static_cast<uint64_t>(num.unscaled)
+                                        : static_cast<uint64_t>(num.unscaled);
+        nodes_[idx].size = 2 + static_cast<uint64_t>(bit_util::VarintSize(mag));
+      } else {
+        nodes_[idx].type = JsonType::kString;
+        nodes_[idx].str = s;
+        if (s.size() < 15) {
+          nodes_[idx].size = 1 + s.size();
+        } else {
+          nodes_[idx].size = 1 + static_cast<uint64_t>(bit_util::VarintSize(s.size())) +
+                             s.size();
+        }
+      }
+      return Status::OK();
+    }
+    case Token::kObjectBegin: {
+      nodes_[idx].type = JsonType::kObject;
+      std::vector<uint32_t> children;
+      Token t;
+      JSONTILES_RETURN_NOT_OK(lexer.Next(&t));
+      uint32_t prev = kInvalid;
+      while (t != Token::kObjectEnd) {
+        if (t != Token::kString) return Status::ParseError("expected object key");
+        std::string_view key = DecodeString(lexer);
+        if (key.size() > 0xFFFF) return Status::ParseError("key too long");
+        JSONTILES_RETURN_NOT_OK(lexer.Next(&t));
+        if (t != Token::kColon) return Status::ParseError("expected ':'");
+        JSONTILES_RETURN_NOT_OK(lexer.Next(&t));
+        uint32_t child;
+        JSONTILES_RETURN_NOT_OK(ParseValue(lexer, t, &child, depth + 1));
+        nodes_[child].key = key;
+        if (prev == kInvalid) {
+          nodes_[idx].first_child = child;
+        } else {
+          nodes_[prev].next_sibling = child;
+        }
+        prev = child;
+        children.push_back(child);
+        JSONTILES_RETURN_NOT_OK(lexer.Next(&t));
+        if (t == Token::kComma) {
+          JSONTILES_RETURN_NOT_OK(lexer.Next(&t));
+          if (t == Token::kObjectEnd) return Status::ParseError("trailing comma");
+        } else if (t != Token::kObjectEnd) {
+          return Status::ParseError("expected ',' or '}'");
+        }
+      }
+      // Sort by key (stable: equal keys keep input order), then keep the last
+      // occurrence of each duplicate key, as PostgreSQL's jsonb does.
+      std::stable_sort(children.begin(), children.end(),
+                       [this](uint32_t a, uint32_t b) {
+                         return nodes_[a].key < nodes_[b].key;
+                       });
+      std::vector<uint32_t> unique;
+      unique.reserve(children.size());
+      for (size_t i = 0; i < children.size(); i++) {
+        if (i + 1 < children.size() &&
+            nodes_[children[i]].key == nodes_[children[i + 1]].key) {
+          continue;  // superseded by a later duplicate
+        }
+        unique.push_back(children[i]);
+      }
+      nodes_[idx].sorted_begin = static_cast<uint32_t>(sorted_children_.size());
+      nodes_[idx].count = static_cast<uint32_t>(unique.size());
+      sorted_children_.insert(sorted_children_.end(), unique.begin(), unique.end());
+      uint64_t slots_size = 0;
+      for (uint32_t child : unique) {
+        slots_size += nodes_[child].size + nodes_[child].key.size() + 2;
+      }
+      int ow = slots_size <= 0xFF ? 1 : slots_size <= 0xFFFF ? 2 : 4;
+      nodes_[idx].offset_width = static_cast<uint8_t>(ow);
+      nodes_[idx].size = 1 + bit_util::VarintSize(nodes_[idx].count) +
+                         static_cast<uint64_t>(nodes_[idx].count) * ow + slots_size;
+      return Status::OK();
+    }
+    case Token::kArrayBegin: {
+      nodes_[idx].type = JsonType::kArray;
+      Token t;
+      JSONTILES_RETURN_NOT_OK(lexer.Next(&t));
+      uint32_t prev = kInvalid;
+      uint64_t slots_size = 0;
+      uint32_t count = 0;
+      while (t != Token::kArrayEnd) {
+        uint32_t child;
+        JSONTILES_RETURN_NOT_OK(ParseValue(lexer, t, &child, depth + 1));
+        if (prev == kInvalid) {
+          nodes_[idx].first_child = child;
+        } else {
+          nodes_[prev].next_sibling = child;
+        }
+        prev = child;
+        slots_size += nodes_[child].size;
+        count++;
+        JSONTILES_RETURN_NOT_OK(lexer.Next(&t));
+        if (t == Token::kComma) {
+          JSONTILES_RETURN_NOT_OK(lexer.Next(&t));
+          if (t == Token::kArrayEnd) return Status::ParseError("trailing comma");
+        } else if (t != Token::kArrayEnd) {
+          return Status::ParseError("expected ',' or ']'");
+        }
+      }
+      nodes_[idx].count = count;
+      int ow = slots_size <= 0xFF ? 1 : slots_size <= 0xFFFF ? 2 : 4;
+      nodes_[idx].offset_width = static_cast<uint8_t>(ow);
+      nodes_[idx].size = 1 + bit_util::VarintSize(count) +
+                         static_cast<uint64_t>(count) * ow + slots_size;
+      return Status::OK();
+    }
+    default:
+      return Status::ParseError("unexpected token");
+  }
+}
+
+void JsonbBuilder::WriteValue(uint32_t index, uint8_t* out, size_t pos) const {
+  const Node& node = nodes_[index];
+  switch (node.type) {
+    case JsonType::kNull:
+      out[pos] = kTagNull << 4;
+      return;
+    case JsonType::kBool:
+      out[pos] = static_cast<uint8_t>((node.int_val ? kTagTrue : kTagFalse) << 4);
+      return;
+    case JsonType::kInt: {
+      int64_t v = node.int_val;
+      if (v >= 0 && v <= 15) {
+        out[pos] = static_cast<uint8_t>(kTagIntSmall << 4 | v);
+        return;
+      }
+      uint64_t mag = v < 0 ? -static_cast<uint64_t>(v) : static_cast<uint64_t>(v);
+      int n = bit_util::MinBytes(mag);
+      out[pos] = static_cast<uint8_t>(kTagInt << 4 | (v < 0 ? 8 : 0) | (n - 1));
+      bit_util::StoreLE(out + pos + 1, mag, n);
+      return;
+    }
+    case JsonType::kFloat:
+      out[pos] = static_cast<uint8_t>(kTagFloat << 4 | node.float_width);
+      switch (node.float_width) {
+        case 2:
+          bit_util::StoreU16(out + pos + 1,
+                             FloatToHalf(static_cast<float>(node.dbl_val)));
+          break;
+        case 4:
+          bit_util::StoreU32(out + pos + 1,
+                             std::bit_cast<uint32_t>(static_cast<float>(node.dbl_val)));
+          break;
+        default:
+          bit_util::StoreU64(out + pos + 1, std::bit_cast<uint64_t>(node.dbl_val));
+      }
+      return;
+    case JsonType::kString: {
+      size_t len = node.str.size();
+      if (len < 15) {
+        out[pos] = static_cast<uint8_t>(kTagString << 4 | len);
+        std::memcpy(out + pos + 1, node.str.data(), len);
+      } else {
+        out[pos] = kTagString << 4 | 15;
+        int n = bit_util::EncodeVarint(out + pos + 1, len);
+        std::memcpy(out + pos + 1 + static_cast<size_t>(n), node.str.data(), len);
+      }
+      return;
+    }
+    case JsonType::kNumericString: {
+      out[pos] = kTagNumeric << 4;
+      uint64_t mag = node.num_val.unscaled < 0
+                         ? -static_cast<uint64_t>(node.num_val.unscaled)
+                         : static_cast<uint64_t>(node.num_val.unscaled);
+      out[pos + 1] = static_cast<uint8_t>(
+          (node.num_val.unscaled < 0 ? 0x80 : 0) | node.num_val.scale);
+      bit_util::EncodeVarint(out + pos + 2, mag);
+      return;
+    }
+    case JsonType::kObject: {
+      out[pos] = static_cast<uint8_t>(kTagObject << 4 |
+                                      OffsetWidthCode(node.offset_width));
+      size_t p = pos + 1;
+      p += static_cast<size_t>(bit_util::EncodeVarint(out + p, node.count));
+      size_t offsets_pos = p;
+      size_t slots_pos = p + static_cast<size_t>(node.count) * node.offset_width;
+      uint64_t rel = 0;
+      for (uint32_t i = 0; i < node.count; i++) {
+        uint32_t child = sorted_children_[node.sorted_begin + i];
+        size_t slot_start = slots_pos + rel;
+        WriteValue(child, out, slot_start);
+        size_t key_pos = slot_start + nodes_[child].size;
+        std::memcpy(out + key_pos, nodes_[child].key.data(), nodes_[child].key.size());
+        bit_util::StoreU16(out + key_pos + nodes_[child].key.size(),
+                           static_cast<uint16_t>(nodes_[child].key.size()));
+        rel += nodes_[child].size + nodes_[child].key.size() + 2;
+        bit_util::StoreLE(out + offsets_pos + static_cast<size_t>(i) * node.offset_width,
+                          rel, node.offset_width);
+      }
+      return;
+    }
+    case JsonType::kArray: {
+      out[pos] = static_cast<uint8_t>(kTagArray << 4 |
+                                      OffsetWidthCode(node.offset_width));
+      size_t p = pos + 1;
+      p += static_cast<size_t>(bit_util::EncodeVarint(out + p, node.count));
+      size_t offsets_pos = p;
+      size_t slots_pos = p + static_cast<size_t>(node.count) * node.offset_width;
+      uint64_t rel = 0;
+      uint32_t child = node.first_child;
+      for (uint32_t i = 0; i < node.count; i++) {
+        WriteValue(child, out, slots_pos + rel);
+        rel += nodes_[child].size;
+        bit_util::StoreLE(out + offsets_pos + static_cast<size_t>(i) * node.offset_width,
+                          rel, node.offset_width);
+        child = nodes_[child].next_sibling;
+      }
+      return;
+    }
+  }
+}
+
+Status JsonbBuilder::Transform(std::string_view json_text,
+                               std::vector<uint8_t>* out) {
+  nodes_.clear();
+  sorted_children_.clear();
+  decoded_used_ = 0;
+
+  JsonLexer lexer(json_text);
+  Token token;
+  JSONTILES_RETURN_NOT_OK(lexer.Next(&token));
+  if (token == Token::kEnd) return Status::ParseError("empty input");
+  uint32_t root;
+  JSONTILES_RETURN_NOT_OK(ParseValue(lexer, token, &root, 0));
+  JSONTILES_RETURN_NOT_OK(lexer.Next(&token));
+  if (token != Token::kEnd) return Status::ParseError("trailing content");
+  if (nodes_[root].size > 0xFFFFFFFFull) {
+    return Status::OutOfRange("document larger than 4 GiB");
+  }
+
+  out->resize(nodes_[root].size);
+  WriteValue(root, out->data(), 0);
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> JsonbFromText(std::string_view json_text) {
+  JsonbBuilder builder;
+  std::vector<uint8_t> out;
+  Status st = builder.Transform(json_text, &out);
+  if (!st.ok()) return st;
+  return out;
+}
+
+std::vector<uint8_t> AssembleObject(std::vector<AssembleMember> members) {
+  std::sort(members.begin(), members.end(),
+            [](const AssembleMember& a, const AssembleMember& b) {
+              return a.key < b.key;
+            });
+  uint64_t slots_size = 0;
+  for (const auto& m : members) slots_size += m.value_size + m.key.size() + 2;
+  int ow = slots_size <= 0xFF ? 1 : slots_size <= 0xFFFF ? 2 : 4;
+  uint64_t count = members.size();
+  size_t total = 1 + static_cast<size_t>(bit_util::VarintSize(count)) +
+                 static_cast<size_t>(count) * static_cast<size_t>(ow) +
+                 static_cast<size_t>(slots_size);
+  std::vector<uint8_t> out(total);
+  out[0] = static_cast<uint8_t>(kTagObject << 4 | OffsetWidthCode(ow));
+  size_t p = 1;
+  p += static_cast<size_t>(bit_util::EncodeVarint(out.data() + p, count));
+  size_t offsets_pos = p;
+  size_t slots_pos = p + static_cast<size_t>(count) * static_cast<size_t>(ow);
+  uint64_t rel = 0;
+  for (size_t i = 0; i < members.size(); i++) {
+    const auto& m = members[i];
+    size_t slot_start = slots_pos + rel;
+    std::memcpy(out.data() + slot_start, m.value_data, m.value_size);
+    std::memcpy(out.data() + slot_start + m.value_size, m.key.data(), m.key.size());
+    bit_util::StoreU16(out.data() + slot_start + m.value_size + m.key.size(),
+                       static_cast<uint16_t>(m.key.size()));
+    rel += m.value_size + m.key.size() + 2;
+    bit_util::StoreLE(out.data() + offsets_pos + i * static_cast<size_t>(ow), rel, ow);
+  }
+  return out;
+}
+
+std::vector<uint8_t> MakeJsonbInt(int64_t value) {
+  std::vector<uint8_t> out;
+  if (value >= 0 && value <= 15) {
+    out.push_back(static_cast<uint8_t>(kTagIntSmall << 4 | value));
+    return out;
+  }
+  uint64_t mag = value < 0 ? -static_cast<uint64_t>(value)
+                           : static_cast<uint64_t>(value);
+  int n = bit_util::MinBytes(mag);
+  out.resize(1 + static_cast<size_t>(n));
+  out[0] = static_cast<uint8_t>(kTagInt << 4 | (value < 0 ? 8 : 0) | (n - 1));
+  bit_util::StoreLE(out.data() + 1, mag, n);
+  return out;
+}
+
+std::vector<uint8_t> MakeJsonbString(std::string_view value) {
+  std::vector<uint8_t> out;
+  if (value.size() < 15) {
+    out.push_back(static_cast<uint8_t>(kTagString << 4 | value.size()));
+    out.insert(out.end(), value.begin(), value.end());
+    return out;
+  }
+  uint8_t lenbuf[10];
+  int n = bit_util::EncodeVarint(lenbuf, value.size());
+  out.push_back(kTagString << 4 | 15);
+  out.insert(out.end(), lenbuf, lenbuf + n);
+  out.insert(out.end(), value.begin(), value.end());
+  return out;
+}
+
+}  // namespace jsontiles::json

@@ -1,0 +1,174 @@
+// JSONB: the binary JSON format of paper §5.
+//
+// Design goals (paper §5.1): fast lookups in objects and arrays, typed
+// values, few cache misses. Objects store their (sorted) keys with an offset
+// table, giving O(log n) key lookup via binary search; arrays give O(1)
+// element access. Nested values are stored inline within their parent, so
+// a whole document — or any nested value — is one contiguous byte range and
+// forward iteration never chases pointers. Construction from JSON text uses
+// the two-pass algorithm of §5.3: pass 1 validates and computes the exact
+// size of every node; pass 2 writes into a single exact-size allocation.
+//
+// Wire format. Every value starts with a header byte `(tag << 4) | imm`:
+//
+//   tag  0 Null            imm unused
+//   tag  1 False / 2 True  imm unused
+//   tag  3 IntSmall        imm = value in [0, 15], no payload
+//   tag  4 Int             imm = (sign << 3) | (nbytes - 1); magnitude LE
+//   tag  5 Float           imm = byte width 2 / 4 / 8 (lossless downgrades)
+//   tag  6 String          imm = length if < 15 else 15 + varint length;
+//                          decoded UTF-8 bytes follow
+//   tag  7 NumericString   sign/scale byte + varint magnitude (§5.2)
+//   tag  8 Object          imm = offset width code (0→1B, 1→2B, 2→4B);
+//                          varint count; count offsets (end of each slot,
+//                          relative to slot area); slots, where each slot is
+//                          [value][key bytes][u16 key length] and keys are
+//                          sorted bytewise (Figure 6)
+//   tag  9 Array           like Object without keys
+//
+// Round-trip: ToJsonText() reconstructs an equivalent document; key order
+// and whitespace are normalized (§5, as in PostgreSQL's jsonb).
+
+#ifndef JSONTILES_JSON_JSONB_H_
+#define JSONTILES_JSON_JSONB_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json/json_type.h"
+#include "json/lexer.h"
+#include "util/decimal.h"
+#include "util/status.h"
+
+namespace jsontiles::json {
+
+/// Read-only view of one JSONB value inside a buffer. Cheap to copy.
+class JsonbValue {
+ public:
+  explicit JsonbValue(const uint8_t* data) : p_(data) {}
+
+  JsonType type() const;
+
+  /// Raw pointer to the start of this value.
+  const uint8_t* data() const { return p_; }
+
+  /// Serialized size in bytes; any value can be sliced out as a standalone
+  /// document.
+  size_t Size() const;
+
+  bool GetBool() const;
+  int64_t GetInt() const;
+  /// Value as double (works for Int, Float and NumericString).
+  double GetDouble() const;
+  /// String contents; only valid for kString (points into the buffer).
+  std::string_view GetString() const;
+  Numeric GetNumeric() const;
+
+  /// Number of members / elements; only valid for kObject / kArray.
+  size_t Count() const;
+
+  /// O(log n) member lookup by binary search over the sorted keys.
+  std::optional<JsonbValue> FindKey(std::string_view key) const;
+
+  /// O(1) array element access; `i` must be < Count().
+  JsonbValue ArrayElement(size_t i) const;
+
+  /// Key of the i-th member (sorted order).
+  std::string_view MemberKey(size_t i) const;
+  /// Value of the i-th member (sorted order).
+  JsonbValue MemberValue(size_t i) const;
+
+  /// Serialize back to JSON text (keys in sorted order).
+  void ToJsonText(std::string* out) const;
+  std::string ToJsonText() const;
+
+ private:
+  // Decode object/array shape: offset width, count, positions.
+  struct ContainerInfo {
+    int offset_width;
+    size_t count;
+    size_t offsets_pos;  // relative to p_
+    size_t slots_pos;    // relative to p_
+  };
+  ContainerInfo DecodeContainer() const;
+  size_t SlotStart(const ContainerInfo& info, size_t i) const;
+  size_t SlotEnd(const ContainerInfo& info, size_t i) const;
+
+  const uint8_t* p_;
+};
+
+/// Transforms JSON text into JSONB. Reusable: internal scratch buffers keep
+/// their capacity across Transform calls, which matters during bulk loading.
+class JsonbBuilder {
+ public:
+  struct Options {
+    /// §5.2: detect SQL Numerics hidden in strings ("19.99").
+    bool detect_numeric_strings = true;
+  };
+
+  JsonbBuilder() = default;
+  explicit JsonbBuilder(Options options) : options_(options) {}
+
+  /// Two-pass transformation (§5.3). On success `out` holds exactly one
+  /// serialized document.
+  Status Transform(std::string_view json_text, std::vector<uint8_t>* out);
+
+ private:
+  static constexpr uint32_t kInvalid = 0xFFFFFFFF;
+
+  struct Node {
+    JsonType type;
+    uint32_t first_child = kInvalid;
+    uint32_t next_sibling = kInvalid;
+    uint32_t count = 0;          // children (objects: after dedup)
+    uint32_t sorted_begin = 0;   // objects: span into sorted_children_
+    uint64_t size = 0;           // serialized size of this value
+    int64_t int_val = 0;
+    double dbl_val = 0;
+    Numeric num_val;
+    std::string_view str;  // decoded string value
+    std::string_view key;  // decoded member key (when parent is an object)
+    uint8_t float_width = 8;
+    uint8_t offset_width = 1;
+  };
+
+  Status ParseValue(JsonLexer& lexer, Token token, uint32_t* index, int depth);
+  std::string_view DecodeString(const JsonLexer& lexer);
+  void WriteValue(uint32_t index, uint8_t* out, size_t pos) const;
+
+  Options options_;
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> sorted_children_;
+  std::vector<std::string> decoded_;  // storage for unescaped strings
+  size_t decoded_used_ = 0;
+};
+
+/// Convenience: one-shot transformation.
+Result<std::vector<uint8_t>> JsonbFromText(std::string_view json_text);
+
+// --- Programmatic assembly -------------------------------------------------
+// Because every JSONB value is a self-contained byte range, new documents can
+// be assembled from existing slices without reparsing (used by
+// high-cardinality array extraction, §3.5, to build side-table documents).
+
+/// One member for AssembleObject: key plus serialized JSONB value bytes.
+struct AssembleMember {
+  std::string_view key;
+  const uint8_t* value_data;
+  size_t value_size;
+};
+
+/// Build an object from members (keys are sorted; duplicate keys must not be
+/// passed).
+std::vector<uint8_t> AssembleObject(std::vector<AssembleMember> members);
+
+/// Serialize a standalone integer / string value.
+std::vector<uint8_t> MakeJsonbInt(int64_t value);
+std::vector<uint8_t> MakeJsonbString(std::string_view value);
+
+}  // namespace jsontiles::json
+
+#endif  // JSONTILES_JSON_JSONB_H_

@@ -1,0 +1,86 @@
+#include "mining/apriori.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace jsontiles::mining {
+
+namespace {
+
+// Does `tx` (sorted) contain all of `set` (sorted)?
+bool Contains(const std::vector<Item>& tx, const std::vector<Item>& set) {
+  return std::includes(tx.begin(), tx.end(), set.begin(), set.end());
+}
+
+}  // namespace
+
+std::vector<Itemset> AprioriMiner::Mine(
+    const std::vector<Transaction>& transactions, uint32_t min_support,
+    int max_size) {
+  std::vector<Itemset> out;
+  if (transactions.empty() || min_support == 0 || max_size < 1) return out;
+
+  std::vector<Transaction> sorted_txs = transactions;
+  for (auto& tx : sorted_txs) std::sort(tx.begin(), tx.end());
+
+  // Level 1: frequent single items.
+  std::unordered_map<Item, uint32_t> counts;
+  for (const auto& tx : sorted_txs) {
+    for (Item item : tx) counts[item]++;
+  }
+  std::vector<Itemset> level;
+  for (const auto& [item, support] : counts) {
+    if (support >= min_support) {
+      level.push_back(Itemset{{item}, support});
+    }
+  }
+  std::sort(level.begin(), level.end(),
+            [](const Itemset& a, const Itemset& b) { return a.items < b.items; });
+
+  while (!level.empty()) {
+    out.insert(out.end(), level.begin(), level.end());
+    if (static_cast<int>(level.front().items.size()) >= max_size) break;
+
+    // Candidate generation: join sets sharing a (k-1)-prefix.
+    std::vector<std::vector<Item>> candidates;
+    for (size_t i = 0; i < level.size(); i++) {
+      for (size_t j = i + 1; j < level.size(); j++) {
+        const auto& a = level[i].items;
+        const auto& b = level[j].items;
+        if (!std::equal(a.begin(), a.end() - 1, b.begin())) break;
+        std::vector<Item> candidate = a;
+        candidate.push_back(b.back());
+        // Prune: all (k-1)-subsets must be frequent.
+        bool all_frequent = true;
+        for (size_t skip = 0; skip + 2 < candidate.size() && all_frequent; skip++) {
+          std::vector<Item> subset;
+          for (size_t s = 0; s < candidate.size(); s++) {
+            if (s != skip) subset.push_back(candidate[s]);
+          }
+          all_frequent = std::binary_search(
+              level.begin(), level.end(), Itemset{subset, 0},
+              [](const Itemset& x, const Itemset& y) { return x.items < y.items; });
+        }
+        if (all_frequent) candidates.push_back(std::move(candidate));
+      }
+    }
+
+    // Count candidate support.
+    std::vector<Itemset> next;
+    for (auto& candidate : candidates) {
+      uint32_t support = 0;
+      for (const auto& tx : sorted_txs) {
+        if (Contains(tx, candidate)) support++;
+      }
+      if (support >= min_support) next.push_back(Itemset{std::move(candidate), support});
+    }
+    std::sort(next.begin(), next.end(),
+              [](const Itemset& a, const Itemset& b) { return a.items < b.items; });
+    level = std::move(next);
+  }
+  return out;
+}
+
+}  // namespace jsontiles::mining

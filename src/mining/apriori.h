@@ -1,0 +1,27 @@
+// Classic Apriori frequent itemset mining (Agrawal & Srikant [1]).
+//
+// Baseline for the mining-cost ablation: the paper chooses FP-Growth because
+// Apriori must generate and count candidate sets level by level. Results are
+// identical (modulo order) for the same support threshold and size bound,
+// which the tests verify.
+
+#ifndef JSONTILES_MINING_APRIORI_H_
+#define JSONTILES_MINING_APRIORI_H_
+
+#include <vector>
+
+#include "mining/itemset.h"
+
+namespace jsontiles::mining {
+
+class AprioriMiner {
+ public:
+  /// Mine all frequent itemsets with support >= min_support and at most
+  /// max_size items.
+  std::vector<Itemset> Mine(const std::vector<Transaction>& transactions,
+                            uint32_t min_support, int max_size);
+};
+
+}  // namespace jsontiles::mining
+
+#endif  // JSONTILES_MINING_APRIORI_H_

@@ -1,0 +1,28 @@
+// Frequent itemsets over dictionary-encoded items (paper §3.3).
+//
+// For JSON tiles, an "item" is a (key path, value type) pair encoded as a
+// dense dictionary id local to one tile; a "transaction" is the set of items
+// of one document. The miner finds itemsets whose support (number of
+// transactions containing all items of the set) reaches a threshold.
+
+#ifndef JSONTILES_MINING_ITEMSET_H_
+#define JSONTILES_MINING_ITEMSET_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace jsontiles::mining {
+
+using Item = uint32_t;
+using Transaction = std::vector<Item>;  // distinct items, any order
+
+struct Itemset {
+  std::vector<Item> items;  // sorted ascending
+  uint32_t support = 0;
+
+  friend bool operator==(const Itemset&, const Itemset&) = default;
+};
+
+}  // namespace jsontiles::mining
+
+#endif  // JSONTILES_MINING_ITEMSET_H_

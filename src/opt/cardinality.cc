@@ -1,0 +1,113 @@
+#include "opt/cardinality.h"
+
+#include <algorithm>
+
+#include "exec/scan.h"
+
+namespace jsontiles::opt {
+
+using exec::ExprPtr;
+using exec::Value;
+using storage::Relation;
+using storage::StorageMode;
+
+ScanEstimate EstimateScanCardinality(
+    const Relation& relation, const std::vector<ExprPtr>& accesses,
+    const ExprPtr& filter, const std::vector<std::string>& null_rejecting_paths,
+    size_t sample_size) {
+  ScanEstimate est;
+  const size_t n = relation.num_rows();
+  if (n == 0) return est;
+
+  // Base presence: how many tuples contain all required key paths.
+  double presence_fraction = 1.0;
+  if (relation.has_stats() && !null_rejecting_paths.empty()) {
+    uint64_t smallest = n;
+    for (const auto& path : null_rejecting_paths) {
+      smallest = std::min(smallest,
+                          relation.stats().EstimateKeyCardinalityAnyType(path));
+    }
+    presence_fraction = static_cast<double>(smallest) / static_cast<double>(n);
+  }
+
+  // §4.6: sample documents statically at plan time to estimate the filter
+  // (and, for stats-less modes, the key presence too).
+  size_t samples = std::min(sample_size, n);
+  if (samples == 0) samples = 1;
+  size_t stride = n / samples;
+  if (stride == 0) stride = 1;
+
+  Arena arena;
+  json::JsonbBuilder builder;
+  std::vector<uint8_t> buf;
+  size_t sampled = 0;
+  size_t present = 0;
+  size_t passing = 0;
+  std::vector<Value> slots(accesses.size());
+  for (size_t row = 0; row < n && sampled < samples; row += stride, sampled++) {
+    const uint8_t* doc_bytes;
+    if (relation.mode() == StorageMode::kJsonText) {
+      if (!builder.Transform(relation.JsonText(row), &buf).ok()) continue;
+      doc_bytes = buf.data();
+    } else {
+      doc_bytes = relation.Jsonb(row).data();
+    }
+    json::JsonbValue doc(doc_bytes);
+    bool all_present = true;
+    for (const auto& path : null_rejecting_paths) {
+      Value v = exec::EvalAccessOnJsonb(doc, path, exec::ValueType::kString,
+                                        &arena, /*copy_strings=*/false);
+      if (v.is_null()) {
+        all_present = false;
+        break;
+      }
+    }
+    if (!all_present) continue;
+    present++;
+    if (filter != nullptr) {
+      for (size_t i = 0; i < accesses.size(); i++) {
+        slots[i] = exec::EvalScanExprOnJsonb(*accesses[i], doc,
+                                             static_cast<int64_t>(row), &arena,
+                                             /*copy_strings=*/false);
+      }
+      Value keep = exec::EvalExpr(*filter, slots.data(), &arena);
+      if (!keep.is_null() && keep.bool_value()) passing++;
+    } else {
+      passing++;
+    }
+  }
+
+  double filter_fraction =
+      present == 0 ? 0.1
+                   : static_cast<double>(passing) / static_cast<double>(present);
+  if (filter_fraction <= 0) filter_fraction = 0.5 / static_cast<double>(samples);
+
+  if (relation.has_stats() && !null_rejecting_paths.empty()) {
+    est.cardinality =
+        presence_fraction * filter_fraction * static_cast<double>(n);
+  } else {
+    double sample_presence =
+        sampled == 0 ? 1.0
+                     : static_cast<double>(present) / static_cast<double>(sampled);
+    if (sample_presence <= 0) sample_presence = 0.5 / static_cast<double>(samples);
+    est.cardinality =
+        sample_presence * filter_fraction * static_cast<double>(n);
+  }
+  if (est.cardinality < 1) est.cardinality = 1;
+  return est;
+}
+
+double EstimateJoinKeyDistinct(const Relation& relation,
+                               const std::string& encoded_path,
+                               double scan_card) {
+  if (relation.has_stats()) {
+    auto distinct = relation.stats().EstimateDistinctAnyType(encoded_path);
+    if (distinct.has_value() && *distinct >= 1) {
+      return std::min(*distinct, scan_card < 1 ? 1.0 : scan_card);
+    }
+  }
+  // Unique-key fallback: every row has its own key value.
+  return scan_card < 1 ? 1.0 : scan_card;
+}
+
+}  // namespace jsontiles::opt

@@ -1,0 +1,44 @@
+// Cardinality estimation for JSON scans and joins (paper §4.6).
+//
+// With JSON tiles, per-key frequency counters answer "how many tuples contain
+// this key path" (the `replies is not null` example) and HyperLogLog sketches
+// provide distinct counts for join-size estimation. All storage modes
+// additionally sample documents statically at plan time to estimate filter
+// selectivity; modes without tile statistics must fall back to the sample and
+// a unique-key assumption for joins — which is precisely the information gap
+// the paper's Q18 discussion attributes to Sinew.
+
+#ifndef JSONTILES_OPT_CARDINALITY_H_
+#define JSONTILES_OPT_CARDINALITY_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/expression.h"
+#include "storage/relation.h"
+
+namespace jsontiles::opt {
+
+struct ScanEstimate {
+  double cardinality = 0;  // rows surviving presence + filter
+};
+
+/// Estimate the output cardinality of a scan of `relation` whose expression
+/// context requires `null_rejecting_paths` to be present and `filter` (over
+/// the listed `accesses`, rewritten to slots in access order) to hold.
+ScanEstimate EstimateScanCardinality(
+    const storage::Relation& relation,
+    const std::vector<exec::ExprPtr>& accesses, const exec::ExprPtr& filter,
+    const std::vector<std::string>& null_rejecting_paths, size_t sample_size);
+
+/// Distinct values of the join key `encoded_path` on `relation`, given the
+/// estimated scan output `scan_card`. Uses HLL sketches when the relation
+/// has tile statistics; otherwise assumes the key is unique (returns
+/// scan_card), the classic fallback.
+double EstimateJoinKeyDistinct(const storage::Relation& relation,
+                               const std::string& encoded_path,
+                               double scan_card);
+
+}  // namespace jsontiles::opt
+
+#endif  // JSONTILES_OPT_CARDINALITY_H_

@@ -1,0 +1,96 @@
+#include "opt/join_order.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace jsontiles::opt {
+
+namespace {
+
+// Cardinality of joining a subplan of cardinality `card` (covering `mask`)
+// with table `t`: divide by the largest max(ndv, ndv) over all edges
+// connecting t to the subplan; infinite when unconnected (cross product
+// fallback keeps the product).
+double JoinCardinality(const JoinGraph& graph, uint32_t mask, double card,
+                       int t, bool* connected) {
+  double result = card * graph.table_cardinalities[static_cast<size_t>(t)];
+  *connected = false;
+  double best_divisor = 1;
+  for (const auto& e : graph.edges) {
+    int other = -1;
+    double ndv_t = 1, ndv_other = 1;
+    if (e.left == t && (mask >> e.right & 1)) {
+      other = e.right;
+      ndv_t = e.left_distinct;
+      ndv_other = e.right_distinct;
+    } else if (e.right == t && (mask >> e.left & 1)) {
+      other = e.left;
+      ndv_t = e.right_distinct;
+      ndv_other = e.left_distinct;
+    }
+    if (other < 0) continue;
+    *connected = true;
+    best_divisor = std::max(best_divisor, std::max(ndv_t, ndv_other));
+  }
+  return result / best_divisor;
+}
+
+}  // namespace
+
+JoinOrderResult OptimizeJoinOrder(const JoinGraph& graph) {
+  const int n = static_cast<int>(graph.table_cardinalities.size());
+  JoinOrderResult result;
+  if (n == 0) return result;
+  if (n == 1) {
+    result.sequence = {0};
+    return result;
+  }
+  JSONTILES_CHECK(n <= 14);
+
+  struct State {
+    double cost = std::numeric_limits<double>::infinity();
+    double card = 0;
+    std::vector<int> sequence;
+  };
+  std::vector<State> dp(size_t{1} << n);
+  for (int t = 0; t < n; t++) {
+    State& s = dp[size_t{1} << t];
+    s.cost = 0;  // scans are not charged; we minimize intermediate sizes
+    s.card = graph.table_cardinalities[static_cast<size_t>(t)];
+    s.sequence = {t};
+  }
+
+  const uint32_t full = (uint32_t{1} << n) - 1;
+  // Two passes: first try connected extensions only; if a subset is
+  // unreachable without cross products, a second pass allows them.
+  for (int allow_cross = 0; allow_cross < 2; allow_cross++) {
+    for (uint32_t mask = 1; mask <= full; mask++) {
+      if (dp[mask].sequence.empty()) continue;
+      for (int t = 0; t < n; t++) {
+        if (mask >> t & 1) continue;
+        bool connected;
+        double card = JoinCardinality(graph, mask, dp[mask].card, t, &connected);
+        if (!connected && allow_cross == 0) continue;
+        double penalty = connected ? 0 : card;  // discourage cross products
+        double cost = dp[mask].cost + card + penalty;
+        uint32_t next = mask | (uint32_t{1} << t);
+        if (cost < dp[next].cost) {
+          dp[next].cost = cost;
+          dp[next].card = card;
+          dp[next].sequence = dp[mask].sequence;
+          dp[next].sequence.push_back(t);
+        }
+      }
+    }
+    if (!dp[full].sequence.empty()) break;
+  }
+
+  result.sequence = dp[full].sequence;
+  result.estimated_cost = dp[full].cost;
+  JSONTILES_CHECK(static_cast<int>(result.sequence.size()) == n);
+  return result;
+}
+
+}  // namespace jsontiles::opt

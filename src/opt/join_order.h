@@ -1,0 +1,41 @@
+// Cost-based join ordering over an inner-equi-join graph.
+//
+// Dynamic programming over connected subsets (bitmask DP, up to 14 tables)
+// minimizing C_out — the sum of intermediate result cardinalities — with the
+// standard independence model |L ⋈ R| = |L|·|R| / max(ndv_L, ndv_R) over the
+// connecting edges. Emits a left-deep join sequence. Without distinct-count
+// statistics the estimates degrade (unique-key assumption), which is how the
+// optimizer gap between Tiles and the stat-less baselines manifests (§4.6).
+
+#ifndef JSONTILES_OPT_JOIN_ORDER_H_
+#define JSONTILES_OPT_JOIN_ORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace jsontiles::opt {
+
+struct JoinGraph {
+  /// Estimated scan output cardinality per table.
+  std::vector<double> table_cardinalities;
+
+  struct Edge {
+    int left = 0;
+    int right = 0;
+    double left_distinct = 1;
+    double right_distinct = 1;
+  };
+  std::vector<Edge> edges;
+};
+
+struct JoinOrderResult {
+  /// Left-deep sequence of table indices (first is the initial probe side).
+  std::vector<int> sequence;
+  double estimated_cost = 0;
+};
+
+JoinOrderResult OptimizeJoinOrder(const JoinGraph& graph);
+
+}  // namespace jsontiles::opt
+
+#endif  // JSONTILES_OPT_JOIN_ORDER_H_

@@ -1,0 +1,113 @@
+// Query blocks: declarative select-project-join-aggregate units with
+// automatic access push-down (§4.2), cast rewriting (§4.3), null-rejection
+// analysis for tile skipping (§4.8) and cost-based join ordering (§4.6).
+//
+// A block owns a set of tables (relations or previously-materialized row
+// sets), inner equi-join edges, optional grouping/aggregation, having,
+// ordering and limit. Complex queries (correlated subqueries, semi/anti
+// joins) compose multiple blocks plus the bare operators of exec/operators.h,
+// mirroring how a decorrelating optimizer would stage them.
+
+#ifndef JSONTILES_OPT_QUERY_H_
+#define JSONTILES_OPT_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/operators.h"
+#include "exec/scan.h"
+#include "storage/relation.h"
+
+namespace jsontiles::opt {
+
+struct PlannerOptions {
+  /// Run the cost-based join-order search (sampling + tile statistics).
+  /// When false, tables join in declaration order.
+  bool optimize_join_order = true;
+  /// Documents sampled per scan at plan time (§4.6).
+  size_t sample_size = 512;
+};
+
+struct TableRef {
+  std::string alias;
+  const storage::Relation* relation = nullptr;
+  /// Alternative source: a materialized row set with named columns.
+  const exec::RowSet* rowset = nullptr;
+  std::vector<std::string> rowset_columns;
+  /// Single-table predicate (over this table's accesses); pushed into the
+  /// scan.
+  exec::ExprPtr filter;
+
+  static TableRef Rel(std::string alias, const storage::Relation* relation,
+                      exec::ExprPtr filter = nullptr) {
+    TableRef t;
+    t.alias = std::move(alias);
+    t.relation = relation;
+    t.filter = std::move(filter);
+    return t;
+  }
+  static TableRef Rows(std::string alias, const exec::RowSet* rowset,
+                       std::vector<std::string> columns,
+                       exec::ExprPtr filter = nullptr) {
+    TableRef t;
+    t.alias = std::move(alias);
+    t.rowset = rowset;
+    t.rowset_columns = std::move(columns);
+    t.filter = std::move(filter);
+    return t;
+  }
+};
+
+class QueryBlock {
+ public:
+  QueryBlock& AddTable(TableRef table);
+  /// Inner equi-join edge `left = right` (each side's accesses must belong to
+  /// one table). `residual` is an extra condition evaluated on the joined row.
+  QueryBlock& AddJoin(exec::ExprPtr left, exec::ExprPtr right,
+                      exec::ExprPtr residual = nullptr);
+  /// Cross-table predicate applied after all joins (access-bearing).
+  QueryBlock& Where(exec::ExprPtr predicate);
+  QueryBlock& GroupBy(std::vector<exec::ExprPtr> keys);
+  QueryBlock& Aggregate(exec::AggSpec agg);
+  /// Predicate over the aggregate output: slots [group keys..., aggregates...].
+  QueryBlock& Having(exec::ExprPtr predicate);
+  /// Output expressions for non-aggregating blocks (access-bearing).
+  QueryBlock& Select(std::vector<exec::ExprPtr> projections);
+  /// Over the block's output slots.
+  QueryBlock& OrderBy(exec::ExprPtr key, bool descending = false);
+  QueryBlock& Limit(size_t n);
+
+  exec::RowSet Execute(exec::QueryContext& ctx,
+                       const PlannerOptions& options = {});
+
+  /// Join order chosen by the last Execute (table aliases).
+  const std::vector<std::string>& chosen_join_order() const {
+    return chosen_order_;
+  }
+
+ private:
+  struct JoinEdge {
+    exec::ExprPtr left;
+    exec::ExprPtr right;
+    exec::ExprPtr residual;
+  };
+
+  std::vector<TableRef> tables_;
+  std::vector<JoinEdge> joins_;
+  exec::ExprPtr where_;
+  std::vector<exec::ExprPtr> group_by_;
+  std::vector<exec::AggSpec> aggs_;
+  exec::ExprPtr having_;
+  std::vector<exec::ExprPtr> projections_;
+  std::vector<exec::SortKey> order_by_;
+  size_t limit_ = 0;
+  bool has_limit_ = false;
+  std::vector<std::string> chosen_order_;
+};
+
+/// The single value of a 1x1 result (e.g. a decorrelated scalar subquery).
+exec::Value ScalarResult(const exec::RowSet& rows);
+
+}  // namespace jsontiles::opt
+
+#endif  // JSONTILES_OPT_QUERY_H_

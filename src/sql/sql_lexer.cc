@@ -1,0 +1,162 @@
+#include "sql/sql_lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <unordered_set>
+
+namespace jsontiles::sql {
+
+bool IsSqlKeyword(std::string_view upper) {
+  static const std::unordered_set<std::string_view> kKeywords = {
+      "SELECT",  "FROM",   "WHERE",   "GROUP",    "BY",     "HAVING",
+      "ORDER",   "LIMIT",  "AS",      "AND",      "OR",     "NOT",
+      "IN",      "LIKE",   "BETWEEN", "IS",       "NULL",   "ASC",
+      "DESC",    "SUM",    "COUNT",   "AVG",      "MIN",    "MAX",
+      "DISTINCT", "CASE",  "WHEN",    "THEN",     "ELSE",   "END",
+      "EXTRACT", "YEAR",   "SUBSTRING", "FOR",    "DATE",   "TIMESTAMP",
+      "TRUE",    "FALSE",  "CONTAINS"};
+  return kKeywords.count(upper) > 0;
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<SqlToken>> TokenizeSql(std::string_view input) {
+  std::vector<SqlToken> tokens;
+  size_t pos = 0;
+  auto error = [&](const std::string& message) {
+    return Status::ParseError(message + " at offset " + std::to_string(pos));
+  };
+  while (pos < input.size()) {
+    char c = input[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pos++;
+      continue;
+    }
+    SqlToken token;
+    token.offset = pos;
+    if (IsIdentStart(c)) {
+      size_t begin = pos;
+      while (pos < input.size() && IsIdentChar(input[pos])) pos++;
+      std::string word(input.substr(begin, pos - begin));
+      std::string upper = word;
+      std::transform(upper.begin(), upper.end(), upper.begin(), ::toupper);
+      if (IsSqlKeyword(upper)) {
+        token.type = TokenType::kKeyword;
+        token.text = upper;
+      } else {
+        token.type = TokenType::kIdentifier;
+        std::transform(word.begin(), word.end(), word.begin(), ::tolower);
+        token.text = word;
+      }
+    } else if (c == '"') {
+      // Quoted identifier (exact case).
+      size_t begin = ++pos;
+      while (pos < input.size() && input[pos] != '"') pos++;
+      if (pos >= input.size()) return error("unterminated quoted identifier");
+      token.type = TokenType::kIdentifier;
+      token.text = std::string(input.substr(begin, pos - begin));
+      pos++;
+    } else if (c == '\'') {
+      pos++;
+      std::string value;
+      while (pos < input.size()) {
+        if (input[pos] == '\'') {
+          if (pos + 1 < input.size() && input[pos + 1] == '\'') {
+            value.push_back('\'');
+            pos += 2;
+            continue;
+          }
+          break;
+        }
+        value.push_back(input[pos++]);
+      }
+      if (pos >= input.size()) return error("unterminated string literal");
+      pos++;
+      token.type = TokenType::kString;
+      token.text = std::move(value);
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && pos + 1 < input.size() &&
+                std::isdigit(static_cast<unsigned char>(input[pos + 1])))) {
+      size_t begin = pos;
+      bool is_float = false;
+      while (pos < input.size() &&
+             (std::isdigit(static_cast<unsigned char>(input[pos])) ||
+              input[pos] == '.')) {
+        if (input[pos] == '.') is_float = true;
+        pos++;
+      }
+      std::string_view lexeme = input.substr(begin, pos - begin);
+      if (is_float) {
+        token.type = TokenType::kFloat;
+        auto [p, ec] =
+            std::from_chars(lexeme.data(), lexeme.data() + lexeme.size(),
+                            token.float_value);
+        if (ec != std::errc()) return error("bad float literal");
+      } else {
+        token.type = TokenType::kInteger;
+        auto [p, ec] = std::from_chars(lexeme.data(),
+                                       lexeme.data() + lexeme.size(),
+                                       token.int_value);
+        if (ec != std::errc()) return error("bad integer literal");
+      }
+      token.text = std::string(lexeme);
+    } else if (c == '-' && input.substr(pos, 3) == "->>") {
+      token.type = TokenType::kArrowText;
+      pos += 3;
+    } else if (c == '-' && input.substr(pos, 2) == "->") {
+      token.type = TokenType::kArrow;
+      pos += 2;
+    } else if (c == ':' && input.substr(pos, 2) == "::") {
+      token.type = TokenType::kCast;
+      pos += 2;
+    } else if (c == '(') {
+      token.type = TokenType::kLeftParen;
+      pos++;
+    } else if (c == ')') {
+      token.type = TokenType::kRightParen;
+      pos++;
+    } else if (c == ',') {
+      token.type = TokenType::kComma;
+      pos++;
+    } else if (c == '*') {
+      token.type = TokenType::kStar;
+      token.text = "*";
+      pos++;
+    } else if (c == '<' || c == '>' || c == '=' || c == '!') {
+      size_t len = 1;
+      if (pos + 1 < input.size() &&
+          (input.substr(pos, 2) == "<=" || input.substr(pos, 2) == ">=" ||
+           input.substr(pos, 2) == "<>" || input.substr(pos, 2) == "!=")) {
+        len = 2;
+      }
+      if (c == '!' && len == 1) return error("unexpected '!'");
+      token.type = TokenType::kOperator;
+      token.text = std::string(input.substr(pos, len));
+      if (token.text == "!=") token.text = "<>";
+      pos += len;
+    } else if (c == '+' || c == '-' || c == '/' || c == '%') {
+      token.type = TokenType::kOperator;
+      token.text = std::string(1, c);
+      pos++;
+    } else {
+      return error(std::string("unexpected character '") + c + "'");
+    }
+    tokens.push_back(std::move(token));
+  }
+  SqlToken end;
+  end.offset = input.size();
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace jsontiles::sql

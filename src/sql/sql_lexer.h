@@ -1,0 +1,52 @@
+// Tokenizer for the SQL subset (src/sql/sql_parser.h).
+//
+// PostgreSQL-flavored: identifiers, keywords (case-insensitive), integer /
+// float / string literals, the JSON access operators -> and ->>, the cast
+// operator ::, comparison operators, parentheses and commas.
+
+#ifndef JSONTILES_SQL_SQL_LEXER_H_
+#define JSONTILES_SQL_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace jsontiles::sql {
+
+enum class TokenType : uint8_t {
+  kIdentifier,  // foo (lower-cased) or "Foo" (exact)
+  kKeyword,     // SELECT, FROM, ... (upper-cased in `text`)
+  kInteger,
+  kFloat,
+  kString,      // 'text' (quotes stripped, '' unescaped)
+  kArrow,       // ->
+  kArrowText,   // ->>
+  kCast,        // ::
+  kOperator,    // = <> != < <= > >= + - * / %
+  kLeftParen,
+  kRightParen,
+  kComma,
+  kStar,        // * (SELECT COUNT(*))
+  kEnd,
+};
+
+struct SqlToken {
+  TokenType type = TokenType::kEnd;
+  std::string text;     // normalized payload
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t offset = 0;    // position in the input, for error messages
+};
+
+/// Tokenize a statement; returns the token stream ending with kEnd.
+Result<std::vector<SqlToken>> TokenizeSql(std::string_view input);
+
+/// True if `word` (upper-case) is a reserved keyword of the subset.
+bool IsSqlKeyword(std::string_view upper);
+
+}  // namespace jsontiles::sql
+
+#endif  // JSONTILES_SQL_SQL_LEXER_H_

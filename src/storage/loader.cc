@@ -1,0 +1,257 @@
+#include "storage/loader.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+
+#include "tiles/array_extract.h"
+#include "tiles/keypath.h"
+#include "tiles/reorder.h"
+#include "tiles/tile_builder.h"
+#include "util/thread_pool.h"
+
+namespace jsontiles::storage {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point begin, Clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+// Work product of one partition, produced thread-locally and appended in
+// partition order.
+struct PartitionResult {
+  std::vector<std::vector<uint8_t>> jsonb;  // permuted document order
+  std::vector<tiles::Tile> tiles;           // row_begin relative to partition
+  size_t moved_tuples = 0;
+  Status status;
+  // Phase seconds.
+  double jsonb_secs = 0, mine_secs = 0, reorder_secs = 0, extract_secs = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Relation>> Loader::Load(
+    const std::vector<std::string>& docs, const std::string& name,
+    LoadBreakdown* breakdown) {
+  auto wall_begin = Clock::now();
+  auto relation = std::make_unique<Relation>(name, mode_, config_);
+  LoadBreakdown local_breakdown;
+  LoadBreakdown* bd = breakdown != nullptr ? breakdown : &local_breakdown;
+  *bd = LoadBreakdown{};
+  bd->tuples = docs.size();
+
+  // ---------------------------------------------------------------- text --
+  if (mode_ == StorageMode::kJsonText) {
+    auto t0 = Clock::now();
+    for (const auto& doc : docs) {
+      relation->AppendDoc(reinterpret_cast<const uint8_t*>(doc.data()), doc.size());
+    }
+    bd->jsonb_secs += Seconds(t0, Clock::now());
+    bd->total_wall_secs = Seconds(wall_begin, Clock::now());
+    return relation;
+  }
+
+  // ------------------------------------------------ binary JSON pipeline --
+  const size_t partition_docs =
+      mode_ == StorageMode::kTiles ? config_.tile_size * config_.partition_size
+                                   : std::max<size_t>(config_.tile_size * 8, 4096);
+  const size_t num_partitions = docs.empty() ? 0 : (docs.size() + partition_docs - 1) / partition_docs;
+  std::vector<PartitionResult> results(num_partitions);
+
+  // Tiles-*: detect high-cardinality arrays on a leading sample.
+  std::vector<std::string> detected_arrays;
+  if (mode_ == StorageMode::kTiles && options_.extract_arrays && !docs.empty()) {
+    json::JsonbBuilder sample_builder;
+    std::vector<std::vector<uint8_t>> sample;
+    for (size_t i = 0; i < docs.size() && i < options_.array_detect_sample; i++) {
+      std::vector<uint8_t> buf;
+      if (sample_builder.Transform(docs[i], &buf).ok()) {
+        sample.push_back(std::move(buf));
+      }
+    }
+    std::vector<json::JsonbValue> views;
+    views.reserve(sample.size());
+    for (const auto& b : sample) views.emplace_back(b.data());
+    for (auto& info : tiles::DetectHighCardinalityArrays(
+             views, config_, options_.array_min_avg_elements,
+             options_.array_min_presence)) {
+      detected_arrays.push_back(info.path);
+    }
+  }
+
+  auto process_partition = [&](size_t p) {
+    PartitionResult& result = results[p];
+    size_t begin = p * partition_docs;
+    size_t end = std::min(begin + partition_docs, docs.size());
+    size_t count = end - begin;
+
+    // Phase: text -> JSONB.
+    auto t0 = Clock::now();
+    json::JsonbBuilder builder;
+    result.jsonb.resize(count);
+    for (size_t i = 0; i < count; i++) {
+      Status st = builder.Transform(docs[begin + i], &result.jsonb[i]);
+      if (!st.ok()) {
+        result.status = st;
+        return;
+      }
+    }
+    auto t1 = Clock::now();
+    result.jsonb_secs += Seconds(t0, t1);
+    if (mode_ == StorageMode::kJsonb || mode_ == StorageMode::kSinew) return;
+
+    // Phase: key-path collection (input of mining and reordering).
+    std::vector<json::JsonbValue> views;
+    views.reserve(count);
+    for (const auto& b : result.jsonb) views.emplace_back(b.data());
+    tiles::DocumentItems items;
+    items.Collect(views, config_);
+    auto t2 = Clock::now();
+    result.mine_secs += Seconds(t1, t2);
+
+    // Phase: reordering within the partition.
+    std::vector<uint32_t> permutation;
+    if (config_.enable_reordering && config_.partition_size > 1) {
+      tiles::ReorderResult reordered = tiles::ReorderPartition(items, config_);
+      permutation = std::move(reordered.permutation);
+      result.moved_tuples = reordered.moved_tuples;
+      if (result.moved_tuples > 0) {
+        std::vector<std::vector<uint8_t>> permuted(count);
+        for (size_t i = 0; i < count; i++) {
+          permuted[i] = std::move(result.jsonb[permutation[i]]);
+        }
+        result.jsonb = std::move(permuted);
+        views.clear();
+        for (const auto& b : result.jsonb) views.emplace_back(b.data());
+      }
+    } else {
+      permutation.resize(count);
+      for (size_t i = 0; i < count; i++) permutation[i] = static_cast<uint32_t>(i);
+    }
+    auto t3 = Clock::now();
+    result.reorder_secs += Seconds(t2, t3);
+
+    // Phases: per-tile mining + extraction.
+    tiles::TileBuilder tile_builder(config_);
+    size_t num_tiles = (count + config_.tile_size - 1) / config_.tile_size;
+    for (size_t t = 0; t < num_tiles; t++) {
+      size_t tile_begin = t * config_.tile_size;
+      size_t tile_end = std::min(tile_begin + config_.tile_size, count);
+      std::vector<uint32_t> indices;
+      indices.reserve(tile_end - tile_begin);
+      for (size_t i = tile_begin; i < tile_end; i++) {
+        indices.push_back(permutation[i]);
+      }
+      auto m0 = Clock::now();
+      tiles::DocumentItems tile_items = items.Project(indices);
+      uint32_t min_support = static_cast<uint32_t>(std::ceil(
+          config_.extraction_threshold * static_cast<double>(indices.size())));
+      if (min_support == 0) min_support = 1;
+      std::vector<mining::Itemset> itemsets =
+          tile_builder.MineItemsets(tile_items, min_support);
+      auto m1 = Clock::now();
+      result.mine_secs += Seconds(m0, m1);
+
+      std::vector<json::JsonbValue> tile_views(views.begin() + static_cast<long>(tile_begin),
+                                               views.begin() + static_cast<long>(tile_end));
+      result.tiles.push_back(tile_builder.BuildFromItems(
+          tile_views, tile_items, tile_begin, &itemsets));
+      result.extract_secs += Seconds(m1, Clock::now());
+    }
+
+  };
+
+  if (options_.num_threads > 1 && num_partitions > 1) {
+    ThreadPool pool(options_.num_threads);
+    pool.ParallelFor(num_partitions, [&](size_t p, size_t) { process_partition(p); });
+  } else {
+    for (size_t p = 0; p < num_partitions; p++) process_partition(p);
+  }
+
+  // Serial phase: append in partition order; fix tile row offsets.
+  for (size_t p = 0; p < num_partitions; p++) {
+    PartitionResult& result = results[p];
+    if (!result.status.ok()) return result.status;
+    size_t partition_row_begin = relation->num_rows();
+    auto t0 = Clock::now();
+    for (const auto& buf : result.jsonb) {
+      relation->AppendDoc(buf.data(), buf.size());
+    }
+    result.jsonb_secs += Seconds(t0, Clock::now());
+    for (auto& tile : result.tiles) {
+      tile.row_begin += partition_row_begin;
+      relation->tiles().push_back(std::move(tile));
+    }
+    bd->jsonb_secs += result.jsonb_secs;
+    bd->mine_secs += result.mine_secs;
+    bd->reorder_secs += result.reorder_secs;
+    bd->extract_secs += result.extract_secs;
+    bd->moved_tuples += result.moved_tuples;
+  }
+
+  // Sinew: one global extraction over the entire table (single-threaded, as
+  // in the original system).
+  if (mode_ == StorageMode::kSinew && relation->num_rows() > 0) {
+    auto t0 = Clock::now();
+    tiles::TileConfig sinew_config = config_;
+    sinew_config.enable_date_extraction = false;  // Sinew has no §4.9
+    sinew_config.enable_reordering = false;
+    std::vector<json::JsonbValue> views;
+    views.reserve(relation->num_rows());
+    for (size_t r = 0; r < relation->num_rows(); r++) {
+      views.push_back(relation->Jsonb(r));
+    }
+    tiles::TileBuilder tile_builder(sinew_config);
+    relation->tiles().push_back(tile_builder.Build(views, 0));
+    auto t1 = Clock::now();
+    bd->mine_secs += Seconds(t0, t1) / 2;
+    bd->extract_secs += Seconds(t0, t1) / 2;
+  }
+
+  // Tiles: aggregate relation statistics (§4.6).
+  if (mode_ == StorageMode::kTiles) {
+    for (size_t t = 0; t < relation->tiles().size(); t++) {
+      const tiles::Tile& tile = relation->tiles()[t];
+      std::vector<std::string> extracted;
+      extracted.reserve(tile.columns.size());
+      for (const auto& col : tile.columns) {
+        extracted.push_back(tiles::MakeDictKey(
+            col.path, static_cast<uint8_t>(col.source_type)));
+      }
+      relation->stats().MergeTile(static_cast<uint32_t>(t), tile.stats, extracted);
+    }
+    relation->stats().AddTuples(relation->num_rows());
+  }
+
+  // Tiles-*: one side relation per detected array path, exploded against the
+  // final (reordered) row ids so `_rowid` joins back to the base table.
+  if (!detected_arrays.empty()) {
+    LoadOptions side_options = options_;
+    side_options.extract_arrays = false;
+    Loader side_loader(StorageMode::kTiles, config_, side_options);
+    for (const auto& path : detected_arrays) {
+      std::vector<std::string> docs_for_path;
+      for (size_t r = 0; r < relation->num_rows(); r++) {
+        std::vector<std::vector<uint8_t>> exploded;
+        tiles::ExplodeArray(relation->Jsonb(r), path, static_cast<int64_t>(r),
+                            &exploded);
+        for (const auto& e : exploded) {
+          docs_for_path.push_back(json::JsonbValue(e.data()).ToJsonText());
+        }
+      }
+      if (docs_for_path.empty()) continue;
+      auto side = side_loader.Load(docs_for_path,
+                                   name + "$" + tiles::PathToDisplayString(path));
+      if (side.ok()) relation->AddSideRelation(path, side.MoveValueOrDie());
+    }
+  }
+
+  bd->total_wall_secs = Seconds(wall_begin, Clock::now());
+  return relation;
+}
+
+}  // namespace jsontiles::storage

@@ -1,0 +1,67 @@
+// Parallel bulk loading (paper §3.2 "the tile partitioning parallelizes
+// well", §6.8 Figures 16/17).
+//
+// The input is split into partitions of partition_size * tile_size documents;
+// worker threads process partitions independently (no interaction needed, the
+// information is disjoint): transform text to binary JSON, collect key paths,
+// reorder tuples within the partition, mine itemsets per tile and materialize
+// columns. A short serial phase appends the results in partition order, so
+// the loaded relation is deterministic regardless of thread scheduling.
+
+#ifndef JSONTILES_STORAGE_LOADER_H_
+#define JSONTILES_STORAGE_LOADER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/relation.h"
+#include "util/status.h"
+
+namespace jsontiles::storage {
+
+/// Per-phase insertion time breakdown (Figure 16). With multiple threads the
+/// phase times are summed CPU seconds across workers.
+struct LoadBreakdown {
+  double jsonb_secs = 0;    // text -> JSONB transformation + storing
+  double mine_secs = 0;     // key-path collection + per-tile itemset mining
+  double reorder_secs = 0;  // partition reordering (§3.2)
+  double extract_secs = 0;  // column materialization + statistics
+  double total_wall_secs = 0;
+  size_t tuples = 0;
+  size_t moved_tuples = 0;
+
+  double TuplesPerSecond() const {
+    return total_wall_secs > 0 ? static_cast<double>(tuples) / total_wall_secs : 0;
+  }
+};
+
+struct LoadOptions {
+  size_t num_threads = 1;
+  /// Tiles-*: extract high-cardinality arrays into side relations (§3.5).
+  bool extract_arrays = false;
+  double array_min_avg_elements = 2.0;
+  double array_min_presence = 0.2;
+  size_t array_detect_sample = 1024;
+};
+
+class Loader {
+ public:
+  Loader(StorageMode mode, tiles::TileConfig config, LoadOptions options = {})
+      : mode_(mode), config_(config), options_(options) {}
+
+  /// Bulk load JSON documents (one per element). On success the returned
+  /// relation is fully materialized per the storage mode.
+  Result<std::unique_ptr<Relation>> Load(const std::vector<std::string>& docs,
+                                         const std::string& name,
+                                         LoadBreakdown* breakdown = nullptr);
+
+ private:
+  StorageMode mode_;
+  tiles::TileConfig config_;
+  LoadOptions options_;
+};
+
+}  // namespace jsontiles::storage
+
+#endif  // JSONTILES_STORAGE_LOADER_H_

@@ -1,0 +1,63 @@
+#include "storage/relation.h"
+
+#include "tiles/tile_builder.h"
+
+namespace jsontiles::storage {
+
+const char* StorageModeName(StorageMode mode) {
+  switch (mode) {
+    case StorageMode::kJsonText: return "JSON";
+    case StorageMode::kJsonb: return "JSONB";
+    case StorageMode::kSinew: return "Sinew";
+    case StorageMode::kTiles: return "Tiles";
+  }
+  return "?";
+}
+
+const tiles::Tile* Relation::TileForRow(size_t row) const {
+  if (tiles_.empty()) return nullptr;
+  if (tiles_.size() == 1) return &tiles_[0];  // Sinew: one global tile
+  size_t index = row / config_.tile_size;
+  if (index >= tiles_.size()) index = tiles_.size() - 1;
+  return &tiles_[index];
+}
+
+size_t Relation::TileBytes() const {
+  size_t bytes = 0;
+  for (const auto& tile : tiles_) bytes += tile.ColumnMemoryBytes();
+  return bytes;
+}
+
+Status Relation::UpdateRow(size_t row, std::string_view json_text) {
+  if (row >= num_rows_) return Status::OutOfRange("row out of range");
+  if (mode_ == StorageMode::kJsonText) {
+    docs_[row] = DocRef{
+        arena_.AllocateCopy(json_text.data(), json_text.size()), json_text.size()};
+    return Status::OK();
+  }
+  json::JsonbBuilder builder;
+  std::vector<uint8_t> buf;
+  JSONTILES_RETURN_NOT_OK(builder.Transform(json_text, &buf));
+  docs_[row] = DocRef{arena_.AllocateCopy(buf.data(), buf.size()), buf.size()};
+
+  if (mode_ == StorageMode::kSinew || mode_ == StorageMode::kTiles) {
+    size_t tile_index = tiles_.size() == 1 ? 0 : row / config_.tile_size;
+    if (tile_index < tiles_.size()) {
+      tiles::Tile& tile = tiles_[tile_index];
+      tiles::UpdateTileRow(&tile, row - tile.row_begin, Jsonb(row), config_);
+      if (tile.NeedsRecompute()) {
+        // §4.7: recompute the materialized tile once most tuples mismatch.
+        std::vector<json::JsonbValue> docs;
+        docs.reserve(tile.row_count);
+        for (size_t r = tile.row_begin; r < tile.row_begin + tile.row_count; r++) {
+          docs.push_back(Jsonb(r));
+        }
+        tiles::TileBuilder tile_builder(config_);
+        tile = tile_builder.Build(docs, tile.row_begin);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace jsontiles::storage

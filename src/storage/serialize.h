@@ -1,0 +1,35 @@
+// Relation persistence: write a loaded relation — documents, tiles (columns,
+// headers, bloom filters, statistics), relation statistics and array side
+// relations — to a single binary file and read it back without re-running
+// extraction.
+//
+// Format: "JTRL" magic, version, then length-prefixed sections. All integers
+// are LEB128 varints; byte buffers are length-prefixed. The format is an
+// implementation detail (no cross-version guarantees), but reads validate
+// structure defensively and fail with Status on corruption.
+
+#ifndef JSONTILES_STORAGE_SERIALIZE_H_
+#define JSONTILES_STORAGE_SERIALIZE_H_
+
+#include <memory>
+#include <string>
+
+#include "storage/relation.h"
+#include "util/status.h"
+
+namespace jsontiles::storage {
+
+/// Serialize the relation into `out` (cleared first).
+Status SerializeRelation(const Relation& relation, std::vector<uint8_t>* out);
+
+/// Reconstruct a relation from serialized bytes.
+Result<std::unique_ptr<Relation>> DeserializeRelation(const uint8_t* data,
+                                                      size_t size);
+
+/// File convenience wrappers.
+Status SaveRelation(const Relation& relation, const std::string& path);
+Result<std::unique_ptr<Relation>> LoadRelation(const std::string& path);
+
+}  // namespace jsontiles::storage
+
+#endif  // JSONTILES_STORAGE_SERIALIZE_H_

@@ -1,0 +1,127 @@
+#include "tiles/column.h"
+
+namespace jsontiles::tiles {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kBool: return "Bool";
+    case ColumnType::kInt64: return "BigInt";
+    case ColumnType::kFloat64: return "Float";
+    case ColumnType::kString: return "Text";
+    case ColumnType::kTimestamp: return "Timestamp";
+    case ColumnType::kNumeric: return "Numeric";
+  }
+  return "?";
+}
+
+void Column::AppendNull() {
+  AppendValid(false);
+  switch (type_) {
+    case ColumnType::kBool:
+    case ColumnType::kInt64:
+    case ColumnType::kTimestamp:
+      i64_.push_back(0);
+      break;
+    case ColumnType::kFloat64:
+      f64_.push_back(0);
+      break;
+    case ColumnType::kNumeric:
+      i64_.push_back(0);
+      scales_.push_back(0);
+      break;
+    case ColumnType::kString:
+      starts_.push_back(static_cast<uint32_t>(heap_.size()));
+      lens_.push_back(0);
+      break;
+  }
+}
+
+void Column::AppendBool(bool v) {
+  JSONTILES_DCHECK(type_ == ColumnType::kBool);
+  AppendValid(true);
+  i64_.push_back(v ? 1 : 0);
+}
+
+void Column::AppendInt(int64_t v) {
+  JSONTILES_DCHECK(type_ == ColumnType::kInt64 || type_ == ColumnType::kBool ||
+                   type_ == ColumnType::kTimestamp);
+  AppendValid(true);
+  i64_.push_back(v);
+}
+
+void Column::AppendFloat(double v) {
+  JSONTILES_DCHECK(type_ == ColumnType::kFloat64);
+  AppendValid(true);
+  f64_.push_back(v);
+}
+
+void Column::AppendNumeric(Numeric v) {
+  JSONTILES_DCHECK(type_ == ColumnType::kNumeric);
+  AppendValid(true);
+  i64_.push_back(v.unscaled);
+  scales_.push_back(v.scale);
+}
+
+void Column::AppendString(std::string_view v) {
+  JSONTILES_DCHECK(type_ == ColumnType::kString);
+  AppendValid(true);
+  starts_.push_back(static_cast<uint32_t>(heap_.size()));
+  lens_.push_back(static_cast<uint32_t>(v.size()));
+  heap_.append(v);
+}
+
+void Column::SetNull(size_t row) {
+  if (valid_[row]) {
+    valid_[row] = false;
+    null_count_++;
+  }
+}
+
+namespace {
+inline void MarkValid(std::vector<bool>& valid, size_t row, size_t* null_count) {
+  if (!valid[row]) {
+    valid[row] = true;
+    (*null_count)--;
+  }
+}
+}  // namespace
+
+void Column::SetBool(size_t row, bool v) {
+  MarkValid(valid_, row, &null_count_);
+  i64_[row] = v ? 1 : 0;
+}
+
+void Column::SetInt(size_t row, int64_t v) {
+  MarkValid(valid_, row, &null_count_);
+  i64_[row] = v;
+}
+
+void Column::SetFloat(size_t row, double v) {
+  MarkValid(valid_, row, &null_count_);
+  f64_[row] = v;
+}
+
+void Column::SetNumeric(size_t row, Numeric v) {
+  MarkValid(valid_, row, &null_count_);
+  i64_[row] = v.unscaled;
+  scales_[row] = v.scale;
+}
+
+void Column::SetString(size_t row, std::string_view v) {
+  MarkValid(valid_, row, &null_count_);
+  starts_[row] = static_cast<uint32_t>(heap_.size());
+  lens_[row] = static_cast<uint32_t>(v.size());
+  heap_.append(v);
+}
+
+size_t Column::MemoryBytes() const {
+  size_t bytes = valid_.size() / 8 + 1;
+  bytes += i64_.size() * sizeof(int64_t);
+  bytes += f64_.size() * sizeof(double);
+  bytes += scales_.size();
+  bytes += starts_.size() * sizeof(uint32_t) * 2;
+  bytes += heap_.size();
+  return bytes;
+}
+
+}  // namespace jsontiles::tiles

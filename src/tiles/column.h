@@ -1,0 +1,128 @@
+// Typed column chunks: the materialized relational storage inside a tile
+// (paper §2.2 "Column Extraction").
+//
+// Each extracted key path becomes one Column with a validity bitmap. Nulls
+// mean "key absent in this document or value of an outlier type"; accesses
+// fall back to the binary JSON in that case (§3.4).
+
+#ifndef JSONTILES_TILES_COLUMN_H_
+#define JSONTILES_TILES_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/date.h"
+#include "util/decimal.h"
+#include "util/logging.h"
+
+namespace jsontiles::tiles {
+
+enum class ColumnType : uint8_t {
+  kBool,
+  kInt64,      // SQL BigInt
+  kFloat64,    // SQL Float
+  kString,     // SQL Text
+  kTimestamp,  // SQL Timestamp (date/time extraction, §4.9)
+  kNumeric,    // SQL Numeric (from numeric strings, §5.2)
+};
+
+const char* ColumnTypeName(ColumnType type);
+
+/// A fixed-length typed vector with a validity bitmap. Value storage depends
+/// on the type: ints/bools/timestamps share the i64 buffer, floats use f64,
+/// numerics use i64 + per-value scale, strings use an offset/heap pair.
+class Column {
+ public:
+  explicit Column(ColumnType type) : type_(type) {}
+
+  ColumnType type() const { return type_; }
+  size_t size() const { return valid_.size(); }
+
+  bool IsNull(size_t row) const { return !valid_[row]; }
+  size_t null_count() const { return null_count_; }
+
+  // Appending -------------------------------------------------------------
+  void AppendNull();
+  void AppendBool(bool v);
+  void AppendInt(int64_t v);
+  void AppendFloat(double v);
+  void AppendTimestamp(Timestamp v) { AppendInt(v); }
+  void AppendNumeric(Numeric v);
+  void AppendString(std::string_view v);
+
+  // Access ----------------------------------------------------------------
+  bool GetBool(size_t row) const { return i64_[row] != 0; }
+  int64_t GetInt(size_t row) const { return i64_[row]; }
+  double GetFloat(size_t row) const { return f64_[row]; }
+  Timestamp GetTimestamp(size_t row) const { return i64_[row]; }
+  Numeric GetNumeric(size_t row) const {
+    return Numeric{i64_[row], scales_[row]};
+  }
+  std::string_view GetString(size_t row) const {
+    return std::string_view(heap_).substr(starts_[row], lens_[row]);
+  }
+
+  // In-place update (§4.7); strings append to the heap.
+  void SetNull(size_t row);
+  void SetBool(size_t row, bool v);
+  void SetInt(size_t row, int64_t v);
+  void SetFloat(size_t row, double v);
+  void SetNumeric(size_t row, Numeric v);
+  void SetString(size_t row, std::string_view v);
+
+  /// Approximate in-memory footprint in bytes (for Table 6).
+  size_t MemoryBytes() const;
+
+  /// Raw buffers for compression experiments and serialization.
+  const std::vector<int64_t>& i64_data() const { return i64_; }
+  const std::vector<double>& f64_data() const { return f64_; }
+  const std::string& string_heap() const { return heap_; }
+  const std::vector<bool>& validity() const { return valid_; }
+  const std::vector<uint8_t>& scales_data() const { return scales_; }
+  const std::vector<uint32_t>& starts_data() const { return starts_; }
+  const std::vector<uint32_t>& lens_data() const { return lens_; }
+
+  /// Rebuild a column from its raw parts (deserialization).
+  static Column Restore(ColumnType type, std::vector<bool> valid,
+                        std::vector<int64_t> i64, std::vector<double> f64,
+                        std::vector<uint8_t> scales, std::vector<uint32_t> starts,
+                        std::vector<uint32_t> lens, std::string heap) {
+    Column col(type);
+    col.null_count_ = 0;
+    for (bool v : valid) {
+      if (!v) col.null_count_++;
+    }
+    col.valid_ = std::move(valid);
+    col.i64_ = std::move(i64);
+    col.f64_ = std::move(f64);
+    col.scales_ = std::move(scales);
+    col.starts_ = std::move(starts);
+    col.lens_ = std::move(lens);
+    col.heap_ = std::move(heap);
+    return col;
+  }
+
+ private:
+  void AppendValid(bool valid) {
+    valid_.push_back(valid);
+    if (!valid) null_count_++;
+  }
+
+  ColumnType type_;
+  std::vector<bool> valid_;
+  std::vector<int64_t> i64_;
+  std::vector<double> f64_;
+  std::vector<uint8_t> scales_;
+  // Strings: per-row (start, length) into the heap; updates append to the
+  // heap and repoint the row (§4.7 in-place variable-length updates).
+  std::vector<uint32_t> starts_;
+  std::vector<uint32_t> lens_;
+  std::string heap_;
+  size_t null_count_ = 0;
+};
+
+}  // namespace jsontiles::tiles
+
+#endif  // JSONTILES_TILES_COLUMN_H_

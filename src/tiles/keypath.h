@@ -1,0 +1,139 @@
+// Key paths: the path of nested objects and arrays leading to a value
+// (paper §3.1 step 1, §3.5).
+//
+// Nesting is encoded into the path so the extraction algorithm never has to
+// distinguish nested from non-nested values. A path is stored in a compact
+// self-delimiting byte encoding (segments are length-prefixed, so keys may
+// contain any character). An itemset item is a (path, value type) pair
+// (§3.4): two paths only match when their types match as well.
+
+#ifndef JSONTILES_TILES_KEYPATH_H_
+#define JSONTILES_TILES_KEYPATH_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json/json_type.h"
+#include "json/jsonb.h"
+#include "tiles/tile_config.h"
+
+namespace jsontiles::tiles {
+
+struct PathSegment {
+  enum class Kind : uint8_t { kKey, kIndex };
+  Kind kind = Kind::kKey;
+  std::string key;     // object key (kKey)
+  uint32_t index = 0;  // array slot (kIndex)
+
+  static PathSegment Key(std::string k) {
+    PathSegment s;
+    s.kind = Kind::kKey;
+    s.key = std::move(k);
+    return s;
+  }
+  static PathSegment Index(uint32_t i) {
+    PathSegment s;
+    s.kind = Kind::kIndex;
+    s.index = i;
+    return s;
+  }
+
+  friend bool operator==(const PathSegment&, const PathSegment&) = default;
+};
+
+/// Append one segment to an encoded path (in place).
+void AppendSegment(std::string* encoded, const PathSegment& segment);
+void AppendKeySegment(std::string* encoded, std::string_view key);
+void AppendIndexSegment(std::string* encoded, uint32_t index);
+
+/// Encode a full path.
+std::string EncodePath(const std::vector<PathSegment>& segments);
+
+/// Decode an encoded path back into segments.
+std::vector<PathSegment> DecodePath(std::string_view encoded);
+
+/// Human-readable form, e.g. `user.geo.lat` or `tags[0].text`.
+std::string PathToDisplayString(std::string_view encoded);
+
+/// Number of segments (nesting levels) in an encoded path.
+int PathDepth(std::string_view encoded);
+
+/// Invoke `fn` for every prefix of the path (first k segments, k = 1..n,
+/// including the full path). Prefixes are substrings of the encoding.
+void ForEachPathPrefix(std::string_view encoded,
+                       const std::function<void(std::string_view)>& fn);
+
+/// Navigate a JSONB document along a path. Returns nullopt when any step is
+/// missing (PostgreSQL semantics: absent key => SQL NULL).
+std::optional<json::JsonbValue> LookupPath(json::JsonbValue root,
+                                           std::string_view encoded_path);
+
+/// One collected leaf: encoded path plus the leaf's JSON type.
+struct CollectedPath {
+  std::string path;
+  json::JsonType type;
+
+  friend bool operator==(const CollectedPath&, const CollectedPath&) = default;
+};
+
+/// Collect the key paths of all scalar leaves of `doc` (paper §3.1 step 1).
+/// Arrays contribute their first `config.max_array_elements` elements with
+/// index segments (§3.5); traversal stops at `config.max_path_depth`.
+/// Empty objects/arrays contribute no leaves.
+void CollectKeyPaths(json::JsonbValue doc, const TileConfig& config,
+                     std::vector<CollectedPath>* out);
+
+namespace internal_keypath {
+
+/// Allocation-free walker: `fn(encoded_path_view, leaf_type)` per leaf. The
+/// view points into `prefix` and is only valid during the call.
+template <typename Fn>
+void WalkLeaves(json::JsonbValue value, const TileConfig& config,
+                std::string* prefix, int depth, const Fn& fn) {
+  switch (value.type()) {
+    case json::JsonType::kObject: {
+      if (depth >= config.max_path_depth) return;
+      size_t count = value.Count();
+      for (size_t i = 0; i < count; i++) {
+        size_t saved = prefix->size();
+        AppendKeySegment(prefix, value.MemberKey(i));
+        WalkLeaves(value.MemberValue(i), config, prefix, depth + 1, fn);
+        prefix->resize(saved);
+      }
+      return;
+    }
+    case json::JsonType::kArray: {
+      if (depth >= config.max_path_depth) return;
+      size_t count = value.Count();
+      size_t limit = count < config.max_array_elements
+                         ? count
+                         : static_cast<size_t>(config.max_array_elements);
+      for (size_t i = 0; i < limit; i++) {
+        size_t saved = prefix->size();
+        AppendIndexSegment(prefix, static_cast<uint32_t>(i));
+        WalkLeaves(value.ArrayElement(i), config, prefix, depth + 1, fn);
+        prefix->resize(saved);
+      }
+      return;
+    }
+    default:
+      fn(std::string_view(*prefix), value.type());
+  }
+}
+
+}  // namespace internal_keypath
+
+/// Callback form of CollectKeyPaths (no per-leaf allocation).
+template <typename Fn>
+void ForEachKeyPath(json::JsonbValue doc, const TileConfig& config, const Fn& fn) {
+  std::string prefix;
+  internal_keypath::WalkLeaves(doc, config, &prefix, 0, fn);
+}
+
+}  // namespace jsontiles::tiles
+
+#endif  // JSONTILES_TILES_KEYPATH_H_

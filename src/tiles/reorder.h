@@ -1,0 +1,40 @@
+// Tuple reordering across the tiles of a partition (paper §3.2, Figure 4).
+//
+// Documents of different types interleaved in insertion order would leave
+// every tile below the extraction threshold. Reordering mines itemsets per
+// tile with a reduced threshold, exchanges them within the partition, matches
+// every tuple to the itemset that describes it best, and redistributes the
+// tuples so each surviving itemset is clustered into as few tiles as
+// possible — after which the original threshold succeeds again.
+
+#ifndef JSONTILES_TILES_REORDER_H_
+#define JSONTILES_TILES_REORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "json/jsonb.h"
+#include "tiles/tile_builder.h"
+#include "tiles/tile_config.h"
+
+namespace jsontiles::tiles {
+
+struct ReorderResult {
+  /// permutation[new_position] = original document index. Identity when
+  /// reordering found nothing to improve.
+  std::vector<uint32_t> permutation;
+  /// Itemsets that survived the partition-wide exchange (step 2).
+  size_t surviving_itemsets = 0;
+  /// Tuples whose tile assignment changed (the swaps of step 5).
+  size_t moved_tuples = 0;
+};
+
+/// Reorder the documents of one partition (`items.transactions` is parallel
+/// to the partition's documents). The partition holds up to
+/// `config.partition_size` tiles of `config.tile_size` tuples each.
+ReorderResult ReorderPartition(const DocumentItems& items,
+                               const TileConfig& config);
+
+}  // namespace jsontiles::tiles
+
+#endif  // JSONTILES_TILES_REORDER_H_

@@ -1,0 +1,140 @@
+#include "tiles/stats.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace jsontiles::tiles {
+
+void RelationStats::MergeTile(uint32_t tile_number, const TileStats& stats,
+                              const std::vector<std::string>& extracted_paths) {
+  // Frequency counters.
+  for (const auto& [key, count] : stats.path_frequencies) {
+    Counter* slot = nullptr;
+    for (auto& c : counters_) {
+      if (c.key == key) {
+        slot = &c;
+        break;
+      }
+    }
+    if (slot != nullptr) {
+      slot->count += count;
+      slot->last_tile = tile_number;
+      continue;
+    }
+    if (counters_.size() < kMaxFrequencyCounters) {
+      counters_.push_back(Counter{key, count, tile_number});
+      continue;
+    }
+    // Replacement: evict the slot with the oldest tile number, breaking ties
+    // by the lowest frequency count, so the most frequent keys survive.
+    Counter* victim = &counters_[0];
+    for (auto& c : counters_) {
+      if (c.last_tile < victim->last_tile ||
+          (c.last_tile == victim->last_tile && c.count < victim->count)) {
+        victim = &c;
+      }
+    }
+    if (victim->count < count || victim->last_tile < tile_number) {
+      *victim = Counter{key, count, tile_number};
+    }
+  }
+
+  // HLL sketches for extracted columns.
+  for (size_t i = 0; i < extracted_paths.size() &&
+                     i < stats.column_sketches.size();
+       i++) {
+    const std::string& key = extracted_paths[i];
+    uint64_t weight = 0;
+    for (const auto& [k, count] : stats.path_frequencies) {
+      if (k == key) {
+        weight = count;
+        break;
+      }
+    }
+    Sketch* slot = nullptr;
+    for (auto& s : sketches_) {
+      if (s.key == key) {
+        slot = &s;
+        break;
+      }
+    }
+    if (slot != nullptr) {
+      slot->hll.Merge(stats.column_sketches[i]);  // sketches combine losslessly
+      slot->last_tile = tile_number;
+      slot->weight += weight;
+      continue;
+    }
+    if (sketches_.size() < kMaxSketches) {
+      sketches_.push_back(Sketch{key, stats.column_sketches[i], tile_number, weight});
+      continue;
+    }
+    Sketch* victim = &sketches_[0];
+    for (auto& s : sketches_) {
+      if (s.last_tile < victim->last_tile ||
+          (s.last_tile == victim->last_tile && s.weight < victim->weight)) {
+        victim = &s;
+      }
+    }
+    if (victim->weight < weight || victim->last_tile < tile_number) {
+      *victim = Sketch{key, stats.column_sketches[i], tile_number, weight};
+    }
+  }
+}
+
+uint64_t RelationStats::EstimateKeyCardinality(std::string_view dict_key) const {
+  uint64_t smallest = std::numeric_limits<uint64_t>::max();
+  for (const auto& c : counters_) {
+    if (c.key == dict_key) return c.count;
+    smallest = std::min(smallest, c.count);
+  }
+  // §4.6: a missing counter behaves most similarly to the key with the
+  // minimal retrieved frequency — far more accurate than the table count.
+  if (counters_.empty()) return total_tuples_;
+  return smallest;
+}
+
+std::optional<double> RelationStats::EstimateDistinct(
+    std::string_view dict_key) const {
+  for (const auto& s : sketches_) {
+    if (s.key == dict_key) return s.hll.Estimate();
+  }
+  return std::nullopt;
+}
+
+namespace {
+bool KeyHasPath(std::string_view dict_key, std::string_view path) {
+  return dict_key.size() == path.size() + 1 &&
+         dict_key.substr(0, path.size()) == path;
+}
+}  // namespace
+
+uint64_t RelationStats::EstimateKeyCardinalityAnyType(
+    std::string_view encoded_path) const {
+  uint64_t total = 0;
+  bool found = false;
+  uint64_t smallest = std::numeric_limits<uint64_t>::max();
+  for (const auto& c : counters_) {
+    if (KeyHasPath(c.key, encoded_path)) {
+      total += c.count;
+      found = true;
+    }
+    smallest = std::min(smallest, c.count);
+  }
+  if (found) return total;
+  if (counters_.empty()) return total_tuples_;
+  return smallest;
+}
+
+std::optional<double> RelationStats::EstimateDistinctAnyType(
+    std::string_view encoded_path) const {
+  std::optional<double> best;
+  for (const auto& s : sketches_) {
+    if (KeyHasPath(s.key, encoded_path)) {
+      double est = s.hll.Estimate();
+      if (!best.has_value() || est > *best) best = est;
+    }
+  }
+  return best;
+}
+
+}  // namespace jsontiles::tiles

@@ -1,0 +1,114 @@
+// Query-optimizer statistics collected during tile construction (paper §4.6).
+//
+// Each tile stores the frequency of every (key path, type) item — this is the
+// itemset-mining dictionary, reused as statistics — plus a HyperLogLog sketch
+// per extracted column, sampled while values are materialized. Tile-local
+// statistics are aggregated into relation-level statistics with a bounded
+// number of slots: 256 frequency counters and 64 HLL sketches, replaced by
+// (most recent tile, lowest frequency) when full, so the most frequent keys
+// always survive.
+
+#ifndef JSONTILES_TILES_STATS_H_
+#define JSONTILES_TILES_STATS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/hyperloglog.h"
+
+namespace jsontiles::tiles {
+
+/// Per-tile statistics, stored in the tile header.
+struct TileStats {
+  /// (encoded path, type) -> number of tuples in the tile containing it.
+  /// Key is the encoded path with the type byte appended (the mining
+  /// dictionary key).
+  std::vector<std::pair<std::string, uint32_t>> path_frequencies;
+
+  /// Distinct-value sketches for the extracted columns, parallel to the
+  /// tile's column vector.
+  std::vector<HyperLogLog> column_sketches;
+};
+
+/// Relation-level aggregation of tile statistics.
+class RelationStats {
+ public:
+  static constexpr size_t kMaxFrequencyCounters = 256;
+  static constexpr size_t kMaxSketches = 64;
+
+  /// Fold one tile's statistics in. `extracted_paths` are the dictionary
+  /// keys of the tile's extracted columns (parallel to column_sketches).
+  void MergeTile(uint32_t tile_number, const TileStats& stats,
+                 const std::vector<std::string>& extracted_paths);
+
+  /// §4.6: cardinality (number of tuples containing the key). When the key
+  /// has no counter, the smallest retrieved counter is used as the estimate.
+  uint64_t EstimateKeyCardinality(std::string_view dict_key) const;
+
+  /// Distinct values of a key path's column; nullopt when no sketch exists.
+  std::optional<double> EstimateDistinct(std::string_view dict_key) const;
+
+  /// Like EstimateKeyCardinality, but summing over all value types of the
+  /// path (the optimizer does not know the stored JSON type of an access).
+  uint64_t EstimateKeyCardinalityAnyType(std::string_view encoded_path) const;
+
+  /// Largest distinct-count sketch over any type of the path.
+  std::optional<double> EstimateDistinctAnyType(
+      std::string_view encoded_path) const;
+
+  /// Total tuples folded in so far.
+  uint64_t total_tuples() const { return total_tuples_; }
+  void AddTuples(uint64_t n) { total_tuples_ += n; }
+
+  size_t num_counters() const { return counters_.size(); }
+  size_t num_sketches() const { return sketches_.size(); }
+
+  struct Counter {
+    std::string key;
+    uint64_t count = 0;
+    uint32_t last_tile = 0;
+  };
+  struct Sketch {
+    std::string key;
+    HyperLogLog hll;
+    uint32_t last_tile = 0;
+    uint64_t weight = 0;  // frequency of the path; used for replacement
+  };
+
+  /// Serialization support.
+  const std::vector<Counter>& counters() const { return counters_; }
+  const std::vector<Sketch>& sketches() const { return sketches_; }
+  void Restore(std::vector<Counter> counters, std::vector<Sketch> sketches,
+               uint64_t total_tuples) {
+    counters_ = std::move(counters);
+    sketches_ = std::move(sketches);
+    total_tuples_ = total_tuples;
+  }
+
+ private:
+
+  std::vector<Counter> counters_;
+  std::vector<Sketch> sketches_;
+  uint64_t total_tuples_ = 0;
+};
+
+/// Dictionary key for a (path, type) pair: encoded path + one type byte.
+inline std::string MakeDictKey(std::string_view encoded_path, uint8_t type) {
+  std::string key(encoded_path);
+  key.push_back(static_cast<char>(type));
+  return key;
+}
+inline std::string_view DictKeyPath(std::string_view dict_key) {
+  return dict_key.substr(0, dict_key.size() - 1);
+}
+inline uint8_t DictKeyType(std::string_view dict_key) {
+  return static_cast<uint8_t>(dict_key.back());
+}
+
+}  // namespace jsontiles::tiles
+
+#endif  // JSONTILES_TILES_STATS_H_

@@ -1,0 +1,275 @@
+#include "tiles/tile_builder.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace jsontiles::tiles {
+
+ColumnType StorageTypeFor(json::JsonType type) {
+  switch (type) {
+    case json::JsonType::kBool: return ColumnType::kBool;
+    case json::JsonType::kInt: return ColumnType::kInt64;
+    case json::JsonType::kFloat: return ColumnType::kFloat64;
+    case json::JsonType::kString: return ColumnType::kString;
+    case json::JsonType::kNumericString: return ColumnType::kNumeric;
+    default:
+      JSONTILES_CHECK(false);  // containers and nulls are never materialized
+  }
+}
+
+void DocumentItems::Collect(const std::vector<json::JsonbValue>& docs,
+                            const TileConfig& config) {
+  dict.clear();
+  ids.clear();
+  transactions.clear();
+  item_counts.clear();
+  transactions.reserve(docs.size());
+  std::string key;  // reusable dict-key buffer (hot loop: no allocation)
+  for (const auto& doc : docs) {
+    mining::Transaction tx;
+    ForEachKeyPath(doc, config, [&](std::string_view path, json::JsonType type) {
+      key.assign(path);
+      key.push_back(static_cast<char>(type));
+      auto it = ids.find(std::string_view(key));
+      if (it == ids.end()) {
+        it = ids.emplace(key, static_cast<mining::Item>(dict.size())).first;
+        dict.push_back(key);
+        item_counts.push_back(0);
+      }
+      tx.push_back(it->second);
+      item_counts[it->second]++;
+    });
+    transactions.push_back(std::move(tx));
+  }
+}
+
+DocumentItems DocumentItems::Project(
+    const std::vector<uint32_t>& doc_indices) const {
+  DocumentItems out;
+  out.dict = dict;
+  out.ids = ids;
+  out.item_counts.assign(dict.size(), 0);
+  out.transactions.reserve(doc_indices.size());
+  for (uint32_t i : doc_indices) {
+    out.transactions.push_back(transactions[i]);
+    for (mining::Item item : transactions[i]) out.item_counts[item]++;
+  }
+  return out;
+}
+
+std::vector<mining::Itemset> TileBuilder::MineItemsets(
+    const DocumentItems& items, uint32_t min_support) const {
+  mining::FpGrowthMiner miner;
+  mining::MinerOptions options;
+  options.min_support = min_support;
+  options.budget = config_.itemset_budget;
+  return miner.Mine(items.transactions, options);
+}
+
+Tile TileBuilder::Build(const std::vector<json::JsonbValue>& docs,
+                        size_t row_begin) const {
+  DocumentItems items;
+  items.Collect(docs, config_);
+  return BuildFromItems(docs, items, row_begin);
+}
+
+namespace {
+
+uint64_t HashJsonbScalar(const json::JsonbValue& value) {
+  switch (value.type()) {
+    case json::JsonType::kBool: return HashInt(value.GetBool() ? 1 : 2);
+    case json::JsonType::kInt: return HashInt(static_cast<uint64_t>(value.GetInt()));
+    case json::JsonType::kFloat:
+      return HashInt(std::bit_cast<uint64_t>(value.GetDouble()));
+    case json::JsonType::kString: return HashString(value.GetString());
+    case json::JsonType::kNumericString: {
+      Numeric n = value.GetNumeric();
+      return HashCombine(HashInt(static_cast<uint64_t>(n.unscaled)),
+                         HashInt(n.scale));
+    }
+    default: return 0;
+  }
+}
+
+}  // namespace
+
+Tile TileBuilder::BuildFromItems(const std::vector<json::JsonbValue>& docs,
+                                 const DocumentItems& items, size_t row_begin,
+                                 const std::vector<mining::Itemset>* premined) const {
+  JSONTILES_CHECK(items.transactions.size() == docs.size());
+  Tile tile;
+  tile.row_begin = row_begin;
+  tile.row_count = docs.size();
+
+  // Per-tile statistics: the mining dictionary with frequencies (§4.6).
+  // Zero-count entries (projection artifacts) carry no information.
+  tile.stats.path_frequencies.reserve(items.dict.size());
+  for (size_t i = 0; i < items.dict.size(); i++) {
+    if (items.item_counts[i] == 0) continue;
+    tile.stats.path_frequencies.emplace_back(items.dict[i], items.item_counts[i]);
+  }
+
+  if (docs.empty()) return tile;
+
+  // §3.1 step 2: frequent itemset mining.
+  uint32_t min_support = static_cast<uint32_t>(
+      std::ceil(config_.extraction_threshold * static_cast<double>(docs.size())));
+  if (min_support == 0) min_support = 1;
+  std::vector<mining::Itemset> itemsets =
+      premined != nullptr ? *premined : MineItemsets(items, min_support);
+
+  // §3.1 step 3: extract the union of the (maximal) itemsets. For each key
+  // path, the most common frequent type wins (§3.4); the rest stay binary.
+  std::vector<bool> in_union(items.dict.size(), false);
+  for (const auto& set : itemsets) {
+    for (mining::Item item : set.items) in_union[item] = true;
+  }
+  struct Choice {
+    mining::Item item;
+    uint32_t count;
+  };
+  std::unordered_map<std::string, Choice> chosen;  // path -> best item
+  for (size_t i = 0; i < items.dict.size(); i++) {
+    if (!in_union[i]) continue;
+    auto type = static_cast<json::JsonType>(DictKeyType(items.dict[i]));
+    if (type == json::JsonType::kNull) continue;  // null is never a column
+    std::string path(DictKeyPath(items.dict[i]));
+    auto it = chosen.find(path);
+    if (it == chosen.end() || items.item_counts[i] > it->second.count) {
+      chosen[path] = Choice{static_cast<mining::Item>(i), items.item_counts[i]};
+    }
+  }
+
+  // Deterministic column order: by path.
+  std::vector<std::pair<std::string, Choice>> ordered(chosen.begin(), chosen.end());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // Which paths occur with more than one type (for the outlier flag)?
+  std::unordered_map<std::string, int> types_per_path;
+  for (size_t i = 0; i < items.dict.size(); i++) {
+    types_per_path[std::string(DictKeyPath(items.dict[i]))]++;
+  }
+
+  for (auto& [path, choice] : ordered) {
+    auto source_type = static_cast<json::JsonType>(DictKeyType(items.dict[choice.item]));
+    ExtractedColumn col;
+    col.path = path;
+    col.source_type = source_type;
+    col.storage_type = StorageTypeFor(source_type);
+    col.has_type_outliers = types_per_path[path] > 1;
+
+    // §4.9: sample string values; extract as Timestamp when (nearly) all
+    // parse as date/time.
+    if (source_type == json::JsonType::kString && config_.enable_date_extraction) {
+      size_t present = 0;
+      size_t parsed = 0;
+      Timestamp ts;
+      for (const auto& doc : docs) {
+        auto value = LookupPath(doc, path);
+        if (!value.has_value() || value->type() != json::JsonType::kString) continue;
+        present++;
+        if (ParseTimestamp(value->GetString(), &ts)) parsed++;
+      }
+      if (present > 0 &&
+          static_cast<double>(parsed) >=
+              config_.date_detection_fraction * static_cast<double>(present)) {
+        col.storage_type = ColumnType::kTimestamp;
+        col.is_timestamp = true;
+      }
+    }
+
+    // Materialize the column; §4.6: sample values into a HLL sketch.
+    col.column = Column(col.storage_type);
+    HyperLogLog sketch;
+    for (const auto& doc : docs) {
+      auto value = LookupPath(doc, path);
+      bool stored = false;
+      if (value.has_value() && value->type() == source_type) {
+        switch (col.storage_type) {
+          case ColumnType::kBool:
+            col.column.AppendBool(value->GetBool());
+            stored = true;
+            break;
+          case ColumnType::kInt64:
+            col.column.AppendInt(value->GetInt());
+            stored = true;
+            break;
+          case ColumnType::kFloat64:
+            col.column.AppendFloat(value->GetDouble());
+            stored = true;
+            break;
+          case ColumnType::kString:
+            col.column.AppendString(value->GetString());
+            stored = true;
+            break;
+          case ColumnType::kNumeric:
+            col.column.AppendNumeric(value->GetNumeric());
+            stored = true;
+            break;
+          case ColumnType::kTimestamp: {
+            Timestamp ts;
+            if (ParseTimestamp(value->GetString(), &ts)) {
+              col.column.AppendTimestamp(ts);
+              stored = true;
+            }
+            break;
+          }
+        }
+      }
+      if (stored) {
+        sketch.Add(HashJsonbScalar(*value));
+      } else {
+        col.column.AppendNull();
+      }
+    }
+    col.nullable = col.column.null_count() > 0;
+    // Zone map over the materialized values (range skipping, §4.8 extension).
+    if (col.storage_type == ColumnType::kInt64 ||
+        col.storage_type == ColumnType::kTimestamp) {
+      for (size_t r = 0; r < col.column.size(); r++) {
+        if (col.column.IsNull(r)) continue;
+        int64_t v = col.column.GetInt(r);
+        if (!col.has_minmax) {
+          col.min_i = col.max_i = v;
+          col.has_minmax = true;
+        } else {
+          col.min_i = std::min(col.min_i, v);
+          col.max_i = std::max(col.max_i, v);
+        }
+      }
+    } else if (col.storage_type == ColumnType::kFloat64) {
+      for (size_t r = 0; r < col.column.size(); r++) {
+        if (col.column.IsNull(r)) continue;
+        double v = col.column.GetFloat(r);
+        if (!col.has_minmax) {
+          col.min_d = col.max_d = v;
+          col.has_minmax = true;
+        } else {
+          col.min_d = std::min(col.min_d, v);
+          col.max_d = std::max(col.max_d, v);
+        }
+      }
+    }
+    tile.stats.column_sketches.push_back(std::move(sketch));
+    tile.columns.push_back(std::move(col));
+  }
+
+  tile.BuildColumnIndex();
+
+  // §4.4: non-extracted key paths that actually occur in this tile go into
+  // the header bloom filter. (The dictionary may be a projection of a whole
+  // partition and can carry zero-count entries.)
+  for (size_t i = 0; i < items.dict.size(); i++) {
+    if (items.item_counts[i] == 0) continue;
+    std::string_view path = DictKeyPath(items.dict[i]);
+    if (tile.FindColumn(path) == nullptr) tile.AddSeenPath(path);
+  }
+  return tile;
+}
+
+}  // namespace jsontiles::tiles

@@ -1,0 +1,73 @@
+// Tile construction: key-path collection, frequent itemset mining, column
+// extraction and statistics gathering (paper §3.1, §3.3, §3.4, §4.6, §4.9).
+
+#ifndef JSONTILES_TILES_TILE_BUILDER_H_
+#define JSONTILES_TILES_TILE_BUILDER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "json/jsonb.h"
+#include "mining/fpgrowth.h"
+#include "tiles/keypath.h"
+#include "tiles/tile.h"
+#include "tiles/tile_config.h"
+
+namespace jsontiles::tiles {
+
+/// Transparent string hashing for heterogeneous unordered_map lookup.
+struct DictKeyHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+/// Dictionary-encoded key-path items for a chunk of documents: the database
+/// that itemset mining runs on (§3.3) and the raw material of reordering
+/// (§3.2). Item ids are dense and local to the chunk.
+struct DocumentItems {
+  std::vector<std::string> dict;  // item id -> dict key (path + type byte)
+  std::unordered_map<std::string, mining::Item, DictKeyHash, std::equal_to<>> ids;
+  std::vector<mining::Transaction> transactions;  // one per document
+  std::vector<uint32_t> item_counts;              // item id -> frequency
+
+  void Collect(const std::vector<json::JsonbValue>& docs,
+               const TileConfig& config);
+
+  /// Restrict to a subset of the documents (used per tile after reordering).
+  DocumentItems Project(const std::vector<uint32_t>& doc_indices) const;
+};
+
+/// Builds one tile from `tile_size` (or fewer) documents.
+class TileBuilder {
+ public:
+  explicit TileBuilder(const TileConfig& config) : config_(config) {}
+
+  /// Full pipeline: collect, mine, extract, materialize.
+  Tile Build(const std::vector<json::JsonbValue>& docs, size_t row_begin) const;
+
+  /// Same but with pre-collected items (avoids re-collection after
+  /// reordering). `items.transactions` must be parallel to `docs`. When
+  /// `premined` is non-null it is used instead of mining again (the loader
+  /// times the mining phase separately, Fig 16).
+  Tile BuildFromItems(const std::vector<json::JsonbValue>& docs,
+                      const DocumentItems& items, size_t row_begin,
+                      const std::vector<mining::Itemset>* premined = nullptr) const;
+
+  /// The set of frequent itemsets for a chunk, at an explicit support count
+  /// (used by reordering with the reduced threshold).
+  std::vector<mining::Itemset> MineItemsets(const DocumentItems& items,
+                                            uint32_t min_support) const;
+
+ private:
+  TileConfig config_;
+};
+
+/// Map a JSON leaf type to its relational storage type.
+ColumnType StorageTypeFor(json::JsonType type);
+
+}  // namespace jsontiles::tiles
+
+#endif  // JSONTILES_TILES_TILE_BUILDER_H_

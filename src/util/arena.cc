@@ -1,0 +1,40 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace jsontiles {
+
+uint8_t* Arena::Allocate(size_t size) {
+  size = (size + 7) & ~size_t{7};
+  if (static_cast<size_t>(end_ - cur_) < size) NewBlock(size);
+  uint8_t* result = cur_;
+  cur_ += size;
+  bytes_allocated_ += size;
+  return result;
+}
+
+uint8_t* Arena::AllocateCopy(const void* src, size_t size) {
+  uint8_t* dst = Allocate(size);
+  std::memcpy(dst, src, size);
+  return dst;
+}
+
+void Arena::NewBlock(size_t min_size) {
+  size_t size = std::max(block_size_, min_size);
+  blocks_.push_back(std::make_unique<uint8_t[]>(size));
+  cur_ = blocks_.back().get();
+  end_ = cur_ + size;
+  bytes_reserved_ += size;
+  // Grow geometrically up to 8 MiB blocks to amortize allocation.
+  block_size_ = std::min<size_t>(block_size_ * 2, 8 * 1024 * 1024);
+}
+
+void Arena::Reset() {
+  blocks_.clear();
+  cur_ = end_ = nullptr;
+  bytes_allocated_ = 0;
+  bytes_reserved_ = 0;
+}
+
+}  // namespace jsontiles

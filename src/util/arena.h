@@ -1,0 +1,54 @@
+// Arena allocator: fast bump allocation for tile headers, JSONB documents and
+// other variable-sized per-relation data that is freed all at once.
+
+#ifndef JSONTILES_UTIL_ARENA_H_
+#define JSONTILES_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace jsontiles {
+
+/// A region allocator. Allocations are 8-byte aligned and live until the
+/// arena is destroyed or Reset(). Not thread-safe; use one arena per thread.
+class Arena {
+ public:
+  explicit Arena(size_t initial_block_size = 64 * 1024)
+      : block_size_(initial_block_size) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Allocate `size` bytes (8-byte aligned).
+  uint8_t* Allocate(size_t size);
+
+  /// Allocate and copy `size` bytes from `src`.
+  uint8_t* AllocateCopy(const void* src, size_t size);
+
+  /// Total bytes handed out (excluding block overhead / slack).
+  size_t bytes_allocated() const { return bytes_allocated_; }
+
+  /// Total bytes reserved from the system.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+  /// Drop all blocks.
+  void Reset();
+
+ private:
+  void NewBlock(size_t min_size);
+
+  size_t block_size_;
+  std::vector<std::unique_ptr<uint8_t[]>> blocks_;
+  uint8_t* cur_ = nullptr;
+  uint8_t* end_ = nullptr;
+  size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace jsontiles
+
+#endif  // JSONTILES_UTIL_ARENA_H_

@@ -1,0 +1,36 @@
+#include "util/bloom_filter.h"
+
+#include "util/bit_util.h"
+
+namespace jsontiles {
+
+BloomFilter::BloomFilter(size_t expected_entries) {
+  if (expected_entries < 8) expected_entries = 8;
+  // ~10 bits per entry, rounded up to a power of two for cheap masking.
+  uint64_t bits = bit_util::NextPow2(expected_entries * 10);
+  if (bits < 64) bits = 64;
+  words_.assign(bits / 64, 0);
+  bit_mask_ = bits - 1;
+}
+
+void BloomFilter::Insert(uint64_t hash) {
+  uint64_t h1 = hash;
+  uint64_t h2 = HashInt(hash) | 1;  // odd so all positions are reachable
+  for (int i = 0; i < kNumProbes; i++) {
+    uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) & bit_mask_;
+    words_[bit >> 6] |= uint64_t{1} << (bit & 63);
+  }
+  num_inserted_++;
+}
+
+bool BloomFilter::MayContain(uint64_t hash) const {
+  uint64_t h1 = hash;
+  uint64_t h2 = HashInt(hash) | 1;
+  for (int i = 0; i < kNumProbes; i++) {
+    uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) & bit_mask_;
+    if ((words_[bit >> 6] & (uint64_t{1} << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace jsontiles

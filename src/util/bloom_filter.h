@@ -1,0 +1,56 @@
+// Bloom filter over key paths stored in each tile header (paper §4.4).
+//
+// Uses Kirsch–Mitzenmacher double hashing [35]: k probe positions are derived
+// from two independent 64-bit hashes, g_i(x) = h1(x) + i*h2(x), which gives
+// the same asymptotic false-positive rate as k independent hash functions.
+
+#ifndef JSONTILES_UTIL_BLOOM_FILTER_H_
+#define JSONTILES_UTIL_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace jsontiles {
+
+class BloomFilter {
+ public:
+  /// Create a filter sized for `expected_entries` at roughly 1% false
+  /// positives (~10 bits per entry, 7 probes).
+  explicit BloomFilter(size_t expected_entries = 64);
+
+  void Insert(uint64_t hash);
+  void InsertString(std::string_view s) { Insert(HashString(s)); }
+
+  /// True if the element may have been inserted; false means definitely not.
+  bool MayContain(uint64_t hash) const;
+  bool MayContainString(std::string_view s) const {
+    return MayContain(HashString(s));
+  }
+
+  size_t SizeBytes() const { return words_.size() * sizeof(uint64_t); }
+  size_t num_inserted() const { return num_inserted_; }
+
+  /// Serialization support: raw words (bit count is words * 64).
+  const std::vector<uint64_t>& words() const { return words_; }
+  static BloomFilter Restore(std::vector<uint64_t> words, size_t num_inserted) {
+    BloomFilter f;
+    f.bit_mask_ = words.size() * 64 - 1;
+    f.words_ = std::move(words);
+    f.num_inserted_ = num_inserted;
+    return f;
+  }
+
+ private:
+  static constexpr int kNumProbes = 7;
+
+  std::vector<uint64_t> words_;
+  uint64_t bit_mask_;  // number of bits - 1 (power of two)
+  size_t num_inserted_ = 0;
+};
+
+}  // namespace jsontiles
+
+#endif  // JSONTILES_UTIL_BLOOM_FILTER_H_

@@ -1,0 +1,274 @@
+#include "util/date.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace jsontiles {
+
+namespace {
+
+constexpr const char* kMonthNames[] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                       "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+constexpr const char* kDayNames[] = {"Sun", "Mon", "Tue", "Wed",
+                                     "Thu", "Fri", "Sat"};
+
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+// Parse exactly `n` digits at s[pos..]; returns -1 on failure.
+int ParseDigits(std::string_view s, size_t pos, int n) {
+  if (pos + static_cast<size_t>(n) > s.size()) return -1;
+  int v = 0;
+  for (int i = 0; i < n; i++) {
+    char c = s[pos + static_cast<size_t>(i)];
+    if (!IsDigit(c)) return -1;
+    v = v * 10 + (c - '0');
+  }
+  return v;
+}
+
+int DaysInMonth(int year, int month) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2) {
+    bool leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+    return leap ? 29 : 28;
+  }
+  return kDays[month - 1];
+}
+
+bool ValidDate(int year, int month, int day) {
+  return year >= 1 && year <= 9999 && month >= 1 && month <= 12 && day >= 1 &&
+         day <= DaysInMonth(year, month);
+}
+
+int MonthFromName(std::string_view name) {
+  for (int i = 0; i < 12; i++) {
+    if (name == kMonthNames[i]) return i + 1;
+  }
+  return -1;
+}
+
+bool IsDayName(std::string_view name) {
+  for (const char* d : kDayNames) {
+    if (name == d) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int64_t DaysFromCivil(int y, int m, int d) {
+  // Howard Hinnant's algorithm.
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* year, int* month, int* day) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  *year = static_cast<int>(y + (m <= 2));
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+Timestamp MakeTimestamp(int year, int month, int day, int hour, int minute,
+                        int second, int micros) {
+  int64_t days = DaysFromCivil(year, month, day);
+  return days * kMicrosPerDay +
+         (static_cast<int64_t>(hour) * 3600 + minute * 60 + second) *
+             kMicrosPerSecond +
+         micros;
+}
+
+namespace {
+
+// Parse optional time-of-day + timezone suffix starting at s[pos].
+// Accepts "HH:MM:SS[.ffffff][Z|±HH[:MM]]". Returns false on malformed input.
+bool ParseTimeSuffix(std::string_view s, size_t pos, int64_t* micros_of_day) {
+  int hour = ParseDigits(s, pos, 2);
+  if (hour < 0 || hour > 23 || pos + 2 >= s.size() || s[pos + 2] != ':') {
+    return false;
+  }
+  int minute = ParseDigits(s, pos + 3, 2);
+  if (minute < 0 || minute > 59 || pos + 5 >= s.size() || s[pos + 5] != ':') {
+    return false;
+  }
+  int second = ParseDigits(s, pos + 6, 2);
+  if (second < 0 || second > 60) return false;
+  pos += 8;
+  int64_t micros = 0;
+  if (pos < s.size() && s[pos] == '.') {
+    pos++;
+    int64_t scale = 100000;
+    int ndigits = 0;
+    while (pos < s.size() && IsDigit(s[pos]) && ndigits < 6) {
+      micros += (s[pos] - '0') * scale;
+      scale /= 10;
+      pos++;
+      ndigits++;
+    }
+    if (ndigits == 0) return false;
+    while (pos < s.size() && IsDigit(s[pos])) pos++;  // ignore > µs precision
+  }
+  int64_t tz_offset_min = 0;
+  if (pos < s.size()) {
+    char c = s[pos];
+    if (c == 'Z') {
+      pos++;
+    } else if (c == '+' || c == '-') {
+      int sign = c == '+' ? 1 : -1;
+      int tzh = ParseDigits(s, pos + 1, 2);
+      if (tzh < 0) return false;
+      pos += 3;
+      int tzm = 0;
+      if (pos < s.size() && s[pos] == ':') {
+        tzm = ParseDigits(s, pos + 1, 2);
+        if (tzm < 0) return false;
+        pos += 3;
+      } else if (pos + 1 < s.size() && IsDigit(s[pos]) && IsDigit(s[pos + 1])) {
+        tzm = ParseDigits(s, pos, 2);
+        pos += 2;
+      }
+      tz_offset_min = sign * (tzh * 60 + tzm);
+    } else {
+      return false;
+    }
+  }
+  if (pos != s.size()) return false;
+  *micros_of_day =
+      (static_cast<int64_t>(hour) * 3600 + minute * 60 + second) *
+          kMicrosPerSecond +
+      micros - tz_offset_min * 60 * kMicrosPerSecond;
+  return true;
+}
+
+// Twitter API format: "Wed Jun 01 12:34:56 +0000 2020" (30 chars).
+bool ParseTwitterFormat(std::string_view s, Timestamp* out) {
+  if (s.size() != 30) return false;
+  if (!IsDayName(s.substr(0, 3)) || s[3] != ' ') return false;
+  int month = MonthFromName(s.substr(4, 3));
+  if (month < 0 || s[7] != ' ') return false;
+  int day = ParseDigits(s, 8, 2);
+  if (day < 0 || s[10] != ' ') return false;
+  int hour = ParseDigits(s, 11, 2);
+  int minute = ParseDigits(s, 14, 2);
+  int second = ParseDigits(s, 17, 2);
+  if (hour < 0 || minute < 0 || second < 0 || s[13] != ':' || s[16] != ':' ||
+      s[19] != ' ') {
+    return false;
+  }
+  if (s[20] != '+' && s[20] != '-') return false;
+  int tzh = ParseDigits(s, 21, 2);
+  int tzm = ParseDigits(s, 23, 2);
+  if (tzh < 0 || tzm < 0 || s[25] != ' ') return false;
+  int year = ParseDigits(s, 26, 4);
+  if (year < 0 || !ValidDate(year, month, day) || hour > 23 || minute > 59 ||
+      second > 60) {
+    return false;
+  }
+  int sign = s[20] == '+' ? 1 : -1;
+  *out = MakeTimestamp(year, month, day, hour, minute, second) -
+         sign * (tzh * 60 + tzm) * 60LL * kMicrosPerSecond;
+  return true;
+}
+
+}  // namespace
+
+bool ParseTimestamp(std::string_view s, Timestamp* out) {
+  if (s.size() < 10) return false;
+  // ISO-style: starts with YYYY-MM-DD.
+  int year = ParseDigits(s, 0, 4);
+  if (year >= 0 && s[4] == '-') {
+    int month = ParseDigits(s, 5, 2);
+    int day = ParseDigits(s, 8, 2);
+    if (month < 0 || day < 0 || s[7] != '-' || !ValidDate(year, month, day)) {
+      return false;
+    }
+    int64_t date_micros = DaysFromCivil(year, month, day) * kMicrosPerDay;
+    if (s.size() == 10) {
+      *out = date_micros;
+      return true;
+    }
+    if (s[10] != ' ' && s[10] != 'T') return false;
+    int64_t micros_of_day;
+    if (!ParseTimeSuffix(s, 11, &micros_of_day)) return false;
+    *out = date_micros + micros_of_day;
+    return true;
+  }
+  return ParseTwitterFormat(s, out);
+}
+
+std::string FormatDate(Timestamp ts) {
+  int64_t days = ts / kMicrosPerDay;
+  if (ts < 0 && ts % kMicrosPerDay != 0) days--;
+  int y, m, d;
+  CivilFromDays(days, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+std::string FormatTimestamp(Timestamp ts) {
+  int64_t days = ts / kMicrosPerDay;
+  int64_t rem = ts % kMicrosPerDay;
+  if (rem < 0) {
+    days--;
+    rem += kMicrosPerDay;
+  }
+  int y, m, d;
+  CivilFromDays(days, &y, &m, &d);
+  int64_t secs = rem / kMicrosPerSecond;
+  int64_t micros = rem % kMicrosPerSecond;
+  char buf[40];
+  if (micros != 0) {
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d.%06d", y, m, d,
+                  static_cast<int>(secs / 3600), static_cast<int>(secs / 60 % 60),
+                  static_cast<int>(secs % 60), static_cast<int>(micros));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d", y, m, d,
+                  static_cast<int>(secs / 3600), static_cast<int>(secs / 60 % 60),
+                  static_cast<int>(secs % 60));
+  }
+  return buf;
+}
+
+int TimestampYear(Timestamp ts) {
+  int64_t days = ts / kMicrosPerDay;
+  if (ts < 0 && ts % kMicrosPerDay != 0) days--;
+  int y, m, d;
+  CivilFromDays(days, &y, &m, &d);
+  return y;
+}
+
+Timestamp AddDays(Timestamp ts, int64_t n) { return ts + n * kMicrosPerDay; }
+
+Timestamp AddMonths(Timestamp ts, int n) {
+  int64_t days = ts / kMicrosPerDay;
+  int64_t rem = ts % kMicrosPerDay;
+  if (rem < 0) {
+    days--;
+    rem += kMicrosPerDay;
+  }
+  int y, m, d;
+  CivilFromDays(days, &y, &m, &d);
+  int total = (y * 12 + (m - 1)) + n;
+  y = total / 12;
+  m = total % 12 + 1;
+  if (d > DaysInMonth(y, m)) d = DaysInMonth(y, m);
+  return DaysFromCivil(y, m, d) * kMicrosPerDay + rem;
+}
+
+Timestamp AddYears(Timestamp ts, int n) { return AddMonths(ts, n * 12); }
+
+}  // namespace jsontiles

@@ -1,0 +1,62 @@
+// Date / time / timestamp support (paper §4.9).
+//
+// Timestamps are int64 microseconds since the Unix epoch (SQL Timestamp).
+// The tile extractor samples string columns and, when values parse as one of
+// the recognized date/time formats, materializes them as Timestamp. On
+// access, a cast to a Date/Time-like SQL type reads the extracted value
+// directly; other casts fall back to the original string in the binary JSON.
+
+#ifndef JSONTILES_UTIL_DATE_H_
+#define JSONTILES_UTIL_DATE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace jsontiles {
+
+using Timestamp = int64_t;  // microseconds since 1970-01-01 00:00:00 UTC
+
+constexpr int64_t kMicrosPerSecond = 1000000;
+constexpr int64_t kMicrosPerDay = 86400LL * kMicrosPerSecond;
+
+/// Days since epoch for a civil date (proleptic Gregorian).
+int64_t DaysFromCivil(int year, int month, int day);
+
+/// Inverse of DaysFromCivil.
+void CivilFromDays(int64_t days, int* year, int* month, int* day);
+
+/// Build a timestamp from components (fractional microseconds optional).
+Timestamp MakeTimestamp(int year, int month, int day, int hour = 0, int minute = 0,
+                        int second = 0, int micros = 0);
+
+/// Recognized formats:
+///   YYYY-MM-DD
+///   YYYY-MM-DD[ T]HH:MM:SS[.ffffff][Z|±HH[:MM]]
+///   Www Mmm DD HH:MM:SS ±ZZZZ YYYY   (Twitter API format)
+/// Returns false when `s` does not match any format or has invalid fields.
+bool ParseTimestamp(std::string_view s, Timestamp* out);
+
+/// True if `s` looks like a date/time (ParseTimestamp succeeds).
+inline bool LooksLikeTimestamp(std::string_view s) {
+  Timestamp t;
+  return ParseTimestamp(s, &t);
+}
+
+/// Format as "YYYY-MM-DD" (time-of-day dropped).
+std::string FormatDate(Timestamp ts);
+
+/// Format as "YYYY-MM-DD HH:MM:SS[.ffffff]".
+std::string FormatTimestamp(Timestamp ts);
+
+/// Extract the year of a timestamp (UTC).
+int TimestampYear(Timestamp ts);
+
+/// Add `n` days / months / years to a timestamp (calendar-aware for months).
+Timestamp AddDays(Timestamp ts, int64_t n);
+Timestamp AddMonths(Timestamp ts, int n);
+Timestamp AddYears(Timestamp ts, int n);
+
+}  // namespace jsontiles
+
+#endif  // JSONTILES_UTIL_DATE_H_

@@ -1,0 +1,73 @@
+#include "util/decimal.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace jsontiles {
+
+double Numeric::ToDouble() const {
+  return static_cast<double>(unscaled) * std::pow(10.0, -static_cast<int>(scale));
+}
+
+int64_t Numeric::ToInt64() const {
+  int64_t v = unscaled;
+  for (int i = 0; i < scale; i++) v /= 10;
+  return v;
+}
+
+std::string Numeric::ToString() const {
+  bool negative = unscaled < 0;
+  uint64_t mag = negative ? -static_cast<uint64_t>(unscaled)
+                          : static_cast<uint64_t>(unscaled);
+  std::string digits = std::to_string(mag);
+  std::string out;
+  if (scale == 0) {
+    out = digits;
+  } else {
+    // Pad so there is at least one integer digit.
+    while (digits.size() <= scale) digits.insert(digits.begin(), '0');
+    out = digits.substr(0, digits.size() - scale) + "." +
+          digits.substr(digits.size() - scale);
+  }
+  if (negative) out.insert(out.begin(), '-');
+  return out;
+}
+
+bool ParseNumeric(std::string_view s, Numeric* out) {
+  size_t pos = 0;
+  bool negative = false;
+  if (pos < s.size() && s[pos] == '-') {
+    negative = true;
+    pos++;
+  }
+  size_t int_begin = pos;
+  while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') pos++;
+  size_t int_digits = pos - int_begin;
+  if (int_digits == 0) return false;
+  // Canonical form: no leading zero unless the integer part is exactly "0".
+  if (int_digits > 1 && s[int_begin] == '0') return false;
+  size_t frac_digits = 0;
+  if (pos < s.size() && s[pos] == '.') {
+    pos++;
+    size_t frac_begin = pos;
+    while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') pos++;
+    frac_digits = pos - frac_begin;
+    if (frac_digits == 0) return false;
+  }
+  if (pos != s.size()) return false;
+  if (int_digits + frac_digits > 18 || frac_digits > 255) return false;
+  if (negative && int_digits == 1 && frac_digits == 0 && s[int_begin] == '0') {
+    return false;  // "-0" is not canonical
+  }
+  int64_t unscaled = 0;
+  for (size_t i = negative ? 1 : 0; i < s.size(); i++) {
+    if (s[i] == '.') continue;
+    unscaled = unscaled * 10 + (s[i] - '0');
+  }
+  if (negative) unscaled = -unscaled;
+  out->unscaled = unscaled;
+  out->scale = static_cast<uint8_t>(frac_digits);
+  return true;
+}
+
+}  // namespace jsontiles

@@ -1,0 +1,55 @@
+// 64-bit hashing used by the bloom filter, HyperLogLog, hash joins and
+// aggregation. A simple seeded wyhash-style byte hash plus integer mixers.
+
+#ifndef JSONTILES_UTIL_HASH_H_
+#define JSONTILES_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "util/bit_util.h"
+
+namespace jsontiles {
+
+/// Finalizer from MurmurHash3; a good standalone integer mixer.
+inline uint64_t HashInt(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Seeded hash over arbitrary bytes (FNV-1a core with a strong finalizer).
+inline uint64_t HashBytes(const void* data, size_t len, uint64_t seed = 0) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL ^ HashInt(seed + len);
+  // Consume 8 bytes at a time.
+  while (len >= 8) {
+    h = (h ^ bit_util::LoadU64(p)) * 0x100000001b3ULL;
+    h = (h << 31) | (h >> 33);
+    p += 8;
+    len -= 8;
+  }
+  while (len > 0) {
+    h = (h ^ *p) * 0x100000001b3ULL;
+    p++;
+    len--;
+  }
+  return HashInt(h);
+}
+
+inline uint64_t HashString(std::string_view s, uint64_t seed = 0) {
+  return HashBytes(s.data(), s.size(), seed);
+}
+
+/// Combine two hashes (boost-style).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace jsontiles
+
+#endif  // JSONTILES_UTIL_HASH_H_

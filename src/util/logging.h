@@ -1,0 +1,37 @@
+// Lightweight assertion macros used throughout the library.
+//
+// The library does not use exceptions (fallible public APIs return Status /
+// Result<T>); CHECK-style macros guard internal invariants and abort with a
+// message on violation. DCHECK compiles away in release builds.
+
+#ifndef JSONTILES_UTIL_LOGGING_H_
+#define JSONTILES_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace jsontiles {
+
+[[noreturn]] inline void FatalError(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "FATAL %s:%d: check failed: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace jsontiles
+
+#define JSONTILES_CHECK(expr)                            \
+  do {                                                   \
+    if (!(expr)) {                                       \
+      ::jsontiles::FatalError(__FILE__, __LINE__, #expr); \
+    }                                                    \
+  } while (0)
+
+#ifdef NDEBUG
+#define JSONTILES_DCHECK(expr) \
+  do {                         \
+  } while (0)
+#else
+#define JSONTILES_DCHECK(expr) JSONTILES_CHECK(expr)
+#endif
+
+#endif  // JSONTILES_UTIL_LOGGING_H_

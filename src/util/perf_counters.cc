@@ -1,0 +1,90 @@
+#include "util/perf_counters.h"
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <initializer_list>
+#endif
+
+namespace jsontiles {
+
+#ifdef __linux__
+
+namespace {
+
+int OpenCounter(uint32_t type, uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = group_fd == -1 ? 1 : 0;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, group_fd, 0));
+}
+
+uint64_t ReadCounter(int fd) {
+  if (fd < 0) return 0;
+  uint64_t value = 0;
+  if (read(fd, &value, sizeof(value)) != sizeof(value)) return 0;
+  return value;
+}
+
+}  // namespace
+
+PerfCounters::PerfCounters() {
+  fd_cycles_ = OpenCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+  if (fd_cycles_ >= 0) {
+    available_ = true;
+    fd_instructions_ =
+        OpenCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, fd_cycles_);
+    fd_branch_misses_ =
+        OpenCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES, fd_cycles_);
+    fd_l1d_misses_ = OpenCounter(
+        PERF_TYPE_HW_CACHE,
+        PERF_COUNT_HW_CACHE_L1D | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+            (PERF_COUNT_HW_CACHE_RESULT_MISS << 16),
+        fd_cycles_);
+  }
+}
+
+PerfCounters::~PerfCounters() {
+  for (int fd : {fd_cycles_, fd_instructions_, fd_branch_misses_, fd_l1d_misses_}) {
+    if (fd >= 0) close(fd);
+  }
+}
+
+void PerfCounters::Start() {
+  if (!available_) return;
+  ioctl(fd_cycles_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(fd_cycles_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfSample PerfCounters::Stop() {
+  PerfSample sample;
+  if (!available_) return sample;
+  ioctl(fd_cycles_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  sample.valid = true;
+  sample.cycles = ReadCounter(fd_cycles_);
+  sample.instructions = ReadCounter(fd_instructions_);
+  sample.branch_misses = ReadCounter(fd_branch_misses_);
+  sample.l1d_misses = ReadCounter(fd_l1d_misses_);
+  return sample;
+}
+
+#else  // !__linux__
+
+PerfCounters::PerfCounters() = default;
+PerfCounters::~PerfCounters() = default;
+void PerfCounters::Start() {}
+PerfSample PerfCounters::Stop() { return PerfSample{}; }
+
+#endif
+
+}  // namespace jsontiles

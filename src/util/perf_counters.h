@@ -1,0 +1,48 @@
+// Hardware performance counters via perf_event_open (paper Table 5).
+//
+// The paper reports cycles, instructions, branch misses and L1 misses per
+// tuple for the micro benchmark. On kernels/containers that forbid
+// perf_event_open the counters degrade gracefully to "unavailable" and the
+// benchmark reports wall-clock-derived metrics only.
+
+#ifndef JSONTILES_UTIL_PERF_COUNTERS_H_
+#define JSONTILES_UTIL_PERF_COUNTERS_H_
+
+#include <cstdint>
+
+namespace jsontiles {
+
+struct PerfSample {
+  bool valid = false;
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t branch_misses = 0;
+  uint64_t l1d_misses = 0;
+};
+
+/// Groups the four counters; Start()/Stop() bracket the measured region.
+class PerfCounters {
+ public:
+  PerfCounters();
+  ~PerfCounters();
+
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  /// True if at least the cycles counter could be opened.
+  bool available() const { return available_; }
+
+  void Start();
+  PerfSample Stop();
+
+ private:
+  int fd_cycles_ = -1;
+  int fd_instructions_ = -1;
+  int fd_branch_misses_ = -1;
+  int fd_l1d_misses_ = -1;
+  bool available_ = false;
+};
+
+}  // namespace jsontiles
+
+#endif  // JSONTILES_UTIL_PERF_COUNTERS_H_

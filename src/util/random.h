@@ -1,0 +1,105 @@
+// Deterministic PRNG and distributions for the synthetic workload generators.
+//
+// All generators are seeded explicitly so every benchmark run sees identical
+// data. Zipf sampling models the skew of real web data (users, hashtags).
+
+#ifndef JSONTILES_UTIL_RANDOM_H_
+#define JSONTILES_UTIL_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jsontiles {
+
+/// xorshift128+ generator: fast, decent quality, fully deterministic.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 42) {
+    s0_ = seed * 0x9e3779b97f4a7c15ULL + 1;
+    s1_ = (seed ^ 0xdeadbeefcafebabeULL) * 0xbf58476d1ce4e5b9ULL + 1;
+    for (int i = 0; i < 8; i++) Next();
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n).
+  uint64_t Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Random lowercase ASCII string of length in [min_len, max_len].
+  std::string NextString(int min_len, int max_len) {
+    int len = static_cast<int>(Range(min_len, max_len));
+    std::string s(static_cast<size_t>(len), 'a');
+    for (char& c : s) c = static_cast<char>('a' + Uniform(26));
+    return s;
+  }
+
+ private:
+  uint64_t s0_, s1_;
+};
+
+/// Zipf-distributed values over [0, n) with parameter `theta` (0 < theta < 1
+/// typical), using the standard inverse-CDF-free rejection method of Gray et
+/// al. (as in YCSB).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta = 0.99);
+
+  uint64_t Next(Random& rng);
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_, zetan_, eta_, zeta2_;
+};
+
+inline double ZetaStatic(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; i++) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+
+inline ZipfGenerator::ZipfGenerator(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  zetan_ = ZetaStatic(n, theta);
+  zeta2_ = ZetaStatic(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+inline uint64_t ZipfGenerator::Next(Random& rng) {
+  double u = rng.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  uint64_t v = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+}  // namespace jsontiles
+
+#endif  // JSONTILES_UTIL_RANDOM_H_

@@ -1,0 +1,31 @@
+// Run-length encoding for column chunks.
+//
+// Paper §3.3: "reordering within a tile improves compression in systems that
+// support run-length encoding" — clustering similar tuples produces longer
+// runs per column. This codec quantifies that effect (see bench_ablations).
+
+#ifndef JSONTILES_UTIL_RLE_H_
+#define JSONTILES_UTIL_RLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace jsontiles::rle {
+
+/// Encode int64 values as (run length varint, zigzag delta-from-previous-run
+/// varint) pairs. Returns the encoded bytes.
+std::vector<uint8_t> EncodeInt64(const int64_t* values, size_t count);
+
+/// Decode into `out` (resized to the decoded count).
+bool DecodeInt64(const uint8_t* data, size_t size, std::vector<int64_t>* out);
+
+/// Encoded size without materializing (for size accounting).
+size_t EncodedSizeInt64(const int64_t* values, size_t count);
+
+/// Number of runs (the compressibility signal reordering improves).
+size_t CountRuns(const int64_t* values, size_t count);
+
+}  // namespace jsontiles::rle
+
+#endif  // JSONTILES_UTIL_RLE_H_

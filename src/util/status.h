@@ -1,0 +1,126 @@
+// Status and Result<T>: exception-free error propagation.
+//
+// Modeled after arrow::Status / absl::Status. Library code that can fail on
+// user input (e.g. JSON parsing) returns Status or Result<T>; internal
+// invariants use JSONTILES_CHECK instead.
+
+#ifndef JSONTILES_UTIL_STATUS_H_
+#define JSONTILES_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/logging.h"
+
+namespace jsontiles {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kOutOfRange,
+  kNotFound,
+  kUnsupported,
+  kInternal,
+};
+
+/// Result of a fallible operation: either OK or a code plus message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + std::string(": ") + message_;
+  }
+
+ private:
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kParseError: return "ParseError";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kUnsupported: return "Unsupported";
+      case StatusCode::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : storage_(std::move(status)) {  // NOLINT
+    JSONTILES_DCHECK(!std::get<Status>(storage_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(storage_);
+  }
+
+  /// Access the value; aborts when holding an error.
+  T& ValueOrDie() {
+    JSONTILES_CHECK(ok());
+    return std::get<T>(storage_);
+  }
+  const T& ValueOrDie() const {
+    JSONTILES_CHECK(ok());
+    return std::get<T>(storage_);
+  }
+  T&& MoveValueOrDie() {
+    JSONTILES_CHECK(ok());
+    return std::move(std::get<T>(storage_));
+  }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+}  // namespace jsontiles
+
+/// Propagate a non-OK Status to the caller.
+#define JSONTILES_RETURN_NOT_OK(expr)          \
+  do {                                         \
+    ::jsontiles::Status _st = (expr);          \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#endif  // JSONTILES_UTIL_STATUS_H_

@@ -1,0 +1,85 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace jsontiles {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; i++) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      active_++;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      active_--;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t, size_t)>& fn,
+                             size_t chunk) {
+  if (n == 0) return;
+  if (chunk == 0) chunk = 1;
+  std::atomic<size_t> next{0};
+  auto work = [&](size_t worker) {
+    while (true) {
+      size_t begin = next.fetch_add(chunk);
+      if (begin >= n) break;
+      size_t end = std::min(begin + chunk, n);
+      for (size_t i = begin; i < end; i++) fn(i, worker);
+    }
+  };
+  std::atomic<size_t> done{0};
+  size_t helpers = workers_.size();
+  for (size_t w = 0; w < helpers; w++) {
+    Submit([&, w] {
+      work(w);
+      done.fetch_add(1);
+    });
+  }
+  work(helpers);  // the calling thread participates as the last worker
+  while (done.load() < helpers) std::this_thread::yield();
+}
+
+}  // namespace jsontiles

@@ -1,0 +1,58 @@
+// Thread pool with a parallel-for helper.
+//
+// Used for parallel bulk loading (one partition of tiles per task, paper
+// §3.2) and morsel-style parallel scans in the query engine (Fig 8).
+
+#ifndef JSONTILES_UTIL_THREAD_POOL_H_
+#define JSONTILES_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jsontiles {
+
+class ThreadPool {
+ public:
+  /// `num_threads` == 0 means hardware concurrency.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueue a task; returns immediately.
+  void Submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have finished.
+  void WaitIdle();
+
+  /// Run fn(i) for i in [0, n). `fn` also receives the calling worker index
+  /// in [0, num_threads]) so callers can keep per-thread state. Work is
+  /// divided into contiguous chunks, one chunk claimed at a time
+  /// (morsel-style). Blocks until done; the calling thread participates.
+  void ParallelFor(size_t n, const std::function<void(size_t index, size_t worker)>& fn,
+                   size_t chunk = 1);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace jsontiles
+
+#endif  // JSONTILES_UTIL_THREAD_POOL_H_

@@ -1,0 +1,61 @@
+#include "workload/hackernews.h"
+
+#include "util/random.h"
+
+namespace jsontiles::workload {
+
+namespace {
+
+std::string Item(Random& rng, int64_t id, int type) {
+  std::string date = std::to_string(rng.Range(2010, 2020)) + "-" +
+                     (rng.Chance(0.5) ? "0" : "1") +
+                     std::to_string(rng.Range(0, 1)) + "-15";
+  std::string base = R"({"id":)" + std::to_string(id) + R"(,"date":")" + date +
+                     R"(",)";
+  switch (type) {
+    case 0:
+      return base + R"("type":"story","score":)" + std::to_string(rng.Range(0, 500)) +
+             R"(,"desc":)" + std::to_string(rng.Range(0, 9)) +
+             R"(,"title":")" + rng.NextString(10, 40) + R"(","url":"https://)" +
+             rng.NextString(8, 20) + R"(.com"})";
+    case 1:
+      return base + R"("type":"poll","score":)" + std::to_string(rng.Range(0, 300)) +
+             R"(,"desc":)" + std::to_string(rng.Range(0, 9)) +
+             R"(,"title":")" + rng.NextString(10, 40) + R"("})";
+    case 2:
+      return base + R"("type":"pollopt","score":)" + std::to_string(rng.Range(0, 100)) +
+             R"(,"poll":)" + std::to_string(rng.Range(1, 1000)) +
+             R"(,"title":")" + rng.NextString(5, 25) + R"("})";
+    case 3:
+      return base + R"("type":"comment","parent":)" +
+             std::to_string(rng.Range(1, static_cast<int64_t>(id > 1 ? id : 2))) +
+             R"(,"text":")" + rng.NextString(20, 80) + R"("})";
+    default:
+      return base + R"("type":"job","title":")" + rng.NextString(10, 40) +
+             R"(","url":"https://)" + rng.NextString(8, 20) + R"(.jobs"})";
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> GenerateHackerNews(const HackerNewsOptions& options) {
+  Random rng(options.seed);
+  std::vector<std::string> docs;
+  docs.reserve(options.num_items);
+  if (options.interleaved) {
+    for (size_t i = 0; i < options.num_items; i++) {
+      docs.push_back(Item(rng, static_cast<int64_t>(i + 1),
+                          static_cast<int>(i % 5)));
+    }
+  } else {
+    for (int type = 0; type < 5; type++) {
+      size_t per_type = options.num_items / 5;
+      for (size_t i = 0; i < per_type; i++) {
+        docs.push_back(Item(rng, static_cast<int64_t>(docs.size() + 1), type));
+      }
+    }
+  }
+  return docs;
+}
+
+}  // namespace jsontiles::workload

@@ -1,0 +1,27 @@
+// HackerNews-style news items (paper Figure 3): several distinct document
+// types with little key overlap, used to demonstrate tuple reordering.
+
+#ifndef JSONTILES_WORKLOAD_HACKERNEWS_H_
+#define JSONTILES_WORKLOAD_HACKERNEWS_H_
+
+#include <string>
+#include <vector>
+
+namespace jsontiles::workload {
+
+struct HackerNewsOptions {
+  size_t num_items = 10000;
+  uint64_t seed = 20200107;
+  /// true: item types round-robin (worst case, no spatial locality — the
+  /// Figure 4 scenario). false: items clustered by type.
+  bool interleaved = true;
+};
+
+/// Document types: story {id,date,type,score,desc,title,url},
+/// poll {id,date,type,score,desc,title}, pollopt {id,date,type,score,poll,
+/// title}, comment {id,date,type,parent,text}, job {id,date,type,title,url}.
+std::vector<std::string> GenerateHackerNews(const HackerNewsOptions& options);
+
+}  // namespace jsontiles::workload
+
+#endif  // JSONTILES_WORKLOAD_HACKERNEWS_H_

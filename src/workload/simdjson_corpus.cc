@@ -1,0 +1,161 @@
+#include "workload/simdjson_corpus.h"
+
+#include <cstdio>
+
+#include "util/random.h"
+
+namespace jsontiles::workload {
+
+namespace {
+
+void AppendDouble(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out.append(buf);
+}
+
+std::string ApacheBuilds(Random& rng) {
+  std::string out = R"({"assignedLabels":[{}],"mode":"EXCLUSIVE","nodeDescription":"the master Jenkins node","jobs":[)";
+  for (int i = 0; i < 1200; i++) {
+    if (i) out.push_back(',');
+    out += R"({"name":"job-)" + rng.NextString(8, 24) +
+           R"(","url":"https://builds.apache.org/job/)" + rng.NextString(8, 24) +
+           R"(/","color":")" + (rng.Chance(0.7) ? "blue" : "red") + R"("})";
+  }
+  out += R"(],"numExecutors":0,"useSecurity":true,"views":[{"name":"All","url":"https://builds.apache.org/"}]})";
+  return out;
+}
+
+std::string Canada(Random& rng) {
+  std::string out =
+      R"({"type":"FeatureCollection","features":[{"type":"Feature","properties":{"name":"Canada"},"geometry":{"type":"Polygon","coordinates":[)";
+  for (int ring = 0; ring < 12; ring++) {
+    if (ring) out.push_back(',');
+    out.push_back('[');
+    for (int i = 0; i < 1500; i++) {
+      if (i) out.push_back(',');
+      out.push_back('[');
+      AppendDouble(out, -141.0 + rng.NextDouble() * 88.0);
+      out.push_back(',');
+      AppendDouble(out, 41.0 + rng.NextDouble() * 42.0);
+      out.push_back(']');
+    }
+    out.push_back(']');
+  }
+  out += "]}}]}";
+  return out;
+}
+
+std::string Gsoc(Random& rng) {
+  std::string out = "{";
+  for (int i = 0; i < 450; i++) {
+    if (i) out.push_back(',');
+    out += "\"" + std::to_string(i + 1) + R"(":{"@context":{"@vocab":"http://schema.org/"},"@type":"SoftwareSourceCode","name":")" +
+           rng.NextString(10, 40) + R"(","description":")" + rng.NextString(60, 180) +
+           R"(","sponsor":{"@type":"Organization","name":")" + rng.NextString(8, 30) +
+           R"(","disambiguatingDescription":")" + rng.NextString(20, 60) +
+           R"("},"author":{"@type":"Person","name":")" + rng.NextString(6, 20) + R"("}})";
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::string MarineIk(Random& rng) {
+  std::string out = R"({"metadata":{"version":4.4,"type":"Object"},"geometries":[)";
+  for (int g = 0; g < 4; g++) {
+    if (g) out.push_back(',');
+    out += R"({"uuid":")" + rng.NextString(36, 36) + R"(","type":"BufferGeometry","data":{"attributes":{"position":{"itemSize":3,"type":"Float32Array","array":[)";
+    for (int i = 0; i < 12000; i++) {
+      if (i) out.push_back(',');
+      AppendDouble(out, rng.NextDouble() * 4 - 2);
+    }
+    out += R"(]},"normal":{"itemSize":3,"type":"Float32Array","array":[)";
+    for (int i = 0; i < 6000; i++) {
+      if (i) out.push_back(',');
+      AppendDouble(out, rng.NextDouble() * 2 - 1);
+    }
+    out += "]}}}}";
+  }
+  out += R"(],"object":{"type":"Scene","children":[{"type":"SkinnedMesh","name":"marine"}]}})";
+  return out;
+}
+
+std::string Mesh(Random& rng) {
+  std::string out = R"({"batches":[{"indexRange":[0,21888],"vertexRange":[0,20202]}],"morphTargets":[],"positions":[)";
+  for (int i = 0; i < 30000; i++) {
+    if (i) out.push_back(',');
+    AppendDouble(out, rng.NextDouble() * 100);
+  }
+  out += R"(],"indices":[)";
+  for (int i = 0; i < 20000; i++) {
+    if (i) out.push_back(',');
+    out += std::to_string(rng.Uniform(20202));
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Numbers(Random& rng) {
+  std::string out = "[";
+  for (int i = 0; i < 12000; i++) {
+    if (i) out.push_back(',');
+    AppendDouble(out, rng.NextDouble() * 1000 - 500);
+  }
+  out.push_back(']');
+  return out;
+}
+
+std::string RandomFile(Random& rng) {
+  std::string out = R"({"result":[)";
+  for (int i = 0; i < 900; i++) {
+    if (i) out.push_back(',');
+    out += R"({"id":)" + std::to_string(rng.Uniform(1000000)) +
+           R"(,"name":")" + rng.NextString(5, 15) +
+           R"(","cname":")" + rng.NextString(5, 25) +
+           R"(","points":)" + std::to_string(rng.Uniform(5000)) +
+           R"(,"grade":")" + std::string(1, static_cast<char>('A' + rng.Uniform(5))) +
+           R"(","age":)" + std::to_string(rng.Range(13, 80)) +
+           R"(,"friends":[)" + std::to_string(rng.Uniform(1000)) + "," +
+           std::to_string(rng.Uniform(1000)) + "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string TwitterApi(Random& rng) {
+  std::string out = R"({"statuses":[)";
+  for (int i = 0; i < 350; i++) {
+    if (i) out.push_back(',');
+    out += R"({"created_at":"Mon Jun 01 12:00:00 +0000 2020","id":)" +
+           std::to_string(500000000000LL + static_cast<int64_t>(rng.Uniform(1000000000))) +
+           R"(,"text":")" + rng.NextString(30, 130) +
+           R"(","user":{"id":)" + std::to_string(rng.Uniform(100000000)) +
+           R"(,"screen_name":")" + rng.NextString(5, 15) +
+           R"(","followers_count":)" + std::to_string(rng.Uniform(100000)) +
+           R"(,"statuses_count":)" + std::to_string(rng.Uniform(50000)) +
+           R"(},"retweet_count":)" + std::to_string(rng.Uniform(1000)) +
+           R"(,"entities":{"hashtags":[{"text":")" + rng.NextString(4, 12) +
+           R"("}],"urls":[]},"favorited":false,"retweeted":)" +
+           (rng.Chance(0.3) ? "true" : "false") + "}";
+  }
+  out += R"(],"search_metadata":{"completed_in":0.087,"count":100}})";
+  return out;
+}
+
+}  // namespace
+
+std::vector<CorpusFile> GenerateSimdJsonCorpus(uint64_t seed) {
+  Random rng(seed);
+  std::vector<CorpusFile> files;
+  files.push_back({"apache_builds", ApacheBuilds(rng)});
+  files.push_back({"canada", Canada(rng)});
+  files.push_back({"gsoc-2018", Gsoc(rng)});
+  files.push_back({"marine_ik", MarineIk(rng)});
+  files.push_back({"mesh", Mesh(rng)});
+  files.push_back({"numbers", Numbers(rng)});
+  files.push_back({"random", RandomFile(rng)});
+  files.push_back({"twitter_api", TwitterApi(rng)});
+  return files;
+}
+
+}  // namespace jsontiles::workload

@@ -1,0 +1,34 @@
+// Synthetic stand-ins for the SIMD-JSON benchmark files (paper §6.9,
+// Figures 18-20).
+//
+// The real repository files are not bundled; each generator reproduces the
+// structural signature that drives (de)serialization cost, storage size and
+// random-access behaviour of the binary formats:
+//   apache_builds — wide, shallow objects (many short keys/strings)
+//   canada        — GeoJSON: enormous nested arrays of coordinate doubles
+//   gsoc-2018     — many medium objects with nested org metadata
+//   marine_ik     — deeply nested 3D model with long float arrays
+//   mesh          — flat arrays of small ints and floats
+//   numbers       — one flat array of doubles
+//   random        — random user records with unicode-ish strings
+//   twitter_api   — tweet objects (nested user, entities arrays)
+
+#ifndef JSONTILES_WORKLOAD_SIMDJSON_CORPUS_H_
+#define JSONTILES_WORKLOAD_SIMDJSON_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+namespace jsontiles::workload {
+
+struct CorpusFile {
+  std::string name;
+  std::string json;  // one document, like the original files
+};
+
+/// All eight corpus files at a laptop-friendly scale (~0.3-1 MB each).
+std::vector<CorpusFile> GenerateSimdJsonCorpus(uint64_t seed = 7);
+
+}  // namespace jsontiles::workload
+
+#endif  // JSONTILES_WORKLOAD_SIMDJSON_CORPUS_H_

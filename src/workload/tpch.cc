@@ -1,0 +1,339 @@
+#include "workload/tpch.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/date.h"
+#include "util/random.h"
+
+namespace jsontiles::workload {
+
+namespace {
+
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+
+// 25 nations with their region assignment (TPC-H appendix).
+struct NationDef {
+  const char* name;
+  int region;
+};
+const NationDef kNations[] = {
+    {"ALGERIA", 0},      {"ARGENTINA", 1}, {"BRAZIL", 1},     {"CANADA", 1},
+    {"EGYPT", 4},        {"ETHIOPIA", 0},  {"FRANCE", 3},     {"GERMANY", 3},
+    {"INDIA", 2},        {"INDONESIA", 2}, {"IRAN", 4},       {"IRAQ", 4},
+    {"JAPAN", 2},        {"JORDAN", 4},    {"KENYA", 0},      {"MOROCCO", 0},
+    {"MOZAMBIQUE", 0},   {"PERU", 1},      {"CHINA", 2},      {"ROMANIA", 3},
+    {"SAUDI ARABIA", 4}, {"VIETNAM", 2},   {"RUSSIA", 3},     {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1}};
+
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+                           "HOUSEHOLD"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED",
+                             "5-LOW"};
+const char* kShipModes[] = {"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL",
+                            "FOB"};
+const char* kInstructions[] = {"DELIVER IN PERSON", "COLLECT COD", "NONE",
+                               "TAKE BACK RETURN"};
+const char* kContainers1[] = {"SM", "LG", "MED", "JUMBO", "WRAP"};
+const char* kContainers2[] = {"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN",
+                              "DRUM"};
+const char* kTypes1[] = {"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY",
+                         "PROMO"};
+const char* kTypes2[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                         "BRUSHED"};
+const char* kTypes3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const char* kColors[] = {"almond", "antique", "aquamarine", "azure", "beige",
+                         "bisque", "black", "blanched", "blue", "blush",
+                         "brown", "burlywood", "burnished", "chartreuse",
+                         "chiffon", "chocolate", "coral", "cornflower", "cream",
+                         "cyan", "dark", "deep", "dim", "dodger", "drab",
+                         "firebrick", "floral", "forest", "frosted", "gainsboro",
+                         "ghost", "goldenrod", "green", "grey", "honeydew",
+                         "hot", "hotpink", "indian", "ivory", "khaki"};
+const char* kWords[] = {"carefully", "quickly", "furiously", "slyly", "blithely",
+                        "packages", "deposits", "accounts", "instructions",
+                        "foxes", "ideas", "theodolites", "pinto", "beans",
+                        "dependencies", "excuses", "platelets", "asymptotes",
+                        "courts", "dolphins", "multipliers", "sauternes",
+                        "warthogs", "frets", "dinos"};
+
+std::string Comment(Random& rng, int min_words, int max_words,
+                    const char* inject = nullptr) {
+  int n = static_cast<int>(rng.Range(min_words, max_words));
+  std::string out;
+  int inject_at = inject != nullptr && rng.Chance(0.05)
+                      ? static_cast<int>(rng.Uniform(static_cast<uint64_t>(n)))
+                      : -1;
+  for (int i = 0; i < n; i++) {
+    if (!out.empty()) out.push_back(' ');
+    if (i == inject_at) {
+      out.append(inject);
+    } else {
+      out.append(kWords[rng.Uniform(sizeof(kWords) / sizeof(kWords[0]))]);
+    }
+  }
+  return out;
+}
+
+std::string Phone(Random& rng, int nation) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%d-%03d-%03d-%04d", nation + 10,
+                static_cast<int>(rng.Range(100, 999)),
+                static_cast<int>(rng.Range(100, 999)),
+                static_cast<int>(rng.Range(1000, 9999)));
+  return buf;
+}
+
+std::string Money(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+std::string DateStr(Timestamp ts) { return FormatDate(ts); }
+
+void AppendKV(std::string& doc, const char* key, const std::string& value,
+              bool quote) {
+  if (doc.back() != '{') doc.push_back(',');
+  doc.push_back('"');
+  doc.append(key);
+  doc.append("\":");
+  if (quote) doc.push_back('"');
+  doc.append(value);
+  if (quote) doc.push_back('"');
+}
+
+void AppendInt(std::string& doc, const char* key, int64_t v) {
+  AppendKV(doc, key, std::to_string(v), false);
+}
+void AppendStr(std::string& doc, const char* key, const std::string& v) {
+  AppendKV(doc, key, v, true);
+}
+void AppendNum(std::string& doc, const char* key, double v) {
+  AppendKV(doc, key, Money(v), false);
+}
+
+}  // namespace
+
+TpchData GenerateTpch(const TpchOptions& options) {
+  TpchData data;
+  Random rng(options.seed);
+  const double sf = options.scale_factor;
+
+  data.num_region = 5;
+  data.num_nation = 25;
+  data.num_supplier = std::max<size_t>(10, static_cast<size_t>(10000 * sf));
+  data.num_customer = std::max<size_t>(30, static_cast<size_t>(150000 * sf));
+  data.num_part = std::max<size_t>(40, static_cast<size_t>(200000 * sf));
+  data.num_orders = std::max<size_t>(150, static_cast<size_t>(1500000 * sf));
+  data.num_partsupp = data.num_part * 4;
+
+  auto& out = data.combined;
+
+  // region
+  for (size_t r = 0; r < data.num_region; r++) {
+    std::string doc = "{";
+    AppendInt(doc, "r_regionkey", static_cast<int64_t>(r));
+    AppendStr(doc, "r_name", kRegions[r]);
+    AppendStr(doc, "r_comment", Comment(rng, 4, 10));
+    doc.push_back('}');
+    out.push_back(std::move(doc));
+  }
+
+  // nation
+  for (size_t n = 0; n < data.num_nation; n++) {
+    std::string doc = "{";
+    AppendInt(doc, "n_nationkey", static_cast<int64_t>(n));
+    AppendStr(doc, "n_name", kNations[n].name);
+    AppendInt(doc, "n_regionkey", kNations[n].region);
+    AppendStr(doc, "n_comment", Comment(rng, 4, 10));
+    doc.push_back('}');
+    out.push_back(std::move(doc));
+  }
+
+  // supplier
+  for (size_t s = 0; s < data.num_supplier; s++) {
+    int nation = static_cast<int>(rng.Uniform(25));
+    std::string doc = "{";
+    AppendInt(doc, "s_suppkey", static_cast<int64_t>(s + 1));
+    char name[32];
+    std::snprintf(name, sizeof(name), "Supplier#%09zu", s + 1);
+    AppendStr(doc, "s_name", name);
+    AppendStr(doc, "s_address", rng.NextString(8, 30));
+    AppendInt(doc, "s_nationkey", nation);
+    AppendStr(doc, "s_phone", Phone(rng, nation));
+    AppendNum(doc, "s_acctbal", rng.Range(-99999, 999999) / 100.0);
+    // ~0.5% of suppliers carry the Q16 complaint marker.
+    AppendStr(doc, "s_comment",
+              Comment(rng, 5, 15, "Customer unhappy Complaints"));
+    doc.push_back('}');
+    out.push_back(std::move(doc));
+  }
+
+  // customer
+  for (size_t c = 0; c < data.num_customer; c++) {
+    int nation = static_cast<int>(rng.Uniform(25));
+    std::string doc = "{";
+    AppendInt(doc, "c_custkey", static_cast<int64_t>(c + 1));
+    char name[32];
+    std::snprintf(name, sizeof(name), "Customer#%09zu", c + 1);
+    AppendStr(doc, "c_name", name);
+    AppendStr(doc, "c_address", rng.NextString(8, 30));
+    AppendInt(doc, "c_nationkey", nation);
+    AppendStr(doc, "c_phone", Phone(rng, nation));
+    AppendNum(doc, "c_acctbal", rng.Range(-99999, 999999) / 100.0);
+    AppendStr(doc, "c_mktsegment", kSegments[rng.Uniform(5)]);
+    AppendStr(doc, "c_comment", Comment(rng, 5, 15));
+    doc.push_back('}');
+    out.push_back(std::move(doc));
+  }
+
+  // part
+  std::vector<double> part_retail(data.num_part);
+  for (size_t p = 0; p < data.num_part; p++) {
+    std::string doc = "{";
+    AppendInt(doc, "p_partkey", static_cast<int64_t>(p + 1));
+    std::string pname;
+    for (int w = 0; w < 5; w++) {
+      if (w) pname.push_back(' ');
+      pname.append(kColors[rng.Uniform(sizeof(kColors) / sizeof(kColors[0]))]);
+    }
+    AppendStr(doc, "p_name", pname);
+    char mfgr[24], brand[24];
+    int m = static_cast<int>(rng.Range(1, 5));
+    std::snprintf(mfgr, sizeof(mfgr), "Manufacturer#%d", m);
+    std::snprintf(brand, sizeof(brand), "Brand#%d%d", m,
+                  static_cast<int>(rng.Range(1, 5)));
+    AppendStr(doc, "p_mfgr", mfgr);
+    AppendStr(doc, "p_brand", brand);
+    std::string type = std::string(kTypes1[rng.Uniform(6)]) + " " +
+                       kTypes2[rng.Uniform(5)] + " " + kTypes3[rng.Uniform(5)];
+    AppendStr(doc, "p_type", type);
+    AppendInt(doc, "p_size", rng.Range(1, 50));
+    AppendStr(doc, "p_container", std::string(kContainers1[rng.Uniform(5)]) +
+                                      " " + kContainers2[rng.Uniform(8)]);
+    part_retail[p] = 900.0 + static_cast<double>((p + 1) % 1000) / 10.0 +
+                     100.0 * static_cast<double>((p + 1) % 10);
+    AppendNum(doc, "p_retailprice", part_retail[p]);
+    AppendStr(doc, "p_comment", Comment(rng, 2, 6));
+    doc.push_back('}');
+    out.push_back(std::move(doc));
+  }
+
+  // partsupp: 4 suppliers per part.
+  std::vector<double> ps_cost(data.num_partsupp);
+  auto supp_of = [&](size_t part, int i) {
+    return (part + static_cast<size_t>(i) *
+                       (data.num_supplier / 4 + 1)) % data.num_supplier + 1;
+  };
+  for (size_t p = 0; p < data.num_part; p++) {
+    for (int i = 0; i < 4; i++) {
+      std::string doc = "{";
+      AppendInt(doc, "ps_partkey", static_cast<int64_t>(p + 1));
+      AppendInt(doc, "ps_suppkey", static_cast<int64_t>(supp_of(p, i)));
+      AppendInt(doc, "ps_availqty", rng.Range(1, 9999));
+      double cost = rng.Range(100, 100000) / 100.0;
+      ps_cost[p * 4 + static_cast<size_t>(i)] = cost;
+      AppendNum(doc, "ps_supplycost", cost);
+      AppendStr(doc, "ps_comment", Comment(rng, 5, 20));
+      doc.push_back('}');
+      out.push_back(std::move(doc));
+    }
+  }
+
+  // orders + lineitem.
+  Timestamp start = MakeTimestamp(1992, 1, 1);
+  Timestamp last_order = MakeTimestamp(1998, 8, 2);
+  int64_t order_days =
+      (last_order - start) / kMicrosPerDay;
+  std::vector<std::string> lineitems;
+  for (size_t o = 0; o < data.num_orders; o++) {
+    int64_t orderkey = static_cast<int64_t>(o * 4 + 1);  // sparse keys as in dbgen
+    // dbgen rule: customers whose key is divisible by 3 never place orders
+    // (they populate Q22's "no orders" anti join).
+    int64_t custkey = static_cast<int64_t>(rng.Uniform(data.num_customer) + 1);
+    if (custkey % 3 == 0) custkey = custkey % static_cast<int64_t>(data.num_customer) + 1;
+    if (custkey % 3 == 0) custkey++;  // num_customer divisible by 3 edge
+    Timestamp orderdate = AddDays(start, rng.Range(0, order_days));
+    int num_lines = static_cast<int>(rng.Range(1, 7));
+    double total = 0;
+    int lines_fulfilled = 0;
+    std::vector<std::string> order_lines;
+    for (int l = 0; l < num_lines; l++) {
+      size_t part = rng.Uniform(data.num_part);
+      int supp_i = static_cast<int>(rng.Uniform(4));
+      int64_t qty = rng.Range(1, 50);
+      double extprice = part_retail[part] * static_cast<double>(qty);
+      double discount = static_cast<double>(rng.Range(0, 10)) / 100.0;
+      double tax = static_cast<double>(rng.Range(0, 8)) / 100.0;
+      Timestamp shipdate = AddDays(orderdate, rng.Range(1, 121));
+      Timestamp commitdate = AddDays(orderdate, rng.Range(30, 90));
+      Timestamp receiptdate = AddDays(shipdate, rng.Range(1, 30));
+      Timestamp now = MakeTimestamp(1995, 6, 17);
+      const char* linestatus = shipdate > now ? "O" : "F";
+      const char* returnflag;
+      if (receiptdate <= now) {
+        returnflag = rng.Chance(0.5) ? "R" : "A";
+      } else {
+        returnflag = "N";
+      }
+      if (linestatus[0] == 'F') lines_fulfilled++;
+      total += extprice * (1 - discount) * (1 + tax);
+
+      std::string doc = "{";
+      AppendInt(doc, "l_orderkey", orderkey);
+      AppendInt(doc, "l_partkey", static_cast<int64_t>(part + 1));
+      AppendInt(doc, "l_suppkey", static_cast<int64_t>(supp_of(part, supp_i)));
+      AppendInt(doc, "l_linenumber", l + 1);
+      AppendInt(doc, "l_quantity", qty);
+      AppendNum(doc, "l_extendedprice", extprice);
+      AppendKV(doc, "l_discount", Money(discount), false);
+      AppendKV(doc, "l_tax", Money(tax), false);
+      AppendStr(doc, "l_returnflag", returnflag);
+      AppendStr(doc, "l_linestatus", linestatus);
+      AppendStr(doc, "l_shipdate", DateStr(shipdate));
+      AppendStr(doc, "l_commitdate", DateStr(commitdate));
+      AppendStr(doc, "l_receiptdate", DateStr(receiptdate));
+      AppendStr(doc, "l_shipinstruct", kInstructions[rng.Uniform(4)]);
+      AppendStr(doc, "l_shipmode", kShipModes[rng.Uniform(7)]);
+      AppendStr(doc, "l_comment", Comment(rng, 2, 8));
+      doc.push_back('}');
+      order_lines.push_back(std::move(doc));
+    }
+
+    const char* status = lines_fulfilled == num_lines  ? "F"
+                         : lines_fulfilled == 0        ? "O"
+                                                       : "P";
+    std::string doc = "{";
+    AppendInt(doc, "o_orderkey", orderkey);
+    AppendInt(doc, "o_custkey", custkey);
+    AppendStr(doc, "o_orderstatus", status);
+    AppendNum(doc, "o_totalprice", total);
+    AppendStr(doc, "o_orderdate", DateStr(orderdate));
+    AppendStr(doc, "o_orderpriority", kPriorities[rng.Uniform(5)]);
+    char clerk[24];
+    std::snprintf(clerk, sizeof(clerk), "Clerk#%09d",
+                  static_cast<int>(rng.Uniform(1000) + 1));
+    AppendStr(doc, "o_clerk", clerk);
+    AppendInt(doc, "o_shippriority", 0);
+    // ~1% of orders carry the Q13 exclusion marker.
+    AppendStr(doc, "o_comment", Comment(rng, 4, 12, "special deposits requests"));
+    doc.push_back('}');
+    out.push_back(std::move(doc));
+    for (auto& line : order_lines) {
+      data.lineitem_only.push_back(line);
+      out.push_back(std::move(line));
+    }
+    data.num_lineitem += static_cast<size_t>(num_lines);
+  }
+
+  if (options.shuffle) {
+    Random shuffle_rng(options.seed ^ 0x5DEECE66DULL);
+    for (size_t i = out.size(); i > 1; i--) {
+      std::swap(out[i - 1], out[shuffle_rng.Uniform(i)]);
+    }
+  }
+  return data;
+}
+
+}  // namespace jsontiles::workload

@@ -1,0 +1,44 @@
+// TPC-H data generator ("dbgen-lite") and its JSONization (paper §6.1).
+//
+// The paper converts every row of every TPC-H table into a JSON object whose
+// keys are the column names, then combines all tables into a single relation
+// to simulate combined log data. This generator reproduces the schema, the
+// value domains the 22 queries depend on (brands, types, containers,
+// segments, priorities, ship modes, date ranges, comment keywords), and the
+// referential structure, at a configurable scale factor. It is deterministic.
+
+#ifndef JSONTILES_WORKLOAD_TPCH_H_
+#define JSONTILES_WORKLOAD_TPCH_H_
+
+#include <string>
+#include <vector>
+
+namespace jsontiles::workload {
+
+struct TpchOptions {
+  /// Fraction of the standard SF1 sizes (0.01 => 1500 customers etc.).
+  double scale_factor = 0.01;
+  uint64_t seed = 19920101;
+  /// Shuffle all documents before loading (§6.4 shuffled TPC-H).
+  bool shuffle = false;
+};
+
+struct TpchData {
+  /// All tables combined into one document stream, in generation order
+  /// (region, nation, supplier, customer, part, partsupp, orders, lineitem)
+  /// or shuffled when requested.
+  std::vector<std::string> combined;
+
+  /// The lineitem documents alone ("Only" variants of §6.7).
+  std::vector<std::string> lineitem_only;
+
+  // Table sizes (for sanity checks and reporting).
+  size_t num_region = 0, num_nation = 0, num_supplier = 0, num_customer = 0;
+  size_t num_part = 0, num_partsupp = 0, num_orders = 0, num_lineitem = 0;
+};
+
+TpchData GenerateTpch(const TpchOptions& options);
+
+}  // namespace jsontiles::workload
+
+#endif  // JSONTILES_WORKLOAD_TPCH_H_

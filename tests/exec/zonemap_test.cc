@@ -1,0 +1,163 @@
+// Zone-map tile skipping (min/max per extracted column; §4.8 extension).
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "opt/query.h"
+#include "storage/loader.h"
+
+namespace jsontiles::exec {
+namespace {
+
+using opt::QueryBlock;
+using opt::TableRef;
+using storage::Loader;
+using storage::Relation;
+using storage::StorageMode;
+
+// Values 0..4095 in insertion order: each 256-row tile covers a disjoint
+// [256k, 256k+255] range — perfect zone-map conditions.
+std::unique_ptr<Relation> OrderedInts() {
+  std::vector<std::string> docs;
+  for (int i = 0; i < 4096; i++) {
+    docs.push_back(R"({"v":)" + std::to_string(i) + R"(,"d":"2020-)" +
+                   (i / 342 + 1 < 10 ? "0" : "") + std::to_string(i / 342 + 1) +
+                   R"(-15","f":)" + std::to_string(i) + ".25}");
+  }
+  tiles::TileConfig config;
+  config.tile_size = 256;
+  config.partition_size = 1;  // keep insertion order
+  Loader loader(StorageMode::kTiles, config);
+  return loader.Load(docs, "t").MoveValueOrDie();
+}
+
+size_t CountMatching(const Relation& rel, ExprPtr filter, size_t* skipped,
+                     size_t* scanned) {
+  QueryContext ctx;
+  QueryBlock q;
+  q.AddTable(TableRef::Rel("t", &rel, std::move(filter)));
+  q.GroupBy({});
+  q.Aggregate(AggSpec::CountStar());
+  auto rows = q.Execute(ctx);
+  *skipped = ctx.tiles_skipped;
+  *scanned = ctx.tiles_scanned;
+  return static_cast<size_t>(rows[0][0].int_value());
+}
+
+TEST(ZoneMapTest, RangePredicateSkipsTiles) {
+  auto rel = OrderedInts();
+  ASSERT_EQ(rel->tiles().size(), 16u);
+  size_t skipped, scanned;
+  // v >= 3840: only the last tile qualifies.
+  size_t n = CountMatching(
+      *rel, Ge(Access("t", {"v"}, ValueType::kInt), ConstInt(3840)), &skipped,
+      &scanned);
+  EXPECT_EQ(n, 256u);
+  EXPECT_GE(skipped, 14u);
+
+  // v < 256: only the first tile.
+  n = CountMatching(*rel, Lt(Access("t", {"v"}, ValueType::kInt), ConstInt(256)),
+                    &skipped, &scanned);
+  EXPECT_EQ(n, 256u);
+  EXPECT_GE(skipped, 14u);
+
+  // Equality point lookup.
+  n = CountMatching(*rel, Eq(Access("t", {"v"}, ValueType::kInt), ConstInt(1000)),
+                    &skipped, &scanned);
+  EXPECT_EQ(n, 1u);
+  EXPECT_GE(skipped, 14u);
+
+  // Out-of-domain equality skips everything.
+  n = CountMatching(*rel, Eq(Access("t", {"v"}, ValueType::kInt), ConstInt(-5)),
+                    &skipped, &scanned);
+  EXPECT_EQ(n, 0u);
+  EXPECT_EQ(skipped, 16u);
+}
+
+TEST(ZoneMapTest, FloatAndTimestampColumns) {
+  auto rel = OrderedInts();
+  size_t skipped, scanned;
+  size_t n = CountMatching(
+      *rel, Gt(Access("t", {"f"}, ValueType::kFloat), ConstFloat(4000.0)),
+      &skipped, &scanned);
+  EXPECT_EQ(n, 96u);  // 4000.25..4095.25 all exceed 4000
+  EXPECT_GE(skipped, 14u);
+
+  // Timestamp column via date extraction: months 01..12.
+  n = CountMatching(*rel,
+                    Ge(Access("t", {"d"}, ValueType::kTimestamp),
+                       ConstDate("2020-12-01")),
+                    &skipped, &scanned);
+  EXPECT_EQ(n, 4096u - 342u * 11u);
+  EXPECT_GT(skipped, 0u);
+}
+
+TEST(ZoneMapTest, FloatColumnIntCastDoesNotSkip) {
+  // trunc() is not order-preserving for negatives; the scan must not use the
+  // zone map, and results must stay correct.
+  std::vector<std::string> docs;
+  for (int i = 0; i < 512; i++) {
+    docs.push_back(R"({"x":-0.5})");
+  }
+  tiles::TileConfig config;
+  config.tile_size = 256;
+  Loader loader(StorageMode::kTiles, config);
+  auto rel = loader.Load(docs, "t").MoveValueOrDie();
+  size_t skipped, scanned;
+  // x::Int = trunc(-0.5) = 0, so `x::Int >= 0` matches every row even though
+  // the raw float max is -0.5 < 0.
+  size_t n = CountMatching(
+      *rel, Ge(Access("t", {"x"}, ValueType::kInt), ConstInt(0)), &skipped,
+      &scanned);
+  EXPECT_EQ(n, 512u);
+  EXPECT_EQ(skipped, 0u);
+}
+
+TEST(ZoneMapTest, TypeOutliersDisableZoneMap) {
+  // Int column with float outliers: outlier values live in the binary JSON
+  // and can lie outside the column's min/max — no skipping allowed.
+  std::vector<std::string> docs;
+  for (int i = 0; i < 250; i++) docs.push_back(R"({"v":1})");
+  for (int i = 0; i < 6; i++) docs.push_back(R"({"v":99.5})");
+  tiles::TileConfig config;
+  config.tile_size = 256;
+  Loader loader(StorageMode::kTiles, config);
+  auto rel = loader.Load(docs, "t").MoveValueOrDie();
+  size_t skipped, scanned;
+  size_t n = CountMatching(
+      *rel, Gt(Access("t", {"v"}, ValueType::kFloat), ConstFloat(50.0)),
+      &skipped, &scanned);
+  EXPECT_EQ(n, 6u);  // the outliers must be found
+  EXPECT_EQ(skipped, 0u);
+}
+
+TEST(ZoneMapTest, UpdatesWidenTheMap) {
+  auto rel = OrderedInts();
+  // Tile 0 originally covers [0, 255]; update a row to 1e6.
+  ASSERT_TRUE(rel->UpdateRow(3, R"({"v":1000000,"d":"2020-01-15","f":3.25})").ok());
+  size_t skipped, scanned;
+  size_t n = CountMatching(
+      *rel, Ge(Access("t", {"v"}, ValueType::kInt), ConstInt(999999)), &skipped,
+      &scanned);
+  EXPECT_EQ(n, 1u);  // the updated row is found despite the old zone map
+}
+
+TEST(ZoneMapTest, DisabledWithSkippingOption) {
+  auto rel = OrderedInts();
+  ExecOptions options;
+  options.enable_tile_skipping = false;
+  QueryContext ctx(options);
+  QueryBlock q;
+  q.AddTable(TableRef::Rel(
+      "t", rel.get(), Ge(Access("t", {"v"}, ValueType::kInt), ConstInt(4000))));
+  q.GroupBy({});
+  q.Aggregate(AggSpec::CountStar());
+  auto rows = q.Execute(ctx);
+  EXPECT_EQ(rows[0][0].int_value(), 96);
+  EXPECT_EQ(ctx.tiles_skipped, 0u);
+}
+
+}  // namespace
+}  // namespace jsontiles::exec

@@ -1,0 +1,95 @@
+#include "json/dom.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace jsontiles::json {
+namespace {
+
+TEST(DomParseTest, Scalars) {
+  EXPECT_EQ(ParseJson("null").ValueOrDie().type(), JsonType::kNull);
+  EXPECT_TRUE(ParseJson("true").ValueOrDie().bool_value());
+  EXPECT_FALSE(ParseJson("false").ValueOrDie().bool_value());
+  EXPECT_EQ(ParseJson("42").ValueOrDie().int_value(), 42);
+  EXPECT_EQ(ParseJson("-7").ValueOrDie().int_value(), -7);
+  EXPECT_DOUBLE_EQ(ParseJson("3.25").ValueOrDie().double_value(), 3.25);
+  EXPECT_DOUBLE_EQ(ParseJson("1e3").ValueOrDie().double_value(), 1000.0);
+  EXPECT_EQ(ParseJson("\"hi\"").ValueOrDie().string_value(), "hi");
+}
+
+TEST(DomParseTest, IntOverflowBecomesDouble) {
+  JsonValue v = ParseJson("99999999999999999999").ValueOrDie();
+  EXPECT_EQ(v.type(), JsonType::kFloat);
+  EXPECT_DOUBLE_EQ(v.double_value(), 1e20);
+}
+
+TEST(DomParseTest, NestedStructure) {
+  auto r = ParseJson(R"({"id":1,"user":{"name":"ada"},"tags":[1,2,3]})");
+  ASSERT_TRUE(r.ok());
+  const JsonValue& v = r.ValueOrDie();
+  EXPECT_EQ(v.Find("id")->int_value(), 1);
+  EXPECT_EQ(v.Find("user")->Find("name")->string_value(), "ada");
+  EXPECT_EQ(v.Find("tags")->elements().size(), 3u);
+  EXPECT_EQ(v.Find("tags")->elements()[2].int_value(), 3);
+  EXPECT_EQ(v.Find("missing"), nullptr);
+}
+
+TEST(DomParseTest, EscapeSequences) {
+  auto v = ParseJson(R"("a\"b\\c\/d\b\f\n\r\t")").ValueOrDie();
+  EXPECT_EQ(v.string_value(), "a\"b\\c/d\b\f\n\r\t");
+}
+
+TEST(DomParseTest, UnicodeEscapes) {
+  EXPECT_EQ(ParseJson(R"("A")").ValueOrDie().string_value(), "A");
+  EXPECT_EQ(ParseJson(R"("é")").ValueOrDie().string_value(), "\xc3\xa9");
+  EXPECT_EQ(ParseJson(R"("€")").ValueOrDie().string_value(),
+            "\xe2\x82\xac");  // euro sign
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(ParseJson(R"("😀")").ValueOrDie().string_value(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(DomParseTest, WhitespaceTolerated) {
+  auto r = ParseJson(" \n\t{ \"a\" : [ 1 , 2 ] } \r\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie().Find("a")->elements().size(), 2u);
+}
+
+class DomRejectTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DomRejectTest, MalformedInputRejected) {
+  EXPECT_FALSE(ParseJson(GetParam()).ok()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DomRejectTest,
+    ::testing::Values("", "{", "}", "[1,", "[1,]", "{\"a\":}", "{\"a\"1}",
+                      "{a:1}", "tru", "nul", "01", "1.", ".5", "1e",
+                      "\"abc", "\"\\x\"", "\"\\u12g4\"", "[1]2", "{}{}",
+                      "'single'", "[1 2]", "\"tab\tliteral\""));
+
+TEST(DomWriteTest, RoundTripPreservesOrder) {
+  std::string text = R"({"z":1,"a":[true,null,"x"],"m":{"k":-2.5}})";
+  JsonValue v = ParseJson(text).ValueOrDie();
+  EXPECT_EQ(WriteJson(v), text);
+}
+
+TEST(DomWriteTest, EscapesOnOutput) {
+  JsonValue v = JsonValue::String("line\nbreak\"quote\x01");
+  EXPECT_EQ(WriteJson(v), "\"line\\nbreak\\\"quote\\u0001\"");
+}
+
+TEST(DomWriteTest, DoubleShortestForm) {
+  EXPECT_EQ(WriteJson(JsonValue::Float(0.1)), "0.1");
+  EXPECT_EQ(WriteJson(JsonValue::Float(1e100)), "1e+100");
+}
+
+TEST(DomParseTest, DeepNestingGuard) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+}  // namespace
+}  // namespace jsontiles::json

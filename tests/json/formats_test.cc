@@ -1,0 +1,223 @@
+// Tests for the BSON and CBOR baseline codecs (§6.9 comparison substrates).
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "json/bson.h"
+#include "json/cbor.h"
+#include "json/dom.h"
+#include "util/random.h"
+
+namespace jsontiles::json {
+namespace {
+
+// Compare DOM values; BSON/CBOR round trips preserve member order.
+bool DomEqual(const JsonValue& a, const JsonValue& b) {
+  if (a.type() != b.type()) {
+    // NumericString encodes as plain string in both baselines.
+    bool a_str = a.type() == JsonType::kString || a.type() == JsonType::kNumericString;
+    bool b_str = b.type() == JsonType::kString || b.type() == JsonType::kNumericString;
+    if (!(a_str && b_str)) return false;
+  }
+  switch (a.type()) {
+    case JsonType::kNull: return true;
+    case JsonType::kBool: return a.bool_value() == b.bool_value();
+    case JsonType::kInt: return a.int_value() == b.int_value();
+    case JsonType::kFloat: return a.double_value() == b.double_value();
+    case JsonType::kString:
+    case JsonType::kNumericString: return a.string_value() == b.string_value();
+    case JsonType::kArray: {
+      if (a.elements().size() != b.elements().size()) return false;
+      for (size_t i = 0; i < a.elements().size(); i++) {
+        if (!DomEqual(a.elements()[i], b.elements()[i])) return false;
+      }
+      return true;
+    }
+    case JsonType::kObject: {
+      if (a.members().size() != b.members().size()) return false;
+      for (size_t i = 0; i < a.members().size(); i++) {
+        if (a.members()[i].first != b.members()[i].first) return false;
+        if (!DomEqual(a.members()[i].second, b.members()[i].second)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* kSampleDoc = R"({
+  "id": 123456,
+  "name": "json tiles",
+  "score": -3.75,
+  "active": true,
+  "missing": null,
+  "nested": {"a": 1, "b": [1, 2.5, "three", {"deep": true}]},
+  "tags": ["x", "y"]
+})";
+
+TEST(BsonTest, RoundTrip) {
+  JsonValue doc = ParseJson(kSampleDoc).ValueOrDie();
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(bson::Encode(doc, &bytes).ok());
+  auto back = bson::Decode(bytes.data(), bytes.size());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(DomEqual(doc, back.ValueOrDie()));
+}
+
+TEST(BsonTest, RootArray) {
+  JsonValue doc = ParseJson("[1,\"two\",[3]]").ValueOrDie();
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(bson::Encode(doc, &bytes).ok());
+  // Arrays decode as documents with index keys; decode as object view.
+  auto back = bson::Decode(bytes.data(), bytes.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.ValueOrDie().Find("0")->int_value(), 1);
+  EXPECT_EQ(back.ValueOrDie().Find("1")->string_value(), "two");
+}
+
+TEST(BsonTest, ScalarRootRejected) {
+  std::vector<uint8_t> bytes;
+  EXPECT_FALSE(bson::Encode(JsonValue::Int(1), &bytes).ok());
+}
+
+TEST(BsonTest, FindFieldLinearScan) {
+  JsonValue doc = ParseJson(kSampleDoc).ValueOrDie();
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(bson::Encode(doc, &bytes).ok());
+  uint8_t type;
+  const uint8_t* payload;
+  size_t payload_size;
+  ASSERT_TRUE(bson::FindField(bytes.data(), bytes.size(), "score", &type,
+                              &payload, &payload_size));
+  auto v = bson::DecodeElement(type, payload, payload_size);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v.ValueOrDie().double_value(), -3.75);
+  EXPECT_FALSE(bson::FindField(bytes.data(), bytes.size(), "nope", &type,
+                               &payload, &payload_size));
+}
+
+TEST(BsonTest, NestedFieldViaChainedFind) {
+  JsonValue doc = ParseJson(kSampleDoc).ValueOrDie();
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(bson::Encode(doc, &bytes).ok());
+  uint8_t type;
+  const uint8_t* payload;
+  size_t payload_size;
+  ASSERT_TRUE(bson::FindField(bytes.data(), bytes.size(), "nested", &type,
+                              &payload, &payload_size));
+  ASSERT_EQ(type, 0x03);
+  ASSERT_TRUE(bson::FindField(payload, payload_size, "a", &type, &payload,
+                              &payload_size));
+  auto v = bson::DecodeElement(type, payload, payload_size);
+  EXPECT_EQ(v.ValueOrDie().int_value(), 1);
+}
+
+TEST(BsonTest, DecodeRejectsTruncated) {
+  JsonValue doc = ParseJson(kSampleDoc).ValueOrDie();
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(bson::Encode(doc, &bytes).ok());
+  EXPECT_FALSE(bson::Decode(bytes.data(), 3).ok());
+}
+
+TEST(CborTest, RoundTrip) {
+  JsonValue doc = ParseJson(kSampleDoc).ValueOrDie();
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(cbor::Encode(doc, &bytes).ok());
+  auto back = cbor::Decode(bytes.data(), bytes.size());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(DomEqual(doc, back.ValueOrDie()));
+}
+
+TEST(CborTest, ScalarRoots) {
+  for (const char* text : {"null", "true", "false", "0", "23", "24", "-1",
+                           "-25", "1000000", "3.5", "0.1", "\"str\""}) {
+    JsonValue doc = ParseJson(text).ValueOrDie();
+    std::vector<uint8_t> bytes;
+    ASSERT_TRUE(cbor::Encode(doc, &bytes).ok());
+    auto back = cbor::Decode(bytes.data(), bytes.size());
+    ASSERT_TRUE(back.ok()) << text;
+    EXPECT_TRUE(DomEqual(doc, back.ValueOrDie())) << text;
+  }
+}
+
+TEST(CborTest, CompactIntegerHeads) {
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(cbor::Encode(JsonValue::Int(5), &bytes).ok());
+  EXPECT_EQ(bytes.size(), 1u);
+  ASSERT_TRUE(cbor::Encode(JsonValue::Int(500), &bytes).ok());
+  EXPECT_EQ(bytes.size(), 3u);
+}
+
+TEST(CborTest, FindMapKeySequentialScan) {
+  JsonValue doc = ParseJson(kSampleDoc).ValueOrDie();
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(cbor::Encode(doc, &bytes).ok());
+  size_t pos;
+  ASSERT_TRUE(cbor::FindMapKey(bytes.data(), bytes.size(), "tags", &pos));
+  auto v = cbor::DecodeValueAt(bytes.data(), bytes.size(), pos);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.ValueOrDie().elements().size(), 2u);
+  EXPECT_FALSE(cbor::FindMapKey(bytes.data(), bytes.size(), "nope", &pos));
+}
+
+TEST(CborTest, DecodeRejectsTruncated) {
+  JsonValue doc = ParseJson(kSampleDoc).ValueOrDie();
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(cbor::Encode(doc, &bytes).ok());
+  EXPECT_FALSE(cbor::Decode(bytes.data(), bytes.size() - 2).ok());
+}
+
+class FormatsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+JsonValue RandomObjectDoc(Random& rng, int depth);
+
+JsonValue RandomAny(Random& rng, int depth) {
+  if (depth >= 3 || rng.Chance(0.5)) {
+    switch (rng.Uniform(5)) {
+      case 0: return JsonValue::Null();
+      case 1: return JsonValue::Bool(rng.Chance(0.5));
+      case 2: return JsonValue::Int(rng.Range(-1000000000, 1000000000));
+      case 3: return JsonValue::Float(rng.NextDouble() * 1e6 - 5e5);
+      default: return JsonValue::String(rng.NextString(0, 25));
+    }
+  }
+  if (rng.Chance(0.5)) return RandomObjectDoc(rng, depth);
+  JsonValue arr = JsonValue::Array();
+  int n = static_cast<int>(rng.Uniform(6));
+  for (int i = 0; i < n; i++) arr.Append(RandomAny(rng, depth + 1));
+  return arr;
+}
+
+JsonValue RandomObjectDoc(Random& rng, int depth) {
+  JsonValue obj = JsonValue::Object();
+  int n = static_cast<int>(rng.Uniform(7));
+  for (int i = 0; i < n; i++) {
+    std::string key = "k" + std::to_string(i) + rng.NextString(0, 6);
+    obj.Add(std::move(key), RandomAny(rng, depth + 1));
+  }
+  return obj;
+}
+
+TEST_P(FormatsPropertyTest, BothFormatsRoundTripRandomDocs) {
+  Random rng(GetParam());
+  for (int iter = 0; iter < 30; iter++) {
+    JsonValue doc = RandomObjectDoc(rng, 0);
+    std::vector<uint8_t> b, c;
+    ASSERT_TRUE(bson::Encode(doc, &b).ok());
+    ASSERT_TRUE(cbor::Encode(doc, &c).ok());
+    auto bd = bson::Decode(b.data(), b.size());
+    auto cd = cbor::Decode(c.data(), c.size());
+    ASSERT_TRUE(bd.ok());
+    ASSERT_TRUE(cd.ok());
+    EXPECT_TRUE(DomEqual(doc, bd.ValueOrDie())) << WriteJson(doc);
+    EXPECT_TRUE(DomEqual(doc, cd.ValueOrDie())) << WriteJson(doc);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FormatsPropertyTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace jsontiles::json

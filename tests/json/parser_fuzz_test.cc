@@ -1,0 +1,129 @@
+// Failure injection: the parser/JSONB pipeline must reject or cleanly handle
+// arbitrarily mutated inputs — never crash, never produce a buffer the
+// accessors misread.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "json/dom.h"
+#include "json/jsonb.h"
+#include "util/random.h"
+
+namespace jsontiles::json {
+namespace {
+
+const char* kSeeds[] = {
+    R"({"id":1,"user":{"name":"ada","tags":[1,2.5,"x",null,true]},"p":"19.99"})",
+    R"([[[1,2],[3,4]],{"k":"v"},[],{}])",
+    R"({"a":"é😀\n\t","b":-123456789012345,"c":1e-7})",
+};
+
+// Walk every value reachable from a JSONB root; returns the number of scalars
+// visited. Exercises Size/Count/iteration invariants on valid buffers.
+size_t WalkAll(JsonbValue v, int depth = 0) {
+  if (depth > 64) return 0;
+  switch (v.type()) {
+    case JsonType::kObject: {
+      size_t total = 0;
+      size_t count = v.Count();
+      for (size_t i = 0; i < count; i++) {
+        EXPECT_FALSE(v.MemberKey(i).empty() && count > 1 && false);
+        total += WalkAll(v.MemberValue(i), depth + 1);
+      }
+      return total;
+    }
+    case JsonType::kArray: {
+      size_t total = 0;
+      size_t count = v.Count();
+      for (size_t i = 0; i < count; i++) {
+        total += WalkAll(v.ArrayElement(i), depth + 1);
+      }
+      return total;
+    }
+    default:
+      return 1;
+  }
+}
+
+class MutationFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MutationFuzzTest, MutatedTextNeverCrashes) {
+  Random rng(GetParam());
+  JsonbBuilder builder;
+  std::vector<uint8_t> buf;
+  for (int iter = 0; iter < 300; iter++) {
+    std::string text = kSeeds[rng.Uniform(3)];
+    int mutations = 1 + static_cast<int>(rng.Uniform(6));
+    for (int m = 0; m < mutations; m++) {
+      switch (rng.Uniform(4)) {
+        case 0:  // flip a byte
+          if (!text.empty()) {
+            text[rng.Uniform(text.size())] =
+                static_cast<char>(rng.Uniform(256));
+          }
+          break;
+        case 1:  // delete a byte
+          if (!text.empty()) text.erase(rng.Uniform(text.size()), 1);
+          break;
+        case 2:  // insert a structural byte
+          text.insert(text.begin() + static_cast<long>(rng.Uniform(text.size() + 1)),
+                      "{}[],:\"0"[rng.Uniform(8)]);
+          break;
+        default:  // truncate
+          text.resize(rng.Uniform(text.size() + 1));
+      }
+    }
+    Status st = builder.Transform(text, &buf);
+    if (st.ok()) {
+      // Accepted inputs must produce a self-consistent buffer.
+      JsonbValue root(buf.data());
+      EXPECT_EQ(root.Size(), buf.size());
+      WalkAll(root);
+      std::string round = root.ToJsonText();
+      auto reparsed = ParseJson(round);
+      EXPECT_TRUE(reparsed.ok()) << "serialized form must re-parse: " << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationFuzzTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+TEST(ParserRobustnessTest, PathologicalInputs) {
+  // Long key, long string, many siblings, big ints, tiny floats.
+  std::string long_key(60000, 'k');
+  EXPECT_TRUE(JsonbFromText("{\"" + long_key + "\":1}").ok());
+  std::string key_too_long(70000, 'k');
+  EXPECT_FALSE(JsonbFromText("{\"" + key_too_long + "\":1}").ok());
+
+  std::string many = "[";
+  for (int i = 0; i < 50000; i++) {
+    if (i) many += ",";
+    many += std::to_string(i);
+  }
+  many += "]";
+  auto r = JsonbFromText(many);
+  ASSERT_TRUE(r.ok());
+  JsonbValue root(r.ValueOrDie().data());
+  EXPECT_EQ(root.Count(), 50000u);
+  EXPECT_EQ(root.ArrayElement(49999).GetInt(), 49999);
+
+  EXPECT_TRUE(JsonbFromText("1e308").ok());
+  EXPECT_TRUE(JsonbFromText("-1e-308").ok());
+  EXPECT_TRUE(JsonbFromText("18446744073709551615").ok());  // > int64 -> float
+}
+
+TEST(ParserRobustnessTest, NestingBombRejected) {
+  std::string bomb;
+  for (int i = 0; i < 100000; i++) bomb += "[";
+  EXPECT_FALSE(JsonbFromText(bomb).ok());  // malformed AND deep: must not crash
+  std::string deep(500, '[');
+  deep += "1";
+  deep += std::string(500, ']');
+  EXPECT_FALSE(JsonbFromText(deep).ok());  // depth guard
+}
+
+}  // namespace
+}  // namespace jsontiles::json

@@ -1,0 +1,167 @@
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mining/apriori.h"
+#include "mining/fpgrowth.h"
+#include "util/random.h"
+
+namespace jsontiles::mining {
+namespace {
+
+// Canonical form for comparing miner outputs.
+std::map<std::vector<Item>, uint32_t> ToMap(const std::vector<Itemset>& sets) {
+  std::map<std::vector<Item>, uint32_t> m;
+  for (const auto& s : sets) m[s.items] = s.support;
+  return m;
+}
+
+TEST(MaxItemsetSizeTest, MatchesEquationOne) {
+  // n=4: C(4,1)=4, +C(4,2)=6 -> 10, +C(4,3)=4 -> 14, +C(4,4)=1 -> 15.
+  EXPECT_EQ(MaxItemsetSize(4, 3), 1);
+  EXPECT_EQ(MaxItemsetSize(4, 4), 1);
+  EXPECT_EQ(MaxItemsetSize(4, 10), 2);
+  EXPECT_EQ(MaxItemsetSize(4, 14), 3);
+  EXPECT_EQ(MaxItemsetSize(4, 15), 4);
+  EXPECT_EQ(MaxItemsetSize(4, 1000), 4);
+  EXPECT_EQ(MaxItemsetSize(0, 100), 0);
+  // Always at least one even with a tiny budget.
+  EXPECT_EQ(MaxItemsetSize(100, 1), 1);
+  // Large n with a small budget stays small; no overflow.
+  EXPECT_LE(MaxItemsetSize(10000, 4096), 2);
+}
+
+TEST(FpGrowthTest, PaperRunningExample) {
+  // Tile #2 of Figure 2: items i,c,t,u_i,r (0..4) in all 4 tuples; g_l (5)
+  // in 3 of 4. Threshold 60% of 4 tuples -> min_support 3.
+  std::vector<Transaction> txs = {
+      {0, 1, 2, 3, 4, 5},
+      {0, 1, 2, 3, 4},  // tuple 6 lacks geo lat
+      {0, 1, 2, 3, 4, 5},
+      {0, 1, 2, 3, 4, 5},
+  };
+  FpGrowthMiner miner;
+  MinerOptions options;
+  options.min_support = 3;
+  options.budget = 100000;
+  auto result = ToMap(miner.Mine(txs, options));
+  // The maximal itemsets of the paper: {i,c,t,u_i,r} support 4 and
+  // {i,c,t,u_i,r,g_l} support 3.
+  EXPECT_EQ(result.at({0, 1, 2, 3, 4}), 4u);
+  EXPECT_EQ(result.at({0, 1, 2, 3, 4, 5}), 3u);
+  // Every subset is frequent too; spot-check counts.
+  EXPECT_EQ(result.at({0}), 4u);
+  EXPECT_EQ(result.at({5}), 3u);
+  EXPECT_EQ(result.at({2, 5}), 3u);
+}
+
+TEST(FpGrowthTest, ThresholdFiltersInfrequent) {
+  std::vector<Transaction> txs = {{1, 2}, {1, 2}, {1, 3}, {1}};
+  FpGrowthMiner miner;
+  MinerOptions options;
+  options.min_support = 2;
+  auto result = ToMap(miner.Mine(txs, options));
+  EXPECT_EQ(result.at({1}), 4u);
+  EXPECT_EQ(result.at({2}), 2u);
+  EXPECT_EQ(result.at({1, 2}), 2u);
+  EXPECT_EQ(result.count({3}), 0u);     // support 1
+  EXPECT_EQ(result.count({1, 3}), 0u);
+}
+
+TEST(FpGrowthTest, EmptyInputs) {
+  FpGrowthMiner miner;
+  MinerOptions options;
+  options.min_support = 1;
+  EXPECT_TRUE(miner.Mine({}, options).empty());
+  EXPECT_TRUE(miner.Mine({{}, {}}, options).empty());
+  options.min_support = 0;
+  EXPECT_TRUE(miner.Mine({{1}}, options).empty());
+}
+
+TEST(FpGrowthTest, BudgetLimitsOutput) {
+  // 10 items always together: 2^10 - 1 itemsets without a budget.
+  std::vector<Transaction> txs(5);
+  for (auto& tx : txs) {
+    for (Item i = 0; i < 10; i++) tx.push_back(i);
+  }
+  FpGrowthMiner miner;
+  MinerOptions options;
+  options.min_support = 5;
+  options.budget = 50;  // C(10,1)=10 fits; +C(10,2)=45 -> 55 > 50 -> k=1
+  auto result = miner.Mine(txs, options);
+  EXPECT_LE(result.size(), 50u);
+  for (const auto& s : result) EXPECT_EQ(s.items.size(), 1u);
+}
+
+TEST(FpGrowthTest, SupportsAreConsistent) {
+  // Support of a superset never exceeds support of a subset.
+  Random rng(3);
+  std::vector<Transaction> txs;
+  for (int i = 0; i < 100; i++) {
+    Transaction tx;
+    for (Item item = 0; item < 8; item++) {
+      if (rng.Chance(0.5)) tx.push_back(item);
+    }
+    txs.push_back(tx);
+  }
+  FpGrowthMiner miner;
+  MinerOptions options;
+  options.min_support = 10;
+  options.budget = 1 << 20;
+  auto result = miner.Mine(txs, options);
+  auto map = ToMap(result);
+  for (const auto& s : result) {
+    for (size_t drop = 0; drop < s.items.size() && s.items.size() > 1; drop++) {
+      std::vector<Item> subset;
+      for (size_t i = 0; i < s.items.size(); i++) {
+        if (i != drop) subset.push_back(s.items[i]);
+      }
+      ASSERT_TRUE(map.count(subset)) << "missing subset (downward closure)";
+      EXPECT_GE(map.at(subset), s.support);
+    }
+  }
+}
+
+class MinerEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MinerEquivalenceTest, FpGrowthMatchesApriori) {
+  Random rng(GetParam());
+  std::vector<Transaction> txs;
+  int num_items = 10;
+  for (int i = 0; i < 60; i++) {
+    Transaction tx;
+    for (Item item = 0; item < static_cast<Item>(num_items); item++) {
+      // Correlated groups: items 0-3 usually co-occur.
+      double p = item < 4 ? 0.7 : 0.25;
+      if (rng.Chance(p)) tx.push_back(item);
+    }
+    txs.push_back(tx);
+  }
+  FpGrowthMiner fp;
+  MinerOptions options;
+  options.min_support = 12;
+  options.budget = 1 << 30;
+  auto fp_result = ToMap(fp.Mine(txs, options));
+
+  AprioriMiner apriori;
+  auto ap_result = ToMap(apriori.Mine(txs, 12, num_items));
+
+  EXPECT_EQ(fp_result, ap_result);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinerEquivalenceTest,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+TEST(AprioriTest, MaxSizeBound) {
+  std::vector<Transaction> txs(4, {0, 1, 2, 3});
+  AprioriMiner miner;
+  auto result = miner.Mine(txs, 4, 2);
+  for (const auto& s : result) EXPECT_LE(s.items.size(), 2u);
+  EXPECT_EQ(result.size(), 4u + 6u);  // C(4,1) + C(4,2)
+}
+
+}  // namespace
+}  // namespace jsontiles::mining

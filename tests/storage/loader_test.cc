@@ -1,0 +1,209 @@
+#include "storage/loader.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/relation.h"
+#include "tiles/keypath.h"
+#include "util/random.h"
+
+namespace jsontiles::storage {
+namespace {
+
+std::string Path(std::initializer_list<const char*> keys) {
+  std::string encoded;
+  for (const char* k : keys) tiles::AppendKeySegment(&encoded, k);
+  return encoded;
+}
+
+std::vector<std::string> SimpleDocs(size_t n) {
+  std::vector<std::string> docs;
+  for (size_t i = 0; i < n; i++) {
+    docs.push_back(R"({"id":)" + std::to_string(i) + R"(,"name":"user)" +
+                   std::to_string(i % 17) + R"(","score":)" +
+                   std::to_string(i % 100) + "}");
+  }
+  return docs;
+}
+
+TEST(LoaderTest, JsonTextMode) {
+  Loader loader(StorageMode::kJsonText, {});
+  auto rel = loader.Load(SimpleDocs(10), "t").MoveValueOrDie();
+  EXPECT_EQ(rel->mode(), StorageMode::kJsonText);
+  EXPECT_EQ(rel->num_rows(), 10u);
+  EXPECT_EQ(rel->JsonText(3), R"({"id":3,"name":"user3","score":3})");
+  EXPECT_TRUE(rel->tiles().empty());
+}
+
+TEST(LoaderTest, JsonbMode) {
+  Loader loader(StorageMode::kJsonb, {});
+  auto rel = loader.Load(SimpleDocs(10), "t").MoveValueOrDie();
+  EXPECT_EQ(rel->num_rows(), 10u);
+  EXPECT_EQ(rel->Jsonb(7).FindKey("id")->GetInt(), 7);
+  EXPECT_TRUE(rel->tiles().empty());
+}
+
+TEST(LoaderTest, TilesModeBuildsTilesAndStats) {
+  tiles::TileConfig config;
+  config.tile_size = 64;
+  config.partition_size = 4;
+  Loader loader(StorageMode::kTiles, config);
+  LoadBreakdown breakdown;
+  auto rel = loader.Load(SimpleDocs(300), "t", &breakdown).MoveValueOrDie();
+  EXPECT_EQ(rel->num_rows(), 300u);
+  // ceil(300/64) tiles.
+  EXPECT_EQ(rel->tiles().size(), 5u);
+  EXPECT_EQ(rel->tiles()[4].row_begin, 256u);
+  EXPECT_EQ(rel->tiles()[4].row_count, 44u);
+  // Homogeneous docs: id extracted in every tile.
+  for (const auto& tile : rel->tiles()) {
+    EXPECT_NE(tile.FindColumn(Path({"id"})), nullptr);
+  }
+  // TileForRow maps correctly.
+  EXPECT_EQ(rel->TileForRow(0), &rel->tiles()[0]);
+  EXPECT_EQ(rel->TileForRow(299), &rel->tiles()[4]);
+  // Stats aggregated.
+  EXPECT_TRUE(rel->has_stats());
+  EXPECT_EQ(rel->stats().total_tuples(), 300u);
+  std::string id_key = tiles::MakeDictKey(Path({"id"}),
+                                          static_cast<uint8_t>(json::JsonType::kInt));
+  EXPECT_EQ(rel->stats().EstimateKeyCardinality(id_key), 300u);
+  auto distinct = rel->stats().EstimateDistinct(id_key);
+  ASSERT_TRUE(distinct.has_value());
+  EXPECT_NEAR(*distinct, 300.0, 30.0);
+  // Breakdown sanity.
+  EXPECT_EQ(breakdown.tuples, 300u);
+  EXPECT_GT(breakdown.total_wall_secs, 0.0);
+  EXPECT_GT(breakdown.jsonb_secs, 0.0);
+}
+
+TEST(LoaderTest, SinewModeGlobalTile) {
+  tiles::TileConfig config;
+  config.tile_size = 64;
+  Loader loader(StorageMode::kSinew, config);
+  auto rel = loader.Load(SimpleDocs(300), "t").MoveValueOrDie();
+  ASSERT_EQ(rel->tiles().size(), 1u);  // one global extraction
+  EXPECT_EQ(rel->tiles()[0].row_count, 300u);
+  EXPECT_NE(rel->tiles()[0].FindColumn(Path({"id"})), nullptr);
+  EXPECT_FALSE(rel->has_stats());
+  EXPECT_EQ(rel->TileForRow(250), &rel->tiles()[0]);
+}
+
+TEST(LoaderTest, SinewGlobalThresholdMissesLocalPatterns) {
+  // Figure 2 scenario: a key in 40% of the table (clustered in the second
+  // half) is below Sinew's global 60% cut but extracted by tiles locally.
+  std::vector<std::string> docs;
+  for (int i = 0; i < 120; i++) docs.push_back(R"({"id":1,"text":"a"})");
+  for (int i = 0; i < 80; i++) {
+    docs.push_back(R"({"id":2,"text":"b","geo":{"lat":1.5}})");
+  }
+  tiles::TileConfig config;
+  config.tile_size = 50;
+  config.partition_size = 4;
+  Loader sinew_loader(StorageMode::kSinew, config);
+  auto sinew = sinew_loader.Load(docs, "t").MoveValueOrDie();
+  EXPECT_EQ(sinew->tiles()[0].FindColumn(Path({"geo", "lat"})), nullptr);
+
+  Loader tiles_loader(StorageMode::kTiles, config);
+  auto tiled = tiles_loader.Load(docs, "t").MoveValueOrDie();
+  bool extracted_somewhere = false;
+  for (const auto& tile : tiled->tiles()) {
+    if (tile.FindColumn(Path({"geo", "lat"})) != nullptr) extracted_somewhere = true;
+  }
+  EXPECT_TRUE(extracted_somewhere);
+}
+
+TEST(LoaderTest, ParallelLoadIsDeterministic) {
+  tiles::TileConfig config;
+  config.tile_size = 32;
+  config.partition_size = 4;
+  auto docs = SimpleDocs(500);
+  Loader serial(StorageMode::kTiles, config, LoadOptions{.num_threads = 1});
+  Loader parallel(StorageMode::kTiles, config, LoadOptions{.num_threads = 4});
+  auto a = serial.Load(docs, "t").MoveValueOrDie();
+  auto b = parallel.Load(docs, "t").MoveValueOrDie();
+  ASSERT_EQ(a->num_rows(), b->num_rows());
+  ASSERT_EQ(a->tiles().size(), b->tiles().size());
+  for (size_t r = 0; r < a->num_rows(); r++) {
+    EXPECT_EQ(a->Jsonb(r).ToJsonText(), b->Jsonb(r).ToJsonText());
+  }
+}
+
+TEST(LoaderTest, MalformedDocumentFailsLoad) {
+  Loader loader(StorageMode::kTiles, {});
+  std::vector<std::string> docs = {R"({"ok":1})", "{broken"};
+  auto result = loader.Load(docs, "t");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(LoaderTest, ArrayExtractionBuildsSideRelation) {
+  std::vector<std::string> docs;
+  Random rng(4);
+  for (int i = 0; i < 200; i++) {
+    std::string tags = "[";
+    int n = static_cast<int>(rng.Uniform(6));
+    for (int t = 0; t < n; t++) {
+      if (t) tags += ",";
+      tags += R"({"text":"tag)" + std::to_string(rng.Uniform(20)) + R"("})";
+    }
+    tags += "]";
+    docs.push_back(R"({"id":)" + std::to_string(i) + R"(,"hashtags":)" + tags + "}");
+  }
+  tiles::TileConfig config;
+  config.tile_size = 64;
+  LoadOptions options;
+  options.extract_arrays = true;
+  options.array_min_avg_elements = 1.5;
+  Loader loader(StorageMode::kTiles, config, options);
+  auto rel = loader.Load(docs, "tweets").MoveValueOrDie();
+  ASSERT_EQ(rel->side_relations().size(), 1u);
+  const Relation* side = rel->FindSideRelation(Path({"hashtags"}));
+  ASSERT_NE(side, nullptr);
+  EXPECT_GT(side->num_rows(), 100u);
+  // Side docs carry the parent row id and the element fields.
+  auto doc = side->Jsonb(0);
+  EXPECT_TRUE(doc.FindKey("_rowid").has_value());
+  EXPECT_TRUE(doc.FindKey("text").has_value());
+  // The side relation extracted its own columns.
+  ASSERT_FALSE(side->tiles().empty());
+  EXPECT_NE(side->tiles()[0].FindColumn(Path({"text"})), nullptr);
+}
+
+TEST(RelationTest, UpdateRowRewritesDocAndTile) {
+  tiles::TileConfig config;
+  config.tile_size = 32;
+  Loader loader(StorageMode::kTiles, config);
+  auto rel = loader.Load(SimpleDocs(64), "t").MoveValueOrDie();
+  ASSERT_TRUE(rel->UpdateRow(5, R"({"id":999,"name":"upd","score":1})").ok());
+  EXPECT_EQ(rel->Jsonb(5).FindKey("id")->GetInt(), 999);
+  const tiles::Tile* tile = rel->TileForRow(5);
+  const auto* col = tile->FindColumn(Path({"id"}));
+  ASSERT_NE(col, nullptr);
+  EXPECT_EQ(col->column.GetInt(5), 999);
+  EXPECT_FALSE(rel->UpdateRow(1000, "{}").ok());
+}
+
+TEST(RelationTest, MassOutlierUpdatesTriggerRecompute) {
+  tiles::TileConfig config;
+  config.tile_size = 16;
+  config.partition_size = 1;
+  // 50% threshold: when the recompute fires (at the 9th outlier of 16), the
+  // new document type is already frequent enough to extract.
+  config.extraction_threshold = 0.5;
+  Loader loader(StorageMode::kTiles, config);
+  auto rel = loader.Load(SimpleDocs(16), "t").MoveValueOrDie();
+  // Overwrite most rows with a new document type.
+  for (size_t r = 0; r < 12; r++) {
+    ASSERT_TRUE(
+        rel->UpdateRow(r, R"({"kind":"new","v":)" + std::to_string(r) + "}").ok());
+  }
+  // The recompute should have kicked in: the tile now extracts the new keys.
+  const tiles::Tile* tile = rel->TileForRow(0);
+  EXPECT_NE(tile->FindColumn(Path({"kind"})), nullptr);
+}
+
+}  // namespace
+}  // namespace jsontiles::storage

@@ -1,0 +1,98 @@
+#include "tiles/column.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace jsontiles::tiles {
+namespace {
+
+TEST(ColumnTest, IntAppendAndGet) {
+  Column col(ColumnType::kInt64);
+  col.AppendInt(5);
+  col.AppendNull();
+  col.AppendInt(-7);
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_EQ(col.GetInt(0), 5);
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_FALSE(col.IsNull(2));
+  EXPECT_EQ(col.GetInt(2), -7);
+  EXPECT_EQ(col.null_count(), 1u);
+}
+
+TEST(ColumnTest, FloatColumn) {
+  Column col(ColumnType::kFloat64);
+  col.AppendFloat(1.5);
+  col.AppendNull();
+  EXPECT_DOUBLE_EQ(col.GetFloat(0), 1.5);
+  EXPECT_TRUE(col.IsNull(1));
+}
+
+TEST(ColumnTest, BoolColumn) {
+  Column col(ColumnType::kBool);
+  col.AppendBool(true);
+  col.AppendBool(false);
+  EXPECT_TRUE(col.GetBool(0));
+  EXPECT_FALSE(col.GetBool(1));
+}
+
+TEST(ColumnTest, StringColumnSharedHeap) {
+  Column col(ColumnType::kString);
+  col.AppendString("hello");
+  col.AppendString("");
+  col.AppendNull();
+  col.AppendString("world");
+  EXPECT_EQ(col.GetString(0), "hello");
+  EXPECT_EQ(col.GetString(1), "");
+  EXPECT_TRUE(col.IsNull(2));
+  EXPECT_EQ(col.GetString(3), "world");
+}
+
+TEST(ColumnTest, NumericColumnKeepsScale) {
+  Column col(ColumnType::kNumeric);
+  col.AppendNumeric(Numeric{1999, 2});
+  col.AppendNumeric(Numeric{-5, 1});
+  EXPECT_EQ(col.GetNumeric(0).ToString(), "19.99");
+  EXPECT_EQ(col.GetNumeric(1).ToString(), "-0.5");
+}
+
+TEST(ColumnTest, TimestampColumn) {
+  Column col(ColumnType::kTimestamp);
+  Timestamp ts = MakeTimestamp(2020, 6, 1, 12, 0, 0);
+  col.AppendTimestamp(ts);
+  EXPECT_EQ(col.GetTimestamp(0), ts);
+}
+
+TEST(ColumnTest, InPlaceUpdates) {
+  Column col(ColumnType::kInt64);
+  col.AppendInt(1);
+  col.AppendNull();
+  col.SetInt(1, 42);  // null -> value
+  EXPECT_FALSE(col.IsNull(1));
+  EXPECT_EQ(col.GetInt(1), 42);
+  EXPECT_EQ(col.null_count(), 0u);
+  col.SetNull(0);  // value -> null
+  EXPECT_TRUE(col.IsNull(0));
+  EXPECT_EQ(col.null_count(), 1u);
+  col.SetNull(0);  // idempotent
+  EXPECT_EQ(col.null_count(), 1u);
+}
+
+TEST(ColumnTest, StringUpdateAppendsToHeap) {
+  Column col(ColumnType::kString);
+  col.AppendString("aaa");
+  col.AppendString("bbb");
+  col.SetString(0, "a-much-longer-replacement");
+  EXPECT_EQ(col.GetString(0), "a-much-longer-replacement");
+  EXPECT_EQ(col.GetString(1), "bbb");  // untouched
+}
+
+TEST(ColumnTest, MemoryAccounting) {
+  Column col(ColumnType::kString);
+  size_t empty = col.MemoryBytes();
+  for (int i = 0; i < 100; i++) col.AppendString("0123456789");
+  EXPECT_GT(col.MemoryBytes(), empty + 1000);
+}
+
+}  // namespace
+}  // namespace jsontiles::tiles

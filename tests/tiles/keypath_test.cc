@@ -1,0 +1,134 @@
+#include "tiles/keypath.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "json/jsonb.h"
+
+namespace jsontiles::tiles {
+namespace {
+
+using json::JsonbFromText;
+using json::JsonbValue;
+using json::JsonType;
+
+TEST(KeyPathTest, EncodeDecodeRoundTrip) {
+  std::vector<PathSegment> segments = {
+      PathSegment::Key("user"), PathSegment::Key("geo"),
+      PathSegment::Index(3), PathSegment::Key("lat")};
+  std::string encoded = EncodePath(segments);
+  EXPECT_EQ(DecodePath(encoded), segments);
+}
+
+TEST(KeyPathTest, KeysMayContainAnyBytes) {
+  std::vector<PathSegment> segments = {PathSegment::Key("we.ird[0]key"),
+                                       PathSegment::Key("")};
+  EXPECT_EQ(DecodePath(EncodePath(segments)), segments);
+}
+
+TEST(KeyPathTest, DisplayString) {
+  std::string p = EncodePath({PathSegment::Key("geo"), PathSegment::Key("lat")});
+  EXPECT_EQ(PathToDisplayString(p), "geo.lat");
+  std::string q = EncodePath({PathSegment::Key("tags"), PathSegment::Index(0),
+                              PathSegment::Key("text")});
+  EXPECT_EQ(PathToDisplayString(q), "tags[0].text");
+}
+
+TEST(KeyPathTest, Depth) {
+  EXPECT_EQ(PathDepth(EncodePath({PathSegment::Key("a")})), 1);
+  EXPECT_EQ(PathDepth(EncodePath({PathSegment::Key("a"), PathSegment::Index(2),
+                                  PathSegment::Key("b")})),
+            3);
+  EXPECT_EQ(PathDepth(""), 0);
+}
+
+TEST(KeyPathTest, LookupPath) {
+  auto buf = JsonbFromText(R"({"user":{"geo":{"lat":1.5}},"tags":[{"t":"x"}]})")
+                 .MoveValueOrDie();
+  JsonbValue root(buf.data());
+  auto lat = LookupPath(root, EncodePath({PathSegment::Key("user"),
+                                          PathSegment::Key("geo"),
+                                          PathSegment::Key("lat")}));
+  ASSERT_TRUE(lat.has_value());
+  EXPECT_DOUBLE_EQ(lat->GetDouble(), 1.5);
+  auto t = LookupPath(root, EncodePath({PathSegment::Key("tags"),
+                                        PathSegment::Index(0),
+                                        PathSegment::Key("t")}));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->GetString(), "x");
+  // Missing key, index out of range, traversal through scalar.
+  EXPECT_FALSE(LookupPath(root, EncodePath({PathSegment::Key("nope")})));
+  EXPECT_FALSE(LookupPath(root, EncodePath({PathSegment::Key("tags"),
+                                            PathSegment::Index(5)})));
+  EXPECT_FALSE(LookupPath(root, EncodePath({PathSegment::Key("user"),
+                                            PathSegment::Key("geo"),
+                                            PathSegment::Key("lat"),
+                                            PathSegment::Key("deeper")})));
+}
+
+TEST(KeyPathTest, CollectScalarLeaves) {
+  auto buf =
+      JsonbFromText(R"({"id":5,"user":{"id":1,"name":"a"},"flag":true,"x":null})")
+          .MoveValueOrDie();
+  TileConfig config;
+  std::vector<CollectedPath> paths;
+  CollectKeyPaths(JsonbValue(buf.data()), config, &paths);
+  ASSERT_EQ(paths.size(), 5u);
+  // JSONB sorts keys: flag, id, user.id, user.name, x.
+  EXPECT_EQ(PathToDisplayString(paths[0].path), "flag");
+  EXPECT_EQ(paths[0].type, JsonType::kBool);
+  EXPECT_EQ(PathToDisplayString(paths[1].path), "id");
+  EXPECT_EQ(paths[1].type, JsonType::kInt);
+  EXPECT_EQ(PathToDisplayString(paths[2].path), "user.id");
+  EXPECT_EQ(PathToDisplayString(paths[3].path), "user.name");
+  EXPECT_EQ(paths[3].type, JsonType::kString);
+  EXPECT_EQ(PathToDisplayString(paths[4].path), "x");
+  EXPECT_EQ(paths[4].type, JsonType::kNull);
+}
+
+TEST(KeyPathTest, ArrayLeadingElementsOnly) {
+  auto buf = JsonbFromText(R"({"a":[1,2,3,4,5,6,7,8]})").MoveValueOrDie();
+  TileConfig config;
+  config.max_array_elements = 3;
+  std::vector<CollectedPath> paths;
+  CollectKeyPaths(JsonbValue(buf.data()), config, &paths);
+  EXPECT_EQ(paths.size(), 3u);
+  EXPECT_EQ(PathToDisplayString(paths[0].path), "a[0]");
+  EXPECT_EQ(PathToDisplayString(paths[2].path), "a[2]");
+}
+
+TEST(KeyPathTest, DepthLimit) {
+  auto buf = JsonbFromText(R"({"a":{"b":{"c":{"d":1}}}})").MoveValueOrDie();
+  TileConfig config;
+  config.max_path_depth = 2;
+  std::vector<CollectedPath> paths;
+  CollectKeyPaths(JsonbValue(buf.data()), config, &paths);
+  EXPECT_TRUE(paths.empty());  // the only leaf is at depth 4
+  config.max_path_depth = 8;
+  paths.clear();
+  CollectKeyPaths(JsonbValue(buf.data()), config, &paths);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(PathToDisplayString(paths[0].path), "a.b.c.d");
+}
+
+TEST(KeyPathTest, EmptyContainersYieldNoLeaves) {
+  auto buf = JsonbFromText(R"({"a":{},"b":[]})").MoveValueOrDie();
+  TileConfig config;
+  std::vector<CollectedPath> paths;
+  CollectKeyPaths(JsonbValue(buf.data()), config, &paths);
+  EXPECT_TRUE(paths.empty());
+}
+
+TEST(KeyPathTest, NumericStringLeafType) {
+  auto buf = JsonbFromText(R"({"price":"19.99"})").MoveValueOrDie();
+  TileConfig config;
+  std::vector<CollectedPath> paths;
+  CollectKeyPaths(JsonbValue(buf.data()), config, &paths);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].type, JsonType::kNumericString);
+}
+
+}  // namespace
+}  // namespace jsontiles::tiles

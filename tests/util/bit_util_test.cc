@@ -1,0 +1,59 @@
+#include "util/bit_util.h"
+
+#include <gtest/gtest.h>
+
+namespace jsontiles::bit_util {
+namespace {
+
+TEST(BitUtilTest, MinBytes) {
+  EXPECT_EQ(MinBytes(0), 1);
+  EXPECT_EQ(MinBytes(1), 1);
+  EXPECT_EQ(MinBytes(255), 1);
+  EXPECT_EQ(MinBytes(256), 2);
+  EXPECT_EQ(MinBytes(65535), 2);
+  EXPECT_EQ(MinBytes(65536), 3);
+  EXPECT_EQ(MinBytes(~uint64_t{0}), 8);
+}
+
+TEST(BitUtilTest, NextPow2) {
+  EXPECT_EQ(NextPow2(0), 1u);
+  EXPECT_EQ(NextPow2(1), 1u);
+  EXPECT_EQ(NextPow2(2), 2u);
+  EXPECT_EQ(NextPow2(3), 4u);
+  EXPECT_EQ(NextPow2(1024), 1024u);
+  EXPECT_EQ(NextPow2(1025), 2048u);
+}
+
+TEST(BitUtilTest, StoreLoadLERoundTrip) {
+  uint8_t buf[8];
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{0x1234},
+                     uint64_t{0xDEADBEEF}, ~uint64_t{0}}) {
+    int n = MinBytes(v);
+    StoreLE(buf, v, n);
+    EXPECT_EQ(LoadLE(buf, n), v);
+  }
+}
+
+TEST(BitUtilTest, VarintRoundTrip) {
+  uint8_t buf[10];
+  for (uint64_t v : {uint64_t{0}, uint64_t{127}, uint64_t{128}, uint64_t{300},
+                     uint64_t{1} << 32, ~uint64_t{0}}) {
+    int n = EncodeVarint(buf, v);
+    EXPECT_EQ(n, VarintSize(v));
+    size_t pos = 0;
+    EXPECT_EQ(DecodeVarint(buf, &pos), v);
+    EXPECT_EQ(pos, static_cast<size_t>(n));
+  }
+}
+
+TEST(BitUtilTest, ZigZag) {
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1}, int64_t{-1000},
+                    int64_t{1000}, INT64_MIN, INT64_MAX}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+  // Small magnitudes stay small.
+  EXPECT_LE(ZigZagEncode(-3), 8u);
+}
+
+}  // namespace
+}  // namespace jsontiles::bit_util

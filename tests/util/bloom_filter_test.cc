@@ -1,0 +1,49 @@
+#include "util/bloom_filter.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace jsontiles {
+namespace {
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter filter(128);
+  for (int i = 0; i < 128; i++) {
+    filter.InsertString("key_" + std::to_string(i));
+  }
+  for (int i = 0; i < 128; i++) {
+    EXPECT_TRUE(filter.MayContainString("key_" + std::to_string(i)));
+  }
+}
+
+TEST(BloomFilterTest, LowFalsePositiveRate) {
+  BloomFilter filter(256);
+  for (int i = 0; i < 256; i++) {
+    filter.InsertString("present_" + std::to_string(i));
+  }
+  int false_positives = 0;
+  const int kProbes = 10000;
+  for (int i = 0; i < kProbes; i++) {
+    if (filter.MayContainString("absent_" + std::to_string(i))) false_positives++;
+  }
+  // Sized for ~1%; accept up to 3%.
+  EXPECT_LT(false_positives, kProbes * 3 / 100);
+}
+
+TEST(BloomFilterTest, EmptyFilterRejectsEverything) {
+  BloomFilter filter(64);
+  EXPECT_FALSE(filter.MayContainString("anything"));
+  EXPECT_FALSE(filter.MayContain(0));
+}
+
+TEST(BloomFilterTest, TracksInsertCount) {
+  BloomFilter filter(16);
+  EXPECT_EQ(filter.num_inserted(), 0u);
+  filter.InsertString("a");
+  filter.InsertString("b");
+  EXPECT_EQ(filter.num_inserted(), 2u);
+}
+
+}  // namespace
+}  // namespace jsontiles

@@ -1,0 +1,101 @@
+#include "util/date.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace jsontiles {
+namespace {
+
+TEST(DateTest, CivilRoundTrip) {
+  for (int64_t days : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{18413},
+                       int64_t{-719162}, int64_t{2932896}}) {
+    int y, m, d;
+    CivilFromDays(days, &y, &m, &d);
+    EXPECT_EQ(DaysFromCivil(y, m, d), days);
+  }
+}
+
+TEST(DateTest, EpochIsZero) {
+  EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0);
+  EXPECT_EQ(MakeTimestamp(1970, 1, 1), 0);
+}
+
+TEST(DateTest, ParsePlainDate) {
+  Timestamp ts;
+  ASSERT_TRUE(ParseTimestamp("2020-06-01", &ts));
+  EXPECT_EQ(FormatDate(ts), "2020-06-01");
+  EXPECT_EQ(TimestampYear(ts), 2020);
+}
+
+TEST(DateTest, ParseDateTime) {
+  Timestamp ts;
+  ASSERT_TRUE(ParseTimestamp("1998-12-01 13:45:59", &ts));
+  EXPECT_EQ(FormatTimestamp(ts), "1998-12-01 13:45:59");
+  ASSERT_TRUE(ParseTimestamp("1998-12-01T13:45:59", &ts));
+  EXPECT_EQ(FormatTimestamp(ts), "1998-12-01 13:45:59");
+}
+
+TEST(DateTest, ParseFractionalSeconds) {
+  Timestamp ts;
+  ASSERT_TRUE(ParseTimestamp("2021-01-02 03:04:05.123456", &ts));
+  EXPECT_EQ(FormatTimestamp(ts), "2021-01-02 03:04:05.123456");
+  ASSERT_TRUE(ParseTimestamp("2021-01-02 03:04:05.5", &ts));
+  EXPECT_EQ(ts % kMicrosPerSecond, 500000);
+}
+
+TEST(DateTest, ParseTimezones) {
+  Timestamp utc, offset;
+  ASSERT_TRUE(ParseTimestamp("2020-06-01T12:00:00Z", &utc));
+  ASSERT_TRUE(ParseTimestamp("2020-06-01T14:00:00+02:00", &offset));
+  EXPECT_EQ(utc, offset);
+  ASSERT_TRUE(ParseTimestamp("2020-06-01T10:30:00-01:30", &offset));
+  EXPECT_EQ(utc, offset);
+}
+
+TEST(DateTest, ParseTwitterFormat) {
+  Timestamp ts, iso;
+  ASSERT_TRUE(ParseTimestamp("Mon Jun 01 12:34:56 +0000 2020", &ts));
+  ASSERT_TRUE(ParseTimestamp("2020-06-01T12:34:56Z", &iso));
+  EXPECT_EQ(ts, iso);
+}
+
+TEST(DateTest, RejectsGarbage) {
+  Timestamp ts;
+  EXPECT_FALSE(ParseTimestamp("", &ts));
+  EXPECT_FALSE(ParseTimestamp("hello world", &ts));
+  EXPECT_FALSE(ParseTimestamp("2020-13-01", &ts));     // bad month
+  EXPECT_FALSE(ParseTimestamp("2020-02-30", &ts));     // bad day
+  EXPECT_FALSE(ParseTimestamp("2020-06-01x", &ts));    // trailing junk
+  EXPECT_FALSE(ParseTimestamp("2020-06-01 25:00:00", &ts));  // bad hour
+  EXPECT_FALSE(ParseTimestamp("12345", &ts));
+  EXPECT_FALSE(ParseTimestamp("2019-12345", &ts));
+}
+
+TEST(DateTest, LeapYearHandling) {
+  Timestamp ts;
+  EXPECT_TRUE(ParseTimestamp("2020-02-29", &ts));
+  EXPECT_FALSE(ParseTimestamp("2019-02-29", &ts));
+  EXPECT_TRUE(ParseTimestamp("2000-02-29", &ts));
+  EXPECT_FALSE(ParseTimestamp("1900-02-29", &ts));  // 100-year rule
+}
+
+TEST(DateTest, Arithmetic) {
+  Timestamp ts;
+  ASSERT_TRUE(ParseTimestamp("1998-12-01", &ts));
+  EXPECT_EQ(FormatDate(AddDays(ts, -90)), "1998-09-02");
+  EXPECT_EQ(FormatDate(AddMonths(ts, 3)), "1999-03-01");
+  EXPECT_EQ(FormatDate(AddYears(ts, 1)), "1999-12-01");
+  // Month-end clamping.
+  ASSERT_TRUE(ParseTimestamp("2020-01-31", &ts));
+  EXPECT_EQ(FormatDate(AddMonths(ts, 1)), "2020-02-29");
+}
+
+TEST(DateTest, LooksLikeTimestamp) {
+  EXPECT_TRUE(LooksLikeTimestamp("1996-01-02"));
+  EXPECT_FALSE(LooksLikeTimestamp("FURNITURE"));
+  EXPECT_FALSE(LooksLikeTimestamp("1234567890"));
+}
+
+}  // namespace
+}  // namespace jsontiles

@@ -1,0 +1,77 @@
+#include "util/decimal.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace jsontiles {
+namespace {
+
+TEST(NumericTest, ParseIntegers) {
+  Numeric n;
+  ASSERT_TRUE(ParseNumeric("0", &n));
+  EXPECT_EQ(n.unscaled, 0);
+  EXPECT_EQ(n.scale, 0);
+  ASSERT_TRUE(ParseNumeric("12345", &n));
+  EXPECT_EQ(n.unscaled, 12345);
+  ASSERT_TRUE(ParseNumeric("-7", &n));
+  EXPECT_EQ(n.unscaled, -7);
+}
+
+TEST(NumericTest, ParseDecimals) {
+  Numeric n;
+  ASSERT_TRUE(ParseNumeric("19.99", &n));
+  EXPECT_EQ(n.unscaled, 1999);
+  EXPECT_EQ(n.scale, 2);
+  ASSERT_TRUE(ParseNumeric("0.001", &n));
+  EXPECT_EQ(n.unscaled, 1);
+  EXPECT_EQ(n.scale, 3);
+  ASSERT_TRUE(ParseNumeric("-12.50", &n));
+  EXPECT_EQ(n.unscaled, -1250);
+  EXPECT_EQ(n.scale, 2);
+}
+
+TEST(NumericTest, RejectsNonCanonical) {
+  Numeric n;
+  EXPECT_FALSE(ParseNumeric("", &n));
+  EXPECT_FALSE(ParseNumeric("+1", &n));
+  EXPECT_FALSE(ParseNumeric("01", &n));     // leading zero
+  EXPECT_FALSE(ParseNumeric(".5", &n));     // no integer part
+  EXPECT_FALSE(ParseNumeric("1.", &n));     // no fraction digits
+  EXPECT_FALSE(ParseNumeric("1e5", &n));    // exponent
+  EXPECT_FALSE(ParseNumeric("-0", &n));     // negative zero
+  EXPECT_FALSE(ParseNumeric("1 2", &n));
+  EXPECT_FALSE(ParseNumeric("abc", &n));
+  EXPECT_FALSE(ParseNumeric("12345678901234567890", &n));  // > 18 digits
+}
+
+class NumericRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NumericRoundTripTest, ToStringReconstructsExactInput) {
+  Numeric n;
+  ASSERT_TRUE(ParseNumeric(GetParam(), &n));
+  EXPECT_EQ(n.ToString(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, NumericRoundTripTest,
+                         ::testing::Values("0", "1", "-1", "19.99", "-12.50",
+                                           "0.001", "123456789.123456789",
+                                           "999999999999999999", "0.000000001"));
+
+TEST(NumericTest, Conversions) {
+  Numeric n;
+  ASSERT_TRUE(ParseNumeric("19.99", &n));
+  EXPECT_DOUBLE_EQ(n.ToDouble(), 19.99);
+  EXPECT_EQ(n.ToInt64(), 19);
+  ASSERT_TRUE(ParseNumeric("-3.7", &n));
+  EXPECT_EQ(n.ToInt64(), -3);
+}
+
+TEST(NumericTest, LooksLikeNumeric) {
+  EXPECT_TRUE(LooksLikeNumeric("42.00"));
+  EXPECT_FALSE(LooksLikeNumeric("42x"));
+  EXPECT_FALSE(LooksLikeNumeric("NaN"));
+}
+
+}  // namespace
+}  // namespace jsontiles

@@ -1,0 +1,60 @@
+#include "util/hyperloglog.h"
+
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace jsontiles {
+namespace {
+
+TEST(HyperLogLogTest, EmptyEstimatesZero) {
+  HyperLogLog hll;
+  EXPECT_LT(hll.Estimate(), 1.0);
+}
+
+TEST(HyperLogLogTest, SmallCardinalityExact) {
+  HyperLogLog hll;
+  for (int i = 0; i < 10; i++) hll.AddInt(static_cast<uint64_t>(i));
+  double est = hll.Estimate();
+  EXPECT_NEAR(est, 10.0, 2.0);
+}
+
+TEST(HyperLogLogTest, DuplicatesDoNotInflate) {
+  HyperLogLog hll;
+  for (int rep = 0; rep < 100; rep++) {
+    for (int i = 0; i < 50; i++) hll.AddString("value_" + std::to_string(i));
+  }
+  EXPECT_NEAR(hll.Estimate(), 50.0, 10.0);
+}
+
+class HyperLogLogAccuracyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HyperLogLogAccuracyTest, WithinFivePercent) {
+  const int n = GetParam();
+  HyperLogLog hll(11);
+  for (int i = 0; i < n; i++) hll.AddInt(static_cast<uint64_t>(i) * 7919 + 13);
+  double est = hll.Estimate();
+  double err = std::abs(est - n) / n;
+  EXPECT_LT(err, 0.08) << "n=" << n << " est=" << est;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, HyperLogLogAccuracyTest,
+                         ::testing::Values(100, 1000, 10000, 100000, 1000000));
+
+TEST(HyperLogLogTest, MergeMatchesUnion) {
+  HyperLogLog a(11), b(11), u(11);
+  for (int i = 0; i < 5000; i++) {
+    a.AddInt(static_cast<uint64_t>(i));
+    u.AddInt(static_cast<uint64_t>(i));
+  }
+  for (int i = 2500; i < 7500; i++) {
+    b.AddInt(static_cast<uint64_t>(i));
+    u.AddInt(static_cast<uint64_t>(i));
+  }
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Estimate(), u.Estimate());
+}
+
+}  // namespace
+}  // namespace jsontiles

@@ -1,0 +1,112 @@
+#include "util/lz4.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace jsontiles::lz4 {
+namespace {
+
+std::vector<uint8_t> RoundTrip(const std::vector<uint8_t>& input) {
+  std::vector<uint8_t> compressed = Compress(input.data(), input.size());
+  std::vector<uint8_t> output(input.size());
+  EXPECT_TRUE(Decompress(compressed.data(), compressed.size(), output.data(),
+                         output.size()));
+  return output;
+}
+
+TEST(Lz4Test, EmptyInput) {
+  std::vector<uint8_t> input;
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(Lz4Test, ShortInput) {
+  std::vector<uint8_t> input = {'a', 'b', 'c'};
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(Lz4Test, RepetitiveInputCompressesWell) {
+  std::vector<uint8_t> input(100000, 0);
+  for (size_t i = 0; i < input.size(); i++) {
+    input[i] = static_cast<uint8_t>("abcd"[i % 4]);
+  }
+  std::vector<uint8_t> compressed = Compress(input.data(), input.size());
+  EXPECT_LT(compressed.size(), input.size() / 10);
+  std::vector<uint8_t> output(input.size());
+  ASSERT_TRUE(Decompress(compressed.data(), compressed.size(), output.data(),
+                         output.size()));
+  EXPECT_EQ(output, input);
+}
+
+TEST(Lz4Test, IncompressibleRandomData) {
+  Random rng(7);
+  std::vector<uint8_t> input(50000);
+  for (auto& b : input) b = static_cast<uint8_t>(rng.Next());
+  EXPECT_EQ(RoundTrip(input), input);
+  // Worst-case bound holds.
+  std::vector<uint8_t> compressed = Compress(input.data(), input.size());
+  EXPECT_LE(compressed.size(), MaxCompressedSize(input.size()));
+}
+
+TEST(Lz4Test, OverlappingMatchesRle) {
+  std::vector<uint8_t> input(4096, 'x');  // offset-1 overlapping match
+  std::vector<uint8_t> compressed = Compress(input.data(), input.size());
+  EXPECT_LT(compressed.size(), 64u);
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+class Lz4SizeSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Lz4SizeSweepTest, RoundTripMixedContent) {
+  Random rng(GetParam());
+  std::vector<uint8_t> input(GetParam());
+  // Mix of runs and noise exercises literal/match boundaries.
+  size_t i = 0;
+  while (i < input.size()) {
+    if (rng.Chance(0.5)) {
+      uint8_t c = static_cast<uint8_t>(rng.Next());
+      size_t run = 1 + rng.Uniform(40);
+      for (size_t j = 0; j < run && i < input.size(); j++) input[i++] = c;
+    } else {
+      input[i++] = static_cast<uint8_t>(rng.Next());
+    }
+  }
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Lz4SizeSweepTest,
+                         ::testing::Values(1, 2, 5, 13, 64, 255, 256, 1000,
+                                           4096, 65536, 1000000));
+
+TEST(Lz4Test, DecompressRejectsTruncatedInput) {
+  std::vector<uint8_t> input(1000, 'z');
+  std::vector<uint8_t> compressed = Compress(input.data(), input.size());
+  std::vector<uint8_t> output(input.size());
+  EXPECT_FALSE(Decompress(compressed.data(), compressed.size() / 2, output.data(),
+                          output.size()));
+}
+
+TEST(Lz4Test, DecompressRejectsBadOffset) {
+  // Token: 0 literals + match of 4 with offset 5 at position 0 (invalid).
+  std::vector<uint8_t> bad = {0x00, 0x05, 0x00};
+  std::vector<uint8_t> output(16);
+  EXPECT_FALSE(Decompress(bad.data(), bad.size(), output.data(), output.size()));
+}
+
+TEST(Lz4Test, TextCompresses) {
+  std::string text;
+  for (int i = 0; i < 500; i++) {
+    text += "{\"id\":" + std::to_string(i) + ",\"name\":\"customer\"}";
+  }
+  std::vector<uint8_t> input(text.begin(), text.end());
+  std::vector<uint8_t> compressed = Compress(input.data(), input.size());
+  EXPECT_LT(compressed.size(), input.size() / 2);
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+}  // namespace
+}  // namespace jsontiles::lz4

@@ -1,0 +1,86 @@
+#include "util/rle.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace jsontiles::rle {
+namespace {
+
+void RoundTrip(const std::vector<int64_t>& input) {
+  auto encoded = EncodeInt64(input.data(), input.size());
+  EXPECT_EQ(encoded.size(), EncodedSizeInt64(input.data(), input.size()));
+  std::vector<int64_t> decoded;
+  ASSERT_TRUE(DecodeInt64(encoded.data(), encoded.size(), &decoded));
+  EXPECT_EQ(decoded, input);
+}
+
+TEST(RleTest, Empty) { RoundTrip({}); }
+
+TEST(RleTest, SingleValue) { RoundTrip({42}); }
+
+TEST(RleTest, LongRunCompressesHard) {
+  std::vector<int64_t> input(100000, 7);
+  auto encoded = EncodeInt64(input.data(), input.size());
+  EXPECT_LT(encoded.size(), 8u);
+  RoundTrip(input);
+}
+
+TEST(RleTest, AlternatingWorstCase) {
+  std::vector<int64_t> input;
+  for (int i = 0; i < 1000; i++) input.push_back(i % 2);
+  EXPECT_EQ(CountRuns(input.data(), input.size()), 1000u);
+  RoundTrip(input);
+}
+
+TEST(RleTest, NegativesAndDeltas) {
+  RoundTrip({-5, -5, -5, 100, 100, INT64_MIN, INT64_MAX, 0, 0});
+}
+
+TEST(RleTest, SortedRunsBeatShuffled) {
+  Random rng(1);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 10000; i++) values.push_back(static_cast<int64_t>(i / 100));
+  size_t sorted_size = EncodedSizeInt64(values.data(), values.size());
+  // Shuffle destroys the runs.
+  for (size_t i = values.size(); i > 1; i--) {
+    std::swap(values[i - 1], values[rng.Uniform(i)]);
+  }
+  size_t shuffled_size = EncodedSizeInt64(values.data(), values.size());
+  EXPECT_LT(sorted_size * 10, shuffled_size);
+  RoundTrip(values);
+}
+
+TEST(RleTest, CountRuns) {
+  std::vector<int64_t> v = {1, 1, 2, 2, 2, 3};
+  EXPECT_EQ(CountRuns(v.data(), v.size()), 3u);
+  EXPECT_EQ(CountRuns(v.data(), 0), 0u);
+}
+
+TEST(RleTest, DecodeRejectsGarbage) {
+  std::vector<int64_t> out;
+  // A zero run length is invalid.
+  uint8_t bad[] = {0x00, 0x02};
+  EXPECT_FALSE(DecodeInt64(bad, sizeof(bad), &out));
+}
+
+class RleFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RleFuzzTest, RandomMixRoundTrips) {
+  Random rng(GetParam());
+  std::vector<int64_t> input;
+  size_t n = 1 + rng.Uniform(5000);
+  while (input.size() < n) {
+    int64_t v = rng.Range(-1000, 1000);
+    size_t run = 1 + rng.Uniform(20);
+    for (size_t i = 0; i < run && input.size() < n; i++) input.push_back(v);
+  }
+  RoundTrip(input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RleFuzzTest, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace jsontiles::rle
