@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_formats_fig18_20.dir/bench_formats_fig18_20.cc.o"
+  "CMakeFiles/bench_formats_fig18_20.dir/bench_formats_fig18_20.cc.o.d"
+  "bench_formats_fig18_20"
+  "bench_formats_fig18_20.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_formats_fig18_20.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_formats_fig18_20.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_loading_fig16_17.dir/bench_loading_fig16_17.cc.o"
+  "CMakeFiles/bench_loading_fig16_17.dir/bench_loading_fig16_17.cc.o.d"
+  "bench_loading_fig16_17"
+  "bench_loading_fig16_17.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_loading_fig16_17.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

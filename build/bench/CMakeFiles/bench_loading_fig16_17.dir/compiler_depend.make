@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_loading_fig16_17.
+# This may be replaced when dependencies are built.

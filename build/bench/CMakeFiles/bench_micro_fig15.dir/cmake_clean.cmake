@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_fig15.dir/bench_micro_fig15.cc.o"
+  "CMakeFiles/bench_micro_fig15.dir/bench_micro_fig15.cc.o.d"
+  "bench_micro_fig15"
+  "bench_micro_fig15.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_fig15.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_opts_fig14.dir/bench_opts_fig14.cc.o"
+  "CMakeFiles/bench_opts_fig14.dir/bench_opts_fig14.cc.o.d"
+  "bench_opts_fig14"
+  "bench_opts_fig14.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_opts_fig14.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_shuffled_fig9.
+# This may be replaced when dependencies are built.

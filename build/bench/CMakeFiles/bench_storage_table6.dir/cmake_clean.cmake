@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_storage_table6.dir/bench_storage_table6.cc.o"
+  "CMakeFiles/bench_storage_table6.dir/bench_storage_table6.cc.o.d"
+  "bench_storage_table6"
+  "bench_storage_table6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_storage_table6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tilesize_fig10_13.dir/bench_tilesize_fig10_13.cc.o"
+  "CMakeFiles/bench_tilesize_fig10_13.dir/bench_tilesize_fig10_13.cc.o.d"
+  "bench_tilesize_fig10_13"
+  "bench_tilesize_fig10_13.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tilesize_fig10_13.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tilesize_fig10_13.
+# This may be replaced when dependencies are built.

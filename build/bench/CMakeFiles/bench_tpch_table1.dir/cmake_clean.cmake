@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tpch_table1.dir/bench_tpch_table1.cc.o"
+  "CMakeFiles/bench_tpch_table1.dir/bench_tpch_table1.cc.o.d"
+  "bench_tpch_table1"
+  "bench_tpch_table1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tpch_table1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

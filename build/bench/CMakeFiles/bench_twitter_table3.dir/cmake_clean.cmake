@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_twitter_table3.dir/bench_twitter_table3.cc.o"
+  "CMakeFiles/bench_twitter_table3.dir/bench_twitter_table3.cc.o.d"
+  "bench_twitter_table3"
+  "bench_twitter_table3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_twitter_table3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

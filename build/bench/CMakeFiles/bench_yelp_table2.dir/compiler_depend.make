@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_yelp_table2.
+# This may be replaced when dependencies are built.

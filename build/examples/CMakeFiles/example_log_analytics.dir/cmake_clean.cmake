@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_log_analytics.dir/log_analytics.cpp.o"
+  "CMakeFiles/example_log_analytics.dir/log_analytics.cpp.o.d"
+  "example_log_analytics"
+  "example_log_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_log_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

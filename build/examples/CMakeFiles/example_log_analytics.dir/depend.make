@@ -1,0 +1,2 @@
+# Empty dependencies file for example_log_analytics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_schema_explorer.dir/schema_explorer.cpp.o"
+  "CMakeFiles/example_schema_explorer.dir/schema_explorer.cpp.o.d"
+  "example_schema_explorer"
+  "example_schema_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_schema_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sql_queries.dir/sql_queries.cpp.o"
+  "CMakeFiles/example_sql_queries.dir/sql_queries.cpp.o.d"
+  "example_sql_queries"
+  "example_sql_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sql_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_twitter_analytics.dir/twitter_analytics.cpp.o"
+  "CMakeFiles/example_twitter_analytics.dir/twitter_analytics.cpp.o.d"
+  "example_twitter_analytics"
+  "example_twitter_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_twitter_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/expression.cc" "src/CMakeFiles/jsontiles.dir/exec/expression.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/exec/expression.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/CMakeFiles/jsontiles.dir/exec/operators.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/exec/operators.cc.o.d"
+  "/root/repo/src/exec/scan.cc" "src/CMakeFiles/jsontiles.dir/exec/scan.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/exec/scan.cc.o.d"
+  "/root/repo/src/exec/value.cc" "src/CMakeFiles/jsontiles.dir/exec/value.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/exec/value.cc.o.d"
+  "/root/repo/src/json/bson.cc" "src/CMakeFiles/jsontiles.dir/json/bson.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/json/bson.cc.o.d"
+  "/root/repo/src/json/cbor.cc" "src/CMakeFiles/jsontiles.dir/json/cbor.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/json/cbor.cc.o.d"
+  "/root/repo/src/json/dom.cc" "src/CMakeFiles/jsontiles.dir/json/dom.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/json/dom.cc.o.d"
+  "/root/repo/src/json/jsonb.cc" "src/CMakeFiles/jsontiles.dir/json/jsonb.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/json/jsonb.cc.o.d"
+  "/root/repo/src/json/lexer.cc" "src/CMakeFiles/jsontiles.dir/json/lexer.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/json/lexer.cc.o.d"
+  "/root/repo/src/mining/apriori.cc" "src/CMakeFiles/jsontiles.dir/mining/apriori.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/mining/apriori.cc.o.d"
+  "/root/repo/src/mining/fpgrowth.cc" "src/CMakeFiles/jsontiles.dir/mining/fpgrowth.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/mining/fpgrowth.cc.o.d"
+  "/root/repo/src/opt/cardinality.cc" "src/CMakeFiles/jsontiles.dir/opt/cardinality.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/opt/cardinality.cc.o.d"
+  "/root/repo/src/opt/join_order.cc" "src/CMakeFiles/jsontiles.dir/opt/join_order.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/opt/join_order.cc.o.d"
+  "/root/repo/src/opt/query.cc" "src/CMakeFiles/jsontiles.dir/opt/query.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/opt/query.cc.o.d"
+  "/root/repo/src/sql/sql_lexer.cc" "src/CMakeFiles/jsontiles.dir/sql/sql_lexer.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/sql/sql_lexer.cc.o.d"
+  "/root/repo/src/sql/sql_parser.cc" "src/CMakeFiles/jsontiles.dir/sql/sql_parser.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/sql/sql_parser.cc.o.d"
+  "/root/repo/src/storage/loader.cc" "src/CMakeFiles/jsontiles.dir/storage/loader.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/storage/loader.cc.o.d"
+  "/root/repo/src/storage/relation.cc" "src/CMakeFiles/jsontiles.dir/storage/relation.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/storage/relation.cc.o.d"
+  "/root/repo/src/storage/serialize.cc" "src/CMakeFiles/jsontiles.dir/storage/serialize.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/storage/serialize.cc.o.d"
+  "/root/repo/src/tiles/array_extract.cc" "src/CMakeFiles/jsontiles.dir/tiles/array_extract.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/tiles/array_extract.cc.o.d"
+  "/root/repo/src/tiles/column.cc" "src/CMakeFiles/jsontiles.dir/tiles/column.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/tiles/column.cc.o.d"
+  "/root/repo/src/tiles/keypath.cc" "src/CMakeFiles/jsontiles.dir/tiles/keypath.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/tiles/keypath.cc.o.d"
+  "/root/repo/src/tiles/reorder.cc" "src/CMakeFiles/jsontiles.dir/tiles/reorder.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/tiles/reorder.cc.o.d"
+  "/root/repo/src/tiles/stats.cc" "src/CMakeFiles/jsontiles.dir/tiles/stats.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/tiles/stats.cc.o.d"
+  "/root/repo/src/tiles/tile.cc" "src/CMakeFiles/jsontiles.dir/tiles/tile.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/tiles/tile.cc.o.d"
+  "/root/repo/src/tiles/tile_builder.cc" "src/CMakeFiles/jsontiles.dir/tiles/tile_builder.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/tiles/tile_builder.cc.o.d"
+  "/root/repo/src/util/arena.cc" "src/CMakeFiles/jsontiles.dir/util/arena.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/util/arena.cc.o.d"
+  "/root/repo/src/util/bloom_filter.cc" "src/CMakeFiles/jsontiles.dir/util/bloom_filter.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/util/bloom_filter.cc.o.d"
+  "/root/repo/src/util/date.cc" "src/CMakeFiles/jsontiles.dir/util/date.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/util/date.cc.o.d"
+  "/root/repo/src/util/decimal.cc" "src/CMakeFiles/jsontiles.dir/util/decimal.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/util/decimal.cc.o.d"
+  "/root/repo/src/util/hyperloglog.cc" "src/CMakeFiles/jsontiles.dir/util/hyperloglog.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/util/hyperloglog.cc.o.d"
+  "/root/repo/src/util/lz4.cc" "src/CMakeFiles/jsontiles.dir/util/lz4.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/util/lz4.cc.o.d"
+  "/root/repo/src/util/perf_counters.cc" "src/CMakeFiles/jsontiles.dir/util/perf_counters.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/util/perf_counters.cc.o.d"
+  "/root/repo/src/util/rle.cc" "src/CMakeFiles/jsontiles.dir/util/rle.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/util/rle.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/jsontiles.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/util/thread_pool.cc.o.d"
+  "/root/repo/src/workload/hackernews.cc" "src/CMakeFiles/jsontiles.dir/workload/hackernews.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/workload/hackernews.cc.o.d"
+  "/root/repo/src/workload/simdjson_corpus.cc" "src/CMakeFiles/jsontiles.dir/workload/simdjson_corpus.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/workload/simdjson_corpus.cc.o.d"
+  "/root/repo/src/workload/tpch.cc" "src/CMakeFiles/jsontiles.dir/workload/tpch.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/workload/tpch.cc.o.d"
+  "/root/repo/src/workload/tpch_queries.cc" "src/CMakeFiles/jsontiles.dir/workload/tpch_queries.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/workload/tpch_queries.cc.o.d"
+  "/root/repo/src/workload/twitter.cc" "src/CMakeFiles/jsontiles.dir/workload/twitter.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/workload/twitter.cc.o.d"
+  "/root/repo/src/workload/yelp.cc" "src/CMakeFiles/jsontiles.dir/workload/yelp.cc.o" "gcc" "src/CMakeFiles/jsontiles.dir/workload/yelp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exec/engine_edge_test.cc" "tests/CMakeFiles/jsontiles_tests.dir/exec/engine_edge_test.cc.o" "gcc" "tests/CMakeFiles/jsontiles_tests.dir/exec/engine_edge_test.cc.o.d"
+  "/root/repo/tests/exec/expression_test.cc" "tests/CMakeFiles/jsontiles_tests.dir/exec/expression_test.cc.o" "gcc" "tests/CMakeFiles/jsontiles_tests.dir/exec/expression_test.cc.o.d"
+  "/root/repo/tests/exec/scan_test.cc" "tests/CMakeFiles/jsontiles_tests.dir/exec/scan_test.cc.o" "gcc" "tests/CMakeFiles/jsontiles_tests.dir/exec/scan_test.cc.o.d"
+  "/root/repo/tests/exec/zonemap_test.cc" "tests/CMakeFiles/jsontiles_tests.dir/exec/zonemap_test.cc.o" "gcc" "tests/CMakeFiles/jsontiles_tests.dir/exec/zonemap_test.cc.o.d"
+  "/root/repo/tests/json/dom_test.cc" "tests/CMakeFiles/jsontiles_tests.dir/json/dom_test.cc.o" "gcc" "tests/CMakeFiles/jsontiles_tests.dir/json/dom_test.cc.o.d"
+  "/root/repo/tests/json/formats_test.cc" "tests/CMakeFiles/jsontiles_tests.dir/json/formats_test.cc.o" "gcc" "tests/CMakeFiles/jsontiles_tests.dir/json/formats_test.cc.o.d"
+  "/root/repo/tests/json/jsonb_test.cc" "tests/CMakeFiles/jsontiles_tests.dir/json/jsonb_test.cc.o" "gcc" "tests/CMakeFiles/jsontiles_tests.dir/json/jsonb_test.cc.o.d"
+  "/root/repo/tests/json/parser_fuzz_test.cc" "tests/CMakeFiles/jsontiles_tests.dir/json/parser_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/jsontiles_tests.dir/json/parser_fuzz_test.cc.o.d"
+  "/root/repo/tests/mining/mining_test.cc" "tests/CMakeFiles/jsontiles_tests.dir/mining/mining_test.cc.o" "gcc" "tests/CMakeFiles/jsontiles_tests.dir/mining/mining_test.cc.o.d"
+  "/root/repo/tests/opt/query_test.cc" "tests/CMakeFiles/jsontiles_tests.dir/opt/query_test.cc.o" "gcc" "tests/CMakeFiles/jsontiles_tests.dir/opt/query_test.cc.o.d"
+  "/root/repo/tests/sql/sql_test.cc" "tests/CMakeFiles/jsontiles_tests.dir/sql/sql_test.cc.o" "gcc" "tests/CMakeFiles/jsontiles_tests.dir/sql/sql_test.cc.o.d"
+  "/root/repo/tests/sql/sql_tpch_test.cc" "tests/CMakeFiles/jsontiles_tests.dir/sql/sql_tpch_test.cc.o" "gcc" "tests/CMakeFiles/jsontiles_tests.dir/sql/sql_tpch_test.cc.o.d"
+  "/root/repo/tests/storage/loader_test.cc" "tests/CMakeFiles/jsontiles_tests.dir/storage/loader_test.cc.o" "gcc" "tests/CMakeFiles/jsontiles_tests.dir/storage/loader_test.cc.o.d"
+  "/root/repo/tests/storage/serialize_test.cc" "tests/CMakeFiles/jsontiles_tests.dir/storage/serialize_test.cc.o" "gcc" "tests/CMakeFiles/jsontiles_tests.dir/storage/serialize_test.cc.o.d"
+  "/root/repo/tests/tiles/column_test.cc" "tests/CMakeFiles/jsontiles_tests.dir/tiles/column_test.cc.o" "gcc" "tests/CMakeFiles/jsontiles_tests.dir/tiles/column_test.cc.o.d"
+  "/root/repo/tests/tiles/keypath_test.cc" "tests/CMakeFiles/jsontiles_tests.dir/tiles/keypath_test.cc.o" "gcc" "tests/CMakeFiles/jsontiles_tests.dir/tiles/keypath_test.cc.o.d"
+  "/root/repo/tests/tiles/prefix_and_routes_test.cc" "tests/CMakeFiles/jsontiles_tests.dir/tiles/prefix_and_routes_test.cc.o" "gcc" "tests/CMakeFiles/jsontiles_tests.dir/tiles/prefix_and_routes_test.cc.o.d"
+  "/root/repo/tests/tiles/reorder_test.cc" "tests/CMakeFiles/jsontiles_tests.dir/tiles/reorder_test.cc.o" "gcc" "tests/CMakeFiles/jsontiles_tests.dir/tiles/reorder_test.cc.o.d"
+  "/root/repo/tests/tiles/tile_builder_test.cc" "tests/CMakeFiles/jsontiles_tests.dir/tiles/tile_builder_test.cc.o" "gcc" "tests/CMakeFiles/jsontiles_tests.dir/tiles/tile_builder_test.cc.o.d"
+  "/root/repo/tests/util/bit_util_test.cc" "tests/CMakeFiles/jsontiles_tests.dir/util/bit_util_test.cc.o" "gcc" "tests/CMakeFiles/jsontiles_tests.dir/util/bit_util_test.cc.o.d"
+  "/root/repo/tests/util/bloom_filter_test.cc" "tests/CMakeFiles/jsontiles_tests.dir/util/bloom_filter_test.cc.o" "gcc" "tests/CMakeFiles/jsontiles_tests.dir/util/bloom_filter_test.cc.o.d"
+  "/root/repo/tests/util/date_test.cc" "tests/CMakeFiles/jsontiles_tests.dir/util/date_test.cc.o" "gcc" "tests/CMakeFiles/jsontiles_tests.dir/util/date_test.cc.o.d"
+  "/root/repo/tests/util/decimal_test.cc" "tests/CMakeFiles/jsontiles_tests.dir/util/decimal_test.cc.o" "gcc" "tests/CMakeFiles/jsontiles_tests.dir/util/decimal_test.cc.o.d"
+  "/root/repo/tests/util/hyperloglog_test.cc" "tests/CMakeFiles/jsontiles_tests.dir/util/hyperloglog_test.cc.o" "gcc" "tests/CMakeFiles/jsontiles_tests.dir/util/hyperloglog_test.cc.o.d"
+  "/root/repo/tests/util/lz4_test.cc" "tests/CMakeFiles/jsontiles_tests.dir/util/lz4_test.cc.o" "gcc" "tests/CMakeFiles/jsontiles_tests.dir/util/lz4_test.cc.o.d"
+  "/root/repo/tests/util/misc_util_test.cc" "tests/CMakeFiles/jsontiles_tests.dir/util/misc_util_test.cc.o" "gcc" "tests/CMakeFiles/jsontiles_tests.dir/util/misc_util_test.cc.o.d"
+  "/root/repo/tests/util/rle_test.cc" "tests/CMakeFiles/jsontiles_tests.dir/util/rle_test.cc.o" "gcc" "tests/CMakeFiles/jsontiles_tests.dir/util/rle_test.cc.o.d"
+  "/root/repo/tests/util/status_test.cc" "tests/CMakeFiles/jsontiles_tests.dir/util/status_test.cc.o" "gcc" "tests/CMakeFiles/jsontiles_tests.dir/util/status_test.cc.o.d"
+  "/root/repo/tests/workload/tpch_test.cc" "tests/CMakeFiles/jsontiles_tests.dir/workload/tpch_test.cc.o" "gcc" "tests/CMakeFiles/jsontiles_tests.dir/workload/tpch_test.cc.o.d"
+  "/root/repo/tests/workload/workloads_test.cc" "tests/CMakeFiles/jsontiles_tests.dir/workload/workloads_test.cc.o" "gcc" "tests/CMakeFiles/jsontiles_tests.dir/workload/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jsontiles.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
