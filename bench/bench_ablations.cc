@@ -43,6 +43,7 @@ std::vector<mining::Transaction> MakeTransactions(size_t n, int num_items,
 }  // namespace
 
 int main(int argc, char** argv) {
+  BenchObs obs(&argc, argv);
   benchmark::Initialize(&argc, argv);
 
   // --- A: FP-Growth vs Apriori -------------------------------------------

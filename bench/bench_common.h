@@ -15,11 +15,15 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/loader.h"
 
 namespace jsontiles::bench {
@@ -126,6 +130,90 @@ inline std::string Fmt(double v, const char* fmt = "%.4f") {
   std::snprintf(buf, sizeof(buf), fmt, v);
   return buf;
 }
+
+/// Observability flags shared by all bench binaries. Construct before
+/// benchmark::Initialize so google-benchmark never sees our flags:
+///
+///   --metrics-json <path>   dump the MetricsRegistry as JSON on exit
+///   --trace-json <path>     record trace spans, write a chrome://tracing file
+///
+/// Works under JSONTILES_OBS=OFF too (the registry is always compiled; the
+/// dump is then simply empty).
+class BenchObs {
+ public:
+  BenchObs(int* argc, char** argv) {
+    int out = 1;
+    for (int i = 1; i < *argc; i++) {
+      std::string_view arg = argv[i];
+      std::string* target = nullptr;
+      if (arg == "--metrics-json" || arg.rfind("--metrics-json=", 0) == 0) {
+        target = &metrics_path_;
+      } else if (arg == "--trace-json" || arg.rfind("--trace-json=", 0) == 0) {
+        target = &trace_path_;
+      }
+      if (target == nullptr) {
+        argv[out++] = argv[i];
+        continue;
+      }
+      size_t eq = arg.find('=');
+      if (eq != std::string_view::npos) {
+        *target = std::string(arg.substr(eq + 1));
+      } else if (i + 1 < *argc) {
+        *target = argv[++i];
+      } else {
+        std::fprintf(stderr, "missing path after %s\n",
+                     std::string(arg).c_str());
+        std::exit(2);
+      }
+    }
+    *argc = out;
+    argv[out] = nullptr;
+    // Fail before the (long) benchmark run, not in the dtor afterwards.
+    for (const std::string& path : {metrics_path_, trace_path_}) {
+      if (path.empty()) continue;
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        std::exit(2);
+      }
+      std::fclose(f);
+    }
+    if (!trace_path_.empty()) {
+      obs::TraceCollector::Default().set_enabled(true);
+    }
+  }
+
+  ~BenchObs() {
+    if (!metrics_path_.empty()) {
+      std::string json = obs::MetricsRegistry::Default().ToJson();
+      std::FILE* f = std::fopen(metrics_path_.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_path_.c_str());
+      } else {
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("\nmetrics written to %s\n", metrics_path_.c_str());
+      }
+    }
+    if (!trace_path_.empty()) {
+      Status st = obs::TraceCollector::Default().WriteChromeTrace(trace_path_);
+      if (!st.ok()) {
+        std::fprintf(stderr, "cannot write %s: %s\n", trace_path_.c_str(),
+                     st.ToString().c_str());
+      } else {
+        std::printf("trace written to %s (load in chrome://tracing)\n",
+                    trace_path_.c_str());
+      }
+    }
+  }
+
+  BenchObs(const BenchObs&) = delete;
+  BenchObs& operator=(const BenchObs&) = delete;
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+};
 
 }  // namespace jsontiles::bench
 

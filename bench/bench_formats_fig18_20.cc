@@ -121,6 +121,7 @@ bool AccessCbor(const uint8_t* data, size_t size, const Path& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  BenchObs obs(&argc, argv);
   benchmark::Initialize(&argc, argv);
 
   auto corpus = workload::GenerateSimdJsonCorpus();

@@ -19,6 +19,7 @@ using namespace jsontiles::bench;  // NOLINT
 }  // namespace
 
 int main(int argc, char** argv) {
+  BenchObs obs(&argc, argv);
   benchmark::Initialize(&argc, argv);
 
   struct Workload {

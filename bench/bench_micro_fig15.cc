@@ -32,6 +32,7 @@ int64_t RunSum(const storage::Relation& rel) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  BenchObs obs(&argc, argv);
   benchmark::Initialize(&argc, argv);
 
   workload::TpchOptions options;

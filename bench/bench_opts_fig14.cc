@@ -31,6 +31,7 @@ constexpr Level kLevels[] = {{"no Opt", false, false},
 }  // namespace
 
 int main(int argc, char** argv) {
+  BenchObs obs(&argc, argv);
   benchmark::Initialize(&argc, argv);
 
   workload::TpchOptions tpch_options;

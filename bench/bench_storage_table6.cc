@@ -45,6 +45,7 @@ double Mb(size_t bytes) { return static_cast<double>(bytes) / (1024.0 * 1024.0);
 }  // namespace
 
 int main(int argc, char** argv) {
+  BenchObs obs(&argc, argv);
   benchmark::Initialize(&argc, argv);
 
   struct Workload {

@@ -62,6 +62,7 @@ void Sweep(const char* title, const std::vector<std::string>& docs,
 }  // namespace
 
 int main(int argc, char** argv) {
+  BenchObs obs(&argc, argv);
   benchmark::Initialize(&argc, argv);
   exec::ExecOptions exec_options;
   exec_options.num_threads = BenchThreads();

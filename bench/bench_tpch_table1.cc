@@ -96,6 +96,7 @@ int main(int argc, char** argv) {
           ->MinTime(0.1);
     }
   }
+  BenchObs obs(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

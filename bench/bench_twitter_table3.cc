@@ -67,6 +67,7 @@ std::map<std::string, std::vector<double>> RunAll(const Loaded& loaded,
 }  // namespace
 
 int main(int argc, char** argv) {
+  BenchObs obs(&argc, argv);
   benchmark::Initialize(&argc, argv);
 
   workload::TwitterOptions options;

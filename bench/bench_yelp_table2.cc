@@ -15,6 +15,7 @@ using namespace jsontiles::bench;  // NOLINT
 }  // namespace
 
 int main(int argc, char** argv) {
+  BenchObs obs(&argc, argv);
   benchmark::Initialize(&argc, argv);
 
   workload::YelpOptions options;

@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/obs.h"
+#include "obs/plan_profile.h"
 #include "util/hash.h"
 #include "util/logging.h"
 
@@ -41,6 +43,9 @@ std::vector<Value> EvalKeyList(const std::vector<ExprPtr>& keys,
 
 RowSet FilterExec(RowSet in, const ExprPtr& predicate, QueryContext& ctx) {
   if (predicate == nullptr) return in;
+  JSONTILES_TRACE_SPAN("exec.filter");
+  obs::OperatorProfiler prof(ctx.profile, "Filter");
+  prof.set_rows_in(in.size());
   Arena* arena = ctx.arena(0);
   RowSet out;
   out.reserve(in.size());
@@ -48,11 +53,17 @@ RowSet FilterExec(RowSet in, const ExprPtr& predicate, QueryContext& ctx) {
     Value keep = EvalExpr(*predicate, row.data(), arena);
     if (!keep.is_null() && keep.bool_value()) out.push_back(std::move(row));
   }
+  prof.set_rows_out(out.size());
   return out;
 }
 
 RowSet ProjectExec(const RowSet& in, const std::vector<ExprPtr>& exprs,
                    QueryContext& ctx) {
+  JSONTILES_TRACE_SPAN("exec.project");
+  obs::OperatorProfiler prof(ctx.profile, "Project",
+                             std::to_string(exprs.size()) + " exprs");
+  prof.set_rows_in(in.size());
+  prof.set_rows_out(in.size());
   Arena* arena = ctx.arena(0);
   RowSet out;
   out.reserve(in.size());
@@ -215,6 +226,11 @@ void Accumulate(GroupMap& groups, const std::vector<ExprPtr>& group_by,
 
 RowSet AggregateExec(const RowSet& in, const std::vector<ExprPtr>& group_by,
                      const std::vector<AggSpec>& aggs, QueryContext& ctx) {
+  JSONTILES_TRACE_SPAN("exec.aggregate");
+  obs::OperatorProfiler prof(ctx.profile, "Aggregate",
+                             std::to_string(group_by.size()) + " keys, " +
+                                 std::to_string(aggs.size()) + " aggs");
+  prof.set_rows_in(in.size());
   const size_t parallel_threshold = 16384;
   std::vector<GroupMap> partials;
 
@@ -289,6 +305,7 @@ RowSet AggregateExec(const RowSet& in, const std::vector<ExprPtr>& group_by,
     }
     out.push_back(std::move(row));
   }
+  prof.set_rows_out(out.size());
   return out;
 }
 
@@ -301,6 +318,15 @@ RowSet HashJoinExec(const RowSet& build, const RowSet& probe,
                     const std::vector<ExprPtr>& probe_keys, JoinType type,
                     const ExprPtr& residual, QueryContext& ctx) {
   JSONTILES_CHECK(build_keys.size() == probe_keys.size());
+  JSONTILES_TRACE_SPAN("exec.hash_join");
+  const char* join_name = type == JoinType::kInner  ? "inner"
+                          : type == JoinType::kLeft ? "left"
+                          : type == JoinType::kSemi ? "semi"
+                                                    : "anti";
+  obs::OperatorProfiler prof(ctx.profile, "HashJoin", join_name);
+  prof.set_rows_in(build.size() + probe.size());
+  prof.AddCounter("build_rows", static_cast<int64_t>(build.size()));
+  prof.AddCounter("probe_rows", static_cast<int64_t>(probe.size()));
   Arena* arena = ctx.arena(0);
 
   // Build phase.
@@ -395,14 +421,21 @@ RowSet HashJoinExec(const RowSet& build, const RowSet& probe,
     for (auto& p : partials) {
       for (auto& row : p) out.push_back(std::move(row));
     }
+    prof.set_rows_out(out.size());
     return out;
   }
   RowSet out;
   probe_chunk(0, probe.size(), arena, &out);
+  prof.set_rows_out(out.size());
   return out;
 }
 
 RowSet SortExec(RowSet in, const std::vector<SortKey>& keys, QueryContext& ctx) {
+  JSONTILES_TRACE_SPAN("exec.sort");
+  obs::OperatorProfiler prof(ctx.profile, "Sort",
+                             std::to_string(keys.size()) + " keys");
+  prof.set_rows_in(in.size());
+  prof.set_rows_out(in.size());
   Arena* arena = ctx.arena(0);
   std::stable_sort(in.begin(), in.end(), [&](const Row& a, const Row& b) {
     for (const auto& key : keys) {
@@ -425,6 +458,14 @@ RowSet SortExec(RowSet in, const std::vector<SortKey>& keys, QueryContext& ctx) 
 
 RowSet LimitExec(RowSet in, size_t limit) {
   if (in.size() > limit) in.resize(limit);
+  return in;
+}
+
+RowSet LimitExec(RowSet in, size_t limit, QueryContext& ctx) {
+  obs::OperatorProfiler prof(ctx.profile, "Limit", std::to_string(limit));
+  prof.set_rows_in(in.size());
+  if (in.size() > limit) in.resize(limit);
+  prof.set_rows_out(in.size());
   return in;
 }
 

@@ -67,6 +67,9 @@ RowSet SortExec(RowSet in, const std::vector<SortKey>& keys, QueryContext& ctx);
 
 RowSet LimitExec(RowSet in, size_t limit);
 
+/// Profiling-aware variant: records rows in/out into ctx.profile (if set).
+RowSet LimitExec(RowSet in, size_t limit, QueryContext& ctx);
+
 }  // namespace jsontiles::exec
 
 #endif  // JSONTILES_EXEC_OPERATORS_H_

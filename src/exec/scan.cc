@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 
+#include "obs/obs.h"
 #include "tiles/keypath.h"
 #include "tiles/tile.h"
 
@@ -219,6 +220,11 @@ bool CanSkipByZoneMap(const Tile& tile, const RangePredicate& rp) {
 
 RowSet ScanExec(const ScanSpec& spec, QueryContext& ctx) {
   const Relation& rel = *spec.relation;
+  JSONTILES_TRACE_SPAN("exec.scan");
+  obs::OperatorProfiler prof(ctx.profile, "Scan",
+                             spec.table_alias.empty() ? rel.name()
+                                                      : spec.table_alias);
+  prof.set_rows_in(rel.num_rows());
   const size_t num_slots = spec.accesses.size();
   const bool tiled = rel.mode() == StorageMode::kTiles ||
                      rel.mode() == StorageMode::kSinew;
@@ -355,6 +361,10 @@ RowSet ScanExec(const ScanSpec& spec, QueryContext& ctx) {
 
   ctx.tiles_skipped += skipped.load();
   ctx.tiles_scanned += chunks.size();
+  JSONTILES_COUNTER_ADD("scan.tiles_scanned",
+                        static_cast<int64_t>(chunks.size()));
+  JSONTILES_COUNTER_ADD("scan.tiles_skipped",
+                        static_cast<int64_t>(skipped.load()));
 
   // Merge in chunk order (deterministic results).
   size_t total = 0;
@@ -364,6 +374,9 @@ RowSet ScanExec(const ScanSpec& spec, QueryContext& ctx) {
   for (auto& p : partials) {
     for (auto& row : p) out.push_back(std::move(row));
   }
+  prof.set_rows_out(out.size());
+  prof.AddCounter("tiles", static_cast<int64_t>(chunks.size()));
+  prof.AddCounter("tiles_skipped", static_cast<int64_t>(skipped.load()));
   return out;
 }
 

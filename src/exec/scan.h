@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "exec/expression.h"
+#include "obs/plan_profile.h"
 #include "storage/relation.h"
 #include "util/arena.h"
 #include "util/thread_pool.h"
@@ -45,6 +46,11 @@ class QueryContext {
   /// Tiles skipped by §4.8 across all scans of this query (observability).
   size_t tiles_skipped = 0;
   size_t tiles_scanned = 0;
+
+  /// Per-operator profiling sink (EXPLAIN ANALYZE). Null means off: each
+  /// operator then pays a single branch. Not owned; the SQL layer attaches
+  /// one for the duration of a profiled statement.
+  obs::PlanProfile* profile = nullptr;
 
  private:
   ExecOptions options_;

@@ -6,6 +6,7 @@
 
 #include "json/dom.h"
 #include "json/float16.h"
+#include "obs/obs.h"
 #include "util/bit_util.h"
 #include "util/logging.h"
 
@@ -538,6 +539,7 @@ Status JsonbBuilder::Transform(std::string_view json_text,
   sorted_children_.clear();
   decoded_used_ = 0;
 
+  JSONTILES_OBS_ONLY(obs::Stopwatch obs_watch);
   JsonLexer lexer(json_text);
   Token token;
   JSONTILES_RETURN_NOT_OK(lexer.Next(&token));
@@ -549,9 +551,16 @@ Status JsonbBuilder::Transform(std::string_view json_text,
   if (nodes_[root].size > 0xFFFFFFFFull) {
     return Status::OutOfRange("document larger than 4 GiB");
   }
+  JSONTILES_HIST_RECORD("jsonb.transform.pass1_micros", obs_watch.Lap() * 1e6);
 
   out->resize(nodes_[root].size);
   WriteValue(root, out->data(), 0);
+  JSONTILES_HIST_RECORD("jsonb.transform.pass2_micros", obs_watch.Lap() * 1e6);
+  JSONTILES_COUNTER_ADD("jsonb.transform.docs", 1);
+  JSONTILES_COUNTER_ADD("jsonb.transform.bytes_in",
+                        static_cast<int64_t>(json_text.size()));
+  JSONTILES_COUNTER_ADD("jsonb.transform.bytes_out",
+                        static_cast<int64_t>(out->size()));
   return Status::OK();
 }
 

@@ -33,6 +33,7 @@
 #define JSONTILES_JSON_JSONB_H_
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -142,7 +143,11 @@ class JsonbBuilder {
   Options options_;
   std::vector<Node> nodes_;
   std::vector<uint32_t> sorted_children_;
-  std::vector<std::string> decoded_;  // storage for unescaped strings
+  // Storage for unescaped strings. Nodes hold string_views into the elements,
+  // so the container must never relocate them: a deque keeps existing
+  // elements in place on push_back where a vector would move the std::string
+  // objects (and with them any SSO-inlined bytes the views point at).
+  std::deque<std::string> decoded_;
   size_t decoded_used_ = 0;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/obs.h"
 #include "util/logging.h"
 
 namespace jsontiles::mining {
@@ -83,6 +84,7 @@ class FpTree {
   }
 
   size_t num_frequent() const { return frequent_.size(); }
+  size_t num_nodes() const { return nodes_.size(); }
   Item frequent_item(size_t rank) const { return frequent_[rank]; }
   uint32_t support(size_t rank) const { return support_[rank]; }
 
@@ -141,7 +143,10 @@ void MineTree(const FpTree& tree, std::vector<Item>* suffix,
               std::vector<Itemset>* out) {
   // Least-frequent first (classic order: bottom of the header table).
   for (size_t i = tree.num_frequent(); i-- > 0;) {
-    if (*emitted >= options.budget) return;
+    if (*emitted >= options.budget) {
+      JSONTILES_COUNTER_ADD("fpgrowth.budget_prunes", 1);
+      return;
+    }
     Item item = tree.frequent_item(i);
     Itemset set;
     set.items.reserve(suffix->size() + 1);
@@ -163,8 +168,12 @@ void MineTree(const FpTree& tree, std::vector<Item>* suffix,
         break;
       }
     }
-    if (!any_frequent) continue;
+    if (!any_frequent) {
+      JSONTILES_COUNTER_ADD("fpgrowth.infrequent_prunes", 1);
+      continue;
+    }
     FpTree conditional(base, item_support, options.min_support);
+    JSONTILES_COUNTER_ADD("fpgrowth.conditional_trees", 1);
     suffix->push_back(item);
     MineTree(conditional, suffix, options, max_size, emitted, out);
     suffix->pop_back();
@@ -177,6 +186,10 @@ std::vector<Itemset> FpGrowthMiner::Mine(
     const std::vector<Transaction>& transactions, const MinerOptions& options) {
   std::vector<Itemset> out;
   if (transactions.empty() || options.min_support == 0) return out;
+  JSONTILES_TRACE_SPAN("mining.fpgrowth");
+  JSONTILES_COUNTER_ADD("fpgrowth.runs", 1);
+  JSONTILES_COUNTER_ADD("fpgrowth.transactions_mined",
+                        static_cast<int64_t>(transactions.size()));
 
   std::unordered_map<Item, uint32_t> item_support;
   std::vector<WeightedTx> weighted;
@@ -195,9 +208,13 @@ std::vector<Itemset> FpGrowthMiner::Mine(
   if (max_size < 1) max_size = 1;
 
   FpTree tree(weighted, item_support, options.min_support);
+  JSONTILES_COUNTER_ADD("fpgrowth.tree_nodes",
+                        static_cast<int64_t>(tree.num_nodes()));
   std::vector<Item> suffix;
   uint64_t emitted = 0;
   MineTree(tree, &suffix, options, max_size, &emitted, &out);
+  JSONTILES_COUNTER_ADD("fpgrowth.itemsets_emitted",
+                        static_cast<int64_t>(emitted));
   return out;
 }
 

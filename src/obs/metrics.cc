@@ -1,0 +1,222 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace jsontiles::obs {
+
+size_t ThreadShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t shard = next.fetch_add(1, std::memory_order_relaxed);
+  return shard;
+}
+
+std::vector<double> Histogram::DefaultBounds() {
+  // 1, 2, 5 per decade across 1 .. 1e6 (microsecond latencies up to ~1 s).
+  std::vector<double> bounds;
+  for (double decade = 1; decade <= 1e6; decade *= 10) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2);
+    bounds.push_back(decade * 5);
+  }
+  return bounds;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (auto& shard : shards_) {
+    shard.buckets = std::vector<std::atomic<int64_t>>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::Record(double value) {
+  size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  Shard& shard = shards_[ThreadShardIndex() & (kMetricShards - 1)];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  // Relaxed CAS loop: atomic<double> has no fetch_add before C++20's
+  // fetch_add(double) which libstdc++ only provides for integral/FP TS; keep
+  // it portable.
+  double sum = shard.sum.load(std::memory_order_relaxed);
+  while (!shard.sum.compare_exchange_weak(sum, sum + value,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::GetSnapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.buckets.assign(bounds_.size() + 1, 0);
+  for (const auto& shard : shards_) {
+    for (size_t i = 0; i < shard.buckets.size(); i++) {
+      snap.buckets[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+    snap.count += shard.count.load(std::memory_order_relaxed);
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (auto& shard : shards_) {
+    for (auto& b : shard.buckets) b.store(0, std::memory_order_relaxed);
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry;
+    entry.kind = Kind::kCounter;
+    entry.counter = std::make_unique<Counter>();
+    it = metrics_.emplace(std::string(name), std::move(entry)).first;
+  }
+  return it->second.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry;
+    entry.kind = Kind::kGauge;
+    entry.gauge = std::make_unique<Gauge>();
+    it = metrics_.emplace(std::string(name), std::move(entry)).first;
+  }
+  return it->second.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry;
+    entry.kind = Kind::kHistogram;
+    entry.histogram = std::make_unique<Histogram>(
+        bounds.empty() ? Histogram::DefaultBounds() : std::move(bounds));
+    it = metrics_.emplace(std::string(name), std::move(entry)).first;
+  }
+  return it->second.histogram.get();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, entry] : metrics_) {
+    switch (entry.kind) {
+      case Kind::kCounter: entry.counter->Reset(); break;
+      case Kind::kGauge: entry.gauge->Reset(); break;
+      case Kind::kHistogram: entry.histogram->Reset(); break;
+    }
+  }
+}
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+void AppendJsonString(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string MetricsRegistry::ToText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, entry] : metrics_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out += name + " " + std::to_string(entry.counter->Value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += name + " " + FormatDouble(entry.gauge->Value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        auto snap = entry.histogram->GetSnapshot();
+        out += name + ".count " + std::to_string(snap.count) + "\n";
+        out += name + ".sum " + FormatDouble(snap.sum) + "\n";
+        out += name + ".mean " + FormatDouble(snap.Mean()) + "\n";
+        for (size_t i = 0; i < snap.buckets.size(); i++) {
+          if (snap.buckets[i] == 0) continue;  // keep the dump compact
+          std::string le =
+              i < snap.bounds.size() ? FormatDouble(snap.bounds[i]) : "inf";
+          out += name + ".le." + le + " " + std::to_string(snap.buckets[i]) + "\n";
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string counters, gauges, histograms;
+  for (const auto& [name, entry] : metrics_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        if (!counters.empty()) counters += ",";
+        AppendJsonString(name, &counters);
+        counters += ":" + std::to_string(entry.counter->Value());
+        break;
+      case Kind::kGauge:
+        if (!gauges.empty()) gauges += ",";
+        AppendJsonString(name, &gauges);
+        gauges += ":" + FormatDouble(entry.gauge->Value());
+        break;
+      case Kind::kHistogram: {
+        auto snap = entry.histogram->GetSnapshot();
+        if (!histograms.empty()) histograms += ",";
+        AppendJsonString(name, &histograms);
+        histograms += ":{\"count\":" + std::to_string(snap.count) +
+                      ",\"sum\":" + FormatDouble(snap.sum) + ",\"mean\":" +
+                      FormatDouble(snap.Mean()) + ",\"buckets\":[";
+        for (size_t i = 0; i < snap.buckets.size(); i++) {
+          if (i > 0) histograms += ",";
+          histograms += "{\"le\":";
+          histograms += i < snap.bounds.size()
+                            ? FormatDouble(snap.bounds[i])
+                            : std::string("\"inf\"");
+          histograms += ",\"n\":" + std::to_string(snap.buckets[i]) + "}";
+        }
+        histograms += "]}";
+        break;
+      }
+    }
+  }
+  return "{\"counters\":{" + counters + "},\"gauges\":{" + gauges +
+         "},\"histograms\":{" + histograms + "}}";
+}
+
+}  // namespace jsontiles::obs

@@ -1,0 +1,155 @@
+// Process-wide metrics: counters, gauges and fixed-bucket histograms.
+//
+// Writes are the hot path: every metric shards its state over a small
+// power-of-two number of cache-line-aligned slots, and a thread writes only
+// its own slot (assigned round-robin on first use). Reads aggregate all
+// slots, so Value()/snapshot are O(shards) but never contend with writers.
+//
+// Metrics register by name in a MetricsRegistry; the default registry is a
+// process singleton. Metric objects live for the registry's lifetime, so hot
+// call sites cache the pointer (see the macros in obs/obs.h). Reset() zeroes
+// the recorded values but keeps every registration alive — pointers held by
+// call sites stay valid.
+//
+// Naming convention: dotted lower-case paths, subsystem first —
+// "jsonb.transform.bytes_in", "mining.fptree_nodes", "scan.tiles_skipped".
+
+#ifndef JSONTILES_OBS_METRICS_H_
+#define JSONTILES_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jsontiles::obs {
+
+/// Shard index of the calling thread (round-robin assignment, stable for the
+/// thread's lifetime).
+size_t ThreadShardIndex();
+
+inline constexpr size_t kMetricShards = 16;  // power of two
+
+class Counter {
+ public:
+  void Add(int64_t delta) {
+    shards_[ThreadShardIndex() & (kMetricShards - 1)].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  int64_t Value() const {
+    int64_t total = 0;
+    for (const auto& s : shards_) total += s.value.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void Reset() {
+    for (auto& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<int64_t> value{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Last-write-wins instantaneous value (not sharded: sets are rare).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts values <= bounds[i]; one overflow
+/// bucket counts the rest. Also tracks count and sum for mean derivation.
+class Histogram {
+ public:
+  /// Default buckets: exponential 1..~1e6, suitable for microsecond latencies.
+  static std::vector<double> DefaultBounds();
+
+  explicit Histogram(std::vector<double> bounds);
+
+  void Record(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  struct Snapshot {
+    std::vector<double> bounds;
+    std::vector<int64_t> buckets;  // bounds.size() + 1 entries
+    int64_t count = 0;
+    double sum = 0;
+    double Mean() const { return count == 0 ? 0 : sum / static_cast<double>(count); }
+  };
+  Snapshot GetSnapshot() const;
+
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    // buckets.size() == bounds.size() + 1; sum stored as double bits.
+    std::vector<std::atomic<int64_t>> buckets;
+    std::atomic<int64_t> count{0};
+    std::atomic<double> sum{0};
+  };
+  std::vector<double> bounds_;
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Named metrics. Get* registers on first use and returns the same object
+/// afterwards; a name maps to exactly one metric kind (checked).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Default();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  /// Empty `bounds` means Histogram::DefaultBounds(). The bounds of the first
+  /// registration win.
+  Histogram* GetHistogram(std::string_view name,
+                          std::vector<double> bounds = {});
+
+  /// Zero all recorded values; registrations (and pointers) stay valid.
+  void ResetAll();
+
+  /// "name value" lines, sorted by name. Histograms dump count/sum/mean plus
+  /// one line per bucket.
+  std::string ToText() const;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string ToJson() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> metrics_;
+};
+
+/// Append a JSON string literal (quotes + escapes) to `out`. Shared by the
+/// metrics dump, the trace exporter and the bench --metrics-json writer.
+void AppendJsonString(std::string_view s, std::string* out);
+
+}  // namespace jsontiles::obs
+
+#endif  // JSONTILES_OBS_METRICS_H_

@@ -1,0 +1,83 @@
+// Observability macro seam.
+//
+// The CMake option JSONTILES_OBS (default ON) defines JSONTILES_OBS_ENABLED.
+// When the option is OFF every macro below expands to nothing, so hot paths
+// carry zero instrumentation cost — no clock reads, no registry lookups, no
+// atomic traffic. The obs classes themselves (MetricsRegistry, TraceCollector,
+// PlanProfile) are always compiled: they are plain library code, and per-query
+// EXPLAIN ANALYZE profiling is gated at runtime by a null PlanProfile pointer
+// instead of at compile time.
+//
+// Call sites cache the metric pointer in a function-local static, so the
+// registry mutex is touched once per call site, not once per call.
+
+#ifndef JSONTILES_OBS_OBS_H_
+#define JSONTILES_OBS_OBS_H_
+
+#ifdef JSONTILES_OBS_ENABLED
+#define JSONTILES_OBS_AVAILABLE 1
+#else
+#define JSONTILES_OBS_AVAILABLE 0
+#endif
+
+#if JSONTILES_OBS_AVAILABLE
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+/// Statements that only exist when instrumentation is compiled in (e.g.
+/// stopwatch reads feeding a histogram).
+#define JSONTILES_OBS_ONLY(...) __VA_ARGS__
+
+#define JSONTILES_COUNTER_ADD(name, delta)                       \
+  do {                                                           \
+    static ::jsontiles::obs::Counter* jsontiles_obs_counter_ =   \
+        ::jsontiles::obs::MetricsRegistry::Default().GetCounter( \
+            name);                                               \
+    jsontiles_obs_counter_->Add(delta);                          \
+  } while (0)
+
+#define JSONTILES_GAUGE_SET(name, value)                       \
+  do {                                                         \
+    static ::jsontiles::obs::Gauge* jsontiles_obs_gauge_ =     \
+        ::jsontiles::obs::MetricsRegistry::Default().GetGauge( \
+            name);                                             \
+    jsontiles_obs_gauge_->Set(value);                          \
+  } while (0)
+
+/// Record into a histogram with the default (latency-shaped) buckets.
+#define JSONTILES_HIST_RECORD(name, value)                         \
+  do {                                                             \
+    static ::jsontiles::obs::Histogram* jsontiles_obs_hist_ =      \
+        ::jsontiles::obs::MetricsRegistry::Default().GetHistogram( \
+            name);                                                 \
+    jsontiles_obs_hist_->Record(value);                            \
+  } while (0)
+
+#define JSONTILES_OBS_CONCAT_INNER(a, b) a##b
+#define JSONTILES_OBS_CONCAT(a, b) JSONTILES_OBS_CONCAT_INNER(a, b)
+
+/// RAII trace span covering the rest of the enclosing scope.
+#define JSONTILES_TRACE_SPAN(name)                  \
+  ::jsontiles::obs::TraceSpan JSONTILES_OBS_CONCAT( \
+      jsontiles_obs_span_, __LINE__)(name)
+
+#else  // !JSONTILES_OBS_AVAILABLE
+
+#define JSONTILES_OBS_ONLY(...)
+#define JSONTILES_COUNTER_ADD(name, delta) \
+  do {                                     \
+  } while (0)
+#define JSONTILES_GAUGE_SET(name, value) \
+  do {                                   \
+  } while (0)
+#define JSONTILES_HIST_RECORD(name, value) \
+  do {                                     \
+  } while (0)
+#define JSONTILES_TRACE_SPAN(name) \
+  do {                             \
+  } while (0)
+
+#endif  // JSONTILES_OBS_AVAILABLE
+
+#endif  // JSONTILES_OBS_OBS_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/plan_profile.h"
 #include "opt/cardinality.h"
 #include "opt/join_order.h"
 #include "tiles/keypath.h"
@@ -79,6 +80,8 @@ std::string OwningTable(const ExprPtr& e) {
 // requested types; filter applied.
 RowSet ScanRowset(const TableRef& table, const std::vector<ExprPtr>& accesses,
                   const ExprPtr& filter, exec::QueryContext& ctx) {
+  obs::OperatorProfiler prof(ctx.profile, "ScanRows", table.alias);
+  prof.set_rows_in(table.rowset->size());
   Arena* arena = ctx.arena(0);
   std::vector<int> column_of(accesses.size(), -1);
   for (size_t i = 0; i < accesses.size(); i++) {
@@ -107,6 +110,7 @@ RowSet ScanRowset(const TableRef& table, const std::vector<ExprPtr>& accesses,
     }
     out.push_back(slots);
   }
+  prof.set_rows_out(out.size());
   return out;
 }
 
@@ -234,6 +238,11 @@ RowSet QueryBlock::Execute(exec::QueryContext& ctx, const PlannerOptions& option
   for (int t : sequence) chosen_order_.push_back(tables_[static_cast<size_t>(t)].alias);
 
   // ---- Scans. ---------------------------------------------------------------
+  // Profiled runs wire the plan tree as the operators execute: every operator
+  // appends exactly one entry, so ctx.profile->last_id() after a call is that
+  // operator's node.
+  obs::PlanProfile* profile = ctx.profile;
+  std::vector<int> scan_node(num_tables, -1);
   std::vector<RowSet> scanned(num_tables);
   for (size_t i = 0; i < num_tables; i++) {
     const TableRef& t = tables_[i];
@@ -254,6 +263,7 @@ RowSet QueryBlock::Execute(exec::QueryContext& ctx, const PlannerOptions& option
     } else {
       scanned[i] = ScanRowset(t, table_accesses[i], scan_filter, ctx);
     }
+    if (profile != nullptr) scan_node[i] = profile->last_id();
   }
 
   // ---- Left-deep joins in the chosen order. ---------------------------------
@@ -272,6 +282,7 @@ RowSet QueryBlock::Execute(exec::QueryContext& ctx, const PlannerOptions& option
   next_offset = table_accesses[first].size();
   RowSet acc = std::move(scanned[first]);
   std::vector<bool> joined(joins_.size(), false);
+  if (profile != nullptr) profile->SetRoot(scan_node[first]);
 
   for (size_t k = 1; k < sequence.size(); k++) {
     size_t t = static_cast<size_t>(sequence[k]);
@@ -310,13 +321,24 @@ RowSet QueryBlock::Execute(exec::QueryContext& ctx, const PlannerOptions& option
     acc = exec::HashJoinExec(scanned[t], acc, build_keys, probe_keys,
                              exec::JoinType::kInner, residual, ctx);
     scanned[t].clear();
+    if (profile != nullptr) {
+      // Probe (the accumulated plan so far) first, build scan second.
+      int join_id = profile->last_id();
+      profile->op(join_id).children.push_back(profile->root());
+      profile->op(join_id).children.push_back(scan_node[t]);
+      profile->SetRoot(join_id);
+    }
   }
 
   // ---- Post-join cross-table predicate. --------------------------------------
+  auto chain_last = [&]() {
+    if (profile != nullptr) profile->Chain(profile->last_id());
+  };
   if (where_ != nullptr) {
     acc = exec::FilterExec(std::move(acc),
                            exec::RewriteAccessesToSlots(where_, global_slot_fn),
                            ctx);
+    chain_last();
   }
 
   // ---- Aggregation / projection. --------------------------------------------
@@ -337,7 +359,11 @@ RowSet QueryBlock::Execute(exec::QueryContext& ctx, const PlannerOptions& option
       aggs.push_back(std::move(rewritten));
     }
     out = exec::AggregateExec(acc, keys, aggs, ctx);
-    if (having_ != nullptr) out = exec::FilterExec(std::move(out), having_, ctx);
+    chain_last();
+    if (having_ != nullptr) {
+      out = exec::FilterExec(std::move(out), having_, ctx);
+      chain_last();
+    }
   } else if (!projections_.empty()) {
     std::vector<ExprPtr> projected;
     projected.reserve(projections_.size());
@@ -345,12 +371,19 @@ RowSet QueryBlock::Execute(exec::QueryContext& ctx, const PlannerOptions& option
       projected.push_back(exec::RewriteAccessesToSlots(e, global_slot_fn));
     }
     out = exec::ProjectExec(acc, projected, ctx);
+    chain_last();
   } else {
     out = std::move(acc);
   }
 
-  if (!order_by_.empty()) out = exec::SortExec(std::move(out), order_by_, ctx);
-  if (has_limit_) out = exec::LimitExec(std::move(out), limit_);
+  if (!order_by_.empty()) {
+    out = exec::SortExec(std::move(out), order_by_, ctx);
+    chain_last();
+  }
+  if (has_limit_) {
+    out = exec::LimitExec(std::move(out), limit_, ctx);
+    chain_last();
+  }
   return out;
 }
 

@@ -15,7 +15,7 @@ bool IsSqlKeyword(std::string_view upper) {
       "DESC",    "SUM",    "COUNT",   "AVG",      "MIN",    "MAX",
       "DISTINCT", "CASE",  "WHEN",    "THEN",     "ELSE",   "END",
       "EXTRACT", "YEAR",   "SUBSTRING", "FOR",    "DATE",   "TIMESTAMP",
-      "TRUE",    "FALSE",  "CONTAINS"};
+      "TRUE",    "FALSE",  "CONTAINS", "EXPLAIN", "ANALYZE"};
   return kKeywords.count(upper) > 0;
 }
 

@@ -1,6 +1,9 @@
 #include "sql/sql_parser.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
 
 #include "exec/operators.h"
 #include "sql/sql_lexer.h"
@@ -652,8 +655,40 @@ Result<SqlResult> ExecuteSql(std::string_view statement, const SqlCatalog& catal
                              const opt::PlannerOptions& planner) {
   auto tokens = TokenizeSql(statement);
   if (!tokens.ok()) return tokens.status();
+  std::vector<SqlToken> token_list = tokens.MoveValueOrDie();
+
+  // EXPLAIN ANALYZE prefix: execute the statement under a PlanProfile and
+  // return the annotated operator tree instead of the query output.
+  bool explain_analyze = false;
+  if (!token_list.empty() && token_list[0].type == TokenType::kKeyword &&
+      token_list[0].text == "EXPLAIN") {
+    if (token_list.size() < 2 || token_list[1].type != TokenType::kKeyword ||
+        token_list[1].text != "ANALYZE") {
+      return Status::Unsupported(
+          "plain EXPLAIN is not supported; use EXPLAIN ANALYZE");
+    }
+    explain_analyze = true;
+    token_list.erase(token_list.begin(), token_list.begin() + 2);
+  }
+
+  std::shared_ptr<obs::PlanProfile> profile;
+  obs::PlanProfile* saved_profile = ctx.profile;
+  if (explain_analyze) {
+    profile = std::make_shared<obs::PlanProfile>();
+    ctx.profile = profile.get();
+  }
+  // Restore the context's profile pointer on every return path below.
+  struct ProfileRestore {
+    exec::QueryContext& ctx;
+    obs::PlanProfile* saved;
+    ~ProfileRestore() { ctx.profile = saved; }
+  } restore{ctx, saved_profile};
+  const size_t tiles_scanned_before = ctx.tiles_scanned;
+  const size_t tiles_skipped_before = ctx.tiles_skipped;
+  auto exec_begin = std::chrono::steady_clock::now();
+
   ParsedQuery query;
-  Parser parser(tokens.MoveValueOrDie());
+  Parser parser(std::move(token_list));
   JSONTILES_RETURN_NOT_OK(parser.Parse(&query));
 
   // --- validate tables -------------------------------------------------------
@@ -757,6 +792,7 @@ Result<SqlResult> ExecuteSql(std::string_view statement, const SqlCatalog& catal
       final_projection.push_back(std::move(rewritten));
     }
     rows = exec::ProjectExec(rows, final_projection, ctx);
+    if (ctx.profile != nullptr) ctx.profile->Chain(ctx.profile->last_id());
   } else {
     std::vector<ExprPtr> projections;
     for (const auto& item : query.select) projections.push_back(item.expr);
@@ -795,8 +831,43 @@ Result<SqlResult> ExecuteSql(std::string_view statement, const SqlCatalog& catal
       keys.push_back(exec::SortKey{exec::Slot(slot), item.descending});
     }
     rows = exec::SortExec(std::move(rows), keys, ctx);
+    if (ctx.profile != nullptr) ctx.profile->Chain(ctx.profile->last_id());
   }
-  if (query.has_limit) rows = exec::LimitExec(std::move(rows), query.limit);
+  if (query.has_limit) {
+    rows = exec::LimitExec(std::move(rows), query.limit, ctx);
+    if (ctx.profile != nullptr) ctx.profile->Chain(ctx.profile->last_id());
+  }
+
+  if (explain_analyze) {
+    double exec_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - exec_begin)
+                         .count();
+    std::string text = profile->FormatTree();
+    char footer[160];
+    std::snprintf(footer, sizeof(footer),
+                  "Execution time: %.3f ms\nTiles scanned: %zu, skipped: %zu",
+                  exec_ms, ctx.tiles_scanned - tiles_scanned_before,
+                  ctx.tiles_skipped - tiles_skipped_before);
+    text += footer;
+
+    SqlResult plan;
+    plan.column_names.push_back("QUERY PLAN");
+    plan.profile = profile;
+    auto* arena = ctx.arena(0);
+    size_t begin = 0;
+    while (begin <= text.size()) {
+      size_t end = text.find('\n', begin);
+      if (end == std::string::npos) end = text.size();
+      std::string_view line(text.data() + begin, end - begin);
+      if (!line.empty()) {
+        const uint8_t* copy = arena->AllocateCopy(line.data(), line.size());
+        plan.rows.push_back({exec::Value::String(
+            {reinterpret_cast<const char*>(copy), line.size()})});
+      }
+      begin = end + 1;
+    }
+    return plan;
+  }
 
   result.rows = std::move(rows);
   for (size_t i = 0; i < query.select.size(); i++) {

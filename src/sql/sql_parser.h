@@ -31,10 +31,12 @@
 #define JSONTILES_SQL_SQL_PARSER_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 
 #include "exec/scan.h"
+#include "obs/plan_profile.h"
 #include "opt/query.h"
 #include "storage/relation.h"
 #include "util/status.h"
@@ -48,9 +50,15 @@ struct SqlCatalog {
 struct SqlResult {
   exec::RowSet rows;
   std::vector<std::string> column_names;
+  /// Set for EXPLAIN ANALYZE statements: the per-operator profile of the
+  /// executed plan. The rows then hold the rendered plan, one text line per
+  /// row, in a single "QUERY PLAN" column (PostgreSQL-style).
+  std::shared_ptr<obs::PlanProfile> profile;
 };
 
-/// Parse, bind, optimize and execute one SELECT statement.
+/// Parse, bind, optimize and execute one SELECT statement. A statement may
+/// be prefixed with EXPLAIN ANALYZE: the query still executes fully, but the
+/// result is the annotated operator tree (see SqlResult::profile).
 Result<SqlResult> ExecuteSql(std::string_view statement,
                              const SqlCatalog& catalog,
                              exec::QueryContext& ctx,

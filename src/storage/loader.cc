@@ -5,6 +5,7 @@
 #include <cmath>
 #include <mutex>
 
+#include "obs/obs.h"
 #include "tiles/array_extract.h"
 #include "tiles/keypath.h"
 #include "tiles/reorder.h"
@@ -38,6 +39,7 @@ Result<std::unique_ptr<Relation>> Loader::Load(
     const std::vector<std::string>& docs, const std::string& name,
     LoadBreakdown* breakdown) {
   auto wall_begin = Clock::now();
+  JSONTILES_TRACE_SPAN("loader.load");
   auto relation = std::make_unique<Relation>(name, mode_, config_);
   LoadBreakdown local_breakdown;
   LoadBreakdown* bd = breakdown != nullptr ? breakdown : &local_breakdown;
@@ -84,6 +86,8 @@ Result<std::unique_ptr<Relation>> Loader::Load(
   }
 
   auto process_partition = [&](size_t p) {
+    JSONTILES_TRACE_SPAN("loader.partition");
+    JSONTILES_COUNTER_ADD("loader.partitions_processed", 1);
     PartitionResult& result = results[p];
     size_t begin = p * partition_docs;
     size_t end = std::min(begin + partition_docs, docs.size());
@@ -165,7 +169,10 @@ Result<std::unique_ptr<Relation>> Loader::Load(
 
   };
 
+  JSONTILES_COUNTER_ADD("loader.morsels",
+                        static_cast<int64_t>(num_partitions));
   if (options_.num_threads > 1 && num_partitions > 1) {
+    JSONTILES_TRACE_SPAN("loader.parallel_for");
     ThreadPool pool(options_.num_threads);
     pool.ParallelFor(num_partitions, [&](size_t p, size_t) { process_partition(p); });
   } else {
@@ -251,6 +258,9 @@ Result<std::unique_ptr<Relation>> Loader::Load(
   }
 
   bd->total_wall_secs = Seconds(wall_begin, Clock::now());
+  JSONTILES_COUNTER_ADD("loader.tuples_loaded",
+                        static_cast<int64_t>(docs.size()));
+  JSONTILES_HIST_RECORD("loader.load_wall_micros", bd->total_wall_secs * 1e6);
   return relation;
 }
 

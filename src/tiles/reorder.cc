@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "mining/fpgrowth.h"
+#include "obs/obs.h"
 
 namespace jsontiles::tiles {
 
@@ -48,6 +49,7 @@ ReorderResult ReorderPartition(const DocumentItems& items,
   const size_t tile_size = config.tile_size;
   const size_t num_tiles = (n + tile_size - 1) / tile_size;
   if (num_tiles <= 1) return result;
+  JSONTILES_TRACE_SPAN("tiles.reorder_partition");
 
   // Step 1: mine each tile with the reduced threshold threshold/partition.
   const double reduced = config.extraction_threshold /
@@ -167,6 +169,9 @@ ReorderResult ReorderPartition(const DocumentItems& items,
     if (arrangement[pos] / tile_size != pos / tile_size) result.moved_tuples++;
   }
   result.permutation = std::move(arrangement);
+  JSONTILES_COUNTER_ADD("reorder.partitions", 1);
+  JSONTILES_COUNTER_ADD("reorder.moved_tuples",
+                        static_cast<int64_t>(result.moved_tuples));
   return result;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace jsontiles {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -24,6 +26,18 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  JSONTILES_COUNTER_ADD("thread_pool.tasks_submitted", 1);
+#if JSONTILES_OBS_AVAILABLE
+  // Wrap the task so the dequeueing worker can report how long it sat queued.
+  task = [submitted = obs::TraceCollector::Default().NowMicros(),
+          inner = std::move(task)]() {
+    JSONTILES_HIST_RECORD(
+        "thread_pool.queue_wait_micros",
+        static_cast<double>(obs::TraceCollector::Default().NowMicros() -
+                            submitted));
+    inner();
+  };
+#endif
   {
     std::unique_lock<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
@@ -61,6 +75,9 @@ void ThreadPool::ParallelFor(size_t n,
                              size_t chunk) {
   if (n == 0) return;
   if (chunk == 0) chunk = 1;
+  JSONTILES_COUNTER_ADD("thread_pool.parallel_for_calls", 1);
+  JSONTILES_COUNTER_ADD("thread_pool.parallel_for_items",
+                        static_cast<int64_t>(n));
   std::atomic<size_t> next{0};
   auto work = [&](size_t worker) {
     while (true) {

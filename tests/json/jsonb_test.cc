@@ -292,6 +292,29 @@ TEST(JsonbTest, BuilderIsReusable) {
   EXPECT_EQ(JsonbValue(buf.data()).ArrayElement(0).GetInt(), 3);
 }
 
+TEST(JsonbTest, ManyEscapedStringsSurviveDecodeBufferGrowth) {
+  // Regression: pass 1 hands out string_views into the unescape buffer; the
+  // buffer must not relocate its strings as more escaped strings arrive
+  // (SSO bytes move with the std::string object). Many short escaped strings
+  // force repeated growth on a fresh builder.
+  JsonbBuilder builder;
+  std::string doc = "{";
+  for (int i = 0; i < 64; i++) {
+    if (i > 0) doc += ",";
+    doc += "\"k\\u00e4" + std::to_string(i) + "\":\"v\\u00fc" +
+           std::to_string(i) + "\"";
+  }
+  doc += "}";
+  std::vector<uint8_t> buf;
+  ASSERT_TRUE(builder.Transform(doc, &buf).ok());
+  JsonbValue value(buf.data());
+  for (int i = 0; i < 64; i++) {
+    auto member = value.FindKey("k\xc3\xa4" + std::to_string(i));
+    ASSERT_TRUE(member.has_value()) << i;
+    EXPECT_EQ(member->GetString(), "v\xc3\xbc" + std::to_string(i)) << i;
+  }
+}
+
 TEST(JsonbTest, DetectionCanBeDisabled) {
   JsonbBuilder::Options options;
   options.detect_numeric_strings = false;

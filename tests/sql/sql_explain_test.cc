@@ -1,0 +1,152 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sql/sql_parser.h"
+#include "storage/loader.h"
+
+namespace jsontiles::sql {
+namespace {
+
+using storage::Loader;
+using storage::Relation;
+using storage::StorageMode;
+
+class SqlExplainFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    std::vector<std::string> orders;
+    for (int i = 0; i < 500; i++) {
+      orders.push_back(R"({"oid":)" + std::to_string(i) + R"(,"cid":)" +
+                       std::to_string(i % 20) + R"(,"total":)" +
+                       std::to_string(i % 97) + "}");
+    }
+    std::vector<std::string> customers;
+    for (int c = 0; c < 20; c++) {
+      customers.push_back(R"({"cid":)" + std::to_string(c) + R"(,"name":"c)" +
+                          std::to_string(c) + R"("})");
+    }
+    Loader loader(StorageMode::kTiles, {});
+    orders_ = loader.Load(orders, "orders").MoveValueOrDie().release();
+    customers_ = loader.Load(customers, "customers").MoveValueOrDie().release();
+  }
+  static void TearDownTestSuite() {
+    delete orders_;
+    delete customers_;
+    orders_ = nullptr;
+    customers_ = nullptr;
+  }
+
+  static SqlCatalog Catalog() {
+    SqlCatalog catalog;
+    catalog.tables["orders"] = orders_;
+    catalog.tables["customers"] = customers_;
+    return catalog;
+  }
+
+  // The plan rows reference the context's arenas, so the context must outlive
+  // the result — unlike plain queries whose strings point into the relation.
+  static std::string PlanText(const SqlResult& result) {
+    std::string text;
+    for (const auto& row : result.rows) {
+      text += std::string(row[0].string_value());
+      text += "\n";
+    }
+    return text;
+  }
+
+  static Relation* orders_;
+  static Relation* customers_;
+};
+Relation* SqlExplainFixture::orders_ = nullptr;
+Relation* SqlExplainFixture::customers_ = nullptr;
+
+TEST_F(SqlExplainFixture, SingleTablePlanShowsOperatorsAndRows) {
+  exec::QueryContext ctx;
+  auto r = ExecuteSql(
+      "EXPLAIN ANALYZE SELECT o->>'oid'::BigInt FROM orders o "
+      "WHERE o->>'total'::BigInt < 10 ORDER BY 1 LIMIT 5",
+      Catalog(), ctx);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& res = r.ValueOrDie();
+  ASSERT_EQ(res.column_names.size(), 1u);
+  EXPECT_EQ(res.column_names[0], "QUERY PLAN");
+  ASSERT_NE(res.profile, nullptr);
+  EXPECT_GT(res.rows.size(), 3u);
+
+  std::string plan = PlanText(res);
+  EXPECT_NE(plan.find("Limit"), std::string::npos);
+  EXPECT_NE(plan.find("Sort"), std::string::npos);
+  EXPECT_NE(plan.find("Scan"), std::string::npos);
+  EXPECT_NE(plan.find("rows out=5"), std::string::npos);  // the limit
+  EXPECT_NE(plan.find(" ms"), std::string::npos);         // timings present
+  EXPECT_NE(plan.find("Execution time:"), std::string::npos);
+  EXPECT_NE(plan.find("Tiles scanned:"), std::string::npos);
+}
+
+TEST_F(SqlExplainFixture, JoinAggregatePlanNestsScansUnderJoin) {
+  exec::QueryContext ctx;
+  auto r = ExecuteSql(
+      "EXPLAIN ANALYZE SELECT c->>'name', COUNT(*) "
+      "FROM orders o, customers c "
+      "WHERE o->>'cid'::BigInt = c->>'cid'::BigInt "
+      "GROUP BY c->>'name'",
+      Catalog(), ctx);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& res = r.ValueOrDie();
+  std::string plan = PlanText(res);
+  EXPECT_NE(plan.find("HashJoin"), std::string::npos);
+  EXPECT_NE(plan.find("Aggregate"), std::string::npos);
+  // Both scans appear as (indented) children.
+  EXPECT_NE(plan.find("-> "), std::string::npos);
+  size_t first_scan = plan.find("Scan");
+  ASSERT_NE(first_scan, std::string::npos);
+  EXPECT_NE(plan.find("Scan", first_scan + 1), std::string::npos);
+
+  // The join produced 500 rows (every order matches one customer).
+  EXPECT_NE(plan.find("rows out=500"), std::string::npos);
+}
+
+TEST_F(SqlExplainFixture, ExecutesUnderneathAndCountsRows) {
+  // The same query without EXPLAIN must produce the rows the plan reports.
+  exec::QueryContext plain_ctx;
+  auto plain = ExecuteSql(
+      "SELECT o->>'oid'::BigInt FROM orders o WHERE o->>'total'::BigInt = 0",
+      Catalog(), plain_ctx);
+  ASSERT_TRUE(plain.ok());
+  size_t expected = plain.ValueOrDie().rows.size();
+
+  exec::QueryContext ctx;
+  auto r = ExecuteSql(
+      "EXPLAIN ANALYZE SELECT o->>'oid'::BigInt FROM orders o "
+      "WHERE o->>'total'::BigInt = 0",
+      Catalog(), ctx);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::string plan = PlanText(r.ValueOrDie());
+  EXPECT_NE(plan.find("rows out=" + std::to_string(expected)),
+            std::string::npos);
+}
+
+TEST_F(SqlExplainFixture, PlainExplainIsRejected) {
+  exec::QueryContext ctx;
+  auto r = ExecuteSql("EXPLAIN SELECT 1 FROM orders o", Catalog(), ctx);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(SqlExplainFixture, ProfileRestoredAfterStatement) {
+  exec::QueryContext ctx;
+  ASSERT_EQ(ctx.profile, nullptr);
+  auto r = ExecuteSql("EXPLAIN ANALYZE SELECT COUNT(*) FROM orders o",
+                      Catalog(), ctx);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(ctx.profile, nullptr);  // not left dangling on the context
+  // A following plain query is unaffected.
+  auto plain = ExecuteSql("SELECT COUNT(*) FROM orders o", Catalog(), ctx);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain.ValueOrDie().rows[0][0].int_value(), 500);
+  EXPECT_EQ(plain.ValueOrDie().profile, nullptr);
+}
+
+}  // namespace
+}  // namespace jsontiles::sql

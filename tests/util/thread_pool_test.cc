@@ -1,0 +1,77 @@
+#include "util/thread_pool.h"
+
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace jsontiles {
+namespace {
+
+TEST(ThreadPoolStressTest, ParallelForZeroItems) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, [&](size_t, size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolStressTest, ParallelForFewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::atomic<int> calls{0};
+  std::array<std::atomic<int>, 3> per_index{};
+  pool.ParallelFor(3, [&](size_t i, size_t) {
+    per_index[i].fetch_add(1);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 3);
+  for (auto& c : per_index) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolStressTest, ParallelForManyMoreItemsThanWorkers) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 100000;
+  std::vector<std::atomic<uint8_t>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i, size_t) { hits[i].fetch_add(1); }, 64);
+  for (size_t i = 0; i < kN; i++) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolStressTest, ParallelForWorkerIdsStayInRange) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::set<size_t> seen;
+  pool.ParallelFor(1000, [&](size_t, size_t worker) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.insert(worker);
+  });
+  // 3 pool workers + the calling thread (worker id 3).
+  for (size_t w : seen) EXPECT_LT(w, 4u);
+}
+
+TEST(ThreadPoolStressTest, RepeatedParallelForOnSamePool) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; round++) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(257, [&](size_t i, size_t) {
+      sum.fetch_add(static_cast<int64_t>(i));
+    });
+    EXPECT_EQ(sum.load(), 257 * 256 / 2);
+  }
+}
+
+TEST(ThreadPoolStressTest, SubmitManyTasksThenWaitIdle) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 1000; i++) {
+    pool.Submit([&] { done.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(done.load(), 1000);
+}
+
+}  // namespace
+}  // namespace jsontiles
