@@ -3,6 +3,13 @@
 // the original lineitem table ("Only") and on combined TPC-H ("Comb."),
 // plus a native relational baseline (a plain int64 column), with per-tuple
 // hardware counters where the kernel permits perf_event_open.
+//
+// Additionally compares the scalar interpreter against the vectorized
+// expression engine on a selective pushed-down filter scan. Flags (consumed
+// before google-benchmark):
+//   --scalar            run the fig-15 query variants with the vectorized
+//                       engine disabled (interpreter only)
+//   --expr-json <path>  write the scalar-vs-vectorized comparison as JSON
 
 #include <benchmark/benchmark.h>
 
@@ -18,8 +25,10 @@ namespace {
 using namespace jsontiles;         // NOLINT
 using namespace jsontiles::bench;  // NOLINT
 
-int64_t RunSum(const storage::Relation& rel) {
-  exec::QueryContext ctx;
+int64_t RunSum(const storage::Relation& rel, bool vectorized) {
+  exec::ExecOptions opts;
+  opts.enable_vectorized = vectorized;
+  exec::QueryContext ctx(opts);
   opt::QueryBlock q;
   q.AddTable(opt::TableRef::Rel(
       "l", &rel, nullptr));  // SUM ignores non-lineitem rows (null field)
@@ -29,10 +38,54 @@ int64_t RunSum(const storage::Relation& rel) {
   return opt::ScalarResult(q.Execute(ctx)).int_value();
 }
 
+// Selective pushed-down filter over materialized tile columns: the workload
+// the batch engine targets. `l_quantity > 49` keeps ~2% of lineitem; the
+// second conjunct only ever sees the survivors (short-circuit selection).
+exec::RowSet RunFilterScan(const storage::Relation& rel, bool vectorized) {
+  exec::ExecOptions opts;
+  opts.enable_vectorized = vectorized;
+  exec::QueryContext ctx(opts);
+  exec::ScanSpec spec;
+  spec.relation = &rel;
+  spec.table_alias = "l";
+  spec.accesses = {exec::Access("l", {"l_quantity"}, exec::ValueType::kInt),
+                   exec::Access("l", {"l_linenumber"}, exec::ValueType::kInt)};
+  spec.filter = exec::And(exec::Gt(exec::Slot(0), exec::ConstInt(49)),
+                          exec::Ge(exec::Slot(1), exec::ConstInt(3)));
+  return exec::ScanExec(spec, ctx);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   BenchObs obs(&argc, argv);
+  bool scalar_only = false;
+  std::string expr_json_path;
+  {
+    int out = 1;
+    for (int i = 1; i < argc; i++) {
+      std::string_view arg = argv[i];
+      if (arg == "--scalar") {
+        scalar_only = true;
+        continue;
+      }
+      if (arg == "--expr-json" || arg.rfind("--expr-json=", 0) == 0) {
+        size_t eq = arg.find('=');
+        if (eq != std::string_view::npos) {
+          expr_json_path = std::string(arg.substr(eq + 1));
+        } else if (i + 1 < argc) {
+          expr_json_path = argv[++i];
+        } else {
+          std::fprintf(stderr, "missing path after --expr-json\n");
+          return 2;
+        }
+        continue;
+      }
+      argv[out++] = argv[i];
+    }
+    argc = out;
+    argv[argc] = nullptr;
+  }
   benchmark::Initialize(&argc, argv);
 
   workload::TpchOptions options;
@@ -71,6 +124,7 @@ int main(int argc, char** argv) {
     return sum;
   };
 
+  const bool vec = !scalar_only;
   struct Variant {
     std::string name;
     std::function<int64_t()> run;
@@ -78,17 +132,17 @@ int main(int argc, char** argv) {
   std::vector<Variant> variants = {
       {"Relational", [&] { return relational_sum(); }},
       {"JSON Comb.",
-       [&] { return RunSum(*combined[storage::StorageMode::kJsonText]); }},
+       [&] { return RunSum(*combined[storage::StorageMode::kJsonText], vec); }},
       {"JSONB Comb.",
-       [&] { return RunSum(*combined[storage::StorageMode::kJsonb]); }},
+       [&] { return RunSum(*combined[storage::StorageMode::kJsonb], vec); }},
       {"Sinew Only",
-       [&] { return RunSum(*only[storage::StorageMode::kSinew]); }},
+       [&] { return RunSum(*only[storage::StorageMode::kSinew], vec); }},
       {"Sinew Comb.",
-       [&] { return RunSum(*combined[storage::StorageMode::kSinew]); }},
+       [&] { return RunSum(*combined[storage::StorageMode::kSinew], vec); }},
       {"Tiles Only",
-       [&] { return RunSum(*only[storage::StorageMode::kTiles]); }},
+       [&] { return RunSum(*only[storage::StorageMode::kTiles], vec); }},
       {"Tiles Comb.",
-       [&] { return RunSum(*combined[storage::StorageMode::kTiles]); }},
+       [&] { return RunSum(*combined[storage::StorageMode::kTiles], vec); }},
   };
 
   // Correctness cross-check before timing.
@@ -131,5 +185,55 @@ int main(int argc, char** argv) {
   }
   fig.Print();
   tbl.Print();
+
+  // --- Scalar vs vectorized expression engine (selective filter scan). -----
+  const storage::Relation& tiles_only = *only[storage::StorageMode::kTiles];
+  const size_t rows_scalar = RunFilterScan(tiles_only, false).size();
+  const size_t rows_vec = RunFilterScan(tiles_only, true).size();
+  if (rows_scalar != rows_vec) {
+    std::fprintf(stderr, "MISMATCH expr filter rows: scalar=%zu vectorized=%zu\n",
+                 rows_scalar, rows_vec);
+    return 1;
+  }
+  double secs_scalar = TimeBest(
+      [&] { benchmark::DoNotOptimize(RunFilterScan(tiles_only, false)); }, 5);
+  double secs_vec = TimeBest(
+      [&] { benchmark::DoNotOptimize(RunFilterScan(tiles_only, true)); }, 5);
+  const double ns_scalar = secs_scalar / tuples * 1e9;
+  const double ns_vec = secs_vec / tuples * 1e9;
+  const double speedup = ns_vec > 0 ? ns_scalar / ns_vec : 0;
+
+  TablePrinter expr(
+      "Expression engine: pushed-down filter "
+      "l_quantity > 49 AND l_linenumber >= 3 (~1.4% selectivity)");
+  expr.SetHeader({"Engine", "ns/tuple", "sec/query", "rows out"});
+  expr.AddRow({"Scalar", Fmt(ns_scalar, "%.2f"), Fmt(secs_scalar, "%.6f"),
+               std::to_string(rows_scalar)});
+  expr.AddRow({"Vectorized", Fmt(ns_vec, "%.2f"), Fmt(secs_vec, "%.6f"),
+               std::to_string(rows_vec)});
+  expr.Print();
+  std::printf("vectorized speedup: %.2fx\n", speedup);
+
+  if (!expr_json_path.empty()) {
+    std::FILE* f = std::fopen(expr_json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", expr_json_path.c_str());
+      return 2;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"expr_filter_scan\",\n"
+                 "  \"filter\": \"l_quantity > 49 AND l_linenumber >= 3\",\n"
+                 "  \"tuples\": %zu,\n"
+                 "  \"rows_out\": %zu,\n"
+                 "  \"scalar_ns_per_tuple\": %.4f,\n"
+                 "  \"vectorized_ns_per_tuple\": %.4f,\n"
+                 "  \"speedup\": %.4f\n"
+                 "}\n",
+                 static_cast<size_t>(tuples), rows_vec, ns_scalar, ns_vec,
+                 speedup);
+    std::fclose(f);
+    std::printf("expression benchmark written to %s\n", expr_json_path.c_str());
+  }
   return 0;
 }

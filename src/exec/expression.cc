@@ -131,6 +131,7 @@ ExprPtr Like(ExprPtr str, std::string pattern, bool negated) {
   auto e = NewExpr(ExprKind::kLike);
   e->pattern = std::move(pattern);
   e->negated = negated;
+  e->like = std::make_shared<CompiledLike>(e->pattern);
   e->args = {std::move(str)};
   return e;
 }
@@ -184,6 +185,60 @@ ExprPtr CastTo(ExprPtr expr, ValueType type) {
 // ---------------------------------------------------------------------------
 // Evaluation
 // ---------------------------------------------------------------------------
+
+CompiledLike::CompiledLike(std::string pattern) : pattern_(std::move(pattern)) {
+  std::string_view p = pattern_;
+  if (p.find('_') != std::string_view::npos) return;  // kGeneric
+  size_t first = p.find('%');
+  if (first == std::string_view::npos) {
+    kind_ = Kind::kExact;
+    needle_len_ = p.size();
+    return;
+  }
+  if (p.find_first_not_of('%') == std::string_view::npos) {
+    kind_ = Kind::kMatchAll;
+    return;
+  }
+  size_t last = p.rfind('%');
+  if (first == 0 && last == p.size() - 1 && p.find('%', 1) == last) {
+    kind_ = Kind::kContains;  // %abc%
+    needle_pos_ = 1;
+    needle_len_ = p.size() - 2;
+    return;
+  }
+  if (first == 0 && last == 0) {
+    kind_ = Kind::kSuffix;  // %abc
+    needle_pos_ = 1;
+    needle_len_ = p.size() - 1;
+    return;
+  }
+  if (first == p.size() - 1 && last == first) {
+    kind_ = Kind::kPrefix;  // abc%
+    needle_len_ = p.size() - 1;
+    return;
+  }
+  kind_ = Kind::kGeneric;  // interior '%', e.g. a%b
+}
+
+bool CompiledLike::Match(std::string_view s) const {
+  std::string_view n = needle();
+  switch (kind_) {
+    case Kind::kExact:
+      return s == n;
+    case Kind::kPrefix:
+      return s.size() >= n.size() && s.compare(0, n.size(), n) == 0;
+    case Kind::kSuffix:
+      return s.size() >= n.size() &&
+             s.compare(s.size() - n.size(), n.size(), n) == 0;
+    case Kind::kContains:
+      return s.find(n) != std::string_view::npos;
+    case Kind::kMatchAll:
+      return true;
+    case Kind::kGeneric:
+      return LikeMatch(s, pattern_);
+  }
+  return false;
+}
 
 bool LikeMatch(std::string_view s, std::string_view pattern) {
   // Iterative matcher with backtracking on the last '%'.
@@ -412,7 +467,10 @@ Value EvalExpr(const Expr& e, const Value* slots, Arena* arena) {
       Value v = EvalExpr(*e.args[0], slots, arena);
       if (v.is_null()) return Value::Null();
       if (v.type != ValueType::kString) return Value::Null();
-      bool match = LikeMatch(v.s, e.pattern);
+      // Hand-built Expr trees may bypass the Like() factory; fall back to the
+      // generic matcher then.
+      bool match =
+          e.like != nullptr ? e.like->Match(v.s) : LikeMatch(v.s, e.pattern);
       return Value::Bool(e.negated ? !match : match);
     }
     case ExprKind::kIn: {

@@ -49,6 +49,35 @@ enum class UnOp : uint8_t { kNot, kNeg, kIsNull, kIsNotNull };
 struct Expr;
 using ExprPtr = std::shared_ptr<const Expr>;
 
+/// A LIKE pattern compiled once per query instead of being re-scanned per
+/// row: exact / prefix / suffix / contains patterns get dedicated fast paths,
+/// everything else falls back to the generic %/_ matcher. Shared by the
+/// tuple-at-a-time interpreter and the vectorized kernels.
+class CompiledLike {
+ public:
+  explicit CompiledLike(std::string pattern);
+  bool Match(std::string_view s) const;
+  const std::string& pattern() const { return pattern_; }
+
+ private:
+  enum class Kind : uint8_t {
+    kExact,     // no wildcards
+    kPrefix,    // abc%
+    kSuffix,    // %abc
+    kContains,  // %abc%
+    kMatchAll,  // %, %%, ...
+    kGeneric,   // anything with '_' or interior '%'
+  };
+  std::string_view needle() const {
+    return std::string_view(pattern_).substr(needle_pos_, needle_len_);
+  }
+
+  std::string pattern_;
+  Kind kind_ = Kind::kGeneric;
+  size_t needle_pos_ = 0;
+  size_t needle_len_ = 0;
+};
+
 struct Expr {
   ExprKind kind = ExprKind::kConst;
   BinOp bin_op = BinOp::kAdd;
@@ -69,6 +98,7 @@ struct Expr {
   // kLike
   std::string pattern;
   bool negated = false;
+  std::shared_ptr<const CompiledLike> like;  // set by the Like() factory
 
   // kIn
   std::vector<Value> in_list;

@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "exec/expr_compile.h"
+#include "exec/vector_batch.h"
 #include "obs/obs.h"
 #include "obs/plan_profile.h"
 #include "util/hash.h"
@@ -13,14 +15,7 @@ namespace jsontiles::exec {
 
 namespace {
 
-uint64_t HashKeys(const std::vector<ExprPtr>& keys, const Value* slots,
-                  Arena* arena) {
-  uint64_t h = 0x2545F4914F6CDD1DULL;
-  for (const auto& k : keys) {
-    h = HashCombine(h, EvalExpr(*k, slots, arena).Hash());
-  }
-  return h;
-}
+constexpr uint64_t kKeyHashSeed = 0x2545F4914F6CDD1DULL;
 
 bool KeysEqual(const std::vector<Value>& a, const std::vector<Value>& b) {
   for (size_t i = 0; i < a.size(); i++) {
@@ -31,11 +26,116 @@ bool KeysEqual(const std::vector<Value>& a, const std::vector<Value>& b) {
   return true;
 }
 
+uint64_t HashKeyValues(const std::vector<Value>& keys) {
+  uint64_t h = kKeyHashSeed;
+  for (const Value& v : keys) h = HashCombine(h, v.Hash());
+  return h;
+}
+
 std::vector<Value> EvalKeyList(const std::vector<ExprPtr>& keys,
                                const Value* slots, Arena* arena) {
   std::vector<Value> out;
   out.reserve(keys.size());
   for (const auto& k : keys) out.push_back(EvalExpr(*k, slots, arena));
+  return out;
+}
+
+// Infer the static type of every slot in `slots` from a full pass over the
+// rows (an all-null slot stays kNull). Returns false — disabling compiled
+// evaluation — when a slot is out of range or holds mixed non-null types
+// (e.g. a SUM that came back Int for one group and Float for another).
+bool InferSlotTypes(const RowSet& rows, const std::vector<int>& slots,
+                    std::vector<ValueType>* types) {
+  for (int s : slots) {
+    if (s < 0 || static_cast<size_t>(s) >= types->size()) return false;
+  }
+  for (const Row& row : rows) {
+    for (int s : slots) {
+      const Value& v = row[s];
+      if (v.is_null()) continue;
+      ValueType& t = (*types)[s];
+      if (t == ValueType::kNull) {
+        t = v.type;
+      } else if (t != v.type) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// Compiled batch evaluation of a fixed expression list over a RowSet.
+// Construction infers slot types and compiles what it can; expressions that
+// do not compile (or everything, when disabled) are interpreted per row by
+// Get(). Copy instances per worker — LoadBatch/Get are not thread-safe.
+class BatchedExprs {
+ public:
+  BatchedExprs(const RowSet& rows, std::vector<const Expr*> exprs, bool enable)
+      : exprs_(std::move(exprs)) {
+    if (!enable || rows.empty() || exprs_.empty()) return;
+    const size_t num_slots = rows[0].size();
+    slot_types_.assign(num_slots, ValueType::kNull);
+    std::vector<int> all_slots;
+    for (const Expr* e : exprs_) CollectSlotRefs(*e, &all_slots);
+    if (!InferSlotTypes(rows, all_slots, &slot_types_)) return;
+    programs_.resize(exprs_.size());
+    compiled_.assign(exprs_.size(), 0);
+    size_t num_compiled = 0;
+    for (size_t i = 0; i < exprs_.size(); i++) {
+      if (CompiledExpr::Compile(*exprs_[i], slot_types_, &programs_[i])) {
+        compiled_[i] = 1;
+        num_compiled++;
+        for (int s : programs_[i].slots_used()) used_slots_.push_back(s);
+      }
+    }
+    if (num_compiled == 0) return;
+    std::sort(used_slots_.begin(), used_slots_.end());
+    used_slots_.erase(std::unique(used_slots_.begin(), used_slots_.end()),
+                      used_slots_.end());
+    slot_vecs_.resize(num_slots);
+    results_.resize(exprs_.size());
+    enabled_ = true;
+  }
+
+  bool enabled() const { return enabled_; }
+
+  /// Gather slots and run every compiled program over rows [begin, begin+n).
+  void LoadBatch(const RowSet& rows, size_t begin, size_t n, Arena* arena) {
+    sel_.SetAll(n);
+    for (int s : used_slots_) {
+      ColumnVector& vec = slot_vecs_[s];
+      vec.Reset(slot_types_[s]);
+      for (size_t k = 0; k < n; k++) vec.SetValue(k, rows[begin + k][s]);
+    }
+    for (size_t i = 0; i < exprs_.size(); i++) {
+      if (compiled_[i]) {
+        results_[i] = &programs_[i].Run(slot_vecs_.data(), sel_, arena);
+      }
+    }
+  }
+
+  /// Value of expression e for batch lane k (row = the matching input row).
+  Value Get(size_t e, size_t k, const Row& row, Arena* arena) const {
+    if (enabled_ && compiled_[e]) return results_[e]->GetValue(k);
+    return EvalExpr(*exprs_[e], row.data(), arena);
+  }
+
+ private:
+  std::vector<const Expr*> exprs_;
+  std::vector<CompiledExpr> programs_;
+  std::vector<uint8_t> compiled_;
+  std::vector<int> used_slots_;
+  std::vector<ValueType> slot_types_;
+  std::vector<ColumnVector> slot_vecs_;
+  std::vector<const ColumnVector*> results_;
+  SelectionVector sel_;
+  bool enabled_ = false;
+};
+
+std::vector<const Expr*> RawExprs(const std::vector<ExprPtr>& exprs) {
+  std::vector<const Expr*> out;
+  out.reserve(exprs.size());
+  for (const auto& e : exprs) out.push_back(e.get());
   return out;
 }
 
@@ -49,6 +149,63 @@ RowSet FilterExec(RowSet in, const ExprPtr& predicate, QueryContext& ctx) {
   Arena* arena = ctx.arena(0);
   RowSet out;
   out.reserve(in.size());
+
+  // Vectorized path: compile the predicate conjunct-by-conjunct against slot
+  // types inferred from the rows, then filter batch-at-a-time with
+  // selection-vector intersection (slots are gathered lazily per conjunct,
+  // only for still-selected lanes).
+  if (ctx.options().enable_vectorized && !in.empty()) {
+    std::vector<ValueType> slot_types(in[0].size(), ValueType::kNull);
+    std::vector<int> slots;
+    CollectSlotRefs(*predicate, &slots);
+    if (InferSlotTypes(in, slots, &slot_types)) {
+      CompiledPredicate pred = CompiledPredicate::Compile(predicate, slot_types);
+      if (pred.any_compiled()) {
+        std::vector<ColumnVector> slot_vecs(in[0].size());
+        std::vector<uint8_t> ready(in[0].size(), 0);
+        SelectionVector sel;
+        int64_t batches = 0;
+        for (size_t b = 0; b < in.size(); b += kVectorSize) {
+          const size_t n = std::min(kVectorSize, in.size() - b);
+          batches++;
+          sel.SetAll(n);
+          std::fill(ready.begin(), ready.end(), 0);
+          for (auto& cj : pred.conjuncts()) {
+            for (int s : cj.slots) {
+              if (ready[s]) continue;
+              ready[s] = 1;
+              ColumnVector& vec = slot_vecs[s];
+              vec.Reset(slot_types[s]);
+              for (size_t k = 0; k < sel.count; k++) {
+                const uint16_t r = sel.idx[k];
+                vec.SetValue(r, in[b + r][s]);
+              }
+            }
+            IntersectSelection(cj.program.Run(slot_vecs.data(), sel, arena),
+                               &sel);
+            if (sel.empty()) break;
+          }
+          for (size_t k = 0; k < sel.count; k++) {
+            Row& row = in[b + sel.idx[k]];
+            bool keep_row = true;
+            for (const auto& res : pred.residuals()) {
+              Value keep = EvalExpr(*res, row.data(), arena);
+              if (keep.is_null() || !keep.bool_value()) {
+                keep_row = false;
+                break;
+              }
+            }
+            if (keep_row) out.push_back(std::move(row));
+          }
+        }
+        prof.AddCounter("vec_batches", batches);
+        JSONTILES_COUNTER_ADD("exec.vec.batches", batches);
+        prof.set_rows_out(out.size());
+        return out;
+      }
+    }
+  }
+
   for (auto& row : in) {
     Value keep = EvalExpr(*predicate, row.data(), arena);
     if (!keep.is_null() && keep.bool_value()) out.push_back(std::move(row));
@@ -67,11 +224,19 @@ RowSet ProjectExec(const RowSet& in, const std::vector<ExprPtr>& exprs,
   Arena* arena = ctx.arena(0);
   RowSet out;
   out.reserve(in.size());
-  for (const auto& row : in) {
-    Row projected;
-    projected.reserve(exprs.size());
-    for (const auto& e : exprs) projected.push_back(EvalExpr(*e, row.data(), arena));
-    out.push_back(std::move(projected));
+  BatchedExprs batched(in, RawExprs(exprs), ctx.options().enable_vectorized);
+  for (size_t b = 0; b < in.size(); b += kVectorSize) {
+    const size_t n = std::min(kVectorSize, in.size() - b);
+    if (batched.enabled()) batched.LoadBatch(in, b, n, arena);
+    for (size_t k = 0; k < n; k++) {
+      const Row& row = in[b + k];
+      Row projected;
+      projected.reserve(exprs.size());
+      for (size_t e = 0; e < exprs.size(); e++) {
+        projected.push_back(batched.Get(e, k, row, arena));
+      }
+      out.push_back(std::move(projected));
+    }
   }
   return out;
 }
@@ -195,10 +360,24 @@ struct Group {
 
 using GroupMap = std::unordered_map<uint64_t, std::vector<Group>>;
 
+// One row into the group map. When `batched` is set, group keys and agg args
+// come from the compiled batch results (`lane` = row's index in the current
+// batch); otherwise they are interpreted per row. `agg_expr_idx[a]` maps agg
+// a to its argument's index in the batched expression list (-1 = COUNT(*)).
 void Accumulate(GroupMap& groups, const std::vector<ExprPtr>& group_by,
-                const std::vector<AggSpec>& aggs, const Row& row, Arena* arena) {
-  uint64_t h = HashKeys(group_by, row.data(), arena);
-  std::vector<Value> keys = EvalKeyList(group_by, row.data(), arena);
+                const std::vector<AggSpec>& aggs,
+                const std::vector<int>& agg_expr_idx, const Row& row,
+                Arena* arena, const BatchedExprs* batched, size_t lane) {
+  uint64_t h = kKeyHashSeed;
+  std::vector<Value> keys;
+  keys.reserve(group_by.size());
+  for (size_t g = 0; g < group_by.size(); g++) {
+    Value v = batched != nullptr
+                  ? batched->Get(g, lane, row, arena)
+                  : EvalExpr(*group_by[g], row.data(), arena);
+    h = HashCombine(h, v.Hash());
+    keys.push_back(v);
+  }
   auto& bucket = groups[h];
   Group* group = nullptr;
   for (auto& g : bucket) {
@@ -216,8 +395,13 @@ void Accumulate(GroupMap& groups, const std::vector<ExprPtr>& group_by,
     group = &bucket.back();
   }
   for (size_t a = 0; a < aggs.size(); a++) {
-    Value v = aggs[a].arg != nullptr ? EvalExpr(*aggs[a].arg, row.data(), arena)
-                                     : Value::Null();
+    Value v = Value::Null();
+    if (aggs[a].arg != nullptr) {
+      v = batched != nullptr
+              ? batched->Get(static_cast<size_t>(agg_expr_idx[a]), lane, row,
+                             arena)
+              : EvalExpr(*aggs[a].arg, row.data(), arena);
+    }
     group->accs[a].AddValue(aggs[a].kind, v);
   }
 }
@@ -234,25 +418,54 @@ RowSet AggregateExec(const RowSet& in, const std::vector<ExprPtr>& group_by,
   const size_t parallel_threshold = 16384;
   std::vector<GroupMap> partials;
 
+  // Batched expression list: group keys first, then aggregate arguments.
+  std::vector<const Expr*> batch_exprs = RawExprs(group_by);
+  std::vector<int> agg_expr_idx(aggs.size(), -1);
+  for (size_t a = 0; a < aggs.size(); a++) {
+    if (aggs[a].arg != nullptr) {
+      agg_expr_idx[a] = static_cast<int>(batch_exprs.size());
+      batch_exprs.push_back(aggs[a].arg.get());
+    }
+  }
+  // Type inference runs once here; workers run on private copies.
+  BatchedExprs master(in, std::move(batch_exprs),
+                      ctx.options().enable_vectorized);
+
+  auto accumulate_range = [&](GroupMap& groups, size_t begin, size_t end,
+                              Arena* arena, BatchedExprs* batched) {
+    for (size_t b = begin; b < end; b += kVectorSize) {
+      const size_t n = std::min(kVectorSize, end - b);
+      const BatchedExprs* cur = nullptr;
+      if (batched->enabled()) {
+        batched->LoadBatch(in, b, n, arena);
+        cur = batched;
+      }
+      for (size_t k = 0; k < n; k++) {
+        Accumulate(groups, group_by, aggs, agg_expr_idx, in[b + k], arena, cur,
+                   k);
+      }
+    }
+  };
+
   if (ctx.pool() != nullptr && in.size() >= parallel_threshold) {
     size_t workers = ctx.num_workers();
     partials.resize(workers);
+    std::vector<BatchedExprs> worker_batched(workers, master);
     size_t chunk = (in.size() + workers - 1) / workers;
     ctx.pool()->ParallelFor(
         workers,
         [&](size_t w, size_t) {
           size_t begin = w * chunk;
           size_t end = std::min(begin + chunk, in.size());
-          Arena* arena = ctx.arena(w);
-          for (size_t r = begin; r < end; r++) {
-            Accumulate(partials[w], group_by, aggs, in[r], arena);
+          if (begin < end) {
+            accumulate_range(partials[w], begin, end, ctx.arena(w),
+                             &worker_batched[w]);
           }
         },
         1);
   } else {
     partials.resize(1);
-    Arena* arena = ctx.arena(0);
-    for (const auto& row : in) Accumulate(partials[0], group_by, aggs, row, arena);
+    accumulate_range(partials[0], 0, in.size(), ctx.arena(0), &master);
   }
 
   // Merge partials into the first map.
@@ -339,64 +552,89 @@ RowSet HashJoinExec(const RowSet& build, const RowSet& probe,
     bool has_null = false;
     for (const auto& v : build_key_values.back()) has_null |= v.is_null();
     if (has_null) continue;  // null keys never match
-    table[HashKeys(build_keys, build[b].data(), arena)].push_back(b);
+    table[HashKeyValues(build_key_values.back())].push_back(b);
   }
   const size_t build_width = build.empty() ? 0 : build[0].size();
 
-  // Probe phase (parallel chunks).
+  // Probe phase (parallel chunks); probe keys evaluate batch-at-a-time with
+  // compiled programs when possible. Each worker runs a private copy of the
+  // compiled state; type inference runs once here.
+  BatchedExprs probe_master(probe, RawExprs(probe_keys),
+                            ctx.options().enable_vectorized);
   auto probe_chunk = [&](size_t begin, size_t end, Arena* worker_arena,
-                         RowSet* out) {
+                         RowSet* out, BatchedExprs* batched) {
     std::vector<Value> combined;
-    for (size_t p = begin; p < end; p++) {
-      const Row& prow = probe[p];
-      std::vector<Value> pkeys = EvalKeyList(probe_keys, prow.data(), worker_arena);
-      bool has_null = false;
-      for (const auto& v : pkeys) has_null |= v.is_null();
-      bool matched = false;
-      if (!has_null) {
-        uint64_t h = HashKeys(probe_keys, prow.data(), worker_arena);
-        auto it = table.find(h);
-        if (it != table.end()) {
-          for (size_t b : it->second) {
-            if (!KeysEqual(build_key_values[b], pkeys)) continue;
-            // Residual predicate over [probe..., build...].
-            if (residual != nullptr) {
-              combined.assign(prow.begin(), prow.end());
-              combined.insert(combined.end(), build[b].begin(), build[b].end());
-              Value keep = EvalExpr(*residual, combined.data(), worker_arena);
-              if (keep.is_null() || !keep.bool_value()) continue;
-            }
-            matched = true;
-            if (type == JoinType::kInner || type == JoinType::kLeft) {
-              Row out_row;
-              out_row.reserve(prow.size() + build_width);
-              out_row.insert(out_row.end(), prow.begin(), prow.end());
-              out_row.insert(out_row.end(), build[b].begin(), build[b].end());
-              out->push_back(std::move(out_row));
-            } else {
-              break;  // semi/anti need only existence
+    std::vector<Value> pkeys;
+    pkeys.reserve(probe_keys.size());
+    for (size_t base = begin; base < end; base += kVectorSize) {
+      const size_t n = std::min(kVectorSize, end - base);
+      const BatchedExprs* cur = nullptr;
+      if (batched->enabled()) {
+        batched->LoadBatch(probe, base, n, worker_arena);
+        cur = batched;
+      }
+      for (size_t k = 0; k < n; k++) {
+        const Row& prow = probe[base + k];
+        pkeys.clear();
+        uint64_t h = kKeyHashSeed;
+        bool has_null = false;
+        for (size_t j = 0; j < probe_keys.size(); j++) {
+          Value v = cur != nullptr
+                        ? cur->Get(j, k, prow, worker_arena)
+                        : EvalExpr(*probe_keys[j], prow.data(), worker_arena);
+          has_null |= v.is_null();
+          h = HashCombine(h, v.Hash());
+          pkeys.push_back(v);
+        }
+        bool matched = false;
+        if (!has_null) {
+          auto it = table.find(h);
+          if (it != table.end()) {
+            for (size_t b : it->second) {
+              if (!KeysEqual(build_key_values[b], pkeys)) continue;
+              // Residual predicate over [probe..., build...].
+              if (residual != nullptr) {
+                combined.assign(prow.begin(), prow.end());
+                combined.insert(combined.end(), build[b].begin(),
+                                build[b].end());
+                Value keep = EvalExpr(*residual, combined.data(), worker_arena);
+                if (keep.is_null() || !keep.bool_value()) continue;
+              }
+              matched = true;
+              if (type == JoinType::kInner || type == JoinType::kLeft) {
+                Row out_row;
+                out_row.reserve(prow.size() + build_width);
+                out_row.insert(out_row.end(), prow.begin(), prow.end());
+                out_row.insert(out_row.end(), build[b].begin(),
+                               build[b].end());
+                out->push_back(std::move(out_row));
+              } else {
+                break;  // semi/anti need only existence
+              }
             }
           }
         }
-      }
-      switch (type) {
-        case JoinType::kInner:
-          break;
-        case JoinType::kLeft:
-          if (!matched) {
-            Row out_row;
-            out_row.reserve(prow.size() + build_width);
-            out_row.insert(out_row.end(), prow.begin(), prow.end());
-            for (size_t i = 0; i < build_width; i++) out_row.push_back(Value::Null());
-            out->push_back(std::move(out_row));
-          }
-          break;
-        case JoinType::kSemi:
-          if (matched) out->push_back(prow);
-          break;
-        case JoinType::kAnti:
-          if (!matched) out->push_back(prow);
-          break;
+        switch (type) {
+          case JoinType::kInner:
+            break;
+          case JoinType::kLeft:
+            if (!matched) {
+              Row out_row;
+              out_row.reserve(prow.size() + build_width);
+              out_row.insert(out_row.end(), prow.begin(), prow.end());
+              for (size_t i = 0; i < build_width; i++) {
+                out_row.push_back(Value::Null());
+              }
+              out->push_back(std::move(out_row));
+            }
+            break;
+          case JoinType::kSemi:
+            if (matched) out->push_back(prow);
+            break;
+          case JoinType::kAnti:
+            if (!matched) out->push_back(prow);
+            break;
+        }
       }
     }
   };
@@ -405,13 +643,17 @@ RowSet HashJoinExec(const RowSet& build, const RowSet& probe,
   if (ctx.pool() != nullptr && probe.size() >= parallel_threshold) {
     size_t workers = ctx.num_workers();
     std::vector<RowSet> partials(workers);
+    std::vector<BatchedExprs> worker_batched(workers, probe_master);
     size_t chunk = (probe.size() + workers - 1) / workers;
     ctx.pool()->ParallelFor(
         workers,
         [&](size_t w, size_t) {
           size_t begin = w * chunk;
           size_t end = std::min(begin + chunk, probe.size());
-          if (begin < end) probe_chunk(begin, end, ctx.arena(w), &partials[w]);
+          if (begin < end) {
+            probe_chunk(begin, end, ctx.arena(w), &partials[w],
+                        &worker_batched[w]);
+          }
         },
         1);
     size_t total = 0;
@@ -425,7 +667,7 @@ RowSet HashJoinExec(const RowSet& build, const RowSet& probe,
     return out;
   }
   RowSet out;
-  probe_chunk(0, probe.size(), arena, &out);
+  probe_chunk(0, probe.size(), arena, &out, &probe_master);
   prof.set_rows_out(out.size());
   return out;
 }

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cmath>
 
+#include "exec/expr_compile.h"
+#include "exec/vector_batch.h"
 #include "obs/obs.h"
 #include "tiles/keypath.h"
 #include "tiles/tile.h"
@@ -216,6 +218,177 @@ bool CanSkipByZoneMap(const Tile& tile, const RangePredicate& rp) {
   }
 }
 
+// Chunk boundaries shared by the scalar and the vectorized path: tiles for
+// tiled modes, fixed chunks otherwise.
+struct Chunk {
+  size_t row_begin;
+  size_t row_count;
+  const Tile* tile;  // null for non-tiled modes
+};
+
+// Batch-at-a-time scan of one chunk: pushed-down conjuncts run as compiled
+// programs over column vectors read in bulk from the tile. Slot vectors
+// materialize lazily, so later conjuncts and binary-JSON fallback accesses
+// only touch rows surviving the earlier selection. One instance per worker;
+// buffers are reused across chunks. JSON-text relations stay on the scalar
+// path (each document re-parse invalidates the shared parse buffer, so
+// there is nothing to batch).
+class VectorizedChunkScan {
+ public:
+  VectorizedChunkScan(const ScanSpec& spec, const Relation& rel,
+                      CompiledPredicate& pred, Arena* arena)
+      : spec_(spec),
+        rel_(rel),
+        pred_(pred),
+        arena_(arena),
+        num_slots_(spec.accesses.size()),
+        slot_vecs_(num_slots_),
+        ready_(num_slots_, 0) {}
+
+  void Run(const Chunk& chunk, const std::vector<ResolvedAccess>& resolved,
+           RowSet* out) {
+    for (size_t b = 0; b < chunk.row_count; b += kVectorSize) {
+      ScanBatch(chunk, resolved, b, std::min(kVectorSize, chunk.row_count - b),
+                out);
+    }
+  }
+
+  size_t batches() const { return batches_; }
+  size_t rows() const { return rows_; }
+
+ private:
+  void ScanBatch(const Chunk& chunk, const std::vector<ResolvedAccess>& resolved,
+                 size_t batch_begin, size_t n, RowSet* out) {
+    batches_++;
+    rows_ += n;
+    sel_.SetAll(n);
+    std::fill(ready_.begin(), ready_.end(), 0);
+    for (auto& conjunct : pred_.conjuncts()) {
+      for (int s : conjunct.slots) {
+        MaterializeSlot(static_cast<size_t>(s), chunk, resolved, batch_begin, n);
+      }
+      IntersectSelection(conjunct.program.Run(slot_vecs_.data(), sel_, arena_),
+                         &sel_);
+      if (sel_.empty()) return;
+    }
+    for (size_t i = 0; i < num_slots_; i++) {
+      MaterializeSlot(i, chunk, resolved, batch_begin, n);
+    }
+    Row row(num_slots_);
+    for (size_t k = 0; k < sel_.count; k++) {
+      const size_t r = sel_.idx[k];
+      for (size_t i = 0; i < num_slots_; i++) {
+        row[i] = slot_vecs_[i].GetValue(r);
+      }
+      bool keep = true;
+      for (const ExprPtr& residual : pred_.residuals()) {
+        Value v = EvalExpr(*residual, row.data(), arena_);
+        if (v.is_null() || !v.bool_value()) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) out->push_back(row);
+    }
+  }
+
+  void FillFromDoc(ColumnVector& vec, const Expr& access, size_t r,
+                   size_t rel_row) {
+    json::JsonbValue doc(rel_.Jsonb(rel_row).data());
+    vec.SetValue(r, EvalScanExprOnJsonb(access, doc,
+                                        static_cast<int64_t>(rel_row), arena_,
+                                        /*copy_strings=*/false));
+  }
+
+  // Materialize slot i for the current batch, honoring the current
+  // selection: column routes bulk-read the whole batch (cheap, branchless);
+  // per-row work (casts, binary-JSON fallback) runs on selected rows only.
+  void MaterializeSlot(size_t i, const Chunk& chunk,
+                       const std::vector<ResolvedAccess>& resolved,
+                       size_t batch_begin, size_t n) {
+    if (ready_[i]) return;
+    ready_[i] = 1;
+    const ResolvedAccess& ra = resolved[i];
+    const Expr& access = *spec_.accesses[i];
+    ColumnVector& vec = slot_vecs_[i];
+    vec.Reset(ra.requested);
+    const size_t col_row0 = batch_begin;  // row offset inside the tile
+    const size_t rel_row0 = chunk.row_begin + batch_begin;
+
+    if (access.kind == ExprKind::kAccess && access.path == kRowIdPath) {
+      uint8_t* nulls = vec.nulls();
+      int64_t* out = vec.i64();
+      for (size_t k = 0; k < n; k++) {
+        nulls[k] = 0;
+        out[k] = static_cast<int64_t>(rel_row0 + k);
+      }
+      return;
+    }
+    if (ra.route == ResolvedAccess::Route::kColumn) {
+      const tiles::Column& col = ra.column->column;
+      col.ReadNulls(col_row0, n, vec.nulls());
+      switch (ra.column->storage_type) {
+        case ColumnType::kBool:
+          col.ReadBools(col_row0, n, vec.i64());
+          break;
+        case ColumnType::kInt64:
+        case ColumnType::kTimestamp:
+          col.ReadInts(col_row0, n, vec.i64());
+          break;
+        case ColumnType::kFloat64:
+          col.ReadFloats(col_row0, n, vec.f64());
+          break;
+        case ColumnType::kString:
+          col.ReadStrings(col_row0, n, vec.str());
+          break;
+        case ColumnType::kNumeric:
+          col.ReadNumerics(col_row0, n, vec.i64(), vec.scale());
+          break;
+      }
+      if (ra.fallback_on_null && col.null_count() > 0) {
+        // §3.4: a null lane may hide a type outlier in the binary JSON.
+        for (size_t k = 0; k < sel_.count; k++) {
+          const size_t r = sel_.idx[k];
+          if (vec.IsNull(r)) FillFromDoc(vec, access, r, rel_row0 + r);
+        }
+      }
+      return;
+    }
+    if (ra.route == ResolvedAccess::Route::kColumnCast) {
+      const tiles::Column& col = ra.column->column;
+      for (size_t k = 0; k < sel_.count; k++) {
+        const size_t r = sel_.idx[k];
+        if (col.IsNull(col_row0 + r)) {
+          if (ra.fallback_on_null) {
+            FillFromDoc(vec, access, r, rel_row0 + r);
+          } else {
+            vec.nulls()[r] = 1;
+          }
+          continue;
+        }
+        vec.SetValue(r, CastValue(ReadColumnValue(*ra.column, col_row0 + r),
+                                  ra.requested, arena_));
+      }
+      return;
+    }
+    for (size_t k = 0; k < sel_.count; k++) {  // binary-JSON fallback
+      const size_t r = sel_.idx[k];
+      FillFromDoc(vec, access, r, rel_row0 + r);
+    }
+  }
+
+  const ScanSpec& spec_;
+  const Relation& rel_;
+  CompiledPredicate& pred_;
+  Arena* arena_;
+  const size_t num_slots_;
+  std::vector<ColumnVector> slot_vecs_;
+  std::vector<uint8_t> ready_;
+  SelectionVector sel_;
+  size_t batches_ = 0;
+  size_t rows_ = 0;
+};
+
 }  // namespace
 
 RowSet ScanExec(const ScanSpec& spec, QueryContext& ctx) {
@@ -229,12 +402,6 @@ RowSet ScanExec(const ScanSpec& spec, QueryContext& ctx) {
   const bool tiled = rel.mode() == StorageMode::kTiles ||
                      rel.mode() == StorageMode::kSinew;
 
-  // Chunk boundaries: tiles for tiled modes, fixed chunks otherwise.
-  struct Chunk {
-    size_t row_begin;
-    size_t row_count;
-    const Tile* tile;  // null for non-tiled modes
-  };
   std::vector<Chunk> chunks;
   if (tiled) {
     for (const Tile& tile : rel.tiles()) {
@@ -246,6 +413,25 @@ RowSet ScanExec(const ScanSpec& spec, QueryContext& ctx) {
       chunks.push_back(
           Chunk{begin, std::min(kChunkRows, rel.num_rows() - begin), nullptr});
     }
+  }
+
+  // Compile the pushed-down filter once per scan; per-worker copies of the
+  // programs keep Run reentrant across threads. JSON-text mode stays scalar
+  // (see VectorizedChunkScan). A filter none of whose conjuncts compiled
+  // would gain nothing from batching, so it stays scalar too.
+  const bool want_vectorized = ctx.options().enable_vectorized &&
+                               rel.mode() != StorageMode::kJsonText;
+  std::vector<CompiledPredicate> worker_preds;
+  std::vector<std::unique_ptr<VectorizedChunkScan>> scanners(ctx.num_workers());
+  bool vectorized = false;
+  if (want_vectorized) {
+    std::vector<ValueType> slot_types(num_slots);
+    for (size_t i = 0; i < num_slots; i++) {
+      slot_types[i] = spec.accesses[i]->access_type;
+    }
+    CompiledPredicate pred = CompiledPredicate::Compile(spec.filter, slot_types);
+    vectorized = spec.filter == nullptr || pred.any_compiled();
+    if (vectorized) worker_preds.assign(ctx.num_workers(), pred);
   }
 
   std::vector<RowSet> partials(chunks.size());
@@ -283,6 +469,16 @@ RowSet ScanExec(const ScanSpec& spec, QueryContext& ctx) {
       for (size_t i = 0; i < num_slots; i++) {
         resolved[i].requested = spec.accesses[i]->access_type;
       }
+    }
+
+    if (vectorized) {
+      auto& scanner = scanners[worker];
+      if (scanner == nullptr) {
+        scanner = std::make_unique<VectorizedChunkScan>(
+            spec, rel, worker_preds[worker], ctx.arena(worker));
+      }
+      scanner->Run(chunk, resolved, &out);
+      return;
     }
 
     json::JsonbBuilder text_builder;  // JSON-text mode: re-parse per document
@@ -377,6 +573,18 @@ RowSet ScanExec(const ScanSpec& spec, QueryContext& ctx) {
   prof.set_rows_out(out.size());
   prof.AddCounter("tiles", static_cast<int64_t>(chunks.size()));
   prof.AddCounter("tiles_skipped", static_cast<int64_t>(skipped.load()));
+  if (vectorized) {
+    size_t batches = 0, batch_rows = 0;
+    for (const auto& s : scanners) {
+      if (s == nullptr) continue;
+      batches += s->batches();
+      batch_rows += s->rows();
+    }
+    prof.AddCounter("vec_batches", static_cast<int64_t>(batches));
+    prof.AddCounter("vec_rows", static_cast<int64_t>(batch_rows));
+    JSONTILES_COUNTER_ADD("exec.vec.batches", static_cast<int64_t>(batches));
+    JSONTILES_COUNTER_ADD("exec.vec.rows", static_cast<int64_t>(batch_rows));
+  }
   return out;
 }
 

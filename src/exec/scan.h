@@ -30,6 +30,9 @@ struct ExecOptions {
   size_t num_threads = 1;
   /// §4.8: skip tiles that cannot contain a null-rejecting key path.
   bool enable_tile_skipping = true;
+  /// Evaluate pushed-down filters and operator expressions batch-at-a-time
+  /// with compiled programs (expr_compile.h). Off = scalar interpreter only.
+  bool enable_vectorized = true;
 };
 
 /// Per-query state: worker arenas for derived strings (rows reference them,

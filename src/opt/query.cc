@@ -116,15 +116,40 @@ RowSet ScanRowset(const TableRef& table, const std::vector<ExprPtr>& accesses,
 
 }  // namespace
 
-RowSet QueryBlock::Execute(exec::QueryContext& ctx, const PlannerOptions& options) {
+/// Everything the planning prefix produces; scoped to one Execute/Explain.
+struct QueryBlock::PlanState {
+  std::unordered_map<std::string, size_t> table_index;
+  /// One slot per distinct access per table (§4.2 push-down).
+  std::vector<std::vector<ExprPtr>> table_accesses;
+  std::vector<std::vector<std::string>> null_rejecting;
+  std::vector<std::vector<exec::RangePredicate>> range_predicates;
+  /// Left-deep join sequence over table indices.
+  std::vector<int> sequence;
+  /// Estimated scan output cardinality per table (declaration order).
+  std::vector<double> cards;
+  /// C_out of the chosen sequence; 0 unless the DP search ran.
+  double estimated_cost = 0;
+
+  int LocalSlot(size_t table, const Expr& access) const {
+    const auto& list = table_accesses[table];
+    for (size_t i = 0; i < list.size(); i++) {
+      if (exec::SameAccess(*list[i], access)) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+void QueryBlock::BuildPlan(const PlannerOptions& options, bool estimate_all,
+                           PlanState* state) {
   const size_t num_tables = tables_.size();
   JSONTILES_CHECK(num_tables > 0);
 
-  std::unordered_map<std::string, size_t> table_index;
+  auto& table_index = state->table_index;
   for (size_t i = 0; i < num_tables; i++) table_index[tables_[i].alias] = i;
 
   // ---- Access push-down (§4.2): one slot per distinct access per table. ---
-  std::vector<std::vector<ExprPtr>> table_accesses(num_tables);
+  auto& table_accesses = state->table_accesses;
+  table_accesses.assign(num_tables, {});
   auto register_accesses = [&](const ExprPtr& e) {
     if (e == nullptr) return;
     std::vector<ExprPtr> found;
@@ -154,18 +179,12 @@ RowSet QueryBlock::Execute(exec::QueryContext& ctx, const PlannerOptions& option
   for (const auto& a : aggs_) register_accesses(a.arg);
   for (const auto& e : projections_) register_accesses(e);
 
-  auto local_slot = [&](size_t table, const Expr& access) -> int {
-    const auto& list = table_accesses[table];
-    for (size_t i = 0; i < list.size(); i++) {
-      if (exec::SameAccess(*list[i], access)) return static_cast<int>(i);
-    }
-    return -1;
-  };
-
   // ---- Null-rejecting paths per table (filters + inner-join keys, §4.8)
   // ---- plus zone-map range predicates.
-  std::vector<std::vector<std::string>> null_rejecting(num_tables);
-  std::vector<std::vector<exec::RangePredicate>> range_predicates(num_tables);
+  auto& null_rejecting = state->null_rejecting;
+  auto& range_predicates = state->range_predicates;
+  null_rejecting.assign(num_tables, {});
+  range_predicates.assign(num_tables, {});
   for (size_t i = 0; i < num_tables; i++) {
     exec::CollectNullRejectingPaths(tables_[i].filter, tables_[i].alias,
                                     &null_rejecting[i]);
@@ -185,10 +204,12 @@ RowSet QueryBlock::Execute(exec::QueryContext& ctx, const PlannerOptions& option
   }
 
   // ---- Join ordering (§4.6). ----------------------------------------------
-  std::vector<int> sequence(num_tables);
+  auto& sequence = state->sequence;
+  auto& cards = state->cards;
+  sequence.resize(num_tables);
   for (size_t i = 0; i < num_tables; i++) sequence[i] = static_cast<int>(i);
-  std::vector<double> cards(num_tables, 1);
-  if (num_tables > 1) {
+  cards.assign(num_tables, 1);
+  if (num_tables > 1 || estimate_all) {
     for (size_t i = 0; i < num_tables; i++) {
       const TableRef& t = tables_[i];
       if (t.relation != nullptr) {
@@ -196,7 +217,7 @@ RowSet QueryBlock::Execute(exec::QueryContext& ctx, const PlannerOptions& option
                                   ? nullptr
                                   : exec::RewriteAccessesToSlots(
                                         t.filter, [&](const Expr& a) {
-                                          return local_slot(i, a);
+                                          return state->LocalSlot(i, a);
                                         });
         cards[i] = EstimateScanCardinality(*t.relation, table_accesses[i],
                                            scan_filter, null_rejecting[i],
@@ -206,36 +227,67 @@ RowSet QueryBlock::Execute(exec::QueryContext& ctx, const PlannerOptions& option
         cards[i] = static_cast<double>(t.rowset->size());
       }
     }
-    if (options.optimize_join_order) {
-      JoinGraph graph;
-      graph.table_cardinalities = cards;
-      for (const auto& j : joins_) {
-        JoinGraph::Edge edge;
-        size_t lt = table_index[OwningTable(j.left)];
-        size_t rt = table_index[OwningTable(j.right)];
-        edge.left = static_cast<int>(lt);
-        edge.right = static_cast<int>(rt);
-        if (j.left->kind == exec::ExprKind::kAccess &&
-            tables_[lt].relation != nullptr) {
-          edge.left_distinct =
-              EstimateJoinKeyDistinct(*tables_[lt].relation, j.left->path, cards[lt]);
-        } else {
-          edge.left_distinct = cards[lt];
-        }
-        if (j.right->kind == exec::ExprKind::kAccess &&
-            tables_[rt].relation != nullptr) {
-          edge.right_distinct = EstimateJoinKeyDistinct(*tables_[rt].relation,
-                                                        j.right->path, cards[rt]);
-        } else {
-          edge.right_distinct = cards[rt];
-        }
-        graph.edges.push_back(edge);
+  }
+  if (num_tables > 1 && options.optimize_join_order) {
+    JoinGraph graph;
+    graph.table_cardinalities = cards;
+    for (const auto& j : joins_) {
+      JoinGraph::Edge edge;
+      size_t lt = table_index[OwningTable(j.left)];
+      size_t rt = table_index[OwningTable(j.right)];
+      edge.left = static_cast<int>(lt);
+      edge.right = static_cast<int>(rt);
+      if (j.left->kind == exec::ExprKind::kAccess &&
+          tables_[lt].relation != nullptr) {
+        edge.left_distinct =
+            EstimateJoinKeyDistinct(*tables_[lt].relation, j.left->path, cards[lt]);
+      } else {
+        edge.left_distinct = cards[lt];
       }
-      sequence = OptimizeJoinOrder(graph).sequence;
+      if (j.right->kind == exec::ExprKind::kAccess &&
+          tables_[rt].relation != nullptr) {
+        edge.right_distinct = EstimateJoinKeyDistinct(*tables_[rt].relation,
+                                                      j.right->path, cards[rt]);
+      } else {
+        edge.right_distinct = cards[rt];
+      }
+      graph.edges.push_back(edge);
     }
+    JoinOrderResult result = OptimizeJoinOrder(graph);
+    sequence = std::move(result.sequence);
+    state->estimated_cost = result.estimated_cost;
   }
   chosen_order_.clear();
   for (int t : sequence) chosen_order_.push_back(tables_[static_cast<size_t>(t)].alias);
+}
+
+PlanEstimate QueryBlock::Explain(const PlannerOptions& options) {
+  PlanState state;
+  BuildPlan(options, /*estimate_all=*/true, &state);
+  PlanEstimate out;
+  out.join_order.reserve(state.sequence.size());
+  out.table_rows.reserve(state.sequence.size());
+  for (int t : state.sequence) {
+    out.join_order.push_back(tables_[static_cast<size_t>(t)].alias);
+    out.table_rows.push_back(state.cards[static_cast<size_t>(t)]);
+  }
+  out.estimated_cost = state.estimated_cost;
+  return out;
+}
+
+RowSet QueryBlock::Execute(exec::QueryContext& ctx, const PlannerOptions& options) {
+  PlanState state;
+  BuildPlan(options, /*estimate_all=*/false, &state);
+
+  const size_t num_tables = tables_.size();
+  auto& table_index = state.table_index;
+  auto& table_accesses = state.table_accesses;
+  auto& null_rejecting = state.null_rejecting;
+  auto& range_predicates = state.range_predicates;
+  auto& sequence = state.sequence;
+  auto local_slot = [&](size_t table, const Expr& access) -> int {
+    return state.LocalSlot(table, access);
+  };
 
   // ---- Scans. ---------------------------------------------------------------
   // Profiled runs wire the plan tree as the operators execute: every operator

@@ -28,6 +28,19 @@ struct PlannerOptions {
   size_t sample_size = 512;
 };
 
+/// Plain EXPLAIN output: the optimizer's chosen join order plus the
+/// cardinality estimates that drove it, produced without executing.
+struct PlanEstimate {
+  /// Table aliases in the chosen (left-deep) join order.
+  std::vector<std::string> join_order;
+  /// Estimated scan output rows per table, aligned with join_order.
+  std::vector<double> table_rows;
+  /// C_out of the chosen order (sum of intermediate result cardinalities).
+  /// Only set when the bitmask-DP search ran (more than one table and
+  /// optimize_join_order on); 0 otherwise.
+  double estimated_cost = 0;
+};
+
 struct TableRef {
   std::string alias;
   const storage::Relation* relation = nullptr;
@@ -80,12 +93,24 @@ class QueryBlock {
   exec::RowSet Execute(exec::QueryContext& ctx,
                        const PlannerOptions& options = {});
 
-  /// Join order chosen by the last Execute (table aliases).
+  /// Plan without executing: access push-down, per-scan cardinality
+  /// estimation and cost-based join ordering (plain EXPLAIN). Unlike
+  /// Execute, estimates are produced even for single-table blocks.
+  PlanEstimate Explain(const PlannerOptions& options = {});
+
+  /// Join order chosen by the last Execute/Explain (table aliases).
   const std::vector<std::string>& chosen_join_order() const {
     return chosen_order_;
   }
 
  private:
+  struct PlanState;
+  /// Shared planning prefix: access push-down, null-rejection analysis,
+  /// cardinality estimation (always when `estimate_all`, else only when a
+  /// join order must be chosen) and the join-order search.
+  void BuildPlan(const PlannerOptions& options, bool estimate_all,
+                 PlanState* state);
+
   struct JoinEdge {
     exec::ExprPtr left;
     exec::ExprPtr right;

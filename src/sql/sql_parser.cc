@@ -658,17 +658,21 @@ Result<SqlResult> ExecuteSql(std::string_view statement, const SqlCatalog& catal
   std::vector<SqlToken> token_list = tokens.MoveValueOrDie();
 
   // EXPLAIN ANALYZE prefix: execute the statement under a PlanProfile and
-  // return the annotated operator tree instead of the query output.
+  // return the annotated operator tree instead of the query output. Plain
+  // EXPLAIN binds and plans the statement — join order + cardinality
+  // estimates — without executing it.
   bool explain_analyze = false;
+  bool explain_plan = false;
   if (!token_list.empty() && token_list[0].type == TokenType::kKeyword &&
       token_list[0].text == "EXPLAIN") {
-    if (token_list.size() < 2 || token_list[1].type != TokenType::kKeyword ||
-        token_list[1].text != "ANALYZE") {
-      return Status::Unsupported(
-          "plain EXPLAIN is not supported; use EXPLAIN ANALYZE");
+    if (token_list.size() >= 2 && token_list[1].type == TokenType::kKeyword &&
+        token_list[1].text == "ANALYZE") {
+      explain_analyze = true;
+      token_list.erase(token_list.begin(), token_list.begin() + 2);
+    } else {
+      explain_plan = true;
+      token_list.erase(token_list.begin());
     }
-    explain_analyze = true;
-    token_list.erase(token_list.begin(), token_list.begin() + 2);
   }
 
   std::shared_ptr<obs::PlanProfile> profile;
@@ -784,20 +788,54 @@ Result<SqlResult> ExecuteSql(std::string_view statement, const SqlCatalog& catal
           RewritePostAgg(query.having, query.group_by, &having));
       block.Having(having);
     }
-    rows = block.Execute(ctx, planner);
     for (size_t i = 0; i < query.select.size(); i++) {
       ExprPtr rewritten;
       JSONTILES_RETURN_NOT_OK(
           RewritePostAgg(query.select[i].expr, query.group_by, &rewritten));
       final_projection.push_back(std::move(rewritten));
     }
-    rows = exec::ProjectExec(rows, final_projection, ctx);
-    if (ctx.profile != nullptr) ctx.profile->Chain(ctx.profile->last_id());
   } else {
     std::vector<ExprPtr> projections;
     for (const auto& item : query.select) projections.push_back(item.expr);
     block.Select(projections);
-    rows = block.Execute(ctx, planner);
+  }
+
+  // --- plain EXPLAIN: plan only, no execution -------------------------------
+  if (explain_plan) {
+    opt::PlanEstimate est = block.Explain(planner);
+    std::vector<std::string> lines;
+    std::string order = "Join order: ";
+    for (size_t i = 0; i < est.join_order.size(); i++) {
+      if (i > 0) order += " -> ";
+      order += est.join_order[i];
+    }
+    lines.push_back(std::move(order));
+    char buf[160];
+    for (size_t i = 0; i < est.join_order.size(); i++) {
+      std::snprintf(buf, sizeof(buf), "  scan %s  (estimated rows=%.0f)",
+                    est.join_order[i].c_str(), est.table_rows[i]);
+      lines.emplace_back(buf);
+    }
+    if (est.estimated_cost > 0) {
+      std::snprintf(buf, sizeof(buf), "Estimated cost (C_out): %.0f",
+                    est.estimated_cost);
+      lines.emplace_back(buf);
+    }
+    SqlResult plan;
+    plan.column_names.push_back("QUERY PLAN");
+    auto* arena = ctx.arena(0);
+    for (const std::string& line : lines) {
+      const uint8_t* copy = arena->AllocateCopy(line.data(), line.size());
+      plan.rows.push_back({exec::Value::String(
+          {reinterpret_cast<const char*>(copy), line.size()})});
+    }
+    return plan;
+  }
+
+  rows = block.Execute(ctx, planner);
+  if (aggregated) {
+    rows = exec::ProjectExec(rows, final_projection, ctx);
+    if (ctx.profile != nullptr) ctx.profile->Chain(ctx.profile->last_id());
   }
 
   // --- ORDER BY / LIMIT over the select output ------------------------------

@@ -57,8 +57,11 @@ struct SqlResult {
 };
 
 /// Parse, bind, optimize and execute one SELECT statement. A statement may
-/// be prefixed with EXPLAIN ANALYZE: the query still executes fully, but the
-/// result is the annotated operator tree (see SqlResult::profile).
+/// be prefixed with EXPLAIN ANALYZE — the query still executes fully, but
+/// the result is the annotated operator tree (see SqlResult::profile) — or
+/// with plain EXPLAIN, which binds and plans only: the result holds the
+/// optimizer's chosen join order and cardinality estimates, one text line
+/// per row, without executing the query.
 Result<SqlResult> ExecuteSql(std::string_view statement,
                              const SqlCatalog& catalog,
                              exec::QueryContext& ctx,

@@ -9,6 +9,7 @@
 #define JSONTILES_TILES_COLUMN_H_
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -62,6 +63,34 @@ class Column {
   }
   std::string_view GetString(size_t row) const {
     return std::string_view(heap_).substr(starts_[row], lens_[row]);
+  }
+
+  // Bulk typed reads (vectorized scan): copy `count` consecutive rows
+  // starting at `row` into caller buffers. Null rows carry a zero/empty
+  // placeholder payload — consult `nulls` (1 = null) before using values.
+  void ReadNulls(size_t row, size_t count, uint8_t* nulls) const {
+    for (size_t k = 0; k < count; k++) nulls[k] = valid_[row + k] ? 0 : 1;
+  }
+  void ReadInts(size_t row, size_t count, int64_t* out) const {
+    std::memcpy(out, i64_.data() + row, count * sizeof(int64_t));
+  }
+  void ReadBools(size_t row, size_t count, int64_t* out) const {
+    // Normalize to 0/1 like GetBool (Value::Bool stores exactly 0/1).
+    for (size_t k = 0; k < count; k++) out[k] = i64_[row + k] != 0 ? 1 : 0;
+  }
+  void ReadFloats(size_t row, size_t count, double* out) const {
+    std::memcpy(out, f64_.data() + row, count * sizeof(double));
+  }
+  void ReadNumerics(size_t row, size_t count, int64_t* unscaled,
+                    uint8_t* scales) const {
+    std::memcpy(unscaled, i64_.data() + row, count * sizeof(int64_t));
+    std::memcpy(scales, scales_.data() + row, count);
+  }
+  void ReadStrings(size_t row, size_t count, std::string_view* out) const {
+    std::string_view heap = heap_;
+    for (size_t k = 0; k < count; k++) {
+      out[k] = heap.substr(starts_[row + k], lens_[row + k]);
+    }
   }
 
   // In-place update (§4.7); strings append to the heap.
