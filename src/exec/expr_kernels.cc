@@ -8,10 +8,18 @@
 // locks this in.
 
 #include "exec/expr_compile.h"
+#include "exec/simd.h"
 
 namespace jsontiles::exec::vec {
 
 namespace {
+
+// Dense selections (the first conjunct after SetAll, projections, join and
+// aggregate key batches) take the SIMD entry points; sparse selections keep
+// the scalar gather loops below, which remain the semantic reference.
+inline bool UseSimdDense(const SelectionVector& sel) {
+  return sel.IsDense() && simd::UseSimd();
+}
 
 // AsDouble of a non-null lane (string operands are rejected at compile).
 inline double LaneAsDouble(const ColumnVector& v, size_t r) {
@@ -65,6 +73,10 @@ void KernelArith(const Instr& in, const ColumnVector& a, const ColumnVector& b,
     const uint8_t* an = a.nulls();
     const uint8_t* bn = b.nulls();
     int64_t* oi = out->i64();
+    if (UseSimdDense(sel)) {
+      simd::ArithI64(in.bin_op, ai, bi, an, bn, oi, onull, sel.count);
+      return;
+    }
     switch (in.bin_op) {
       case BinOp::kAdd:
         for (size_t k = 0; k < sel.count; k++) {
@@ -90,6 +102,32 @@ void KernelArith(const Instr& in, const ColumnVector& a, const ColumnVector& b,
     }
   }
   double* of = out->f64();
+  const bool ab_int_or_float =
+      (in.a_type == ValueType::kInt || in.a_type == ValueType::kFloat) &&
+      (in.b_type == ValueType::kInt || in.b_type == ValueType::kFloat);
+  if (ab_int_or_float && UseSimdDense(sel)) {
+    // Int operands are widened once into scratch lanes (exact, identical to
+    // the static_cast in LaneAsDouble); numeric operands keep the scalar
+    // loop because of the per-lane scale.
+    double atmp[kVectorSize], btmp[kVectorSize];
+    const double* pa;
+    if (in.a_type == ValueType::kInt) {
+      simd::I64ToF64(a.i64(), atmp, sel.count);
+      pa = atmp;
+    } else {
+      pa = a.f64();
+    }
+    const double* pb;
+    if (in.b_type == ValueType::kInt) {
+      simd::I64ToF64(b.i64(), btmp, sel.count);
+      pb = btmp;
+    } else {
+      pb = b.f64();
+    }
+    simd::ArithF64(in.bin_op, pa, pb, a.nulls(), b.nulls(), of, onull,
+                   sel.count);
+    return;
+  }
   for (size_t k = 0; k < sel.count; k++) {
     const size_t r = sel.idx[k];
     if (a.IsNull(r) || b.IsNull(r)) {
@@ -143,6 +181,11 @@ void KernelCompare(const Instr& in, const ColumnVector& a,
     if (in.a_type == ValueType::kInt && in.b_type == ValueType::kInt) {
       const int64_t* ai = a.i64();
       const int64_t* bi = b.i64();
+      if (UseSimdDense(sel)) {
+        simd::CompareI64ViaDouble(in.bin_op, ai, bi, a.nulls(), b.nulls(), oi,
+                                  onull, sel.count);
+        return;
+      }
       for (size_t k = 0; k < sel.count; k++) {
         const size_t r = sel.idx[k];
         if (a.IsNull(r) || b.IsNull(r)) {
@@ -155,6 +198,24 @@ void KernelCompare(const Instr& in, const ColumnVector& a,
         oi[r] = ApplyCmp(in.bin_op, x < y ? -1 : x > y ? 1 : 0);
       }
       return;
+    }
+    if (UseSimdDense(sel)) {  // float/float and int<->float mixes
+      if (in.a_type == ValueType::kFloat && in.b_type == ValueType::kFloat) {
+        simd::CompareF64(in.bin_op, a.f64(), b.f64(), a.nulls(), b.nulls(),
+                         oi, onull, sel.count);
+        return;
+      }
+      if (in.a_type == ValueType::kInt && in.b_type == ValueType::kFloat) {
+        simd::CompareI64F64(in.bin_op, a.i64(), b.f64(), a.nulls(), b.nulls(),
+                            oi, onull, sel.count);
+        return;
+      }
+      if (in.a_type == ValueType::kFloat && in.b_type == ValueType::kInt) {
+        simd::CompareF64I64(in.bin_op, a.f64(), b.i64(), a.nulls(), b.nulls(),
+                            oi, onull, sel.count);
+        return;
+      }
+      // numeric operands fall through to the scalar loop (per-lane scale)
     }
     for (size_t k = 0; k < sel.count; k++) {
       const size_t r = sel.idx[k];
@@ -187,6 +248,11 @@ void KernelCompare(const Instr& in, const ColumnVector& a,
   // Same non-number type (bool/timestamp): raw int lanes.
   const int64_t* ai = a.i64();
   const int64_t* bi = b.i64();
+  if (UseSimdDense(sel)) {
+    simd::CompareI64Raw(in.bin_op, ai, bi, a.nulls(), b.nulls(), oi, onull,
+                        sel.count);
+    return;
+  }
   for (size_t k = 0; k < sel.count; k++) {
     const size_t r = sel.idx[k];
     if (a.IsNull(r) || b.IsNull(r)) {
@@ -204,6 +270,19 @@ void KernelLogic(const Instr& in, const ColumnVector& a, const ColumnVector& b,
   uint8_t* onull = out->nulls();
   int64_t* oi = out->i64();
   const bool is_and = in.op == VecOp::kAnd;
+  if (a.type() == ValueType::kBool && b.type() == ValueType::kBool &&
+      UseSimdDense(sel)) {
+    // kNull-typed operands (statically-null conjuncts) have no payload
+    // lanes, so they stay on the BoolLane loop below.
+    if (is_and) {
+      simd::And3VL(a.i64(), b.i64(), a.nulls(), b.nulls(), oi, onull,
+                   sel.count);
+    } else {
+      simd::Or3VL(a.i64(), b.i64(), a.nulls(), b.nulls(), oi, onull,
+                  sel.count);
+    }
+    return;
+  }
   for (size_t k = 0; k < sel.count; k++) {
     const size_t r = sel.idx[k];
     uint8_t x = BoolLane(a, r);

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "exec/expr_compile.h"
+#include "exec/simd.h"
 #include "exec/vector_batch.h"
 #include "obs/obs.h"
 #include "obs/plan_profile.h"
@@ -17,6 +18,26 @@ namespace {
 
 constexpr uint64_t kKeyHashSeed = 0x2545F4914F6CDD1DULL;
 
+// Reports the query's arena growth across one operator as an `arena_bytes`
+// counter (see QueryContext::arena_bytes()). Declare after the profiler so
+// the counter lands before the profiler's destructor stamps the node.
+class ArenaCounter {
+ public:
+  ArenaCounter(obs::OperatorProfiler& prof, QueryContext& ctx)
+      : prof_(prof), ctx_(ctx), before_(prof.active() ? ctx.arena_bytes() : 0) {}
+  ~ArenaCounter() {
+    if (prof_.active()) {
+      prof_.AddCounter("arena_bytes",
+                       static_cast<int64_t>(ctx_.arena_bytes() - before_));
+    }
+  }
+
+ private:
+  obs::OperatorProfiler& prof_;
+  QueryContext& ctx_;
+  size_t before_;
+};
+
 bool KeysEqual(const std::vector<Value>& a, const std::vector<Value>& b) {
   for (size_t i = 0; i < a.size(); i++) {
     // Join keys: SQL equality — null never matches null.
@@ -24,20 +45,6 @@ bool KeysEqual(const std::vector<Value>& a, const std::vector<Value>& b) {
     if (!a[i].EqualsForGrouping(b[i])) return false;
   }
   return true;
-}
-
-uint64_t HashKeyValues(const std::vector<Value>& keys) {
-  uint64_t h = kKeyHashSeed;
-  for (const Value& v : keys) h = HashCombine(h, v.Hash());
-  return h;
-}
-
-std::vector<Value> EvalKeyList(const std::vector<ExprPtr>& keys,
-                               const Value* slots, Arena* arena) {
-  std::vector<Value> out;
-  out.reserve(keys.size());
-  for (const auto& k : keys) out.push_back(EvalExpr(*k, slots, arena));
-  return out;
 }
 
 // Infer the static type of every slot in `slots` from a full pass over the
@@ -120,6 +127,12 @@ class BatchedExprs {
     return EvalExpr(*exprs_[e], row.data(), arena);
   }
 
+  /// Raw compiled result vector for expression e, or nullptr when e did not
+  /// compile (callers must then go through Get). Valid until next LoadBatch.
+  const ColumnVector* Result(size_t e) const {
+    return enabled_ && compiled_[e] ? results_[e] : nullptr;
+  }
+
  private:
   std::vector<const Expr*> exprs_;
   std::vector<CompiledExpr> programs_;
@@ -146,6 +159,7 @@ RowSet FilterExec(RowSet in, const ExprPtr& predicate, QueryContext& ctx) {
   JSONTILES_TRACE_SPAN("exec.filter");
   obs::OperatorProfiler prof(ctx.profile, "Filter");
   prof.set_rows_in(in.size());
+  ArenaCounter arena_counter(prof, ctx);
   Arena* arena = ctx.arena(0);
   RowSet out;
   out.reserve(in.size());
@@ -221,6 +235,7 @@ RowSet ProjectExec(const RowSet& in, const std::vector<ExprPtr>& exprs,
                              std::to_string(exprs.size()) + " exprs");
   prof.set_rows_in(in.size());
   prof.set_rows_out(in.size());
+  ArenaCounter arena_counter(prof, ctx);
   Arena* arena = ctx.arena(0);
   RowSet out;
   out.reserve(in.size());
@@ -415,6 +430,7 @@ RowSet AggregateExec(const RowSet& in, const std::vector<ExprPtr>& group_by,
                              std::to_string(group_by.size()) + " keys, " +
                                  std::to_string(aggs.size()) + " aggs");
   prof.set_rows_in(in.size());
+  ArenaCounter arena_counter(prof, ctx);
   const size_t parallel_threshold = 16384;
   std::vector<GroupMap> partials;
 
@@ -433,6 +449,7 @@ RowSet AggregateExec(const RowSet& in, const std::vector<ExprPtr>& group_by,
 
   auto accumulate_range = [&](GroupMap& groups, size_t begin, size_t end,
                               Arena* arena, BatchedExprs* batched) {
+    JSONTILES_TRACE_SPAN("exec.agg.partial");
     for (size_t b = begin; b < end; b += kVectorSize) {
       const size_t n = std::min(kVectorSize, end - b);
       const BatchedExprs* cur = nullptr;
@@ -470,26 +487,29 @@ RowSet AggregateExec(const RowSet& in, const std::vector<ExprPtr>& group_by,
 
   // Merge partials into the first map.
   GroupMap& merged = partials[0];
-  for (size_t p = 1; p < partials.size(); p++) {
-    for (auto& [h, bucket] : partials[p]) {
-      auto& dst_bucket = merged[h];
-      for (auto& g : bucket) {
-        Group* target = nullptr;
-        for (auto& existing : dst_bucket) {
-          bool equal = true;
-          for (size_t i = 0; i < g.keys.size() && equal; i++) {
-            equal = existing.keys[i].EqualsForGrouping(g.keys[i]);
+  {
+    JSONTILES_TRACE_SPAN("exec.agg.merge");
+    for (size_t p = 1; p < partials.size(); p++) {
+      for (auto& [h, bucket] : partials[p]) {
+        auto& dst_bucket = merged[h];
+        for (auto& g : bucket) {
+          Group* target = nullptr;
+          for (auto& existing : dst_bucket) {
+            bool equal = true;
+            for (size_t i = 0; i < g.keys.size() && equal; i++) {
+              equal = existing.keys[i].EqualsForGrouping(g.keys[i]);
+            }
+            if (equal) {
+              target = &existing;
+              break;
+            }
           }
-          if (equal) {
-            target = &existing;
-            break;
-          }
-        }
-        if (target == nullptr) {
-          dst_bucket.push_back(std::move(g));
-        } else {
-          for (size_t a = 0; a < aggs.size(); a++) {
-            target->accs[a].Merge(aggs[a].kind, g.accs[a]);
+          if (target == nullptr) {
+            dst_bucket.push_back(std::move(g));
+          } else {
+            for (size_t a = 0; a < aggs.size(); a++) {
+              target->accs[a].Merge(aggs[a].kind, g.accs[a]);
+            }
           }
         }
       }
@@ -540,19 +560,71 @@ RowSet HashJoinExec(const RowSet& build, const RowSet& probe,
   prof.set_rows_in(build.size() + probe.size());
   prof.AddCounter("build_rows", static_cast<int64_t>(build.size()));
   prof.AddCounter("probe_rows", static_cast<int64_t>(probe.size()));
+  ArenaCounter arena_counter(prof, ctx);
   Arena* arena = ctx.arena(0);
 
-  // Build phase.
+  // Build phase: evaluate the build keys batch-at-a-time through the
+  // compiled engine and hash integer-typed key lanes with the SIMD batch
+  // kernels. Hashes are bit-identical to the scalar per-Value path —
+  // int/bool/timestamp lanes hash as HashInt of the payload and null lanes
+  // as Value::Null().Hash() — so probe lookups are unaffected. Rows insert
+  // in a second pass after an exact reserve (only non-null-key rows count).
   std::unordered_map<uint64_t, std::vector<size_t>> table;
   std::vector<std::vector<Value>> build_key_values;
   build_key_values.reserve(build.size());
-  table.reserve(build.size() * 2);
-  for (size_t b = 0; b < build.size(); b++) {
-    build_key_values.push_back(EvalKeyList(build_keys, build[b].data(), arena));
-    bool has_null = false;
-    for (const auto& v : build_key_values.back()) has_null |= v.is_null();
-    if (has_null) continue;  // null keys never match
-    table[HashKeyValues(build_key_values.back())].push_back(b);
+  std::vector<uint64_t> row_hash(build.size());
+  std::vector<uint8_t> row_has_null(build.size(), 0);
+  {
+    JSONTILES_TRACE_SPAN("exec.join.build");
+    BatchedExprs batched(build, RawExprs(build_keys),
+                         ctx.options().enable_vectorized);
+    uint64_t hacc[kVectorSize];
+    uint64_t hkey[kVectorSize];
+    for (size_t base = 0; base < build.size(); base += kVectorSize) {
+      const size_t n = std::min(kVectorSize, build.size() - base);
+      const BatchedExprs* cur = nullptr;
+      if (batched.enabled()) {
+        batched.LoadBatch(build, base, n, arena);
+        cur = &batched;
+      }
+      for (size_t k = 0; k < n; k++) {
+        hacc[k] = kKeyHashSeed;
+        build_key_values.emplace_back();
+        build_key_values.back().reserve(build_keys.size());
+      }
+      for (size_t j = 0; j < build_keys.size(); j++) {
+        const ColumnVector* col = cur != nullptr ? cur->Result(j) : nullptr;
+        const bool batch_hashed =
+            col != nullptr && simd::UseSimd() &&
+            (col->type() == ValueType::kInt ||
+             col->type() == ValueType::kBool ||
+             col->type() == ValueType::kTimestamp);
+        if (batch_hashed) {
+          simd::HashI64Batch(col->i64(), col->nulls(), Value::Null().Hash(),
+                             hkey, n);
+          simd::HashCombineBatch(hacc, hkey, n);
+        }
+        for (size_t k = 0; k < n; k++) {
+          Value v = cur != nullptr
+                        ? cur->Get(j, k, build[base + k], arena)
+                        : EvalExpr(*build_keys[j], build[base + k].data(),
+                                   arena);
+          row_has_null[base + k] |= static_cast<uint8_t>(v.is_null());
+          if (!batch_hashed) hacc[k] = HashCombine(hacc[k], v.Hash());
+          build_key_values[base + k].push_back(v);
+        }
+      }
+      for (size_t k = 0; k < n; k++) row_hash[base + k] = hacc[k];
+    }
+    size_t insertable = 0;
+    for (size_t b = 0; b < build.size(); b++) {
+      insertable += row_has_null[b] == 0;
+    }
+    table.reserve(insertable * 2);
+    for (size_t b = 0; b < build.size(); b++) {
+      if (row_has_null[b]) continue;  // null keys never match
+      table[row_hash[b]].push_back(b);
+    }
   }
   const size_t build_width = build.empty() ? 0 : build[0].size();
 
@@ -563,6 +635,7 @@ RowSet HashJoinExec(const RowSet& build, const RowSet& probe,
                             ctx.options().enable_vectorized);
   auto probe_chunk = [&](size_t begin, size_t end, Arena* worker_arena,
                          RowSet* out, BatchedExprs* batched) {
+    JSONTILES_TRACE_SPAN("exec.join.probe");
     std::vector<Value> combined;
     std::vector<Value> pkeys;
     pkeys.reserve(probe_keys.size());
@@ -678,6 +751,7 @@ RowSet SortExec(RowSet in, const std::vector<SortKey>& keys, QueryContext& ctx) 
                              std::to_string(keys.size()) + " keys");
   prof.set_rows_in(in.size());
   prof.set_rows_out(in.size());
+  ArenaCounter arena_counter(prof, ctx);
   Arena* arena = ctx.arena(0);
   std::stable_sort(in.begin(), in.end(), [&](const Row& a, const Row& b) {
     for (const auto& key : keys) {

@@ -79,6 +79,60 @@ Value EvalAccessOnJsonb(json::JsonbValue doc, const std::string& path,
   return JsonbScalarToValue(*found, requested, arena, copy_strings);
 }
 
+void ExtractJsonbPathBatch(const uint8_t* const* docs, const uint16_t* lanes,
+                           size_t num_lanes, const json::PathStep* steps,
+                           size_t num_steps, ValueType requested, Arena* arena,
+                           ColumnVector* vec) {
+  uint8_t* nulls = vec->nulls();
+  for (size_t k = 0; k < num_lanes; k++) {
+    const size_t r = lanes[k];
+    auto found =
+        json::LookupSteps(json::JsonbValue(docs[r]), steps, num_steps);
+    if (!found.has_value()) {
+      nulls[r] = 1;
+      continue;
+    }
+    const json::JsonbValue& v = *found;
+    // Exact type matches write the lane directly; everything else (casts,
+    // numerics, containers, JSON nulls) goes through the same conversion as
+    // the per-row evaluator, so results stay bit-identical.
+    switch (v.type()) {
+      case json::JsonType::kInt:
+        if (requested == ValueType::kInt) {
+          nulls[r] = 0;
+          vec->i64()[r] = v.GetInt();
+          continue;
+        }
+        break;
+      case json::JsonType::kFloat:
+        if (requested == ValueType::kFloat) {
+          nulls[r] = 0;
+          vec->f64()[r] = v.GetDouble();
+          continue;
+        }
+        break;
+      case json::JsonType::kBool:
+        if (requested == ValueType::kBool) {
+          nulls[r] = 0;
+          vec->i64()[r] = v.GetBool() ? 1 : 0;
+          continue;
+        }
+        break;
+      case json::JsonType::kString:
+        if (requested == ValueType::kString) {
+          nulls[r] = 0;
+          vec->str()[r] = v.GetString();
+          continue;
+        }
+        break;
+      default:
+        break;
+    }
+    vec->SetValue(r, JsonbScalarToValue(v, requested, arena,
+                                        /*copy_strings=*/false));
+  }
+}
+
 Value EvalScanExprOnJsonb(const Expr& access, json::JsonbValue doc,
                           int64_t row_id, Arena* arena, bool copy_strings) {
   if (access.kind == ExprKind::kArrayContains) {
@@ -243,7 +297,9 @@ class VectorizedChunkScan {
         arena_(arena),
         num_slots_(spec.accesses.size()),
         slot_vecs_(num_slots_),
-        ready_(num_slots_, 0) {}
+        ready_(num_slots_, 0),
+        steps_(num_slots_),
+        steps_ready_(num_slots_, 0) {}
 
   void Run(const Chunk& chunk, const std::vector<ResolvedAccess>& resolved,
            RowSet* out) {
@@ -300,6 +356,38 @@ class VectorizedChunkScan {
                                         /*copy_strings=*/false));
   }
 
+  // Decode the access path once per query (the views point into the Expr's
+  // own path storage, which outlives the scan).
+  const std::vector<json::PathStep>& StepsFor(size_t i, const Expr& access) {
+    if (!steps_ready_[i]) {
+      steps_ready_[i] = 1;
+      steps_[i] = tiles::DecodePathSteps(access.path);
+    }
+    return steps_[i];
+  }
+
+  // Binary-JSON fallback over a set of lanes: one shared pre-decoded path
+  // lookup across all documents of the batch. Array containment keeps the
+  // per-row evaluator (it scans elements, not a single path).
+  void FillFromDocBatch(ColumnVector& vec, size_t i, const Expr& access,
+                        const uint16_t* lanes, size_t num_lanes,
+                        size_t rel_row0) {
+    if (access.kind != ExprKind::kAccess) {
+      for (size_t k = 0; k < num_lanes; k++) {
+        const size_t r = lanes[k];
+        FillFromDoc(vec, access, r, rel_row0 + r);
+      }
+      return;
+    }
+    for (size_t k = 0; k < num_lanes; k++) {
+      const size_t r = lanes[k];
+      doc_ptrs_[r] = rel_.Jsonb(rel_row0 + r).data();
+    }
+    const auto& steps = StepsFor(i, access);
+    ExtractJsonbPathBatch(doc_ptrs_, lanes, num_lanes, steps.data(),
+                          steps.size(), access.access_type, arena_, &vec);
+  }
+
   // Materialize slot i for the current batch, honoring the current
   // selection: column routes bulk-read the whole batch (cheap, branchless);
   // per-row work (casts, binary-JSON fallback) runs on selected rows only.
@@ -347,10 +435,12 @@ class VectorizedChunkScan {
       }
       if (ra.fallback_on_null && col.null_count() > 0) {
         // §3.4: a null lane may hide a type outlier in the binary JSON.
+        size_t cnt = 0;
         for (size_t k = 0; k < sel_.count; k++) {
           const size_t r = sel_.idx[k];
-          if (vec.IsNull(r)) FillFromDoc(vec, access, r, rel_row0 + r);
+          if (vec.IsNull(r)) lane_buf_[cnt++] = static_cast<uint16_t>(r);
         }
+        if (cnt > 0) FillFromDocBatch(vec, i, access, lane_buf_, cnt, rel_row0);
       }
       return;
     }
@@ -371,10 +461,8 @@ class VectorizedChunkScan {
       }
       return;
     }
-    for (size_t k = 0; k < sel_.count; k++) {  // binary-JSON fallback
-      const size_t r = sel_.idx[k];
-      FillFromDoc(vec, access, r, rel_row0 + r);
-    }
+    // Binary-JSON fallback: batched over the surviving selection.
+    FillFromDocBatch(vec, i, access, sel_.idx, sel_.count, rel_row0);
   }
 
   const ScanSpec& spec_;
@@ -385,6 +473,12 @@ class VectorizedChunkScan {
   std::vector<ColumnVector> slot_vecs_;
   std::vector<uint8_t> ready_;
   SelectionVector sel_;
+  // Batched fallback state: per-access pre-decoded paths plus per-batch
+  // document pointers / lane scratch (indexed by lane).
+  std::vector<std::vector<json::PathStep>> steps_;
+  std::vector<uint8_t> steps_ready_;
+  const uint8_t* doc_ptrs_[kVectorSize];
+  uint16_t lane_buf_[kVectorSize];
   size_t batches_ = 0;
   size_t rows_ = 0;
 };
@@ -398,6 +492,7 @@ RowSet ScanExec(const ScanSpec& spec, QueryContext& ctx) {
                              spec.table_alias.empty() ? rel.name()
                                                       : spec.table_alias);
   prof.set_rows_in(rel.num_rows());
+  const size_t arena_before = prof.active() ? ctx.arena_bytes() : 0;
   const size_t num_slots = spec.accesses.size();
   const bool tiled = rel.mode() == StorageMode::kTiles ||
                      rel.mode() == StorageMode::kSinew;
@@ -438,6 +533,7 @@ RowSet ScanExec(const ScanSpec& spec, QueryContext& ctx) {
   std::atomic<size_t> skipped{0};
 
   auto scan_chunk = [&](size_t c, size_t worker) {
+    JSONTILES_TRACE_SPAN("exec.scan.chunk");
     const Chunk& chunk = chunks[c];
     Arena* arena = ctx.arena(worker);
     RowSet& out = partials[c];
@@ -571,6 +667,10 @@ RowSet ScanExec(const ScanSpec& spec, QueryContext& ctx) {
     for (auto& row : p) out.push_back(std::move(row));
   }
   prof.set_rows_out(out.size());
+  if (prof.active()) {
+    prof.AddCounter("arena_bytes",
+                    static_cast<int64_t>(ctx.arena_bytes() - arena_before));
+  }
   prof.AddCounter("tiles", static_cast<int64_t>(chunks.size()));
   prof.AddCounter("tiles_skipped", static_cast<int64_t>(skipped.load()));
   if (vectorized) {

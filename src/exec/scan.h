@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "exec/expression.h"
+#include "exec/vector_batch.h"
 #include "obs/plan_profile.h"
 #include "storage/relation.h"
 #include "util/arena.h"
@@ -45,6 +46,17 @@ class QueryContext {
   size_t num_workers() const { return arenas_.size(); }
   Arena* arena(size_t worker) { return arenas_[worker].get(); }
   ThreadPool* pool() { return pool_.get(); }
+
+  /// Bytes allocated across all worker arenas so far. Arenas only grow for
+  /// the lifetime of the query, so this is also the peak, and the delta
+  /// across an operator is that operator's allocation — EXPLAIN ANALYZE
+  /// reports it per operator. Only call between operators (workers allocate
+  /// concurrently inside one).
+  size_t arena_bytes() const {
+    size_t total = 0;
+    for (const auto& a : arenas_) total += a->bytes_allocated();
+    return total;
+  }
 
   /// Tiles skipped by §4.8 across all scans of this query (observability).
   size_t tiles_skipped = 0;
@@ -87,6 +99,18 @@ Value EvalAccessOnJsonb(json::JsonbValue doc, const std::string& path,
 /// a document. Virtual row-id accesses yield `row_id`.
 Value EvalScanExprOnJsonb(const Expr& access, json::JsonbValue doc,
                           int64_t row_id, Arena* arena, bool copy_strings);
+
+/// Batched binary-JSON fallback accessor: extract one pre-decoded key path
+/// from many documents into ColumnVector lanes in a single pass. For every
+/// lane r in `lanes`, navigates docs[r] (which must be non-null there) along
+/// `steps` and stores the scalar converted to `requested` into `vec` —
+/// bit-identical per lane to EvalAccessOnJsonb with copy_strings=false
+/// (missing path => null lane; string lanes view the document bytes, which
+/// must outlive the batch). `vec` must already be Reset to `requested`.
+void ExtractJsonbPathBatch(const uint8_t* const* docs, const uint16_t* lanes,
+                           size_t num_lanes, const json::PathStep* steps,
+                           size_t num_steps, ValueType requested, Arena* arena,
+                           ColumnVector* vec);
 
 }  // namespace jsontiles::exec
 

@@ -1,0 +1,144 @@
+// Explicit SIMD layer under the vectorized expression engine.
+//
+// The kernels in expr_kernels.cc / vector_batch.cc / operators.cc call these
+// entry points for *dense* batches (lanes 0..n-1 contiguous). Every function
+// has documented scalar reference semantics that are bit-identical to the
+// tuple-at-a-time interpreter (expression.cc); the differential fuzz tests
+// lock this in for the SIMD, generic-vector and scalar builds alike.
+//
+// Implementation tiers (simd.cc), chosen per-process at first use:
+//   avx2    x86-64 with AVX2 at runtime (function multi-versioning via
+//           __attribute__((target("avx2"))); no special compile flags needed)
+//   vec128  the same kernels compiled against the baseline ISA using GNU
+//           vector extensions - SSE2 on x86-64, NEON on aarch64
+//   scalar  plain loops; also the reference the tests compare against
+//
+// The CMake option JSONTILES_SIMD (default ON) gates the vector tiers at
+// compile time; OFF builds dispatch to scalar only. SetEnabled(false) forces
+// the scalar tier at runtime (bench --no-simd / differential testing).
+
+#ifndef JSONTILES_EXEC_SIMD_H_
+#define JSONTILES_EXEC_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "exec/expression.h"
+
+namespace jsontiles::exec::simd {
+
+/// Name of the tier answering calls right now: "avx2", "vec128" or "scalar".
+const char* ActiveIsa();
+
+/// Runtime kill switch (default on). Off routes every call below to the
+/// scalar reference implementation; benches expose it as --no-simd and the
+/// differential tests flip it to prove bit-identity. Not thread-safe with
+/// concurrent kernel execution - flip it only between queries.
+void SetEnabled(bool on);
+bool Enabled();
+
+/// True when a vector tier was compiled in (JSONTILES_SIMD=ON and a known
+/// architecture); false means ActiveIsa() is "scalar" regardless of Enabled().
+bool CompiledIn();
+
+/// Dense-batch gate used by the kernels: a vector tier is compiled in and the
+/// runtime switch is on. When false the kernels keep their original scalar
+/// gather loops (the PR-2 baseline the benches compare against).
+inline bool UseSimd() { return CompiledIn() && Enabled(); }
+
+// ---------------------------------------------------------------------------
+// Null bytemaps (1 = null)
+// ---------------------------------------------------------------------------
+
+/// out[k] = a[k] | b[k]  - the null fold of every binary kernel.
+void OrBytes(const uint8_t* a, const uint8_t* b, uint8_t* out, size_t n);
+
+// ---------------------------------------------------------------------------
+// Comparisons into selection bitmaps (kBool vectors: int64 0/1 + null bytes)
+// ---------------------------------------------------------------------------
+// All comparisons reproduce ApplyCmp(op, x < y ? -1 : x > y ? 1 : 0) exactly,
+// including the NaN quirk (NaN compares "equal" to everything because both
+// orderings are false). Null lanes fold an|bn into onull; their payload is
+// unspecified, like everywhere else in the batch engine.
+
+/// Both operands int64, compared through double (interpreter semantics for
+/// number comparisons - int vs int also goes through AsDouble).
+void CompareI64ViaDouble(BinOp op, const int64_t* a, const int64_t* b,
+                         const uint8_t* an, const uint8_t* bn, int64_t* out,
+                         uint8_t* onull, size_t n);
+
+/// Both operands double.
+void CompareF64(BinOp op, const double* a, const double* b, const uint8_t* an,
+                const uint8_t* bn, int64_t* out, uint8_t* onull, size_t n);
+
+/// Mixed int64/double: the int side is converted to double first (exact,
+/// round-to-nearest - identical to static_cast<double>).
+void CompareI64F64(BinOp op, const int64_t* a, const double* b,
+                   const uint8_t* an, const uint8_t* bn, int64_t* out,
+                   uint8_t* onull, size_t n);
+void CompareF64I64(BinOp op, const double* a, const int64_t* b,
+                   const uint8_t* an, const uint8_t* bn, int64_t* out,
+                   uint8_t* onull, size_t n);
+
+/// Raw int64 lane comparison (bool / timestamp operands - no double detour).
+void CompareI64Raw(BinOp op, const int64_t* a, const int64_t* b,
+                   const uint8_t* an, const uint8_t* bn, int64_t* out,
+                   uint8_t* onull, size_t n);
+
+// ---------------------------------------------------------------------------
+// Arithmetic
+// ---------------------------------------------------------------------------
+
+/// Int64 +,-,* (two's-complement wraparound). op must be kAdd/kSub/kMul.
+void ArithI64(BinOp op, const int64_t* a, const int64_t* b, const uint8_t* an,
+              const uint8_t* bn, int64_t* out, uint8_t* onull, size_t n);
+
+/// Double +,-,*,/; division by zero yields null (interpreter semantics).
+void ArithF64(BinOp op, const double* a, const double* b, const uint8_t* an,
+              const uint8_t* bn, double* out, uint8_t* onull, size_t n);
+
+/// Exact int64 -> double conversion (round-to-nearest, bit-identical to
+/// static_cast<double> for the full int64 range). Feeds mixed-type arith.
+void I64ToF64(const int64_t* in, double* out, size_t n);
+
+// ---------------------------------------------------------------------------
+// Three-valued logic over boolean vectors (null-bytemap folding)
+// ---------------------------------------------------------------------------
+// Inputs are kBool vectors: payload int64 (any nonzero = true) + null bytes.
+// AND: false dominates null; OR: true dominates null - like KernelLogic.
+
+void And3VL(const int64_t* a, const int64_t* b, const uint8_t* an,
+            const uint8_t* bn, int64_t* out, uint8_t* onull, size_t n);
+void Or3VL(const int64_t* a, const int64_t* b, const uint8_t* an,
+           const uint8_t* bn, int64_t* out, uint8_t* onull, size_t n);
+
+// ---------------------------------------------------------------------------
+// Selection vectors
+// ---------------------------------------------------------------------------
+
+/// pass[k] = 1 when lane k is non-null true (nulls[k] == 0 && vals[k] != 0),
+/// else 0 - the predicate-consumption bitmap of IntersectSelection.
+void BoolPassBytes(const int64_t* vals, const uint8_t* nulls, uint8_t* pass,
+                   size_t n);
+
+/// Compact the set lanes of `pass` into ascending indices; returns the count.
+/// (Word-at-a-time scan: zero words of a selective predicate cost one load.)
+size_t CompactPassIndices(const uint8_t* pass, size_t n, uint16_t* idx);
+
+// ---------------------------------------------------------------------------
+// Batched 64-bit hash mixing (join build / aggregation keys)
+// ---------------------------------------------------------------------------
+
+/// out[k] = HashInt(static_cast<uint64_t>(v[k])) - the murmur3 finalizer,
+/// bit-identical to Value::Hash() for Int/Bool/Timestamp values. Lanes whose
+/// null byte is set get `null_hash` (pass Value::Null().Hash()).
+void HashI64Batch(const int64_t* v, const uint8_t* nulls, uint64_t null_hash,
+                  uint64_t* out, size_t n);
+
+/// acc[k] = HashCombine(acc[k], h[k]) - the boost-style combine used by
+/// multi-column join/group keys.
+void HashCombineBatch(uint64_t* acc, const uint64_t* h, size_t n);
+
+}  // namespace jsontiles::exec::simd
+
+#endif  // JSONTILES_EXEC_SIMD_H_

@@ -1,0 +1,345 @@
+// Vector implementations of the simd.h entry points, written against GNU
+// vector extensions so one source serves every tier. simd.cc includes this
+// file once per tier inside a tier namespace, with two macros set:
+//
+//   JT_SIMD_ATTR   extra function attributes, e.g. __attribute__((target("avx2")))
+//                  for the function-multiversioned AVX2 tier (empty for the
+//                  baseline tier, which uses the translation unit's default
+//                  ISA: SSE2 on x86-64, NEON on aarch64)
+//   JT_SIMD_WIDTH  vector register width in bytes (16 or 32)
+//
+// Scalar tails reuse the reference helpers (CmpScalarF/CmpScalarI/...) defined
+// in simd.cc before inclusion, so tail lanes are bit-identical to the scalar
+// tier by construction. Loads/stores go through __builtin_memcpy: ColumnVector
+// buffers have no vector alignment guarantee and memcpy avoids both the UB and
+// the -Wpsabi ABI warnings of passing over-wide vector types around.
+
+typedef int64_t VI __attribute__((vector_size(JT_SIMD_WIDTH)));
+typedef uint64_t VU __attribute__((vector_size(JT_SIMD_WIDTH)));
+typedef double VF __attribute__((vector_size(JT_SIMD_WIDTH)));
+typedef uint8_t VB __attribute__((vector_size(JT_SIMD_WIDTH)));
+// One byte per 64-bit lane (null bytemap slice matching one VI/VF register).
+typedef uint8_t VN __attribute__((vector_size(JT_SIMD_WIDTH / 8)));
+// Signed counterpart: byte-vector comparisons yield signed element masks.
+typedef int8_t VNS __attribute__((vector_size(JT_SIMD_WIDTH / 8)));
+
+inline constexpr size_t kLanes = JT_SIMD_WIDTH / 8;
+
+JT_SIMD_ATTR static inline VI LoadI(const int64_t* p) {
+  VI v;
+  __builtin_memcpy(&v, p, sizeof v);
+  return v;
+}
+JT_SIMD_ATTR static inline VU LoadU(const uint64_t* p) {
+  VU v;
+  __builtin_memcpy(&v, p, sizeof v);
+  return v;
+}
+JT_SIMD_ATTR static inline VF LoadF(const double* p) {
+  VF v;
+  __builtin_memcpy(&v, p, sizeof v);
+  return v;
+}
+JT_SIMD_ATTR static inline VB LoadB(const uint8_t* p) {
+  VB v;
+  __builtin_memcpy(&v, p, sizeof v);
+  return v;
+}
+JT_SIMD_ATTR static inline VN LoadN(const uint8_t* p) {
+  VN v;
+  __builtin_memcpy(&v, p, sizeof v);
+  return v;
+}
+JT_SIMD_ATTR static inline void StoreI(int64_t* p, VI v) {
+  __builtin_memcpy(p, &v, sizeof v);
+}
+JT_SIMD_ATTR static inline void StoreU(uint64_t* p, VU v) {
+  __builtin_memcpy(p, &v, sizeof v);
+}
+JT_SIMD_ATTR static inline void StoreF(double* p, VF v) {
+  __builtin_memcpy(p, &v, sizeof v);
+}
+JT_SIMD_ATTR static inline void StoreB(uint8_t* p, VB v) {
+  __builtin_memcpy(p, &v, sizeof v);
+}
+JT_SIMD_ATTR static inline void StoreN(uint8_t* p, VN v) {
+  __builtin_memcpy(p, &v, sizeof v);
+}
+
+JT_SIMD_ATTR static inline VU SplatU(uint64_t x) {
+  VU v;
+  for (size_t i = 0; i < kLanes; ++i) v[i] = x;
+  return v;
+}
+
+/// Null bytes (any nonzero = null) widened to a 0/-1 mask per 64-bit lane.
+JT_SIMD_ATTR static inline VI NullMask(VN nb) {
+  return __builtin_convertvector(nb, VI) != 0;
+}
+
+/// 0/-1 64-bit lane mask narrowed to 0/1 bytes.
+JT_SIMD_ATTR static inline VN MaskToBytes(VI m) {
+  return __builtin_convertvector(m, VN) & 1;
+}
+
+/// ApplyCmp(op, x < y ? -1 : x > y ? 1 : 0) from the lt/gt lane masks alone.
+/// Both masks are false on NaN, which makes NaN sort "equal" - exactly the
+/// ternary's behaviour.
+JT_SIMD_ATTR static inline VI CmpCombine(BinOp op, VI lt, VI gt) {
+  switch (op) {
+    case BinOp::kEq:
+      return ~(lt | gt) & 1;
+    case BinOp::kNe:
+      return (lt | gt) & 1;
+    case BinOp::kLt:
+      return lt & 1;
+    case BinOp::kLe:
+      return ~gt & 1;
+    case BinOp::kGt:
+      return gt & 1;
+    default:  // kGe
+      return ~lt & 1;
+  }
+}
+
+JT_SIMD_ATTR static void OrBytesImpl(const uint8_t* a, const uint8_t* b,
+                                     uint8_t* out, size_t n) {
+  size_t k = 0;
+  for (; k + sizeof(VB) <= n; k += sizeof(VB)) {
+    StoreB(out + k, LoadB(a + k) | LoadB(b + k));
+  }
+  for (; k < n; ++k) out[k] = a[k] | b[k];
+}
+
+JT_SIMD_ATTR static void CompareF64Impl(BinOp op, const double* a,
+                                        const double* b, const uint8_t* an,
+                                        const uint8_t* bn, int64_t* out,
+                                        uint8_t* onull, size_t n) {
+  size_t k = 0;
+  for (; k + kLanes <= n; k += kLanes) {
+    VF x = LoadF(a + k), y = LoadF(b + k);
+    StoreI(out + k, CmpCombine(op, (VI)(x < y), (VI)(x > y)));
+  }
+  for (; k < n; ++k) out[k] = CmpScalarF(op, a[k], b[k]);
+  OrBytesImpl(an, bn, onull, n);
+}
+
+JT_SIMD_ATTR static void CompareI64ViaDoubleImpl(BinOp op, const int64_t* a,
+                                                 const int64_t* b,
+                                                 const uint8_t* an,
+                                                 const uint8_t* bn,
+                                                 int64_t* out, uint8_t* onull,
+                                                 size_t n) {
+  size_t k = 0;
+  for (; k + kLanes <= n; k += kLanes) {
+    VF x = __builtin_convertvector(LoadI(a + k), VF);
+    VF y = __builtin_convertvector(LoadI(b + k), VF);
+    StoreI(out + k, CmpCombine(op, (VI)(x < y), (VI)(x > y)));
+  }
+  for (; k < n; ++k) {
+    out[k] = CmpScalarF(op, static_cast<double>(a[k]),
+                        static_cast<double>(b[k]));
+  }
+  OrBytesImpl(an, bn, onull, n);
+}
+
+JT_SIMD_ATTR static void CompareI64F64Impl(BinOp op, const int64_t* a,
+                                           const double* b, const uint8_t* an,
+                                           const uint8_t* bn, int64_t* out,
+                                           uint8_t* onull, size_t n) {
+  size_t k = 0;
+  for (; k + kLanes <= n; k += kLanes) {
+    VF x = __builtin_convertvector(LoadI(a + k), VF);
+    VF y = LoadF(b + k);
+    StoreI(out + k, CmpCombine(op, (VI)(x < y), (VI)(x > y)));
+  }
+  for (; k < n; ++k) out[k] = CmpScalarF(op, static_cast<double>(a[k]), b[k]);
+  OrBytesImpl(an, bn, onull, n);
+}
+
+JT_SIMD_ATTR static void CompareF64I64Impl(BinOp op, const double* a,
+                                           const int64_t* b, const uint8_t* an,
+                                           const uint8_t* bn, int64_t* out,
+                                           uint8_t* onull, size_t n) {
+  size_t k = 0;
+  for (; k + kLanes <= n; k += kLanes) {
+    VF x = LoadF(a + k);
+    VF y = __builtin_convertvector(LoadI(b + k), VF);
+    StoreI(out + k, CmpCombine(op, (VI)(x < y), (VI)(x > y)));
+  }
+  for (; k < n; ++k) out[k] = CmpScalarF(op, a[k], static_cast<double>(b[k]));
+  OrBytesImpl(an, bn, onull, n);
+}
+
+JT_SIMD_ATTR static void CompareI64RawImpl(BinOp op, const int64_t* a,
+                                           const int64_t* b, const uint8_t* an,
+                                           const uint8_t* bn, int64_t* out,
+                                           uint8_t* onull, size_t n) {
+  size_t k = 0;
+  for (; k + kLanes <= n; k += kLanes) {
+    VI x = LoadI(a + k), y = LoadI(b + k);
+    StoreI(out + k, CmpCombine(op, x < y, x > y));
+  }
+  for (; k < n; ++k) out[k] = CmpScalarI(op, a[k], b[k]);
+  OrBytesImpl(an, bn, onull, n);
+}
+
+JT_SIMD_ATTR static void ArithI64Impl(BinOp op, const int64_t* a,
+                                      const int64_t* b, const uint8_t* an,
+                                      const uint8_t* bn, int64_t* out,
+                                      uint8_t* onull, size_t n) {
+  size_t k = 0;
+  for (; k + kLanes <= n; k += kLanes) {
+    VI x = LoadI(a + k), y = LoadI(b + k);
+    VI r = op == BinOp::kAdd ? x + y : op == BinOp::kSub ? x - y : x * y;
+    StoreI(out + k, r);
+  }
+  for (; k < n; ++k) {
+    out[k] = op == BinOp::kAdd   ? a[k] + b[k]
+             : op == BinOp::kSub ? a[k] - b[k]
+                                 : a[k] * b[k];
+  }
+  OrBytesImpl(an, bn, onull, n);
+}
+
+JT_SIMD_ATTR static void ArithF64Impl(BinOp op, const double* a,
+                                      const double* b, const uint8_t* an,
+                                      const uint8_t* bn, double* out,
+                                      uint8_t* onull, size_t n) {
+  OrBytesImpl(an, bn, onull, n);
+  size_t k = 0;
+  if (op == BinOp::kDiv) {
+    for (; k + kLanes <= n; k += kLanes) {
+      VF x = LoadF(a + k), y = LoadF(b + k);
+      // Lanes with y == 0 become null; the inf/nan quotient written to their
+      // payload is unspecified-by-contract, like every null lane.
+      StoreF(out + k, x / y);
+      StoreN(onull + k, LoadN(onull + k) | MaskToBytes((VI)(y == 0.0)));
+    }
+    for (; k < n; ++k) {
+      if (b[k] == 0.0) {
+        onull[k] = 1;
+      } else {
+        out[k] = a[k] / b[k];
+      }
+    }
+    return;
+  }
+  for (; k + kLanes <= n; k += kLanes) {
+    VF x = LoadF(a + k), y = LoadF(b + k);
+    VF r = op == BinOp::kAdd ? x + y : op == BinOp::kSub ? x - y : x * y;
+    StoreF(out + k, r);
+  }
+  for (; k < n; ++k) {
+    out[k] = op == BinOp::kAdd   ? a[k] + b[k]
+             : op == BinOp::kSub ? a[k] - b[k]
+                                 : a[k] * b[k];
+  }
+}
+
+JT_SIMD_ATTR static void I64ToF64Impl(const int64_t* in, double* out,
+                                      size_t n) {
+  size_t k = 0;
+  for (; k + kLanes <= n; k += kLanes) {
+    StoreF(out + k, __builtin_convertvector(LoadI(in + k), VF));
+  }
+  for (; k < n; ++k) out[k] = static_cast<double>(in[k]);
+}
+
+JT_SIMD_ATTR static void And3VLImpl(const int64_t* a, const int64_t* b,
+                                    const uint8_t* an, const uint8_t* bn,
+                                    int64_t* out, uint8_t* onull, size_t n) {
+  size_t k = 0;
+  for (; k + kLanes <= n; k += kLanes) {
+    VI av = LoadI(a + k), bv = LoadI(b + k);
+    VI anm = NullMask(LoadN(an + k)), bnm = NullMask(LoadN(bn + k));
+    VI f = ((av == 0) & ~anm) | ((bv == 0) & ~bnm);  // definite false wins
+    VI nl = (anm | bnm) & ~f;
+    StoreI(out + k, ~(f | nl) & 1);
+    StoreN(onull + k, MaskToBytes(nl));
+  }
+  for (; k < n; ++k) {
+    int x = an[k] ? 2 : (a[k] != 0 ? 1 : 0);
+    int y = bn[k] ? 2 : (b[k] != 0 ? 1 : 0);
+    if (x == 0 || y == 0) {
+      out[k] = 0;
+      onull[k] = 0;
+    } else if (x == 2 || y == 2) {
+      onull[k] = 1;
+    } else {
+      out[k] = 1;
+      onull[k] = 0;
+    }
+  }
+}
+
+JT_SIMD_ATTR static void Or3VLImpl(const int64_t* a, const int64_t* b,
+                                   const uint8_t* an, const uint8_t* bn,
+                                   int64_t* out, uint8_t* onull, size_t n) {
+  size_t k = 0;
+  for (; k + kLanes <= n; k += kLanes) {
+    VI av = LoadI(a + k), bv = LoadI(b + k);
+    VI anm = NullMask(LoadN(an + k)), bnm = NullMask(LoadN(bn + k));
+    VI t = ((av != 0) & ~anm) | ((bv != 0) & ~bnm);  // definite true wins
+    VI nl = (anm | bnm) & ~t;
+    StoreI(out + k, t & 1);
+    StoreN(onull + k, MaskToBytes(nl));
+  }
+  for (; k < n; ++k) {
+    int x = an[k] ? 2 : (a[k] != 0 ? 1 : 0);
+    int y = bn[k] ? 2 : (b[k] != 0 ? 1 : 0);
+    if (x == 1 || y == 1) {
+      out[k] = 1;
+      onull[k] = 0;
+    } else if (x == 2 || y == 2) {
+      onull[k] = 1;
+    } else {
+      out[k] = 0;
+      onull[k] = 0;
+    }
+  }
+}
+
+JT_SIMD_ATTR static void BoolPassBytesImpl(const int64_t* vals,
+                                           const uint8_t* nulls, uint8_t* pass,
+                                           size_t n) {
+  size_t k = 0;
+  for (; k + kLanes <= n; k += kLanes) {
+    VN nz = MaskToBytes(LoadI(vals + k) != 0);
+    VN notnull = (VN)((VNS)(LoadN(nulls + k) == 0)) & 1;
+    StoreN(pass + k, nz & notnull);
+  }
+  for (; k < n; ++k) {
+    pass[k] = static_cast<uint8_t>(nulls[k] == 0 && vals[k] != 0);
+  }
+}
+
+JT_SIMD_ATTR static void HashI64Impl(const int64_t* v, const uint8_t* nulls,
+                                     uint64_t null_hash, uint64_t* out,
+                                     size_t n) {
+  const VU nh = SplatU(null_hash);
+  size_t k = 0;
+  for (; k + kLanes <= n; k += kLanes) {
+    VU x = (VU)LoadI(v + k);
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    VU nm = (VU)NullMask(LoadN(nulls + k));
+    StoreU(out + k, (nm & nh) | (~nm & x));
+  }
+  for (; k < n; ++k) {
+    out[k] = nulls[k] ? null_hash : HashInt(static_cast<uint64_t>(v[k]));
+  }
+}
+
+JT_SIMD_ATTR static void HashCombineImpl(uint64_t* acc, const uint64_t* h,
+                                         size_t n) {
+  size_t k = 0;
+  for (; k + kLanes <= n; k += kLanes) {
+    VU a = LoadU(acc + k), b = LoadU(h + k);
+    StoreU(acc + k, a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4)));
+  }
+  for (; k < n; ++k) acc[k] = HashCombine(acc[k], h[k]);
+}

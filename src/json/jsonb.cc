@@ -619,6 +619,26 @@ std::vector<uint8_t> MakeJsonbInt(int64_t value) {
   return out;
 }
 
+std::optional<JsonbValue> LookupSteps(JsonbValue root, const PathStep* steps,
+                                      size_t count) {
+  JsonbValue cur = root;
+  for (size_t s = 0; s < count; s++) {
+    const PathStep& step = steps[s];
+    if (!step.is_index) {
+      if (cur.type() != JsonType::kObject) return std::nullopt;
+      auto next = cur.FindKey(step.key);
+      if (!next.has_value()) return std::nullopt;
+      cur = *next;
+    } else {
+      if (cur.type() != JsonType::kArray || step.index >= cur.Count()) {
+        return std::nullopt;
+      }
+      cur = cur.ArrayElement(step.index);
+    }
+  }
+  return cur;
+}
+
 std::vector<uint8_t> MakeJsonbString(std::string_view value) {
   std::vector<uint8_t> out;
   if (value.size() < 15) {

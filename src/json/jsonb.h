@@ -154,6 +154,24 @@ class JsonbBuilder {
 /// Convenience: one-shot transformation.
 Result<std::vector<uint8_t>> JsonbFromText(std::string_view json_text);
 
+// --- Batched navigation ----------------------------------------------------
+
+/// One pre-decoded navigation step for LookupSteps. `key` is a view into the
+/// caller's encoded-path storage, which must outlive the steps.
+struct PathStep {
+  bool is_index = false;
+  std::string_view key;  // object member to FindKey (is_index == false)
+  uint32_t index = 0;    // array slot (is_index == true)
+};
+
+/// Navigate `root` along pre-decoded steps. Returns nullopt when any step is
+/// missing (PostgreSQL semantics: absent key => SQL NULL). Same traversal as
+/// tiles::LookupPath, but the path is decoded once up front — batch accessors
+/// extracting one path from many documents skip the per-document varint
+/// decode entirely.
+std::optional<JsonbValue> LookupSteps(JsonbValue root, const PathStep* steps,
+                                      size_t count);
+
 // --- Programmatic assembly -------------------------------------------------
 // Because every JSONB value is a self-contained byte range, new documents can
 // be assembled from existing slices without reparsing (used by

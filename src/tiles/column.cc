@@ -67,7 +67,7 @@ void Column::AppendString(std::string_view v) {
   AppendValid(true);
   starts_.push_back(static_cast<uint32_t>(heap_.size()));
   lens_.push_back(static_cast<uint32_t>(v.size()));
-  heap_.append(v);
+  AppendToHeap(v);
 }
 
 void Column::SetNull(size_t row) {
@@ -111,6 +111,22 @@ void Column::SetString(size_t row, std::string_view v) {
   MarkValid(valid_, row, &null_count_);
   starts_[row] = static_cast<uint32_t>(heap_.size());
   lens_[row] = static_cast<uint32_t>(v.size());
+  AppendToHeap(v);
+}
+
+void Column::AppendToHeap(std::string_view v) {
+  // `v` may view this column's own heap (e.g. copying a value from one row
+  // to another, as GetString returns a view). A plain append would read `v`
+  // after a reallocation freed its storage; rebase such views to an offset
+  // and copy through the grown heap instead.
+  const char* begin = heap_.data();
+  if (v.data() >= begin && v.data() < begin + heap_.size()) {
+    const size_t src = static_cast<size_t>(v.data() - begin);
+    const size_t dst = heap_.size();
+    heap_.resize(dst + v.size());  // may invalidate v
+    std::memmove(heap_.data() + dst, heap_.data() + src, v.size());
+    return;
+  }
   heap_.append(v);
 }
 

@@ -139,6 +139,10 @@ class Column {
     if (!valid) null_count_++;
   }
 
+  /// Append bytes to the string heap; safe even when `v` views the heap
+  /// itself (a plain append could read freed storage on reallocation).
+  void AppendToHeap(std::string_view v);
+
   ColumnType type_;
   std::vector<bool> valid_;
   std::vector<int64_t> i64_;

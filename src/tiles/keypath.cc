@@ -118,6 +118,27 @@ std::optional<json::JsonbValue> LookupPath(json::JsonbValue root,
   return cur;
 }
 
+std::vector<json::PathStep> DecodePathSteps(std::string_view encoded) {
+  std::vector<json::PathStep> steps;
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(encoded.data());
+  size_t pos = 0;
+  while (pos < encoded.size()) {
+    char kind = encoded[pos++];
+    uint64_t v = bit_util::DecodeVarint(data, &pos);
+    json::PathStep step;
+    if (kind == 'k') {
+      step.key = encoded.substr(pos, v);
+      pos += v;
+    } else {
+      JSONTILES_DCHECK(kind == 'i');
+      step.is_index = true;
+      step.index = static_cast<uint32_t>(v);
+    }
+    steps.push_back(step);
+  }
+  return steps;
+}
+
 void CollectKeyPaths(json::JsonbValue doc, const TileConfig& config,
                      std::vector<CollectedPath>* out) {
   ForEachKeyPath(doc, config, [out](std::string_view path, json::JsonType type) {

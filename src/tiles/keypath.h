@@ -72,6 +72,12 @@ void ForEachPathPrefix(std::string_view encoded,
 std::optional<json::JsonbValue> LookupPath(json::JsonbValue root,
                                            std::string_view encoded_path);
 
+/// Decode an encoded path into navigation steps for json::LookupSteps. The
+/// key views point into `encoded`, which must outlive the returned steps —
+/// callers caching steps must cache them against stable path storage (e.g.
+/// the Expr that owns the encoded path).
+std::vector<json::PathStep> DecodePathSteps(std::string_view encoded);
+
 /// One collected leaf: encoded path plus the leaf's JSON type.
 struct CollectedPath {
   std::string path;

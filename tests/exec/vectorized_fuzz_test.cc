@@ -16,6 +16,7 @@
 
 #include "exec/expr_compile.h"
 #include "exec/expression.h"
+#include "exec/simd.h"
 #include "exec/vector_batch.h"
 #include "util/arena.h"
 #include "util/random.h"
@@ -328,6 +329,73 @@ TEST(VectorizedFuzzTest, CompiledMatchesInterpreterOn100kEvals) {
   EXPECT_GE(compiled_evals, kTargetEvals)
       << "only " << compiled_trees << " of " << total_trees
       << " generated trees compiled";
+}
+
+// The SIMD tier and the scalar-fallback tier of the kernels must be
+// interchangeable: the same compiled program over the same dense batch (the
+// only shape the SIMD paths engage on) produces bit-identical result vectors
+// with simd::SetEnabled(true) and (false), and both match the interpreter —
+// nulls, division by zero, failed casts and NaN orderings included.
+TEST(VectorizedFuzzTest, SimdAndScalarTiersAreBitIdentical) {
+  Random rng(31337);
+  TreeGen gen(rng);
+  Arena arena;
+
+  const size_t kRows = 128;
+  const size_t kTargetEvals = 100000;
+  const size_t kMaxTrees = 60000;
+
+  size_t compiled_evals = 0;
+  size_t total_trees = 0;
+  SelectionVector sel;
+  std::vector<ColumnVector> slot_vecs(kSlotTypes.size());
+  std::vector<Value> simd_vals(kRows);
+
+  while (compiled_evals < kTargetEvals && total_trees < kMaxTrees) {
+    total_trees++;
+    ExprPtr tree = gen.GenAny(static_cast<int>(rng.Range(1, 5)));
+
+    CompiledExpr program;
+    if (!CompiledExpr::Compile(*tree, kSlotTypes, &program)) continue;
+
+    std::vector<std::vector<Value>> rows(kRows);
+    for (size_t r = 0; r < kRows; r++) {
+      rows[r].reserve(kSlotTypes.size());
+      for (ValueType t : kSlotTypes) rows[r].push_back(RandomSlotValue(t, rng));
+    }
+    for (size_t s = 0; s < kSlotTypes.size(); s++) {
+      slot_vecs[s].Reset(kSlotTypes[s]);
+      for (size_t r = 0; r < kRows; r++) slot_vecs[s].SetValue(r, rows[r][s]);
+    }
+
+    // Run #1 with SIMD; snapshot (Run reuses its result vector), then run #2
+    // on the scalar tier.
+    sel.SetAll(kRows);
+    simd::SetEnabled(true);
+    const ColumnVector& simd_result = program.Run(slot_vecs.data(), sel, &arena);
+    for (size_t r = 0; r < kRows; r++) simd_vals[r] = simd_result.GetValue(r);
+
+    sel.SetAll(kRows);
+    simd::SetEnabled(false);
+    const ColumnVector& scalar_result =
+        program.Run(slot_vecs.data(), sel, &arena);
+    simd::SetEnabled(true);
+
+    for (size_t r = 0; r < kRows; r++) {
+      Value scalar_val = scalar_result.GetValue(r);
+      ASSERT_TRUE(BitIdentical(simd_vals[r], scalar_val))
+          << "tree #" << total_trees << " row " << r
+          << ": simd=" << Describe(simd_vals[r])
+          << " scalar-tier=" << Describe(scalar_val);
+      Value expected = EvalExpr(*tree, rows[r].data(), &arena);
+      ASSERT_TRUE(BitIdentical(expected, simd_vals[r]))
+          << "tree #" << total_trees << " row " << r << ": interpreter="
+          << Describe(expected) << " simd=" << Describe(simd_vals[r]);
+      compiled_evals++;
+    }
+  }
+
+  EXPECT_GE(compiled_evals, kTargetEvals);
 }
 
 // The selection vector must be respected: lanes outside the selection are

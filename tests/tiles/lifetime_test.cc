@@ -1,0 +1,96 @@
+// Lifetime regression tests for string_view-into-scratch-buffer patterns
+// (the JsonbBuilder unescape-buffer bug family). These tests are most
+// valuable under the sanitizer build: before the fixes they read freed
+// storage, which ASan reports even when the test assertions happen to pass.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "json/jsonb.h"
+#include "tiles/column.h"
+#include "tiles/keypath.h"
+
+namespace jsontiles::tiles {
+namespace {
+
+// Copying a string value from one row of a column into another passes
+// GetString's view — which points into the column's own heap — back into
+// SetString/AppendString. The heap append must not read the view after a
+// reallocation frees its storage.
+TEST(LifetimeTest, ColumnSelfCopySurvivesHeapReallocation) {
+  Column col(ColumnType::kString);
+  // Large enough that copying it repeatedly forces many reallocations.
+  const std::string big(1000, 'x');
+  col.AppendString(big);
+  for (int i = 0; i < 64; i++) {
+    col.AppendString(col.GetString(col.size() - 1));
+  }
+  for (size_t r = 0; r < col.size(); r++) {
+    ASSERT_EQ(col.GetString(r), big) << "row " << r;
+  }
+}
+
+TEST(LifetimeTest, ColumnSelfSetStringSurvivesHeapReallocation) {
+  Column col(ColumnType::kString);
+  col.AppendString("seed-value-long-enough-to-matter");
+  col.AppendString("other");
+  for (int i = 0; i < 200; i++) {
+    // §4.7 in-place update where the new value aliases the old one.
+    col.SetString(1, col.GetString(0));
+    ASSERT_EQ(col.GetString(1), "seed-value-long-enough-to-matter");
+  }
+  ASSERT_EQ(col.GetString(0), "seed-value-long-enough-to-matter");
+}
+
+// DecodePathSteps hands out key views into the encoded path; the documented
+// contract is that they stay valid exactly as long as that storage. Cache
+// steps against stable storage and use them after every transient involved
+// in building the path is gone.
+TEST(LifetimeTest, DecodedPathStepsViewStablePathStorage) {
+  std::string stable_path;
+  {
+    // Build the encoded path from transients that die with this scope.
+    std::string key1 = "user";
+    std::string key2 = "geo";
+    std::vector<PathSegment> segs = {PathSegment::Key(key1),
+                                     PathSegment::Key(key2),
+                                     PathSegment::Index(1)};
+    stable_path = EncodePath(segs);
+  }
+  std::vector<json::PathStep> steps = DecodePathSteps(stable_path);
+  ASSERT_EQ(steps.size(), 3u);
+  EXPECT_EQ(steps[0].key, "user");
+  EXPECT_EQ(steps[1].key, "geo");
+  EXPECT_TRUE(steps[2].is_index);
+
+  auto doc = json::JsonbFromText(R"({"user": {"geo": [10, 20]}})");
+  ASSERT_TRUE(doc.ok());
+  std::vector<uint8_t> buf = doc.MoveValueOrDie();
+  auto v = json::LookupSteps(json::JsonbValue(buf.data()), steps.data(),
+                             steps.size());
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->GetInt(), 20);
+}
+
+// ForEachPathPrefix / WalkLeaves hand out views into a shared prefix buffer
+// that are only valid during the callback; consumers must copy. This pins
+// the copying consumers' behavior (bloom insert in Tile::AddSeenPath relies
+// on the same rule).
+TEST(LifetimeTest, CollectedPathsOwnTheirBytes) {
+  auto doc = json::JsonbFromText(R"({"a": {"b": 1, "c": [2, 3]}, "d": "x"})");
+  ASSERT_TRUE(doc.ok());
+  std::vector<uint8_t> buf = doc.MoveValueOrDie();
+  std::vector<CollectedPath> paths;
+  CollectKeyPaths(json::JsonbValue(buf.data()), TileConfig{}, &paths);
+  ASSERT_FALSE(paths.empty());
+  // The collected strings must be self-contained copies: round-trip each
+  // through the decoder after the walker's prefix buffer is long gone.
+  for (const auto& p : paths) {
+    EXPECT_FALSE(PathToDisplayString(p.path).empty());
+  }
+}
+
+}  // namespace
+}  // namespace jsontiles::tiles
