@@ -1,0 +1,234 @@
+// Spill-to-disk perf smoke: runs a join, a join+aggregate, and a
+// high-cardinality aggregation once unconstrained and once under a scratch
+// memory cap (--mem-limit, default 1 MiB), asserts the constrained results
+// are identical to the in-memory ones, and reports wall times plus the
+// spilled_bytes / spill_partitions counters from the per-query PlanProfile
+// (so the check also works under JSONTILES_OBS=OFF).
+//
+//   --spill-json <path>   write the summary as JSON (CI uploads it)
+//
+// Exits non-zero when a constrained run diverges from its in-memory baseline
+// or fails to spill — this binary doubles as the CI spill-correctness gate.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "sql/sql_parser.h"
+
+namespace {
+
+using namespace jsontiles;         // NOLINT
+using namespace jsontiles::bench;  // NOLINT
+
+constexpr size_t kFacts = 200000;
+constexpr size_t kDims = 20000;
+
+// All float values are exact quarters: sums are order-independent, so the
+// in-memory and spilled results must match bit for bit.
+std::vector<std::string> FactDocs() {
+  std::vector<std::string> docs;
+  docs.reserve(kFacts);
+  for (size_t i = 0; i < kFacts; i++) {
+    docs.push_back("{\"k\":" + std::to_string(i % kDims) +
+                   ",\"v\":" + std::to_string(i) +
+                   ",\"f\":" + std::to_string(i % 37) + ".25" +
+                   ",\"s\":\"tag" + std::to_string(i % 9973) + "\"}");
+  }
+  return docs;
+}
+
+std::vector<std::string> DimDocs() {
+  std::vector<std::string> docs;
+  docs.reserve(kDims);
+  for (size_t i = 0; i < kDims; i++) {
+    docs.push_back("{\"k\":" + std::to_string(i) + ",\"label\":\"label-" +
+                   std::to_string(i % 61) + "\"}");
+  }
+  return docs;
+}
+
+struct QuerySpec {
+  const char* name;
+  const char* statement;
+};
+
+const QuerySpec kQueries[] = {
+    {"join",
+     "SELECT f->>'v'::BigInt, f->>'s', d->>'label' "
+     "FROM facts f, dims d WHERE f->>'k'::BigInt = d->>'k'::BigInt"},
+    {"join_agg",
+     "SELECT d->>'label', COUNT(*), SUM(f->>'v'::BigInt), "
+     "AVG(f->>'f'::Float) "
+     "FROM facts f, dims d WHERE f->>'k'::BigInt = d->>'k'::BigInt "
+     "GROUP BY d->>'label'"},
+    // 200000 string-keyed groups: the group table far exceeds any sane
+    // scratch cap, so this run exercises the string-rescue path heavily.
+    {"agg",
+     "SELECT f->>'s', f->>'v'::BigInt, COUNT(*), SUM(f->>'v'::BigInt), "
+     "MIN(f->>'f'::Float), MAX(f->>'v'::BigInt) "
+     "FROM facts f GROUP BY f->>'s', f->>'v'::BigInt"},
+};
+
+struct RunResult {
+  double secs = 0;
+  size_t rows = 0;
+  int64_t spilled_bytes = 0;
+  int64_t spill_partitions = 0;
+  std::vector<std::string> sorted_rows;
+};
+
+RunResult RunQuery(const char* statement, const sql::SqlCatalog& catalog,
+                   size_t mem_limit, int repetitions) {
+  RunResult out;
+  out.secs = 1e300;
+  for (int rep = 0; rep < repetitions; rep++) {
+    exec::ExecOptions options;
+    options.num_threads = BenchThreads();
+    options.mem_limit_bytes = mem_limit;
+    exec::QueryContext ctx(options);
+    obs::PlanProfile profile;
+    ctx.profile = &profile;
+    sql::SqlResult result;
+    double secs = TimeOnce([&] {
+      auto r = sql::ExecuteSql(statement, catalog, ctx);
+      if (!r.ok()) {
+        std::fprintf(stderr, "query failed: %s\n", r.status().ToString().c_str());
+        std::exit(1);
+      }
+      result = r.MoveValueOrDie();
+    });
+    out.secs = std::min(out.secs, secs);
+    if (rep + 1 < repetitions) continue;
+    out.rows = result.rows.size();
+    out.sorted_rows.reserve(result.rows.size());
+    for (const auto& row : result.rows) {
+      std::string line;
+      for (const auto& v : row) {
+        line += v.ToString();
+        line += '|';
+      }
+      out.sorted_rows.push_back(std::move(line));
+    }
+    std::sort(out.sorted_rows.begin(), out.sorted_rows.end());
+    for (int id = 0; id < static_cast<int>(profile.size()); id++) {
+      for (const auto& [name, value] : profile.op(id).counters) {
+        if (name == "spilled_bytes") out.spilled_bytes += value;
+        if (name == "spill_partitions") out.spill_partitions += value;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchObs obs(&argc, argv);
+  std::string json_path;
+  for (int i = 1; i < argc; i++) {
+    std::string_view arg = argv[i];
+    if (arg == "--spill-json" || arg.rfind("--spill-json=", 0) == 0) {
+      size_t eq = arg.find('=');
+      if (eq != std::string_view::npos) {
+        json_path = std::string(arg.substr(eq + 1));
+      } else if (i + 1 < argc) {
+        json_path = argv[++i];
+      } else {
+        std::fprintf(stderr, "missing path after --spill-json\n");
+        return 2;
+      }
+    }
+  }
+  // Fail before the run, not after (same contract as --metrics-json).
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::fclose(f);
+  }
+  const size_t mem_limit =
+      obs.mem_limit_bytes() != 0 ? obs.mem_limit_bytes() : 1024 * 1024;
+
+  auto facts = FactDocs();
+  auto dims = DimDocs();
+  storage::LoadOptions load_options;
+  load_options.num_threads = BenchThreads();
+  storage::Loader loader(storage::StorageMode::kTiles, {}, load_options);
+  auto facts_rel = loader.Load(facts, "facts").MoveValueOrDie();
+  auto dims_rel = loader.Load(dims, "dims").MoveValueOrDie();
+  sql::SqlCatalog catalog;
+  catalog.tables["facts"] = facts_rel.get();
+  catalog.tables["dims"] = dims_rel.get();
+  std::printf("facts=%zu dims=%zu mem_limit=%zu bytes threads=%zu\n", kFacts,
+              kDims, mem_limit, BenchThreads());
+
+  TablePrinter table("Spill-to-disk: in-memory vs constrained [s]");
+  table.SetHeader({"Query", "rows", "in-mem", "spilled", "slowdown",
+                   "spilled_bytes", "partitions"});
+  std::string json = "{\n  \"mem_limit_bytes\": " + std::to_string(mem_limit) +
+                     ",\n  \"threads\": " + std::to_string(BenchThreads()) +
+                     ",\n  \"queries\": [\n";
+  bool ok = true;
+  bool first = true;
+  for (const auto& q : kQueries) {
+    RunResult inmem = RunQuery(q.statement, catalog, 0, 2);
+    RunResult spilled = RunQuery(q.statement, catalog, mem_limit, 2);
+
+    if (inmem.spilled_bytes != 0) {
+      std::fprintf(stderr, "FAIL %s: unconstrained run spilled %lld bytes\n",
+                   q.name, static_cast<long long>(inmem.spilled_bytes));
+      ok = false;
+    }
+    if (spilled.spilled_bytes == 0) {
+      std::fprintf(stderr,
+                   "FAIL %s: constrained run (limit %zu) did not spill\n",
+                   q.name, mem_limit);
+      ok = false;
+    }
+    if (spilled.sorted_rows != inmem.sorted_rows) {
+      std::fprintf(stderr,
+                   "FAIL %s: spilled result differs from in-memory baseline "
+                   "(%zu vs %zu rows)\n",
+                   q.name, spilled.rows, inmem.rows);
+      ok = false;
+    }
+
+    table.AddRow({q.name, std::to_string(inmem.rows), Fmt(inmem.secs),
+                  Fmt(spilled.secs), Fmt(spilled.secs / inmem.secs, "%.2fx"),
+                  std::to_string(spilled.spilled_bytes),
+                  std::to_string(spilled.spill_partitions)});
+    if (!first) json += ",\n";
+    first = false;
+    json += "    {\"name\": \"" + std::string(q.name) +
+            "\", \"rows\": " + std::to_string(inmem.rows) +
+            ", \"inmem_secs\": " + Fmt(inmem.secs, "%.6f") +
+            ", \"spill_secs\": " + Fmt(spilled.secs, "%.6f") +
+            ", \"spilled_bytes\": " + std::to_string(spilled.spilled_bytes) +
+            ", \"spill_partitions\": " +
+            std::to_string(spilled.spill_partitions) +
+            ", \"identical\": " +
+            (spilled.sorted_rows == inmem.sorted_rows ? "true" : "false") +
+            "}";
+  }
+  json += "\n  ],\n  \"ok\": " + std::string(ok ? "true" : "false") + "\n}\n";
+  table.Print();
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("spill summary written to %s\n", json_path.c_str());
+  }
+  std::printf("spill correctness: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,22 +1,63 @@
 #include "exec/operators.h"
 
 #include <algorithm>
+#include <atomic>
+#include <deque>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "exec/expr_compile.h"
 #include "exec/simd.h"
+#include "exec/spill.h"
 #include "exec/vector_batch.h"
 #include "obs/obs.h"
 #include "obs/plan_profile.h"
+#include "util/failpoint.h"
 #include "util/hash.h"
 #include "util/logging.h"
+#include "util/resource_governor.h"
 
 namespace jsontiles::exec {
 
 namespace {
 
 constexpr uint64_t kKeyHashSeed = 0x2545F4914F6CDD1DULL;
+
+// Estimated hash-table cost per row beyond its Values: bucket entry, per-row
+// key vector header, map node slack. Used for budget charges.
+constexpr size_t kPerRowTableOverhead = 64;
+
+// Copy every string payload of `row` into `arena`. Output rows of a spilled
+// partition reference strings in the partition's read-back arena, which dies
+// when the partition finishes — rescue them into a query-lifetime arena.
+void RescueRowStrings(Row* row, Arena* arena) {
+  for (Value& v : *row) {
+    if (v.type == ValueType::kString && !v.s.empty()) {
+      uint8_t* copy = arena->AllocateCopy(v.s.data(), v.s.size());
+      v.s = std::string_view(reinterpret_cast<const char*>(copy), v.s.size());
+    }
+  }
+}
+
+// Emit the spill counters on an operator node (only when it actually
+// spilled, so unconstrained plans stay unchanged). Closes the ROADMAP item:
+// EXPLAIN ANALYZE reports spilled bytes once operators spill.
+void ReportSpill(obs::OperatorProfiler& prof, const SpillStats& stats) {
+  if (stats.spilled_bytes > 0) {
+    prof.AddCounter("spilled_bytes",
+                    static_cast<int64_t>(stats.spilled_bytes));
+    prof.AddCounter("spill_partitions",
+                    static_cast<int64_t>(stats.partitions));
+    JSONTILES_COUNTER_ADD("exec.spill.bytes",
+                          static_cast<int64_t>(stats.spilled_bytes));
+    JSONTILES_COUNTER_ADD("exec.spill.partitions",
+                          static_cast<int64_t>(stats.partitions));
+  }
+  if (stats.forced_inmem > 0) {
+    prof.AddCounter("spill_forced_inmem",
+                    static_cast<int64_t>(stats.forced_inmem));
+  }
+}
 
 // Reports the query's arena growth across one operator as an `arena_bytes`
 // counter (see QueryContext::arena_bytes()). Declare after the profiler so
@@ -379,18 +420,22 @@ using GroupMap = std::unordered_map<uint64_t, std::vector<Group>>;
 // come from the compiled batch results (`lane` = row's index in the current
 // batch); otherwise they are interpreted per row. `agg_expr_idx[a]` maps agg
 // a to its argument's index in the batched expression list (-1 = COUNT(*)).
-void Accumulate(GroupMap& groups, const std::vector<ExprPtr>& group_by,
-                const std::vector<AggSpec>& aggs,
-                const std::vector<int>& agg_expr_idx, const Row& row,
-                Arena* arena, const BatchedExprs* batched, size_t lane) {
+// Returns the approximate bytes newly allocated (non-zero only when this row
+// created a group) so callers can charge the memory budget.
+size_t Accumulate(GroupMap& groups, const std::vector<ExprPtr>& group_by,
+                  const std::vector<AggSpec>& aggs,
+                  const std::vector<int>& agg_expr_idx, const Row& row,
+                  Arena* arena, const BatchedExprs* batched, size_t lane) {
   uint64_t h = kKeyHashSeed;
   std::vector<Value> keys;
   keys.reserve(group_by.size());
+  size_t key_bytes = 0;
   for (size_t g = 0; g < group_by.size(); g++) {
     Value v = batched != nullptr
                   ? batched->Get(g, lane, row, arena)
                   : EvalExpr(*group_by[g], row.data(), arena);
     h = HashCombine(h, v.Hash());
+    if (v.type == ValueType::kString) key_bytes += v.s.size();
     keys.push_back(v);
   }
   auto& bucket = groups[h];
@@ -405,9 +450,13 @@ void Accumulate(GroupMap& groups, const std::vector<ExprPtr>& group_by,
       break;
     }
   }
+  size_t new_bytes = 0;
   if (group == nullptr) {
     bucket.push_back(Group{std::move(keys), std::vector<Accumulator>(aggs.size())});
     group = &bucket.back();
+    new_bytes = sizeof(Group) + aggs.size() * sizeof(Accumulator) +
+                group_by.size() * sizeof(Value) + key_bytes +
+                kPerRowTableOverhead;
   }
   for (size_t a = 0; a < aggs.size(); a++) {
     Value v = Value::Null();
@@ -419,20 +468,23 @@ void Accumulate(GroupMap& groups, const std::vector<ExprPtr>& group_by,
     }
     group->accs[a].AddValue(aggs[a].kind, v);
   }
+  return new_bytes;
 }
 
-}  // namespace
-
-RowSet AggregateExec(const RowSet& in, const std::vector<ExprPtr>& group_by,
-                     const std::vector<AggSpec>& aggs, QueryContext& ctx) {
-  JSONTILES_TRACE_SPAN("exec.aggregate");
-  obs::OperatorProfiler prof(ctx.profile, "Aggregate",
-                             std::to_string(group_by.size()) + " keys, " +
-                                 std::to_string(aggs.size()) + " aggs");
-  prof.set_rows_in(in.size());
-  ArenaCounter arena_counter(prof, ctx);
+// In-memory aggregation over `in`. When `budgeted`, scratch memory (group
+// table) is reserved against ctx.budget() as groups are created; a refused
+// charge drops all partial state, sets *aborted and returns OK — the caller
+// then takes the spill path. With `budgeted` false the table grows freely
+// (the forced path at the spill depth cap).
+Status AggregateInMemory(const RowSet& in, const std::vector<ExprPtr>& group_by,
+                         const std::vector<AggSpec>& aggs, QueryContext& ctx,
+                         bool budgeted, bool* aborted, RowSet* out) {
+  *aborted = false;
   const size_t parallel_threshold = 16384;
   std::vector<GroupMap> partials;
+  // Reservations outlive the group maps' useful life below; one per worker
+  // (BudgetReservation is single-threaded, the budget under it is atomic).
+  std::deque<BudgetReservation> reservations;
 
   // Batched expression list: group keys first, then aggregate arguments.
   std::vector<const Expr*> batch_exprs = RawExprs(group_by);
@@ -447,10 +499,14 @@ RowSet AggregateExec(const RowSet& in, const std::vector<ExprPtr>& group_by,
   BatchedExprs master(in, std::move(batch_exprs),
                       ctx.options().enable_vectorized);
 
+  std::atomic<bool> over_budget{false};
   auto accumulate_range = [&](GroupMap& groups, size_t begin, size_t end,
-                              Arena* arena, BatchedExprs* batched) {
+                              Arena* arena, BatchedExprs* batched,
+                              BudgetReservation* res) {
     JSONTILES_TRACE_SPAN("exec.agg.partial");
+    size_t pending = 0;
     for (size_t b = begin; b < end; b += kVectorSize) {
+      if (over_budget.load(std::memory_order_relaxed)) return;
       const size_t n = std::min(kVectorSize, end - b);
       const BatchedExprs* cur = nullptr;
       if (batched->enabled()) {
@@ -458,8 +514,15 @@ RowSet AggregateExec(const RowSet& in, const std::vector<ExprPtr>& group_by,
         cur = batched;
       }
       for (size_t k = 0; k < n; k++) {
-        Accumulate(groups, group_by, aggs, agg_expr_idx, in[b + k], arena, cur,
-                   k);
+        pending += Accumulate(groups, group_by, aggs, agg_expr_idx, in[b + k],
+                              arena, cur, k);
+      }
+      if (res != nullptr && pending > 0) {
+        if (!res->Grow(pending)) {
+          over_budget.store(true, std::memory_order_relaxed);
+          return;
+        }
+        pending = 0;
       }
     }
   };
@@ -468,24 +531,37 @@ RowSet AggregateExec(const RowSet& in, const std::vector<ExprPtr>& group_by,
     size_t workers = ctx.num_workers();
     partials.resize(workers);
     std::vector<BatchedExprs> worker_batched(workers, master);
+    for (size_t w = 0; w < workers; w++) {
+      reservations.emplace_back(budgeted ? ctx.budget() : nullptr);
+    }
     size_t chunk = (in.size() + workers - 1) / workers;
-    ctx.pool()->ParallelFor(
+    JSONTILES_RETURN_NOT_OK(ctx.pool()->ParallelForStatus(
         workers,
-        [&](size_t w, size_t) {
+        [&](size_t w, size_t) -> Status {
+          JSONTILES_FAILPOINT_RETURN("exec.agg.worker");
+          if (ctx.cancelled()) return Status::OK();
           size_t begin = w * chunk;
           size_t end = std::min(begin + chunk, in.size());
           if (begin < end) {
             accumulate_range(partials[w], begin, end, ctx.arena(w),
-                             &worker_batched[w]);
+                             &worker_batched[w], &reservations[w]);
           }
+          return Status::OK();
         },
-        1);
+        1));
   } else {
     partials.resize(1);
-    accumulate_range(partials[0], 0, in.size(), ctx.arena(0), &master);
+    reservations.emplace_back(budgeted ? ctx.budget() : nullptr);
+    accumulate_range(partials[0], 0, in.size(), ctx.arena(0), &master,
+                     &reservations[0]);
+  }
+  if (over_budget.load(std::memory_order_relaxed)) {
+    *aborted = true;
+    return Status::OK();
   }
 
-  // Merge partials into the first map.
+  // Merge partials into the first map. Unique groups across partials were
+  // all charged above, so the merged map never exceeds the reservation.
   GroupMap& merged = partials[0];
   {
     JSONTILES_TRACE_SPAN("exec.agg.merge");
@@ -516,7 +592,6 @@ RowSet AggregateExec(const RowSet& in, const std::vector<ExprPtr>& group_by,
     }
   }
 
-  RowSet out;
   for (auto& [h, bucket] : merged) {
     (void)h;
     for (auto& g : bucket) {
@@ -526,9 +601,125 @@ RowSet AggregateExec(const RowSet& in, const std::vector<ExprPtr>& group_by,
       for (size_t a = 0; a < aggs.size(); a++) {
         row.push_back(g.accs[a].Finalize(aggs[a].kind));
       }
-      out.push_back(std::move(row));
+      out->push_back(std::move(row));
     }
   }
+  return Status::OK();
+}
+
+// Aggregate one spill partition (taken by value so its disk space frees as
+// soon as it is consumed). When the partition fits in the budget — or the
+// recursion hit the depth cap, meaning its keys are unsplittable — it is
+// materialized and aggregated in memory; otherwise it repartitions onto the
+// next range of stored hash bits.
+Status AggSpillPartition(SpillFile file, const std::vector<ExprPtr>& group_by,
+                         const std::vector<AggSpec>& aggs, QueryContext& ctx,
+                         size_t depth, SpillStats* stats, RowSet* out) {
+  if (file.rows() == 0) return Status::OK();
+  // Read-back rows + group table (at worst one group per row); 3x raw covers
+  // keys and accumulators.
+  const size_t est =
+      static_cast<size_t>(file.raw_bytes()) * 3 +
+      static_cast<size_t>(file.rows()) * kPerRowTableOverhead;
+  BudgetReservation res(ctx.budget());
+  if (depth >= kMaxSpillDepth || res.Grow(est)) {
+    if (depth >= kMaxSpillDepth && stats != nullptr) stats->forced_inmem++;
+    Arena part_arena;
+    RowSet rows;
+    JSONTILES_RETURN_NOT_OK(file.ReadAll(&part_arena, &rows));
+    file = SpillFile({}, nullptr);  // release the disk space early
+    RowSet local;
+    bool aborted = false;
+    JSONTILES_RETURN_NOT_OK(AggregateInMemory(rows, group_by, aggs, ctx,
+                                              /*budgeted=*/false, &aborted,
+                                              &local));
+    for (Row& row : local) {
+      RescueRowStrings(&row, ctx.arena(0));
+      out->push_back(std::move(row));
+    }
+    return Status::OK();
+  }
+  std::vector<SpillFile> sub;
+  for (size_t p = 0; p < kSpillFanout; p++) {
+    sub.emplace_back(ctx.options().spill_dir, stats);
+  }
+  JSONTILES_RETURN_NOT_OK(file.ForEach(nullptr, [&](uint64_t h, Row&& row) {
+    return sub[SpillPartitionOf(h, depth)].Add(h, row);
+  }));
+  file = SpillFile({}, nullptr);
+  for (size_t p = 0; p < kSpillFanout; p++) {
+    JSONTILES_RETURN_NOT_OK(sub[p].Finish());
+  }
+  for (size_t p = 0; p < kSpillFanout; p++) {
+    JSONTILES_RETURN_NOT_OK(AggSpillPartition(std::move(sub[p]), group_by,
+                                              aggs, ctx, depth + 1, stats,
+                                              out));
+  }
+  return Status::OK();
+}
+
+// Grace aggregation: partition the input by group-key hash into disk runs,
+// then aggregate each partition independently (a group never crosses
+// partitions, so partition outputs concatenate).
+Status AggSpill(const RowSet& in, const std::vector<ExprPtr>& group_by,
+                const std::vector<AggSpec>& aggs, QueryContext& ctx,
+                SpillStats* stats, RowSet* out) {
+  JSONTILES_TRACE_SPAN("exec.agg.spill");
+  std::vector<SpillFile> parts;
+  for (size_t p = 0; p < kSpillFanout; p++) {
+    parts.emplace_back(ctx.options().spill_dir, stats);
+  }
+  Arena scratch;  // derived key strings live only until the row is hashed
+  size_t since_reset = 0;
+  for (const Row& row : in) {
+    uint64_t h = kKeyHashSeed;
+    for (const auto& g : group_by) {
+      h = HashCombine(h, EvalExpr(*g, row.data(), &scratch).Hash());
+    }
+    JSONTILES_RETURN_NOT_OK(parts[SpillPartitionOf(h, 0)].Add(h, row));
+    if (++since_reset == 4096) {
+      scratch.Reset();
+      since_reset = 0;
+    }
+  }
+  for (size_t p = 0; p < kSpillFanout; p++) {
+    JSONTILES_RETURN_NOT_OK(parts[p].Finish());
+  }
+  for (size_t p = 0; p < kSpillFanout; p++) {
+    JSONTILES_RETURN_NOT_OK(AggSpillPartition(std::move(parts[p]), group_by,
+                                              aggs, ctx, 1, stats, out));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+RowSet AggregateExec(const RowSet& in, const std::vector<ExprPtr>& group_by,
+                     const std::vector<AggSpec>& aggs, QueryContext& ctx) {
+  JSONTILES_TRACE_SPAN("exec.aggregate");
+  obs::OperatorProfiler prof(ctx.profile, "Aggregate",
+                             std::to_string(group_by.size()) + " keys, " +
+                                 std::to_string(aggs.size()) + " aggs");
+  prof.set_rows_in(in.size());
+  ArenaCounter arena_counter(prof, ctx);
+  if (ctx.cancelled()) return {};
+
+  SpillStats stats;
+  RowSet out;
+  bool aborted = false;
+  // A global aggregate is a single group — nothing to partition by, and its
+  // state is tiny — so only grouped aggregation is budget-governed.
+  const bool budgeted = !group_by.empty();
+  Status st =
+      AggregateInMemory(in, group_by, aggs, ctx, budgeted, &aborted, &out);
+  if (st.ok() && aborted) {
+    st = AggSpill(in, group_by, aggs, ctx, &stats, &out);
+  }
+  if (!st.ok()) {
+    ctx.Cancel(std::move(st));
+    return {};
+  }
+
   // Global aggregate of empty input still yields one row.
   if (group_by.empty() && out.empty()) {
     Row row;
@@ -538,6 +729,7 @@ RowSet AggregateExec(const RowSet& in, const std::vector<ExprPtr>& group_by,
     }
     out.push_back(std::move(row));
   }
+  ReportSpill(prof, stats);
   prof.set_rows_out(out.size());
   return out;
 }
@@ -546,21 +738,32 @@ RowSet AggregateExec(const RowSet& in, const std::vector<ExprPtr>& group_by,
 // Hash join
 // ---------------------------------------------------------------------------
 
-RowSet HashJoinExec(const RowSet& build, const RowSet& probe,
-                    const std::vector<ExprPtr>& build_keys,
-                    const std::vector<ExprPtr>& probe_keys, JoinType type,
-                    const ExprPtr& residual, QueryContext& ctx) {
-  JSONTILES_CHECK(build_keys.size() == probe_keys.size());
-  JSONTILES_TRACE_SPAN("exec.hash_join");
-  const char* join_name = type == JoinType::kInner  ? "inner"
-                          : type == JoinType::kLeft ? "left"
-                          : type == JoinType::kSemi ? "semi"
-                                                    : "anti";
-  obs::OperatorProfiler prof(ctx.profile, "HashJoin", join_name);
-  prof.set_rows_in(build.size() + probe.size());
-  prof.AddCounter("build_rows", static_cast<int64_t>(build.size()));
-  prof.AddCounter("probe_rows", static_cast<int64_t>(probe.size()));
-  ArenaCounter arena_counter(prof, ctx);
+namespace {
+
+struct JoinSpec {
+  const std::vector<ExprPtr>& build_keys;
+  const std::vector<ExprPtr>& probe_keys;
+  JoinType type;
+  const ExprPtr& residual;
+  // Width of the full build side. Passed down instead of derived per
+  // partition: a spill partition with an empty build side must still pad
+  // left-join outputs to the real width.
+  size_t build_width;
+};
+
+// One hash join entirely in memory. When `res` is non-null it is grown for
+// the build-side scratch (key values + hash table) as it accumulates; on a
+// refused charge the partial state is dropped, *aborted is set and the
+// function returns OK — the caller then takes the spill path. With a null
+// `res` the table grows freely (the forced path at the spill depth cap).
+Status InMemoryJoin(const RowSet& build, const RowSet& probe,
+                    const JoinSpec& spec, QueryContext& ctx,
+                    BudgetReservation* res, bool* aborted, RowSet* out) {
+  *aborted = false;
+  const std::vector<ExprPtr>& build_keys = spec.build_keys;
+  const std::vector<ExprPtr>& probe_keys = spec.probe_keys;
+  const JoinType type = spec.type;
+  const ExprPtr& residual = spec.residual;
   Arena* arena = ctx.arena(0);
 
   // Build phase: evaluate the build keys batch-at-a-time through the
@@ -587,6 +790,8 @@ RowSet HashJoinExec(const RowSet& build, const RowSet& probe,
         batched.LoadBatch(build, base, n, arena);
         cur = &batched;
       }
+      size_t batch_bytes =
+          n * (kPerRowTableOverhead + build_keys.size() * sizeof(Value));
       for (size_t k = 0; k < n; k++) {
         hacc[k] = kKeyHashSeed;
         build_key_values.emplace_back();
@@ -611,10 +816,15 @@ RowSet HashJoinExec(const RowSet& build, const RowSet& probe,
                                    arena);
           row_has_null[base + k] |= static_cast<uint8_t>(v.is_null());
           if (!batch_hashed) hacc[k] = HashCombine(hacc[k], v.Hash());
+          if (v.type == ValueType::kString) batch_bytes += v.s.size();
           build_key_values[base + k].push_back(v);
         }
       }
       for (size_t k = 0; k < n; k++) row_hash[base + k] = hacc[k];
+      if (res != nullptr && !res->Grow(batch_bytes)) {
+        *aborted = true;
+        return Status::OK();
+      }
     }
     size_t insertable = 0;
     for (size_t b = 0; b < build.size(); b++) {
@@ -626,7 +836,7 @@ RowSet HashJoinExec(const RowSet& build, const RowSet& probe,
       table[row_hash[b]].push_back(b);
     }
   }
-  const size_t build_width = build.empty() ? 0 : build[0].size();
+  const size_t build_width = spec.build_width;
 
   // Probe phase (parallel chunks); probe keys evaluate batch-at-a-time with
   // compiled programs when possible. Each worker runs a private copy of the
@@ -718,29 +928,171 @@ RowSet HashJoinExec(const RowSet& build, const RowSet& probe,
     std::vector<RowSet> partials(workers);
     std::vector<BatchedExprs> worker_batched(workers, probe_master);
     size_t chunk = (probe.size() + workers - 1) / workers;
-    ctx.pool()->ParallelFor(
+    JSONTILES_RETURN_NOT_OK(ctx.pool()->ParallelForStatus(
         workers,
-        [&](size_t w, size_t) {
+        [&](size_t w, size_t) -> Status {
+          JSONTILES_FAILPOINT_RETURN("exec.join.probe.worker");
+          if (ctx.cancelled()) return Status::OK();
           size_t begin = w * chunk;
           size_t end = std::min(begin + chunk, probe.size());
           if (begin < end) {
             probe_chunk(begin, end, ctx.arena(w), &partials[w],
                         &worker_batched[w]);
           }
+          return Status::OK();
         },
-        1);
+        1));
     size_t total = 0;
     for (const auto& p : partials) total += p.size();
-    RowSet out;
-    out.reserve(total);
+    out->reserve(out->size() + total);
     for (auto& p : partials) {
-      for (auto& row : p) out.push_back(std::move(row));
+      for (auto& row : p) out->push_back(std::move(row));
     }
-    prof.set_rows_out(out.size());
-    return out;
+    return Status::OK();
   }
+  probe_chunk(0, probe.size(), arena, out, &probe_master);
+  return Status::OK();
+}
+
+// Join one spill partition pair (files taken by value so their disk space
+// frees as soon as they are consumed). Fits in budget or depth-capped —
+// materialize and join in memory; otherwise repartition both sides onto the
+// next range of stored hash bits.
+Status JoinSpillPartition(SpillFile bfile, SpillFile pfile,
+                          const JoinSpec& spec, QueryContext& ctx,
+                          size_t depth, SpillStats* stats, RowSet* out) {
+  if (pfile.rows() == 0) return Status::OK();  // all join kinds emit per probe row
+  const size_t est =
+      static_cast<size_t>(bfile.raw_bytes()) * 2 +
+      static_cast<size_t>(pfile.raw_bytes()) +
+      static_cast<size_t>(bfile.rows() + pfile.rows()) * kPerRowTableOverhead;
+  BudgetReservation res(ctx.budget());
+  if (depth >= kMaxSpillDepth || res.Grow(est)) {
+    if (depth >= kMaxSpillDepth && stats != nullptr) stats->forced_inmem++;
+    Arena part_arena;
+    RowSet bp, pp;
+    JSONTILES_RETURN_NOT_OK(bfile.ReadAll(&part_arena, &bp));
+    JSONTILES_RETURN_NOT_OK(pfile.ReadAll(&part_arena, &pp));
+    bfile = SpillFile({}, nullptr);
+    pfile = SpillFile({}, nullptr);
+    RowSet local;
+    bool aborted = false;
+    JSONTILES_RETURN_NOT_OK(
+        InMemoryJoin(bp, pp, spec, ctx, nullptr, &aborted, &local));
+    for (Row& row : local) {
+      RescueRowStrings(&row, ctx.arena(0));
+      out->push_back(std::move(row));
+    }
+    return Status::OK();
+  }
+  std::vector<SpillFile> bsub, psub;
+  for (size_t p = 0; p < kSpillFanout; p++) {
+    bsub.emplace_back(ctx.options().spill_dir, stats);
+    psub.emplace_back(ctx.options().spill_dir, stats);
+  }
+  auto reroute = [&](SpillFile* src, std::vector<SpillFile>& dst) {
+    return src->ForEach(nullptr, [&](uint64_t h, Row&& row) {
+      return dst[SpillPartitionOf(h, depth)].Add(h, row);
+    });
+  };
+  JSONTILES_RETURN_NOT_OK(reroute(&bfile, bsub));
+  JSONTILES_RETURN_NOT_OK(reroute(&pfile, psub));
+  bfile = SpillFile({}, nullptr);
+  pfile = SpillFile({}, nullptr);
+  for (size_t p = 0; p < kSpillFanout; p++) {
+    JSONTILES_RETURN_NOT_OK(bsub[p].Finish());
+    JSONTILES_RETURN_NOT_OK(psub[p].Finish());
+  }
+  for (size_t p = 0; p < kSpillFanout; p++) {
+    JSONTILES_RETURN_NOT_OK(JoinSpillPartition(std::move(bsub[p]),
+                                               std::move(psub[p]), spec, ctx,
+                                               depth + 1, stats, out));
+  }
+  return Status::OK();
+}
+
+// Grace hash join: try in memory under the budget; on refusal partition both
+// sides by key hash into disk runs and join partition pairs independently.
+// The partition of a row is a pure function of its key hash, so matching
+// build/probe rows always land in the same pair and the result multiset is
+// identical to the in-memory join (output order differs — grouped by
+// partition).
+Status JoinImpl(const RowSet& build, const RowSet& probe, const JoinSpec& spec,
+                QueryContext& ctx, SpillStats* stats, RowSet* out) {
+  {
+    BudgetReservation res(ctx.budget());
+    bool aborted = false;
+    JSONTILES_RETURN_NOT_OK(
+        InMemoryJoin(build, probe, spec, ctx, &res, &aborted, out));
+    if (!aborted) return Status::OK();
+  }  // the partial reservation is released before spilling starts
+  JSONTILES_TRACE_SPAN("exec.join.spill");
+  std::vector<SpillFile> bparts, pparts;
+  for (size_t p = 0; p < kSpillFanout; p++) {
+    bparts.emplace_back(ctx.options().spill_dir, stats);
+    pparts.emplace_back(ctx.options().spill_dir, stats);
+  }
+  Arena scratch;  // derived key strings live only until the row is hashed
+  auto partition_side = [&](const RowSet& rows,
+                            const std::vector<ExprPtr>& keys,
+                            std::vector<SpillFile>& parts) -> Status {
+    size_t since_reset = 0;
+    for (const Row& row : rows) {
+      uint64_t h = kKeyHashSeed;
+      for (const auto& k : keys) {
+        h = HashCombine(h, EvalExpr(*k, row.data(), &scratch).Hash());
+      }
+      JSONTILES_RETURN_NOT_OK(parts[SpillPartitionOf(h, 0)].Add(h, row));
+      if (++since_reset == 4096) {
+        scratch.Reset();
+        since_reset = 0;
+      }
+    }
+    return Status::OK();
+  };
+  JSONTILES_RETURN_NOT_OK(partition_side(build, spec.build_keys, bparts));
+  JSONTILES_RETURN_NOT_OK(partition_side(probe, spec.probe_keys, pparts));
+  for (size_t p = 0; p < kSpillFanout; p++) {
+    JSONTILES_RETURN_NOT_OK(bparts[p].Finish());
+    JSONTILES_RETURN_NOT_OK(pparts[p].Finish());
+  }
+  for (size_t p = 0; p < kSpillFanout; p++) {
+    JSONTILES_RETURN_NOT_OK(JoinSpillPartition(std::move(bparts[p]),
+                                               std::move(pparts[p]), spec,
+                                               ctx, 1, stats, out));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+RowSet HashJoinExec(const RowSet& build, const RowSet& probe,
+                    const std::vector<ExprPtr>& build_keys,
+                    const std::vector<ExprPtr>& probe_keys, JoinType type,
+                    const ExprPtr& residual, QueryContext& ctx) {
+  JSONTILES_CHECK(build_keys.size() == probe_keys.size());
+  JSONTILES_TRACE_SPAN("exec.hash_join");
+  const char* join_name = type == JoinType::kInner  ? "inner"
+                          : type == JoinType::kLeft ? "left"
+                          : type == JoinType::kSemi ? "semi"
+                                                    : "anti";
+  obs::OperatorProfiler prof(ctx.profile, "HashJoin", join_name);
+  prof.set_rows_in(build.size() + probe.size());
+  prof.AddCounter("build_rows", static_cast<int64_t>(build.size()));
+  prof.AddCounter("probe_rows", static_cast<int64_t>(probe.size()));
+  ArenaCounter arena_counter(prof, ctx);
+  if (ctx.cancelled()) return {};
+
+  SpillStats stats;
+  JoinSpec spec{build_keys, probe_keys, type, residual,
+                build.empty() ? 0 : build[0].size()};
   RowSet out;
-  probe_chunk(0, probe.size(), arena, &out, &probe_master);
+  Status st = JoinImpl(build, probe, spec, ctx, &stats, &out);
+  if (!st.ok()) {
+    ctx.Cancel(std::move(st));
+    return {};
+  }
+  ReportSpill(prof, stats);
   prof.set_rows_out(out.size());
   return out;
 }

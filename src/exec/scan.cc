@@ -9,15 +9,34 @@
 #include "obs/obs.h"
 #include "tiles/keypath.h"
 #include "tiles/tile.h"
+#include "util/failpoint.h"
 
 namespace jsontiles::exec {
 
-QueryContext::QueryContext(ExecOptions options) : options_(options) {
-  size_t workers = std::max<size_t>(1, options.num_threads);
+QueryContext::QueryContext(ExecOptions options)
+    : options_(std::move(options)), budget_(options_.mem_limit_bytes) {
+  size_t workers = std::max<size_t>(1, options_.num_threads);
   for (size_t i = 0; i < workers; i++) {
     arenas_.push_back(std::make_unique<Arena>());
   }
   if (workers > 1) pool_ = std::make_unique<ThreadPool>(workers - 1);
+}
+
+void QueryContext::Cancel(Status status) {
+  JSONTILES_DCHECK(!status.ok());
+  {
+    std::lock_guard<std::mutex> lock(cancel_mutex_);
+    if (cancel_status_.ok()) cancel_status_ = std::move(status);
+  }
+  cancelled_.store(true, std::memory_order_relaxed);
+}
+
+Status QueryContext::ConsumeStatus() {
+  std::lock_guard<std::mutex> lock(cancel_mutex_);
+  Status s = std::move(cancel_status_);
+  cancel_status_ = Status::OK();
+  cancelled_.store(false, std::memory_order_relaxed);
+  return s;
 }
 
 namespace {
@@ -645,10 +664,26 @@ RowSet ScanExec(const ScanSpec& spec, QueryContext& ctx) {
     }
   };
 
+  // Morsels are fallible (fault injection; future I/O): a failing chunk's
+  // Status cancels the query, the other workers stop claiming morsels, and
+  // the scan returns empty — the SQL boundary surfaces the recorded error.
+  auto scan_morsel = [&](size_t c, size_t w) -> Status {
+    JSONTILES_FAILPOINT_RETURN("exec.scan.chunk");
+    if (ctx.cancelled()) return Status::OK();
+    scan_chunk(c, w);
+    return Status::OK();
+  };
+  Status scan_status;
   if (ctx.pool() != nullptr && chunks.size() > 1) {
-    ctx.pool()->ParallelFor(chunks.size(), scan_chunk);
+    scan_status = ctx.pool()->ParallelForStatus(chunks.size(), scan_morsel);
   } else {
-    for (size_t c = 0; c < chunks.size(); c++) scan_chunk(c, 0);
+    for (size_t c = 0; c < chunks.size() && scan_status.ok(); c++) {
+      scan_status = scan_morsel(c, 0);
+    }
+  }
+  if (!scan_status.ok()) {
+    ctx.Cancel(std::move(scan_status));
+    return {};
   }
 
   ctx.tiles_skipped += skipped.load();

@@ -11,7 +11,9 @@
 #ifndef JSONTILES_EXEC_SCAN_H_
 #define JSONTILES_EXEC_SCAN_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -20,6 +22,8 @@
 #include "obs/plan_profile.h"
 #include "storage/relation.h"
 #include "util/arena.h"
+#include "util/resource_governor.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace jsontiles::exec {
@@ -34,6 +38,12 @@ struct ExecOptions {
   /// Evaluate pushed-down filters and operator expressions batch-at-a-time
   /// with compiled programs (expr_compile.h). Off = scalar interpreter only.
   bool enable_vectorized = true;
+  /// Hard cap on operator scratch memory (join/aggregation hash tables,
+  /// spill-partition read-back); 0 = unlimited. Operators spill to disk
+  /// (exec/spill.h) instead of exceeding it — results are identical.
+  size_t mem_limit_bytes = 0;
+  /// Directory for spill temp files; empty = $TMPDIR (else /tmp).
+  std::string spill_dir;
 };
 
 /// Per-query state: worker arenas for derived strings (rows reference them,
@@ -46,6 +56,23 @@ class QueryContext {
   size_t num_workers() const { return arenas_.size(); }
   Arena* arena(size_t worker) { return arenas_[worker].get(); }
   ThreadPool* pool() { return pool_.get(); }
+
+  /// Query-level memory budget (limit = options().mem_limit_bytes; 0 =
+  /// unlimited). Operators reserve scratch memory against it and spill when
+  /// refused.
+  MemoryBudget* budget() { return &budget_; }
+
+  /// Record a failure and request cancellation; the first status wins.
+  /// Thread-safe — workers call this when a morsel fails mid-query.
+  void Cancel(Status status);
+  /// True once any part of the query has failed; operators and scan morsels
+  /// check this to stop doing work (cooperative unwinding).
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  /// Take the recorded failure (OK when none) and reset the cancelled flag.
+  /// The SQL boundary calls this once after execution to surface the error.
+  Status ConsumeStatus();
 
   /// Bytes allocated across all worker arenas so far. Arenas only grow for
   /// the lifetime of the query, so this is also the peak, and the delta
@@ -69,8 +96,12 @@ class QueryContext {
 
  private:
   ExecOptions options_;
+  MemoryBudget budget_;
   std::vector<std::unique_ptr<Arena>> arenas_;
   std::unique_ptr<ThreadPool> pool_;
+  std::atomic<bool> cancelled_{false};
+  std::mutex cancel_mutex_;
+  Status cancel_status_;
 };
 
 struct ScanSpec {

@@ -1,0 +1,111 @@
+// Spill-to-disk row runs for memory-governed operators.
+//
+// When a hash join build side or an aggregation table would exceed the
+// query's memory budget (util/resource_governor.h), the operator partitions
+// its input by the already-computed key hash into SpillFile runs — LZ4-framed
+// blocks in unlinked temp files — and processes one partition at a time.
+// Skewed partitions repartition recursively on a different range of hash
+// bits per depth, so identical work always lands in one partition eventually
+// (a depth cap forces in-memory processing for unsplittable key skew).
+//
+// Each row is serialized together with its 64-bit key hash, so repartitioning
+// never re-evaluates key expressions: depth d routes on bits
+// [61-3d, 64-3d) of the stored hash. Values round-trip exactly (type, scale,
+// payload), which keeps re-evaluated hashes and comparisons bit-identical to
+// the in-memory path.
+
+#ifndef JSONTILES_EXEC_SPILL_H_
+#define JSONTILES_EXEC_SPILL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/value.h"
+#include "util/arena.h"
+#include "util/status.h"
+#include "util/temp_file.h"
+
+namespace jsontiles::exec {
+
+using Row = std::vector<Value>;
+using RowSet = std::vector<Row>;
+
+/// Counters one operator accumulates across all its spill activity; surfaced
+/// as `spilled_bytes` / `spill_partitions` in EXPLAIN ANALYZE.
+struct SpillStats {
+  uint64_t spilled_bytes = 0;   // bytes written to temp files (after framing)
+  uint64_t partitions = 0;      // partition files that reached disk
+  uint64_t forced_inmem = 0;    // partitions processed in memory at depth cap
+};
+
+/// Partition fanout per recursion level (3 hash bits).
+inline constexpr size_t kSpillFanout = 8;
+/// Beyond this depth a partition is processed in memory regardless of the
+/// budget: its keys are unsplittable (all hash bits exhausted or identical).
+inline constexpr size_t kMaxSpillDepth = 12;
+
+/// Partition index of `hash` at recursion depth `depth` (0 = first spill).
+inline size_t SpillPartitionOf(uint64_t hash, size_t depth) {
+  const int shift = 61 - 3 * static_cast<int>(depth);
+  return static_cast<size_t>((shift >= 0 ? hash >> shift : hash) &
+                             (kSpillFanout - 1));
+}
+
+/// Rough bytes a Row occupies when held in an operator hash table: the Value
+/// array plus string payloads plus container overhead. Used for budget
+/// charges; deliberately a slight over-estimate.
+size_t ApproxRowBytes(const Row& row);
+
+/// One partition run: append (hash, row) records, then stream or materialize
+/// them back. Rows serialize into 64 KiB blocks; full blocks are LZ4
+/// compressed and framed as [u32 raw_size][u32 comp_size][payload]
+/// (comp_size 0 = stored raw) in an unlinked temp file. Not thread-safe.
+class SpillFile {
+ public:
+  /// `dir` empty = $TMPDIR (else /tmp). `stats` (may be null) receives the
+  /// bytes/partition counters as blocks reach disk.
+  SpillFile(std::string dir, SpillStats* stats)
+      : dir_(std::move(dir)), stats_(stats) {}
+
+  SpillFile(SpillFile&&) = default;
+  SpillFile& operator=(SpillFile&&) = default;
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  /// Serialize one record; writes a block when the buffer fills.
+  Status Add(uint64_t hash, const Row& row);
+
+  /// Write any buffered tail block. Required before ForEach/ReadAll.
+  Status Finish();
+
+  uint64_t rows() const { return rows_; }
+  /// Serialized (uncompressed) bytes — the read-back memory estimate.
+  uint64_t raw_bytes() const { return raw_bytes_; }
+
+  /// Stream records back in insertion order. String payloads are copied into
+  /// `arena`; with a null arena they view the internal block buffer and are
+  /// only valid during the callback (enough to re-serialize elsewhere).
+  Status ForEach(Arena* arena,
+                 const std::function<Status(uint64_t hash, Row&& row)>& cb);
+
+  /// Materialize every record (strings into `arena`).
+  Status ReadAll(Arena* arena, RowSet* out);
+
+ private:
+  Status WriteBlock();
+
+  std::string dir_;
+  SpillStats* stats_;
+  TempFile file_;  // created lazily by the first WriteBlock
+  std::vector<uint8_t> buf_;
+  uint64_t rows_ = 0;
+  uint64_t raw_bytes_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace jsontiles::exec
+
+#endif  // JSONTILES_EXEC_SPILL_H_

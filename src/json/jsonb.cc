@@ -35,6 +35,146 @@ inline uint8_t OffsetWidthCode(int width) {
   return width == 1 ? 0 : width == 2 ? 1 : 2;
 }
 
+// Varint decode that fails instead of reading past `avail` bytes (the shared
+// bit_util::DecodeVarint trusts its input and has no bound).
+bool DecodeVarintBounded(const uint8_t* p, size_t avail, size_t* pos,
+                         uint64_t* out) {
+  uint64_t value = 0;
+  int shift = 0;
+  while (*pos < avail && shift < 64) {
+    uint8_t byte = p[(*pos)++];
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = value;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+// Validates one value within `avail` bytes and reports its serialized size.
+Status ValidateValue(const uint8_t* v, size_t avail, int depth,
+                     size_t* size_out) {
+  if (depth > kMaxNesting) return Status::ParseError("jsonb: nesting too deep");
+  if (avail == 0) return Status::ParseError("jsonb: truncated header");
+  const uint8_t tag = Tag(v);
+  const uint8_t imm = Imm(v);
+  switch (tag) {
+    case kTagNull:
+    case kTagFalse:
+    case kTagTrue:
+      if (imm != 0) return Status::ParseError("jsonb: nonzero immediate");
+      *size_out = 1;
+      return Status::OK();
+    case kTagIntSmall:
+      *size_out = 1;
+      return Status::OK();
+    case kTagInt: {
+      size_t n = static_cast<size_t>(imm & 7) + 1;
+      if (1 + n > avail) return Status::ParseError("jsonb: truncated int");
+      *size_out = 1 + n;
+      return Status::OK();
+    }
+    case kTagFloat:
+      if (imm != 2 && imm != 4 && imm != 8) {
+        return Status::ParseError("jsonb: bad float width");
+      }
+      if (1 + static_cast<size_t>(imm) > avail) {
+        return Status::ParseError("jsonb: truncated float");
+      }
+      *size_out = 1 + imm;
+      return Status::OK();
+    case kTagString: {
+      if (imm < 15) {
+        if (1 + static_cast<size_t>(imm) > avail) {
+          return Status::ParseError("jsonb: truncated string");
+        }
+        *size_out = 1 + imm;
+        return Status::OK();
+      }
+      size_t pos = 1;
+      uint64_t len;
+      if (!DecodeVarintBounded(v, avail, &pos, &len)) {
+        return Status::ParseError("jsonb: bad string length");
+      }
+      if (len > avail - pos) return Status::ParseError("jsonb: truncated string");
+      *size_out = pos + static_cast<size_t>(len);
+      return Status::OK();
+    }
+    case kTagNumeric: {
+      if (imm != 0) return Status::ParseError("jsonb: nonzero immediate");
+      if (avail < 2) return Status::ParseError("jsonb: truncated numeric");
+      size_t pos = 2;  // header + sign/scale byte
+      uint64_t mag;
+      if (!DecodeVarintBounded(v, avail, &pos, &mag)) {
+        return Status::ParseError("jsonb: bad numeric magnitude");
+      }
+      if (mag > static_cast<uint64_t>(INT64_MAX)) {
+        return Status::ParseError("jsonb: numeric magnitude overflow");
+      }
+      *size_out = pos;
+      return Status::OK();
+    }
+    case kTagObject:
+    case kTagArray: {
+      if (imm > 2) return Status::ParseError("jsonb: bad offset width");
+      const size_t ow = static_cast<size_t>(OffsetWidth(imm));
+      size_t pos = 1;
+      uint64_t count;
+      if (!DecodeVarintBounded(v, avail, &pos, &count)) {
+        return Status::ParseError("jsonb: bad container count");
+      }
+      if (count > (avail - pos) / ow) {
+        return Status::ParseError("jsonb: truncated offset table");
+      }
+      const size_t slots_pos = pos + static_cast<size_t>(count) * ow;
+      uint64_t prev = 0;
+      std::string_view prev_key;
+      for (uint64_t i = 0; i < count; i++) {
+        uint64_t off = bit_util::LoadLE(
+            v + pos + static_cast<size_t>(i) * ow, static_cast<int>(ow));
+        if (off <= prev) {
+          return Status::ParseError("jsonb: offsets not increasing");
+        }
+        if (off > avail - slots_pos) {
+          return Status::ParseError("jsonb: slot out of bounds");
+        }
+        const size_t slot_start = slots_pos + static_cast<size_t>(prev);
+        const size_t slot_len = static_cast<size_t>(off - prev);
+        size_t value_len = slot_len;
+        if (tag == kTagObject) {
+          if (slot_len < 3) {  // 1-byte value + 0-byte key + u16 key length
+            return Status::ParseError("jsonb: object slot too small");
+          }
+          uint16_t keylen = bit_util::LoadU16(v + slot_start + slot_len - 2);
+          if (static_cast<size_t>(keylen) + 2 > slot_len) {
+            return Status::ParseError("jsonb: key out of bounds");
+          }
+          value_len = slot_len - 2 - keylen;
+          std::string_view key(
+              reinterpret_cast<const char*>(v + slot_start + value_len), keylen);
+          if (i > 0 && !(prev_key < key)) {
+            return Status::ParseError("jsonb: keys not sorted");
+          }
+          prev_key = key;
+        }
+        size_t child_size = 0;
+        JSONTILES_RETURN_NOT_OK(
+            ValidateValue(v + slot_start, value_len, depth + 1, &child_size));
+        if (child_size != value_len) {
+          return Status::ParseError("jsonb: slot size mismatch");
+        }
+        prev = off;
+      }
+      *size_out = slots_pos + static_cast<size_t>(prev);
+      return Status::OK();
+    }
+    default:
+      return Status::ParseError("jsonb: unknown tag");
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -570,6 +710,14 @@ Result<std::vector<uint8_t>> JsonbFromText(std::string_view json_text) {
   Status st = builder.Transform(json_text, &out);
   if (!st.ok()) return st;
   return out;
+}
+
+Status ValidateJsonb(const uint8_t* data, size_t size) {
+  if (data == nullptr) return Status::ParseError("jsonb: null buffer");
+  size_t root_size = 0;
+  JSONTILES_RETURN_NOT_OK(ValidateValue(data, size, 0, &root_size));
+  if (root_size != size) return Status::ParseError("jsonb: trailing bytes");
+  return Status::OK();
 }
 
 std::vector<uint8_t> AssembleObject(std::vector<AssembleMember> members) {

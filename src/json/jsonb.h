@@ -154,6 +154,15 @@ class JsonbBuilder {
 /// Convenience: one-shot transformation.
 Result<std::vector<uint8_t>> JsonbFromText(std::string_view json_text);
 
+/// Structural validation of an untrusted JSONB buffer. Every header, length,
+/// offset and nested value is bounds-checked without reading past
+/// `data + size`; container offsets must be strictly increasing, object keys
+/// sorted, nesting bounded, and the root value must occupy exactly `size`
+/// bytes (so no strict prefix of a valid document validates). The JsonbValue
+/// accessors assume trusted input; run this first on bytes that arrive from
+/// disk or the network.
+Status ValidateJsonb(const uint8_t* data, size_t size);
+
 // --- Batched navigation ----------------------------------------------------
 
 /// One pre-decoded navigation step for LookupSteps. `key` is a view into the

@@ -316,6 +316,9 @@ RowSet QueryBlock::Execute(exec::QueryContext& ctx, const PlannerOptions& option
       scanned[i] = ScanRowset(t, table_accesses[i], scan_filter, ctx);
     }
     if (profile != nullptr) scan_node[i] = profile->last_id();
+    // A failed scan cancels the query; stop planning work immediately (the
+    // SQL boundary surfaces the recorded Status).
+    if (ctx.cancelled()) return {};
   }
 
   // ---- Left-deep joins in the chosen order. ---------------------------------
@@ -373,6 +376,7 @@ RowSet QueryBlock::Execute(exec::QueryContext& ctx, const PlannerOptions& option
     acc = exec::HashJoinExec(scanned[t], acc, build_keys, probe_keys,
                              exec::JoinType::kInner, residual, ctx);
     scanned[t].clear();
+    if (ctx.cancelled()) return {};
     if (profile != nullptr) {
       // Probe (the accumulated plan so far) first, build scan second.
       int join_id = profile->last_id();
@@ -412,6 +416,7 @@ RowSet QueryBlock::Execute(exec::QueryContext& ctx, const PlannerOptions& option
     }
     out = exec::AggregateExec(acc, keys, aggs, ctx);
     chain_last();
+    if (ctx.cancelled()) return {};
     if (having_ != nullptr) {
       out = exec::FilterExec(std::move(out), having_, ctx);
       chain_last();

@@ -833,6 +833,10 @@ Result<SqlResult> ExecuteSql(std::string_view statement, const SqlCatalog& catal
   }
 
   rows = block.Execute(ctx, planner);
+  // A worker failure anywhere in the plan (scan morsel, join/aggregate
+  // worker, spill I/O) cancels the query; surface that Status here, at the
+  // API boundary, instead of a silently empty result.
+  JSONTILES_RETURN_NOT_OK(ctx.ConsumeStatus());
   if (aggregated) {
     rows = exec::ProjectExec(rows, final_projection, ctx);
     if (ctx.profile != nullptr) ctx.profile->Chain(ctx.profile->last_id());

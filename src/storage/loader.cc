@@ -10,6 +10,7 @@
 #include "tiles/keypath.h"
 #include "tiles/reorder.h"
 #include "tiles/tile_builder.h"
+#include "util/failpoint.h"
 #include "util/thread_pool.h"
 
 namespace jsontiles::storage {
@@ -28,7 +29,6 @@ struct PartitionResult {
   std::vector<std::vector<uint8_t>> jsonb;  // permuted document order
   std::vector<tiles::Tile> tiles;           // row_begin relative to partition
   size_t moved_tuples = 0;
-  Status status;
   // Phase seconds.
   double jsonb_secs = 0, mine_secs = 0, reorder_secs = 0, extract_secs = 0;
 };
@@ -85,7 +85,12 @@ Result<std::unique_ptr<Relation>> Loader::Load(
     }
   }
 
-  auto process_partition = [&](size_t p) {
+  // Malformed documents skipped so far, shared across partitions: the
+  // max_errors cap is per load, not per partition.
+  std::atomic<size_t> skipped_total{0};
+
+  auto process_partition = [&](size_t p) -> Status {
+    JSONTILES_FAILPOINT_RETURN("loader.partition");
     JSONTILES_TRACE_SPAN("loader.partition");
     JSONTILES_COUNTER_ADD("loader.partitions_processed", 1);
     PartitionResult& result = results[p];
@@ -93,20 +98,30 @@ Result<std::unique_ptr<Relation>> Loader::Load(
     size_t end = std::min(begin + partition_docs, docs.size());
     size_t count = end - begin;
 
-    // Phase: text -> JSONB.
+    // Phase: text -> JSONB. A malformed document either aborts the load
+    // (fail-fast default) or — under max_errors — is skipped and counted,
+    // so one bad record cannot take down a billion-row bulk load.
     auto t0 = Clock::now();
     json::JsonbBuilder builder;
-    result.jsonb.resize(count);
+    result.jsonb.reserve(count);
     for (size_t i = 0; i < count; i++) {
-      Status st = builder.Transform(docs[begin + i], &result.jsonb[i]);
+      std::vector<uint8_t> buf;
+      Status st = builder.Transform(docs[begin + i], &buf);
       if (!st.ok()) {
-        result.status = st;
-        return;
+        const size_t so_far =
+            skipped_total.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (so_far > options_.max_errors) return st;
+        JSONTILES_COUNTER_ADD("loader.docs_skipped", 1);
+        continue;
       }
+      result.jsonb.push_back(std::move(buf));
     }
+    count = result.jsonb.size();
     auto t1 = Clock::now();
     result.jsonb_secs += Seconds(t0, t1);
-    if (mode_ == StorageMode::kJsonb || mode_ == StorageMode::kSinew) return;
+    if (mode_ == StorageMode::kJsonb || mode_ == StorageMode::kSinew) {
+      return Status::OK();
+    }
 
     // Phase: key-path collection (input of mining and reordering).
     std::vector<json::JsonbValue> views;
@@ -166,7 +181,7 @@ Result<std::unique_ptr<Relation>> Loader::Load(
           tile_views, tile_items, tile_begin, &itemsets));
       result.extract_secs += Seconds(m1, Clock::now());
     }
-
+    return Status::OK();
   };
 
   JSONTILES_COUNTER_ADD("loader.morsels",
@@ -174,15 +189,17 @@ Result<std::unique_ptr<Relation>> Loader::Load(
   if (options_.num_threads > 1 && num_partitions > 1) {
     JSONTILES_TRACE_SPAN("loader.parallel_for");
     ThreadPool pool(options_.num_threads);
-    pool.ParallelFor(num_partitions, [&](size_t p, size_t) { process_partition(p); });
+    JSONTILES_RETURN_NOT_OK(pool.ParallelForStatus(
+        num_partitions, [&](size_t p, size_t) { return process_partition(p); }));
   } else {
-    for (size_t p = 0; p < num_partitions; p++) process_partition(p);
+    for (size_t p = 0; p < num_partitions; p++) {
+      JSONTILES_RETURN_NOT_OK(process_partition(p));
+    }
   }
 
   // Serial phase: append in partition order; fix tile row offsets.
   for (size_t p = 0; p < num_partitions; p++) {
     PartitionResult& result = results[p];
-    if (!result.status.ok()) return result.status;
     size_t partition_row_begin = relation->num_rows();
     auto t0 = Clock::now();
     for (const auto& buf : result.jsonb) {
@@ -257,9 +274,11 @@ Result<std::unique_ptr<Relation>> Loader::Load(
     }
   }
 
+  bd->skipped_docs = skipped_total.load(std::memory_order_relaxed);
+  bd->tuples = docs.size() - bd->skipped_docs;
   bd->total_wall_secs = Seconds(wall_begin, Clock::now());
   JSONTILES_COUNTER_ADD("loader.tuples_loaded",
-                        static_cast<int64_t>(docs.size()));
+                        static_cast<int64_t>(bd->tuples));
   JSONTILES_HIST_RECORD("loader.load_wall_micros", bd->total_wall_secs * 1e6);
   return relation;
 }

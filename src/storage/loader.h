@@ -30,6 +30,8 @@ struct LoadBreakdown {
   double total_wall_secs = 0;
   size_t tuples = 0;
   size_t moved_tuples = 0;
+  /// Malformed documents skipped under LoadOptions::max_errors.
+  size_t skipped_docs = 0;
 
   double TuplesPerSecond() const {
     return total_wall_secs > 0 ? static_cast<double>(tuples) / total_wall_secs : 0;
@@ -38,6 +40,11 @@ struct LoadBreakdown {
 
 struct LoadOptions {
   size_t num_threads = 1;
+  /// Degraded-mode loading: skip (and count, across all partitions) up to
+  /// this many malformed documents instead of failing the whole load. The
+  /// default 0 keeps fail-fast behavior: the first parse error aborts.
+  /// Skipped documents are reported in LoadBreakdown::skipped_docs.
+  size_t max_errors = 0;
   /// Tiles-*: extract high-cardinality arrays into side relations (§3.5).
   bool extract_arrays = false;
   double array_min_avg_elements = 2.0;

@@ -1,0 +1,89 @@
+#include "util/failpoint.h"
+
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+
+namespace jsontiles::failpoint {
+
+namespace {
+
+struct State {
+  Spec spec;
+  uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<std::string, State> points;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+// Fast path: when nothing is armed, Fires() is one relaxed load.
+std::atomic<int>& EnabledCount() {
+  static std::atomic<int> count{0};
+  return count;
+}
+
+}  // namespace
+
+void Enable(const std::string& name, Spec spec) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto [it, inserted] = reg.points.insert_or_assign(name, State{spec, 0});
+  (void)it;
+  if (inserted) EnabledCount().fetch_add(1, std::memory_order_relaxed);
+}
+
+void Disable(const std::string& name) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  if (reg.points.erase(name) > 0) {
+    EnabledCount().fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisableAll() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  EnabledCount().fetch_sub(static_cast<int>(reg.points.size()),
+                           std::memory_order_relaxed);
+  reg.points.clear();
+}
+
+uint64_t Hits(const std::string& name) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.points.find(name);
+  return it == reg.points.end() ? 0 : it->second.hits;
+}
+
+bool Fires(const char* name) {
+  if (EnabledCount().load(std::memory_order_relaxed) == 0) return false;
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.points.find(name);
+  if (it == reg.points.end()) return false;
+  State& st = it->second;
+  const uint64_t hit = ++st.hits;
+  switch (st.spec.mode) {
+    case Spec::Mode::kAlways:
+      return true;
+    case Spec::Mode::kNth:
+      return hit == st.spec.n;
+    case Spec::Mode::kEveryK:
+      return st.spec.n > 0 && hit % st.spec.n == 0;
+  }
+  return false;
+}
+
+Status Check(const char* name) {
+  if (!Fires(name)) return Status::OK();
+  return Status::Internal(std::string("failpoint '") + name + "' fired");
+}
+
+}  // namespace jsontiles::failpoint

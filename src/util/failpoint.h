@@ -1,0 +1,86 @@
+// Named, deterministic failure-injection points.
+//
+// A failpoint is a named hook compiled into a fallible code path (allocation,
+// temp-file I/O, worker-task execution). Tests enable a failpoint by name
+// with a trigger spec — fire always, on the Nth hit, or on every Kth hit —
+// and the hook then reports failure exactly as the real fault would: the
+// governor refuses a charge, the temp file returns an I/O Status, the worker
+// chunk fails. Every remote/disk/memory failure mode becomes reproducible.
+//
+// The CMake option JSONTILES_FAILPOINTS (default ON) defines
+// JSONTILES_FAILPOINTS_ENABLED. When OFF the JSONTILES_FAILPOINT_* macros
+// compile to nothing, so production builds carry zero cost; the registry
+// functions stay compiled (they are cold library code) but nothing calls
+// them.
+//
+// Hit counting is per failpoint name and global to the process; tests should
+// call failpoint::DisableAll() in their teardown.
+
+#ifndef JSONTILES_UTIL_FAILPOINT_H_
+#define JSONTILES_UTIL_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+#ifdef JSONTILES_FAILPOINTS_ENABLED
+#define JSONTILES_FAILPOINTS_AVAILABLE 1
+#else
+#define JSONTILES_FAILPOINTS_AVAILABLE 0
+#endif
+
+namespace jsontiles::failpoint {
+
+struct Spec {
+  enum class Mode : uint8_t {
+    kAlways,  // fire on every hit
+    kNth,     // fire on exactly the n-th hit (1-based)
+    kEveryK,  // fire on every k-th hit (hit % k == 0)
+  };
+  Mode mode = Mode::kAlways;
+  uint64_t n = 1;
+
+  static Spec Always() { return Spec{Mode::kAlways, 1}; }
+  static Spec Nth(uint64_t n) { return Spec{Mode::kNth, n}; }
+  static Spec EveryK(uint64_t k) { return Spec{Mode::kEveryK, k}; }
+};
+
+/// Arm `name` with the given trigger. Re-enabling resets the hit count.
+void Enable(const std::string& name, Spec spec);
+void Disable(const std::string& name);
+void DisableAll();
+
+/// Hits recorded for an armed failpoint (0 when never enabled).
+uint64_t Hits(const std::string& name);
+
+/// Record a hit; true when the failpoint fires. Disabled or unknown names
+/// never fire and cost one relaxed atomic load (no lock, no lookup).
+bool Fires(const char* name);
+
+/// Status form: Internal("failpoint '<name>' fired") when it fires.
+Status Check(const char* name);
+
+}  // namespace jsontiles::failpoint
+
+#if JSONTILES_FAILPOINTS_AVAILABLE
+
+/// True when the named failpoint fires (counts a hit).
+#define JSONTILES_FAILPOINT_FIRES(name) (::jsontiles::failpoint::Fires(name))
+/// Status::Internal when the named failpoint fires, OK otherwise.
+#define JSONTILES_FAILPOINT_STATUS(name) (::jsontiles::failpoint::Check(name))
+/// Propagate the injected failure to the caller (functions returning Status).
+#define JSONTILES_FAILPOINT_RETURN(name) \
+  JSONTILES_RETURN_NOT_OK(::jsontiles::failpoint::Check(name))
+
+#else  // !JSONTILES_FAILPOINTS_AVAILABLE
+
+#define JSONTILES_FAILPOINT_FIRES(name) (false)
+#define JSONTILES_FAILPOINT_STATUS(name) (::jsontiles::Status::OK())
+#define JSONTILES_FAILPOINT_RETURN(name) \
+  do {                                   \
+  } while (0)
+
+#endif  // JSONTILES_FAILPOINTS_AVAILABLE
+
+#endif  // JSONTILES_UTIL_FAILPOINT_H_

@@ -1,0 +1,51 @@
+#include "util/resource_governor.h"
+
+#include "util/failpoint.h"
+
+namespace jsontiles {
+
+bool MemoryBudget::TryChargeLocal(size_t bytes) {
+  size_t cur = used_.load(std::memory_order_relaxed);
+  while (true) {
+    if (limit_ != kUnlimited && (bytes > limit_ || cur > limit_ - bytes)) {
+      return false;
+    }
+    if (used_.compare_exchange_weak(cur, cur + bytes,
+                                    std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  const size_t now = cur + bytes;
+  size_t peak = peak_.load(std::memory_order_relaxed);
+  while (peak < now &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+bool MemoryBudget::TryCharge(size_t bytes) {
+  if (JSONTILES_FAILPOINT_FIRES("governor.charge")) return false;
+  for (MemoryBudget* b = this; b != nullptr; b = b->parent_) {
+    if (b->TryChargeLocal(bytes)) continue;
+    // Roll back the levels already charged; the tree ends up unchanged.
+    for (MemoryBudget* r = this; r != b; r = r->parent_) {
+      r->used_.fetch_sub(bytes, std::memory_order_relaxed);
+    }
+    return false;
+  }
+  return true;
+}
+
+void MemoryBudget::Release(size_t bytes) {
+  for (MemoryBudget* b = this; b != nullptr; b = b->parent_) {
+    b->used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+}
+
+size_t MemoryBudget::remaining() const {
+  if (limit_ == kUnlimited) return SIZE_MAX;
+  const size_t u = used();
+  return u >= limit_ ? 0 : limit_ - u;
+}
+
+}  // namespace jsontiles

@@ -1,0 +1,96 @@
+// Per-query memory governance: hierarchical budgets with atomic
+// charge/release and a configurable hard limit.
+//
+// A MemoryBudget is a node in a reservation tree. Charging a node charges
+// every ancestor, so one query-level hard limit governs all of the query's
+// operators while each operator-level child still tracks its own usage (and
+// may carry a tighter limit of its own). A failed charge leaves the whole
+// tree unchanged: TryCharge either commits at every level or at none.
+//
+// Budgets govern operator *scratch* memory — hash-join and aggregation
+// tables, spill-partition read-back — not the materialized row sets flowing
+// between operators. When TryCharge refuses, operators spill to disk
+// (exec/spill.h) instead of growing; a limit of 0 means unlimited and every
+// charge succeeds with two relaxed atomic adds.
+
+#ifndef JSONTILES_UTIL_RESOURCE_GOVERNOR_H_
+#define JSONTILES_UTIL_RESOURCE_GOVERNOR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace jsontiles {
+
+class MemoryBudget {
+ public:
+  /// Limit 0 = unlimited.
+  static constexpr size_t kUnlimited = 0;
+
+  explicit MemoryBudget(size_t limit_bytes = kUnlimited,
+                        MemoryBudget* parent = nullptr)
+      : limit_(limit_bytes), parent_(parent) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  /// Charge `bytes` here and in every ancestor. Returns false — with no
+  /// level charged — when any level would exceed its hard limit (or the
+  /// "governor.charge" failpoint fires). Thread-safe.
+  bool TryCharge(size_t bytes);
+
+  /// Release a previous charge at every level. Thread-safe.
+  void Release(size_t bytes);
+
+  size_t limit() const { return limit_; }
+  size_t used() const { return used_.load(std::memory_order_relaxed); }
+  /// High-water mark of used().
+  size_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  /// Bytes left under the hard limit; SIZE_MAX when unlimited.
+  size_t remaining() const;
+
+  MemoryBudget* parent() const { return parent_; }
+
+ private:
+  bool TryChargeLocal(size_t bytes);
+
+  const size_t limit_;
+  MemoryBudget* const parent_;
+  std::atomic<size_t> used_{0};
+  std::atomic<size_t> peak_{0};
+};
+
+/// RAII batch of charges against one budget: Grow() accumulates, the
+/// destructor (or ReleaseAll) returns everything. One reservation per
+/// thread — the held total is not atomic, only the budget underneath is.
+class BudgetReservation {
+ public:
+  /// A null budget accepts every Grow (unlimited, untracked).
+  explicit BudgetReservation(MemoryBudget* budget) : budget_(budget) {}
+  ~BudgetReservation() { ReleaseAll(); }
+
+  BudgetReservation(const BudgetReservation&) = delete;
+  BudgetReservation& operator=(const BudgetReservation&) = delete;
+
+  /// Charge `bytes` more; false (nothing charged) on budget breach.
+  bool Grow(size_t bytes) {
+    if (budget_ != nullptr && !budget_->TryCharge(bytes)) return false;
+    held_ += bytes;
+    return true;
+  }
+
+  void ReleaseAll() {
+    if (budget_ != nullptr && held_ > 0) budget_->Release(held_);
+    held_ = 0;
+  }
+
+  size_t held() const { return held_; }
+
+ private:
+  MemoryBudget* budget_;
+  size_t held_ = 0;
+};
+
+}  // namespace jsontiles
+
+#endif  // JSONTILES_UTIL_RESOURCE_GOVERNOR_H_

@@ -1,0 +1,89 @@
+#include "util/temp_file.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/failpoint.h"
+
+namespace jsontiles {
+
+Result<TempFile> TempFile::Create(const std::string& dir) {
+  JSONTILES_FAILPOINT_RETURN("tempfile.create");
+  std::string base = dir;
+  if (base.empty()) {
+    const char* env = std::getenv("TMPDIR");
+    base = (env != nullptr && env[0] != '\0') ? env : "/tmp";
+  }
+  std::string templ = base + "/jsontiles_spill_XXXXXX";
+  std::vector<char> path(templ.begin(), templ.end());
+  path.push_back('\0');
+  int fd = ::mkstemp(path.data());
+  if (fd < 0) {
+    return Status::Internal(std::string("mkstemp failed in '") + base +
+                            "': " + std::strerror(errno));
+  }
+  // Unlink now: the file survives only as long as the descriptor, so spill
+  // runs can never leak past the process, whatever the unwind path.
+  ::unlink(path.data());
+  TempFile f;
+  f.fd_ = fd;
+  return f;
+}
+
+void TempFile::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  size_ = 0;
+}
+
+Status TempFile::Append(const void* data, size_t size) {
+  JSONTILES_FAILPOINT_RETURN("tempfile.append");
+  if (fd_ < 0) return Status::Internal("TempFile::Append on invalid handle");
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t left = size;
+  uint64_t offset = size_;
+  while (left > 0) {
+    ssize_t n = ::pwrite(fd_, p, left, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("spill write failed: ") +
+                              std::strerror(errno));
+    }
+    p += n;
+    offset += static_cast<uint64_t>(n);
+    left -= static_cast<size_t>(n);
+  }
+  size_ += size;
+  return Status::OK();
+}
+
+Status TempFile::ReadAt(uint64_t offset, void* dst, size_t size) const {
+  JSONTILES_FAILPOINT_RETURN("tempfile.read");
+  if (fd_ < 0) return Status::Internal("TempFile::ReadAt on invalid handle");
+  uint8_t* p = static_cast<uint8_t*>(dst);
+  size_t left = size;
+  while (left > 0) {
+    ssize_t n = ::pread(fd_, p, left, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("spill read failed: ") +
+                              std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::Internal("spill read past end of temp file");
+    }
+    p += n;
+    offset += static_cast<uint64_t>(n);
+    left -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace jsontiles

@@ -1,0 +1,64 @@
+// RAII temp files for spill runs.
+//
+// Create() makes a file under `dir` (default $TMPDIR, else /tmp) with
+// mkstemp and unlinks it immediately: the kernel reclaims the bytes when the
+// last descriptor closes, so spill storage can never outlive the process —
+// not on early unwind, not even on abort. The wrapper owns the descriptor
+// (closed in the destructor; move-only) and tracks the logical size, giving
+// the append/pread access pattern spill runs need without any seek state.
+
+#ifndef JSONTILES_UTIL_TEMP_FILE_H_
+#define JSONTILES_UTIL_TEMP_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+
+namespace jsontiles {
+
+class TempFile {
+ public:
+  /// An invalid handle; assign from Create().
+  TempFile() = default;
+
+  /// Create-and-unlink a temp file. `dir` empty: $TMPDIR, else /tmp.
+  static Result<TempFile> Create(const std::string& dir = {});
+
+  ~TempFile() { Close(); }
+
+  TempFile(TempFile&& other) noexcept
+      : fd_(std::exchange(other.fd_, -1)), size_(std::exchange(other.size_, 0)) {}
+  TempFile& operator=(TempFile&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = std::exchange(other.fd_, -1);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+  TempFile(const TempFile&) = delete;
+  TempFile& operator=(const TempFile&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  /// Bytes appended so far.
+  uint64_t size() const { return size_; }
+
+  /// Append `size` bytes at the end (full write or error).
+  Status Append(const void* data, size_t size);
+
+  /// Read exactly `size` bytes at `offset` (short reads are errors).
+  Status ReadAt(uint64_t offset, void* dst, size_t size) const;
+
+ private:
+  void Close();
+
+  int fd_ = -1;
+  uint64_t size_ = 0;
+};
+
+}  // namespace jsontiles
+
+#endif  // JSONTILES_UTIL_TEMP_FILE_H_

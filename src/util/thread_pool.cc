@@ -73,30 +73,64 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::ParallelFor(size_t n,
                              const std::function<void(size_t, size_t)>& fn,
                              size_t chunk) {
-  if (n == 0) return;
+  ParallelForStatus(
+      n,
+      [&fn](size_t i, size_t worker) {
+        fn(i, worker);
+        return Status::OK();
+      },
+      chunk);
+}
+
+Status ThreadPool::ParallelForStatus(
+    size_t n, const std::function<Status(size_t, size_t)>& fn, size_t chunk) {
+  if (n == 0) return Status::OK();
   if (chunk == 0) chunk = 1;
   JSONTILES_COUNTER_ADD("thread_pool.parallel_for_calls", 1);
   JSONTILES_COUNTER_ADD("thread_pool.parallel_for_items",
                         static_cast<int64_t>(n));
-  std::atomic<size_t> next{0};
+  // All shared state lives on this frame; the final cv wait below guarantees
+  // no helper task touches it after ParallelForStatus returns, so the caller
+  // may destroy the pool immediately — including while unwinding a failure.
+  struct ForState {
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    size_t done = 0;
+    Status first_error;
+  } st;
   auto work = [&](size_t worker) {
-    while (true) {
-      size_t begin = next.fetch_add(chunk);
+    while (!st.failed.load(std::memory_order_relaxed)) {
+      size_t begin = st.next.fetch_add(chunk);
       if (begin >= n) break;
       size_t end = std::min(begin + chunk, n);
-      for (size_t i = begin; i < end; i++) fn(i, worker);
+      for (size_t i = begin; i < end; i++) {
+        Status s = fn(i, worker);
+        if (!s.ok()) {
+          std::lock_guard<std::mutex> lock(st.mutex);
+          if (st.first_error.ok()) st.first_error = std::move(s);
+          st.failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
     }
   };
-  std::atomic<size_t> done{0};
-  size_t helpers = workers_.size();
+  const size_t helpers = workers_.size();
   for (size_t w = 0; w < helpers; w++) {
-    Submit([&, w] {
+    Submit([&st, &work, w] {
       work(w);
-      done.fetch_add(1);
+      // Notify under the lock: the waiter may destroy the state the moment
+      // it observes done == helpers, so the cv must not be touched after.
+      std::lock_guard<std::mutex> lock(st.mutex);
+      st.done++;
+      st.done_cv.notify_all();
     });
   }
   work(helpers);  // the calling thread participates as the last worker
-  while (done.load() < helpers) std::this_thread::yield();
+  std::unique_lock<std::mutex> lock(st.mutex);
+  st.done_cv.wait(lock, [&st, helpers] { return st.done == helpers; });
+  return std::move(st.first_error);
 }
 
 }  // namespace jsontiles

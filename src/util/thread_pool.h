@@ -15,6 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/status.h"
+
 namespace jsontiles {
 
 class ThreadPool {
@@ -40,6 +42,16 @@ class ThreadPool {
   /// (morsel-style). Blocks until done; the calling thread participates.
   void ParallelFor(size_t n, const std::function<void(size_t index, size_t worker)>& fn,
                    size_t chunk = 1);
+
+  /// Fallible variant: `fn` returns Status. The first failing index's Status
+  /// (first in wall-clock order) is captured and returned; after a failure no
+  /// new morsels are claimed, though already-claimed chunks finish their
+  /// current index. Always blocks until every participating worker has
+  /// stopped, so the pool (and any state `fn` captures) may be destroyed the
+  /// moment this returns — even on the error path.
+  Status ParallelForStatus(
+      size_t n, const std::function<Status(size_t index, size_t worker)>& fn,
+      size_t chunk = 1);
 
  private:
   void WorkerLoop();

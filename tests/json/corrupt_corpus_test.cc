@@ -1,0 +1,190 @@
+// Corrupt-binary robustness: decoders fed truncated or bit-flipped buffers
+// must return a Status (or a structurally valid value), never crash or read
+// out of bounds. Run under ASan (the CI sanitizer job) these sweeps are an
+// out-of-bounds detector for every binary format the engine accepts.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "json/bson.h"
+#include "json/cbor.h"
+#include "json/dom.h"
+#include "json/jsonb.h"
+#include "util/random.h"
+
+namespace jsontiles::json {
+namespace {
+
+const char* const kCorpus[] = {
+    "null",
+    "true",
+    "[]",
+    "{}",
+    "0",
+    "-9223372036854775807",
+    "3.14159265358979",
+    "\"short\"",
+    "\"a long string that does not fit the immediate length encoding form\"",
+    "\"19.99\"",  // NumericString detection
+    "[1,2.5,\"x\",null,true,[],{}]",
+    R"({"a":1,"b":"two","c":[1,2,3],"d":{"e":{"f":null}},"g":1.25})",
+    R"({"id":12345,"name":"user-7","tags":["a","b","c"],"price":"42.50",
+        "nested":{"deep":[{"k":1},{"k":2}],"flag":false}})",
+    R"([[[[[[[["deep nesting"]]]]]]]])",
+};
+
+std::vector<std::vector<uint8_t>> JsonbCorpus() {
+  std::vector<std::vector<uint8_t>> docs;
+  for (const char* text : kCorpus) {
+    auto r = JsonbFromText(text);
+    EXPECT_TRUE(r.ok()) << text;
+    if (r.ok()) docs.push_back(r.MoveValueOrDie());
+  }
+  return docs;
+}
+
+// ---------------------------------------------------------------------------
+// JSONB
+// ---------------------------------------------------------------------------
+
+TEST(JsonbCorruptTest, ValidDocumentsValidate) {
+  for (const auto& doc : JsonbCorpus()) {
+    EXPECT_TRUE(ValidateJsonb(doc.data(), doc.size()).ok());
+  }
+}
+
+TEST(JsonbCorruptTest, EveryStrictPrefixFailsValidation) {
+  for (const auto& doc : JsonbCorpus()) {
+    for (size_t len = 0; len < doc.size(); len++) {
+      EXPECT_FALSE(ValidateJsonb(doc.data(), len).ok())
+          << "prefix of length " << len << " of a " << doc.size()
+          << "-byte document validated";
+    }
+  }
+}
+
+TEST(JsonbCorruptTest, SingleBitFlipsNeverCrash) {
+  for (const auto& doc : JsonbCorpus()) {
+    std::vector<uint8_t> mutated = doc;
+    for (size_t pos = 0; pos < doc.size(); pos++) {
+      for (int bit = 0; bit < 8; bit++) {
+        mutated[pos] = doc[pos] ^ static_cast<uint8_t>(1 << bit);
+        // Either validation rejects the mutation, or the mutated bytes are a
+        // well-formed document — in which case every accessor must work.
+        if (ValidateJsonb(mutated.data(), mutated.size()).ok()) {
+          JsonbValue value(mutated.data());
+          EXPECT_EQ(value.Size(), mutated.size());
+          std::string text;
+          value.ToJsonText(&text);
+          EXPECT_FALSE(text.empty());
+        }
+        mutated[pos] = doc[pos];
+      }
+    }
+  }
+}
+
+TEST(JsonbCorruptTest, RandomMultiByteCorruptionNeverCrashes) {
+  Random rng(2026);
+  for (const auto& doc : JsonbCorpus()) {
+    for (int round = 0; round < 200; round++) {
+      std::vector<uint8_t> mutated = doc;
+      const size_t flips = 1 + rng.Uniform(4);
+      for (size_t f = 0; f < flips; f++) {
+        mutated[rng.Uniform(mutated.size())] =
+            static_cast<uint8_t>(rng.Uniform(256));
+      }
+      if (ValidateJsonb(mutated.data(), mutated.size()).ok()) {
+        std::string text;
+        JsonbValue(mutated.data()).ToJsonText(&text);
+      }
+    }
+  }
+}
+
+TEST(JsonbCorruptTest, RandomGarbageNeverValidatesAsLargerThanBuffer) {
+  Random rng(7);
+  for (int round = 0; round < 2000; round++) {
+    std::vector<uint8_t> garbage(1 + rng.Uniform(64));
+    for (auto& b : garbage) b = static_cast<uint8_t>(rng.Uniform(256));
+    // Must terminate and never claim bytes beyond the buffer.
+    Status st = ValidateJsonb(garbage.data(), garbage.size());
+    if (st.ok()) {
+      EXPECT_EQ(JsonbValue(garbage.data()).Size(), garbage.size());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BSON / CBOR baselines
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<uint8_t>> BuildEncoded(
+    Status (*encode)(const JsonValue&, std::vector<uint8_t>*),
+    bool containers_only) {
+  std::vector<std::vector<uint8_t>> out;
+  for (const char* text : kCorpus) {
+    auto dom = ParseJson(text);
+    EXPECT_TRUE(dom.ok()) << text;
+    if (!dom.ok()) continue;
+    const JsonValue& root = dom.ValueOrDie();
+    if (containers_only && root.type() != JsonType::kObject &&
+        root.type() != JsonType::kArray) {
+      continue;
+    }
+    std::vector<uint8_t> bytes;
+    Status st = encode(root, &bytes);
+    EXPECT_TRUE(st.ok()) << text << ": " << st.ToString();
+    if (st.ok()) out.push_back(std::move(bytes));
+  }
+  return out;
+}
+
+void SweepDecoder(const std::vector<std::vector<uint8_t>>& corpus,
+                  Result<JsonValue> (*decode)(const uint8_t*, size_t)) {
+  // Every strict prefix: Status or value, never a crash/over-read.
+  for (const auto& doc : corpus) {
+    for (size_t len = 0; len <= doc.size(); len++) {
+      auto r = decode(doc.data(), len);
+      if (len == doc.size()) {
+        EXPECT_TRUE(r.ok());
+      }
+    }
+  }
+  // Every single-bit flip.
+  for (const auto& doc : corpus) {
+    std::vector<uint8_t> mutated = doc;
+    for (size_t pos = 0; pos < doc.size(); pos++) {
+      for (int bit = 0; bit < 8; bit++) {
+        mutated[pos] = doc[pos] ^ static_cast<uint8_t>(1 << bit);
+        (void)decode(mutated.data(), mutated.size());
+        mutated[pos] = doc[pos];
+      }
+    }
+  }
+  // Random garbage of assorted sizes.
+  Random rng(99);
+  for (int round = 0; round < 2000; round++) {
+    std::vector<uint8_t> garbage(1 + rng.Uniform(64));
+    for (auto& b : garbage) b = static_cast<uint8_t>(rng.Uniform(256));
+    (void)decode(garbage.data(), garbage.size());
+  }
+}
+
+TEST(BsonCorruptTest, PrefixesFlipsAndGarbageNeverCrash) {
+  // BSON roots are documents; scalars in the corpus are skipped.
+  auto corpus = BuildEncoded(&bson::Encode, /*containers_only=*/true);
+  ASSERT_FALSE(corpus.empty());
+  SweepDecoder(corpus, &bson::Decode);
+}
+
+TEST(CborCorruptTest, PrefixesFlipsAndGarbageNeverCrash) {
+  auto corpus = BuildEncoded(&cbor::Encode, /*containers_only=*/false);
+  ASSERT_FALSE(corpus.empty());
+  SweepDecoder(corpus, &cbor::Decode);
+}
+
+}  // namespace
+}  // namespace jsontiles::json

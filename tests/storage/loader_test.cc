@@ -7,6 +7,7 @@
 
 #include "storage/relation.h"
 #include "tiles/keypath.h"
+#include "util/failpoint.h"
 #include "util/random.h"
 
 namespace jsontiles::storage {
@@ -138,6 +139,101 @@ TEST(LoaderTest, MalformedDocumentFailsLoad) {
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kParseError);
 }
+
+TEST(LoaderTest, MaxErrorsSkipsMalformedDocs) {
+  auto docs = SimpleDocs(100);
+  docs[10] = "{broken";
+  docs[55] = "not json at all";
+  LoadOptions options;
+  options.max_errors = 5;
+  Loader loader(StorageMode::kTiles, {}, options);
+  LoadBreakdown breakdown;
+  auto rel = loader.Load(docs, "t", &breakdown).MoveValueOrDie();
+  EXPECT_EQ(rel->num_rows(), 98u);
+  EXPECT_EQ(breakdown.skipped_docs, 2u);
+  EXPECT_EQ(breakdown.tuples, 98u);
+  // Every surviving row is a well-formed document.
+  for (size_t r = 0; r < rel->num_rows(); r++) {
+    EXPECT_TRUE(rel->Jsonb(r).FindKey("id").has_value());
+  }
+}
+
+TEST(LoaderTest, MaxErrorsBudgetIsGlobalAcrossPartitions) {
+  // 4 partitions (tile_size 32 * partition_size 1 = 32 docs each), one bad
+  // doc in each: a budget of 2 must fail the load even though no single
+  // partition exceeds it.
+  tiles::TileConfig config;
+  config.tile_size = 32;
+  config.partition_size = 1;
+  auto docs = SimpleDocs(128);
+  for (size_t p = 0; p < 4; p++) docs[p * 32 + 5] = "{bad";
+  LoadOptions options;
+  options.max_errors = 2;
+  options.num_threads = 4;
+  Loader strict(StorageMode::kTiles, config, options);
+  EXPECT_FALSE(strict.Load(docs, "t").ok());
+
+  options.max_errors = 4;
+  Loader lenient(StorageMode::kTiles, config, options);
+  LoadBreakdown breakdown;
+  auto rel = lenient.Load(docs, "t", &breakdown).MoveValueOrDie();
+  EXPECT_EQ(rel->num_rows(), 124u);
+  EXPECT_EQ(breakdown.skipped_docs, 4u);
+}
+
+TEST(LoaderTest, MaxErrorsZeroKeepsFailFast) {
+  auto docs = SimpleDocs(10);
+  docs[3] = "{broken";
+  Loader loader(StorageMode::kTiles, {}, LoadOptions{});
+  EXPECT_FALSE(loader.Load(docs, "t").ok());
+}
+
+TEST(LoaderTest, DegradedLoadStillQueriesCleanly) {
+  tiles::TileConfig config;
+  config.tile_size = 16;
+  config.partition_size = 2;
+  auto docs = SimpleDocs(200);
+  for (size_t i = 0; i < 200; i += 37) docs[i] = "corrupt!";
+  LoadOptions options;
+  options.max_errors = 100;
+  options.num_threads = 4;
+  Loader loader(StorageMode::kTiles, config, options);
+  LoadBreakdown breakdown;
+  auto rel = loader.Load(docs, "t", &breakdown).MoveValueOrDie();
+  EXPECT_EQ(breakdown.skipped_docs, 6u);  // ceil(200/37)
+  EXPECT_EQ(rel->num_rows(), 194u);
+  ASSERT_FALSE(rel->tiles().empty());
+  // Tiles cover exactly the surviving rows.
+  size_t covered = 0;
+  for (const auto& tile : rel->tiles()) covered += tile.row_count;
+  EXPECT_EQ(covered, 194u);
+}
+
+#if JSONTILES_FAILPOINTS_AVAILABLE
+
+TEST(LoaderTest, PartitionFailpointSurfacesStatus) {
+  struct Cleanup {
+    ~Cleanup() { failpoint::DisableAll(); }
+  } cleanup;
+  tiles::TileConfig config;
+  config.tile_size = 32;
+  config.partition_size = 1;
+  auto docs = SimpleDocs(128);  // 4 partitions
+
+  failpoint::Enable("loader.partition", failpoint::Spec::Nth(3));
+  LoadOptions options;
+  options.num_threads = 4;
+  Loader loader(StorageMode::kTiles, config, options);
+  auto result = loader.Load(docs, "t");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+
+  // The same loader succeeds once the fault is gone.
+  failpoint::DisableAll();
+  EXPECT_TRUE(loader.Load(docs, "t").ok());
+}
+
+#endif  // JSONTILES_FAILPOINTS_AVAILABLE
 
 TEST(LoaderTest, ArrayExtractionBuildsSideRelation) {
   std::vector<std::string> docs;

@@ -73,5 +73,74 @@ TEST(ThreadPoolStressTest, SubmitManyTasksThenWaitIdle) {
   EXPECT_EQ(done.load(), 1000);
 }
 
+TEST(ParallelForStatusTest, AllOkVisitsEveryItem) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<uint8_t>> hits(kN);
+  Status st = pool.ParallelForStatus(
+      kN,
+      [&](size_t i, size_t) {
+        hits[i].fetch_add(1);
+        return Status::OK();
+      },
+      16);
+  ASSERT_TRUE(st.ok());
+  for (size_t i = 0; i < kN; i++) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForStatusTest, ZeroItems) {
+  ThreadPool pool(2);
+  Status st = pool.ParallelForStatus(
+      0, [](size_t, size_t) { return Status::Internal("never called"); });
+  EXPECT_TRUE(st.ok());
+}
+
+TEST(ParallelForStatusTest, FirstErrorIsReturned) {
+  ThreadPool pool(4);
+  Status st = pool.ParallelForStatus(1000, [&](size_t i, size_t) {
+    if (i == 123) return Status::Internal("chunk 123 failed");
+    return Status::OK();
+  });
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_EQ(st.message(), "chunk 123 failed");
+}
+
+TEST(ParallelForStatusTest, ErrorStopsRemainingWork) {
+  ThreadPool pool(4);
+  std::atomic<size_t> executed{0};
+  Status st = pool.ParallelForStatus(
+      100000,
+      [&](size_t i, size_t) {
+        executed.fetch_add(1);
+        if (i == 0) return Status::Internal("early failure");
+        return Status::OK();
+      },
+      1);
+  ASSERT_FALSE(st.ok());
+  // Chunk 0 fails immediately; the early-out check must prevent most of the
+  // other 99999 chunks from running. Allow generous in-flight slack.
+  EXPECT_LT(executed.load(), 50000u);
+}
+
+TEST(ParallelForStatusTest, ReturnsOnlyAfterAllWorkersStop) {
+  // The Status overload must not return (letting its stack state die) while
+  // helper tasks still touch that state. Destroying the pool right after a
+  // failing run is exactly the unwind path; ASan/TSan make violations fatal.
+  for (int round = 0; round < 20; round++) {
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    Status st = pool.ParallelForStatus(
+        1000,
+        [&](size_t i, size_t) {
+          calls.fetch_add(1);
+          if (i % 97 == 0) return Status::Internal("fail");
+          return Status::OK();
+        },
+        1);
+    EXPECT_FALSE(st.ok());
+  }
+}
+
 }  // namespace
 }  // namespace jsontiles
