@@ -1,0 +1,197 @@
+// Sharded storage benchmark (DESIGN.md §10):
+//   1. shard-parallel loading — shard-count sweep at a fixed thread count,
+//      wall seconds and tuples/sec per point, speedup of 4 shards over the
+//      1-shard serial baseline (the §3.2 partition-parallelism claim applied
+//      to shards instead of input chunks)
+//   2. routing-key equality pruning — a hash-routed relation answers a
+//      selective point query touching one shard; the other shards are pruned
+//      before any tile is inspected, and the answer matches the unsharded run
+//
+//   --shard-json <path>   write the summary as JSON (CI uploads it)
+//
+// Exits non-zero when the pruned sharded answer diverges from the unsharded
+// baseline or pruning fails to drop at least half the shards — the binary
+// doubles as the CI shard-pruning gate. The load speedup is reported but not
+// gated here (CI applies a lenient bar; shared runners are noisy).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_common.h"
+#include "sql/sql_parser.h"
+#include "storage/shard.h"
+#include "workload/tpch.h"
+
+namespace {
+
+using namespace jsontiles;         // NOLINT
+using namespace jsontiles::bench;  // NOLINT
+
+constexpr size_t kLoadThreads = 4;
+constexpr size_t kPruneShards = 8;
+
+double LoadWall(const std::vector<std::string>& docs, size_t shards,
+                size_t threads) {
+  storage::LoadOptions load_options;
+  load_options.num_threads = threads;
+  storage::ShardOptions shard_options;
+  shard_options.shard_count = shards;
+  return TimeBest([&] {
+    auto rel = storage::ShardedRelation::Load(docs, "tpch",
+                                              storage::StorageMode::kTiles, {},
+                                              load_options, shard_options)
+                   .MoveValueOrDie();
+    benchmark::DoNotOptimize(rel);
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchObs obs(&argc, argv);
+
+  std::string json_path;
+  for (int i = 1; i < argc; i++) {
+    std::string_view arg = argv[i];
+    if (arg == "--shard-json" || arg.rfind("--shard-json=", 0) == 0) {
+      size_t eq = arg.find('=');
+      if (eq != std::string_view::npos) {
+        json_path = std::string(arg.substr(eq + 1));
+      } else if (i + 1 < argc) {
+        json_path = argv[++i];
+      } else {
+        std::fprintf(stderr, "missing path after --shard-json\n");
+        return 2;
+      }
+    }
+  }
+  // Fail before the run, not after (same contract as --metrics-json).
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::fclose(f);
+  }
+
+  workload::TpchOptions tpch_options;
+  tpch_options.scale_factor = TpchScaleFactor();
+  auto docs = workload::GenerateTpch(tpch_options).combined;
+  std::printf("tuples=%zu threads=%zu\n", docs.size(), kLoadThreads);
+
+  // ---- 1. Shard-parallel loading sweep. -----------------------------------
+  TablePrinter load_table("Shard-parallel loading (kTiles) [s]");
+  load_table.SetHeader({"Shards", "Threads", "Wall", "Ktuples/s", "Speedup"});
+  std::string load_json;
+  double base_wall = 0;
+  double wall_4shard = 0;
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    // One thread cannot overlap shard loads, so the 1-shard point is the
+    // serial baseline no matter the pool size.
+    double wall = LoadWall(docs, shards, kLoadThreads);
+    if (shards == 1) base_wall = wall;
+    if (shards == 4) wall_4shard = wall;
+    double rate = static_cast<double>(docs.size()) / wall;
+    load_table.AddRow({std::to_string(shards), std::to_string(kLoadThreads),
+                       Fmt(wall), Fmt(rate / 1000.0, "%.0f"),
+                       Fmt(base_wall / wall, "%.2fx")});
+    if (!load_json.empty()) load_json += ",\n";
+    load_json += "    {\"shards\": " + std::to_string(shards) +
+                 ", \"threads\": " + std::to_string(kLoadThreads) +
+                 ", \"wall_secs\": " + Fmt(wall, "%.6f") +
+                 ", \"tuples_per_sec\": " + Fmt(rate, "%.0f") + "}";
+  }
+  load_table.Print();
+  const double speedup_4shard = base_wall / wall_4shard;
+  std::printf("4-shard/4-thread speedup over 1-shard: %.2fx\n", speedup_4shard);
+
+  // ---- 2. Routing-key equality pruning. -----------------------------------
+  // Hash-route on l_orderkey: every lineitem doc with one order key lives in
+  // exactly one shard (docs without the path spread by position, but an
+  // equality never matches them). The point query must scan one shard and
+  // return the unsharded answer.
+  storage::LoadOptions load_options;
+  load_options.num_threads = kLoadThreads;
+  storage::ShardOptions shard_options;
+  shard_options.shard_count = kPruneShards;
+  shard_options.routing = storage::ShardRouting::kHashKey;
+  shard_options.routing_keys = {"l_orderkey"};
+  auto sharded = storage::ShardedRelation::Load(
+                     docs, "tpch", storage::StorageMode::kTiles, {},
+                     load_options, shard_options)
+                     .MoveValueOrDie();
+  storage::Loader loader(storage::StorageMode::kTiles, {}, load_options);
+  auto plain = loader.Load(docs, "tpch").MoveValueOrDie();
+
+  const std::string statement =
+      "SELECT COUNT(*), SUM(l->>'l_quantity'::BigInt) FROM tpch l "
+      "WHERE l->>'l_orderkey'::BigInt = 1";
+  sql::SqlCatalog plain_catalog;
+  plain_catalog.tables["tpch"] = plain.get();
+  sql::SqlCatalog sharded_catalog;
+  sharded_catalog.sharded_tables["tpch"] = sharded.get();
+  exec::QueryContext plain_ctx;
+  exec::QueryContext sharded_ctx;
+  auto plain_result = sql::ExecuteSql(statement, plain_catalog, plain_ctx);
+  auto sharded_result =
+      sql::ExecuteSql(statement, sharded_catalog, sharded_ctx);
+  if (!plain_result.ok() || !sharded_result.ok()) {
+    std::fprintf(stderr, "FAIL: prune query errored\n");
+    return 1;
+  }
+  auto render = [](const sql::SqlResult& r) {
+    std::string out;
+    for (const auto& row : r.rows) {
+      for (const auto& v : row) out += v.ToString() + "|";
+    }
+    return out;
+  };
+  const bool identical =
+      render(plain_result.ValueOrDie()) == render(sharded_result.ValueOrDie());
+  const size_t scanned = sharded_ctx.shards_scanned;
+  const size_t pruned = sharded_ctx.shards_pruned;
+
+  TablePrinter prune_table("Routing-key pruning (8 shards, point query)");
+  prune_table.SetHeader({"Scanned", "Pruned", "Identical"});
+  prune_table.AddRow({std::to_string(scanned), std::to_string(pruned),
+                      identical ? "yes" : "NO"});
+  prune_table.Print();
+
+  bool ok = true;
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: pruned sharded answer differs from plain\n");
+    ok = false;
+  }
+  if (pruned < kPruneShards / 2) {
+    std::fprintf(stderr, "FAIL: pruned %zu of %zu shards (< half)\n", pruned,
+                 kPruneShards);
+    ok = false;
+  }
+
+  std::string json =
+      "{\n  \"tuples\": " + std::to_string(docs.size()) +
+      ",\n  \"load\": [\n" + load_json + "\n  ],\n  \"speedup_4shard\": " +
+      Fmt(speedup_4shard, "%.3f") +
+      ",\n  \"prune\": {\"shards_scanned\": " + std::to_string(scanned) +
+      ", \"shards_pruned\": " + std::to_string(pruned) +
+      ", \"identical\": " + (identical ? "true" : "false") +
+      "},\n  \"ok\": " + std::string(ok ? "true" : "false") + "\n}\n";
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("shard summary written to %s\n", json_path.c_str());
+  }
+  std::printf("shard pruning correctness: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -700,7 +700,14 @@ void CollectRangePredicates(const ExprPtr& filter, const std::string& table,
     return;
   }
   if (access->table != table || access->path == kRowIdPath) return;
-  if (!IsRangeType(access->access_type) || !IsRangeType(constant->constant.type)) {
+  // String predicates carry no range, but an equality still identifies the
+  // target shard when the relation is hash-routed on this path; the zone-map
+  // consumers type-check and ignore them.
+  const bool string_eq = op == BinOp::kEq &&
+                         access->access_type == ValueType::kString &&
+                         constant->constant.type == ValueType::kString;
+  if (!string_eq && (!IsRangeType(access->access_type) ||
+                     !IsRangeType(constant->constant.type))) {
     return;
   }
   out->push_back(

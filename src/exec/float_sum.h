@@ -1,0 +1,104 @@
+// Exact order-independent floating-point summation (Shewchuk's growing
+// partials, with the same final rounding as CPython's math.fsum).
+//
+// SUM/AVG accumulate rows in whatever order the scan's chunk merge and the
+// aggregation's partial merge deliver them. Unsharded, sharded, spilled and
+// multi-threaded plans all deliver different orders — plain `double +=`
+// rounds differently for each, breaking the bit-identity guarantee
+// (DESIGN.md §10). The partials hold the *exact* running sum, so the final
+// correctly-rounded double depends only on the multiset of inputs.
+//
+// Non-finite inputs accumulate in a separate commutative bucket (inf + -inf
+// = NaN in any order). One caveat: when the exact sum of finite inputs
+// transiently exceeds the double range, the overflow point — and thus the
+// result — is order-dependent; plain summation has the same flaw, and no
+// finite-state scheme avoids it.
+
+#ifndef JSONTILES_EXEC_FLOAT_SUM_H_
+#define JSONTILES_EXEC_FLOAT_SUM_H_
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+namespace jsontiles::exec {
+
+class ExactFloatSum {
+ public:
+  void Add(double x) {
+    if (!std::isfinite(x)) {
+      special_ += x;
+      has_special_ = true;
+      return;
+    }
+    // Fold x through the partials, keeping each round-off error exactly:
+    // afterwards the partials are non-overlapping and sum to the old value
+    // plus x, with partials_[i] strictly smaller in magnitude than
+    // partials_[i+1]'s ulp.
+    size_t kept = 0;
+    for (size_t j = 0; j < partials_.size(); j++) {
+      double y = partials_[j];
+      if (std::abs(x) < std::abs(y)) std::swap(x, y);
+      double hi = x + y;
+      double lo = y - (hi - x);
+      if (lo != 0.0) partials_[kept++] = lo;
+      x = hi;
+    }
+    partials_.resize(kept);
+    if (x != 0.0) {
+      if (!std::isfinite(x)) {
+        // The exact sum left the double range; degrade to the sticky bucket
+        // (see the header comment for the order-dependence caveat).
+        special_ += x;
+        has_special_ = true;
+        partials_.clear();
+      } else {
+        partials_.push_back(x);
+      }
+    }
+  }
+
+  void Merge(const ExactFloatSum& other) {
+    if (other.has_special_) {
+      special_ += other.special_;
+      has_special_ = true;
+    }
+    for (double p : other.partials_) Add(p);
+  }
+
+  /// The correctly-rounded value of the exact sum (math.fsum rounding: the
+  /// top partial, adjusted by half an ulp when the tail says the rounding
+  /// went the wrong way).
+  double Round() const {
+    if (has_special_) return special_;
+    if (partials_.empty()) return 0.0;
+    size_t n = partials_.size();
+    double hi = partials_[--n];
+    double lo = 0.0;
+    while (n > 0) {
+      double x = hi;
+      double y = partials_[--n];
+      hi = x + y;
+      lo = y - (hi - x);
+      if (lo != 0.0) break;
+    }
+    if (n > 0 && ((lo < 0.0 && partials_[n - 1] < 0.0) ||
+                  (lo > 0.0 && partials_[n - 1] > 0.0))) {
+      double y = lo * 2.0;
+      double x = hi + y;
+      if (y == x - hi) hi = x;
+    }
+    return hi;
+  }
+
+  bool empty() const { return partials_.empty() && !has_special_; }
+
+ private:
+  std::vector<double> partials_;
+  double special_ = 0.0;  // sum of non-finite inputs (commutative)
+  bool has_special_ = false;
+};
+
+}  // namespace jsontiles::exec
+
+#endif  // JSONTILES_EXEC_FLOAT_SUM_H_

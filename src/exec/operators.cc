@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 #include <deque>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "exec/expr_compile.h"
+#include "exec/float_sum.h"
 #include "exec/simd.h"
 #include "exec/spill.h"
 #include "exec/vector_batch.h"
@@ -26,6 +28,48 @@ constexpr uint64_t kKeyHashSeed = 0x2545F4914F6CDD1DULL;
 // Estimated hash-table cost per row beyond its Values: bucket entry, per-row
 // key vector header, map node slack. Used for budget charges.
 constexpr size_t kPerRowTableOverhead = 64;
+
+// A total order refining Value::Compare for values that compare equal:
+// type tag first, then exact bit pattern for floats (distinguishing -0.0
+// from 0.0 and NaN payloads), then numeric scale. Content-only, so it is
+// identical no matter what order rows arrived in.
+int DeterministicValueOrder(const Value& a, const Value& b) {
+  if (a.type != b.type) return a.type < b.type ? -1 : 1;
+  switch (a.type) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kFloat: {
+      uint64_t ba, bb;
+      std::memcpy(&ba, &a.d, 8);
+      std::memcpy(&bb, &b.d, 8);
+      return ba < bb ? -1 : ba > bb ? 1 : 0;
+    }
+    case ValueType::kString: {
+      int c = a.s.compare(b.s);
+      return c < 0 ? -1 : c > 0 ? 1 : 0;
+    }
+    case ValueType::kNumeric:
+      if (a.scale != b.scale) return a.scale < b.scale ? -1 : 1;
+      [[fallthrough]];
+    default:
+      return a.i < b.i ? -1 : a.i > b.i ? 1 : 0;
+  }
+}
+
+// Value::Compare extended into a total order (nulls last, per the sort
+// operator's convention; equal-comparing values ordered by content). Tie
+// breaker for ORDER BY and for MIN/MAX picks between equal-comparing
+// values: input order varies across shard/thread configurations, content
+// does not (DESIGN.md §10).
+int TotalValueOrder(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) {
+    if (a.is_null() && b.is_null()) return 0;
+    return a.is_null() ? 1 : -1;
+  }
+  int cmp = a.Compare(b);
+  if (cmp != 0) return cmp;
+  return DeterministicValueOrder(a, b);
+}
 
 // Copy every string payload of `row` into `arena`. Output rows of a spilled
 // partition reference strings in the partition's read-back arena, which dies
@@ -304,9 +348,12 @@ RowSet ProjectExec(const RowSet& in, const std::vector<ExprPtr>& exprs,
 namespace {
 
 struct Accumulator {
-  // Sum: integer until a float arrives.
+  // Sum: integers accumulate exactly in sum_i; everything else goes through
+  // the exact float summer. Both are order-independent, so SUM/AVG results
+  // do not depend on how rows were partitioned across threads, shards or
+  // spill runs (DESIGN.md §10).
   int64_t sum_i = 0;
-  double sum_d = 0;
+  ExactFloatSum sum_f;
   bool sum_is_float = false;
   bool sum_seen = false;
   int64_t count = 0;  // non-null args (kCount) or rows (kCountStar)
@@ -326,23 +373,20 @@ struct Accumulator {
         if (v.is_null()) return;
         count++;
         sum_seen = true;
-        if (v.type == ValueType::kInt && !sum_is_float) {
+        if (v.type == ValueType::kInt) {
           sum_i += v.i;
         } else {
-          if (!sum_is_float) {
-            sum_d = static_cast<double>(sum_i);
-            sum_is_float = true;
-          }
-          sum_d += v.AsDouble();
+          sum_is_float = true;
+          sum_f.Add(v.AsDouble());
         }
         return;
       case AggSpec::Kind::kMin:
         if (v.is_null()) return;
-        if (min.is_null() || v.Compare(min) < 0) min = v;
+        if (min.is_null() || TotalValueOrder(v, min) < 0) min = v;
         return;
       case AggSpec::Kind::kMax:
         if (v.is_null()) return;
-        if (max.is_null() || v.Compare(max) > 0) max = v;
+        if (max.is_null() || TotalValueOrder(v, max) > 0) max = v;
         return;
       case AggSpec::Kind::kCountDistinct:
         if (!v.is_null()) distinct.insert(v.Hash());
@@ -360,24 +404,19 @@ struct Accumulator {
       case AggSpec::Kind::kAvg:
         count += other.count;
         sum_seen |= other.sum_seen;
-        if (other.sum_is_float || sum_is_float) {
-          if (!sum_is_float) {
-            sum_d = static_cast<double>(sum_i);
-            sum_is_float = true;
-          }
-          sum_d += other.sum_is_float ? other.sum_d
-                                      : static_cast<double>(other.sum_i);
-        } else {
-          sum_i += other.sum_i;
-        }
+        sum_is_float |= other.sum_is_float;
+        sum_i += other.sum_i;
+        sum_f.Merge(other.sum_f);
         return;
       case AggSpec::Kind::kMin:
-        if (!other.min.is_null() && (min.is_null() || other.min.Compare(min) < 0)) {
+        if (!other.min.is_null() &&
+            (min.is_null() || TotalValueOrder(other.min, min) < 0)) {
           min = other.min;
         }
         return;
       case AggSpec::Kind::kMax:
-        if (!other.max.is_null() && (max.is_null() || other.max.Compare(max) > 0)) {
+        if (!other.max.is_null() &&
+            (max.is_null() || TotalValueOrder(other.max, max) > 0)) {
           max = other.max;
         }
         return;
@@ -387,6 +426,18 @@ struct Accumulator {
     }
   }
 
+  // The exact integer part folded into the float summer: split into two
+  // halves that are each exactly representable as doubles, so the combined
+  // sum stays exact.
+  double FloatTotal() const {
+    ExactFloatSum total = sum_f;
+    int64_t hi_part = (sum_i >> 32) << 32;
+    int64_t lo_part = sum_i - hi_part;
+    total.Add(static_cast<double>(hi_part));
+    total.Add(static_cast<double>(lo_part));
+    return total.Round();
+  }
+
   Value Finalize(AggSpec::Kind kind) const {
     switch (kind) {
       case AggSpec::Kind::kCountStar:
@@ -394,11 +445,10 @@ struct Accumulator {
         return Value::Int(count);
       case AggSpec::Kind::kSum:
         if (!sum_seen) return Value::Null();
-        return sum_is_float ? Value::Float(sum_d) : Value::Int(sum_i);
+        return sum_is_float ? Value::Float(FloatTotal()) : Value::Int(sum_i);
       case AggSpec::Kind::kAvg: {
         if (count == 0) return Value::Null();
-        double total = sum_is_float ? sum_d : static_cast<double>(sum_i);
-        return Value::Float(total / static_cast<double>(count));
+        return Value::Float(FloatTotal() / static_cast<double>(count));
       }
       case AggSpec::Kind::kMin: return min;
       case AggSpec::Kind::kMax: return max;
@@ -1118,6 +1168,13 @@ RowSet SortExec(RowSet in, const std::vector<SortKey>& keys, QueryContext& ctx) 
         cmp = va.Compare(vb);
       }
       if (cmp != 0) return key.descending ? cmp > 0 : cmp < 0;
+    }
+    // Deterministic full-row tie-break: input order varies across
+    // shard/thread configurations, so ties on every sort key must resolve
+    // by row content for ORDER BY ... LIMIT cuts to be reproducible.
+    for (size_t i = 0; i < a.size() && i < b.size(); i++) {
+      int cmp = TotalValueOrder(a[i], b[i]);
+      if (cmp != 0) return cmp < 0;
     }
     return false;
   });

@@ -7,6 +7,7 @@
 #include "exec/expr_compile.h"
 #include "exec/vector_batch.h"
 #include "obs/obs.h"
+#include "storage/shard.h"
 #include "tiles/keypath.h"
 #include "tiles/tile.h"
 #include "util/failpoint.h"
@@ -242,17 +243,15 @@ Value ReadColumnValue(const ExtractedColumn& col, size_t row) {
   return Value::Null();
 }
 
-// Zone-map skipping: can the tile be proven to contain no row satisfying
-// `access OP constant`? Only when the column is extracted, carries a min/max
-// and has no type outliers (outlier values live in the binary JSON, outside
-// the map). Rows where the access is null are rejected by the comparison
-// anyway, so the non-null range is decisive.
-bool CanSkipByZoneMap(const Tile& tile, const RangePredicate& rp) {
-  const ExtractedColumn* col = tile.FindColumn(rp.path);
-  if (col == nullptr || !col->has_minmax || col->has_type_outliers) return false;
+// Zone-map skip decision shared by tile-level and shard-level pruning: can a
+// range [min, max] of `storage_type` values be proven to contain no value
+// satisfying `access OP constant`? Rows where the access is null are
+// rejected by the comparison anyway, so the non-null range is decisive.
+bool ZoneMapCanSkip(ColumnType storage_type, int64_t min_i, int64_t max_i,
+                    double min_d, double max_d, const RangePredicate& rp) {
   // The cast from the stored type to the requested type must preserve order
   // exactly; float->int truncation does not (negatives round toward zero).
-  switch (col->storage_type) {
+  switch (storage_type) {
     case ColumnType::kInt64:
       if (rp.access_type != ValueType::kInt && rp.access_type != ValueType::kFloat) {
         return false;
@@ -268,15 +267,15 @@ bool CanSkipByZoneMap(const Tile& tile, const RangePredicate& rp) {
       return false;
   }
   double lo, hi;
-  if (col->storage_type == ColumnType::kFloat64) {
-    lo = col->min_d;
-    hi = col->max_d;
+  if (storage_type == ColumnType::kFloat64) {
+    lo = min_d;
+    hi = max_d;
   } else {
-    lo = static_cast<double>(col->min_i);
-    hi = static_cast<double>(col->max_i);
+    lo = static_cast<double>(min_i);
+    hi = static_cast<double>(max_i);
   }
   // Guard against double rounding at the extremes of huge int64 domains.
-  if (col->storage_type != ColumnType::kFloat64 &&
+  if (storage_type != ColumnType::kFloat64 &&
       (std::abs(lo) > 9e15 || std::abs(hi) > 9e15)) {
     return false;
   }
@@ -291,9 +290,30 @@ bool CanSkipByZoneMap(const Tile& tile, const RangePredicate& rp) {
   }
 }
 
+// Tile zone-map skipping: only when the column is extracted, carries a
+// min/max and has no type outliers (outlier values live in the binary JSON,
+// outside the map).
+bool CanSkipByZoneMap(const Tile& tile, const RangePredicate& rp) {
+  const ExtractedColumn* col = tile.FindColumn(rp.path);
+  if (col == nullptr || !col->has_minmax || col->has_type_outliers) return false;
+  return ZoneMapCanSkip(col->storage_type, col->min_i, col->max_i, col->min_d,
+                        col->max_d, rp);
+}
+
+// One contiguous piece of one scan source relation. Sharded scans have one
+// part per surviving shard (plus per-shard side relations); `rowid_base` is
+// added to part-local row indices wherever a row id becomes visible, so ids
+// stay globally unique and shard-count independent.
+struct ScanPart {
+  const Relation* rel;
+  int64_t rowid_base;
+};
+
 // Chunk boundaries shared by the scalar and the vectorized path: tiles for
-// tiled modes, fixed chunks otherwise.
+// tiled modes, fixed chunks otherwise. `row_begin` is local to `rel`.
 struct Chunk {
+  const Relation* rel;
+  int64_t rowid_base;
   size_t row_begin;
   size_t row_count;
   const Tile* tile;  // null for non-tiled modes
@@ -308,10 +328,9 @@ struct Chunk {
 // there is nothing to batch).
 class VectorizedChunkScan {
  public:
-  VectorizedChunkScan(const ScanSpec& spec, const Relation& rel,
-                      CompiledPredicate& pred, Arena* arena)
+  VectorizedChunkScan(const ScanSpec& spec, CompiledPredicate& pred,
+                      Arena* arena)
       : spec_(spec),
-        rel_(rel),
         pred_(pred),
         arena_(arena),
         num_slots_(spec.accesses.size()),
@@ -322,6 +341,8 @@ class VectorizedChunkScan {
 
   void Run(const Chunk& chunk, const std::vector<ResolvedAccess>& resolved,
            RowSet* out) {
+    rel_ = chunk.rel;
+    rowid_base_ = chunk.rowid_base;
     for (size_t b = 0; b < chunk.row_count; b += kVectorSize) {
       ScanBatch(chunk, resolved, b, std::min(kVectorSize, chunk.row_count - b),
                 out);
@@ -369,10 +390,11 @@ class VectorizedChunkScan {
 
   void FillFromDoc(ColumnVector& vec, const Expr& access, size_t r,
                    size_t rel_row) {
-    json::JsonbValue doc(rel_.Jsonb(rel_row).data());
-    vec.SetValue(r, EvalScanExprOnJsonb(access, doc,
-                                        static_cast<int64_t>(rel_row), arena_,
-                                        /*copy_strings=*/false));
+    json::JsonbValue doc(rel_->Jsonb(rel_row).data());
+    vec.SetValue(r, EvalScanExprOnJsonb(
+                        access, doc,
+                        rowid_base_ + static_cast<int64_t>(rel_row), arena_,
+                        /*copy_strings=*/false));
   }
 
   // Decode the access path once per query (the views point into the Expr's
@@ -400,7 +422,7 @@ class VectorizedChunkScan {
     }
     for (size_t k = 0; k < num_lanes; k++) {
       const size_t r = lanes[k];
-      doc_ptrs_[r] = rel_.Jsonb(rel_row0 + r).data();
+      doc_ptrs_[r] = rel_->Jsonb(rel_row0 + r).data();
     }
     const auto& steps = StepsFor(i, access);
     ExtractJsonbPathBatch(doc_ptrs_, lanes, num_lanes, steps.data(),
@@ -427,7 +449,7 @@ class VectorizedChunkScan {
       int64_t* out = vec.i64();
       for (size_t k = 0; k < n; k++) {
         nulls[k] = 0;
-        out[k] = static_cast<int64_t>(rel_row0 + k);
+        out[k] = rowid_base_ + static_cast<int64_t>(rel_row0 + k);
       }
       return;
     }
@@ -485,7 +507,10 @@ class VectorizedChunkScan {
   }
 
   const ScanSpec& spec_;
-  const Relation& rel_;
+  // Current chunk's source relation + row-id offset (set per Run; sharded
+  // scans feed chunks of different shards through one scanner instance).
+  const Relation* rel_ = nullptr;
+  int64_t rowid_base_ = 0;
   CompiledPredicate& pred_;
   Arena* arena_;
   const size_t num_slots_;
@@ -502,30 +527,133 @@ class VectorizedChunkScan {
   size_t rows_ = 0;
 };
 
+// Routing-key equality pruning: when the sharded relation was hash-routed
+// on `path` and every routed value hashed as one kind (int or string), an
+// equality predicate on that path can only match rows in the shard its
+// constant hashes to. Returns the target shard, or -1 when no predicate
+// pins one. Null/missing routing values were position-routed, but a SQL
+// equality never matches NULL, so skipping their shards stays sound.
+int64_t RoutingEqTarget(const storage::ShardedRelation& sharded,
+                        const std::vector<RangePredicate>& range_predicates) {
+  using storage::RoutingValueKind;
+  const RoutingValueKind kind = sharded.routing_kind();
+  if (kind != RoutingValueKind::kIntOnly &&
+      kind != RoutingValueKind::kStringOnly) {
+    return -1;
+  }
+  for (const RangePredicate& rp : range_predicates) {
+    if (rp.op != BinOp::kEq || rp.path != sharded.routing_path()) continue;
+    uint64_t hash;
+    if (kind == RoutingValueKind::kIntOnly) {
+      if (rp.constant.type == ValueType::kInt) {
+        hash = storage::ShardKeyHashInt(rp.constant.i);
+      } else if (rp.constant.type == ValueType::kFloat &&
+                 std::floor(rp.constant.d) == rp.constant.d &&
+                 rp.constant.d >= -9223372036854775808.0 &&
+                 rp.constant.d < 9223372036854775808.0) {
+        hash = storage::ShardKeyHashInt(static_cast<int64_t>(rp.constant.d));
+      } else {
+        continue;
+      }
+    } else {
+      if (rp.constant.type != ValueType::kString) continue;
+      hash = storage::ShardKeyHashString(rp.constant.s);
+    }
+    return static_cast<int64_t>(hash % sharded.shard_count());
+  }
+  return -1;
+}
+
+// Shard-level pruning (before any tile of the shard is considered): routing
+// key (handled by the caller), shard bloom over null-rejecting paths, shard
+// zone maps over range predicates.
+bool ShardCanBeSkipped(const storage::ShardStats& stats, const ScanSpec& spec) {
+  for (const std::string& path : spec.null_rejecting_paths) {
+    if (path == kRowIdPath) continue;  // present in every row
+    if (!stats.MayContainPath(path)) return true;
+  }
+  for (const RangePredicate& rp : spec.range_predicates) {
+    const storage::ShardZoneEntry* zone = stats.FindZone(rp.path);
+    if (zone == nullptr) continue;
+    if (ZoneMapCanSkip(zone->storage_type, zone->min_i, zone->max_i,
+                       zone->min_d, zone->max_d, rp)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 RowSet ScanExec(const ScanSpec& spec, QueryContext& ctx) {
-  const Relation& rel = *spec.relation;
   JSONTILES_TRACE_SPAN("exec.scan");
+  const storage::ShardedRelation* sharded = spec.sharded;
+  const bool sharded_base = sharded != nullptr && spec.sharded_side_path.empty();
+
+  // Resolve the scan source into parts: the single relation, the surviving
+  // shards, or a sharded table's per-shard side relations.
+  std::vector<ScanPart> parts;
+  size_t total_rows = 0;
+  size_t pruned_shards = 0;
+  StorageMode mode = StorageMode::kTiles;
+  std::string source_name;
+  if (sharded == nullptr) {
+    const Relation& rel = *spec.relation;
+    parts.push_back(ScanPart{&rel, 0});
+    total_rows = rel.num_rows();
+    mode = rel.mode();
+    source_name = rel.name();
+  } else if (!spec.sharded_side_path.empty()) {
+    for (const auto& side : sharded->SideParts(spec.sharded_side_path)) {
+      parts.push_back(ScanPart{side.relation, side.rowid_base});
+      total_rows += side.relation->num_rows();
+      mode = side.relation->mode();
+    }
+    source_name = sharded->name() + "$" +
+                  tiles::PathToDisplayString(spec.sharded_side_path);
+  } else {
+    mode = sharded->mode();
+    source_name = sharded->name();
+    total_rows = sharded->num_rows();
+    const bool prune = ctx.options().enable_tile_skipping;
+    const int64_t eq_target =
+        prune ? RoutingEqTarget(*sharded, spec.range_predicates) : -1;
+    for (size_t s = 0; s < sharded->shard_count(); s++) {
+      JSONTILES_TRACE_SPAN("exec.scan.shard");
+      if (prune && ((eq_target >= 0 && static_cast<int64_t>(s) != eq_target) ||
+                    ShardCanBeSkipped(sharded->shard_stats(s), spec))) {
+        pruned_shards++;
+        continue;
+      }
+      parts.push_back(ScanPart{&sharded->shard(s),
+                               storage::ShardedRelation::RowIdBase(s)});
+    }
+  }
+
   obs::OperatorProfiler prof(ctx.profile, "Scan",
-                             spec.table_alias.empty() ? rel.name()
+                             spec.table_alias.empty() ? source_name
                                                       : spec.table_alias);
-  prof.set_rows_in(rel.num_rows());
+  prof.set_rows_in(total_rows);
   const size_t arena_before = prof.active() ? ctx.arena_bytes() : 0;
   const size_t num_slots = spec.accesses.size();
-  const bool tiled = rel.mode() == StorageMode::kTiles ||
-                     rel.mode() == StorageMode::kSinew;
+  const bool tiled =
+      mode == StorageMode::kTiles || mode == StorageMode::kSinew;
 
   std::vector<Chunk> chunks;
-  if (tiled) {
-    for (const Tile& tile : rel.tiles()) {
-      chunks.push_back(Chunk{tile.row_begin, tile.row_count, &tile});
-    }
-  } else {
-    constexpr size_t kChunkRows = 4096;
-    for (size_t begin = 0; begin < rel.num_rows(); begin += kChunkRows) {
-      chunks.push_back(
-          Chunk{begin, std::min(kChunkRows, rel.num_rows() - begin), nullptr});
+  for (const ScanPart& part : parts) {
+    if (tiled) {
+      for (const Tile& tile : part.rel->tiles()) {
+        chunks.push_back(Chunk{part.rel, part.rowid_base, tile.row_begin,
+                               tile.row_count, &tile});
+      }
+    } else {
+      constexpr size_t kChunkRows = 4096;
+      for (size_t begin = 0; begin < part.rel->num_rows();
+           begin += kChunkRows) {
+        chunks.push_back(
+            Chunk{part.rel, part.rowid_base, begin,
+                  std::min(kChunkRows, part.rel->num_rows() - begin), nullptr});
+      }
     }
   }
 
@@ -534,7 +662,7 @@ RowSet ScanExec(const ScanSpec& spec, QueryContext& ctx) {
   // (see VectorizedChunkScan). A filter none of whose conjuncts compiled
   // would gain nothing from batching, so it stays scalar too.
   const bool want_vectorized = ctx.options().enable_vectorized &&
-                               rel.mode() != StorageMode::kJsonText;
+                               mode != StorageMode::kJsonText;
   std::vector<CompiledPredicate> worker_preds;
   std::vector<std::unique_ptr<VectorizedChunkScan>> scanners(ctx.num_workers());
   bool vectorized = false;
@@ -590,18 +718,20 @@ RowSet ScanExec(const ScanSpec& spec, QueryContext& ctx) {
       auto& scanner = scanners[worker];
       if (scanner == nullptr) {
         scanner = std::make_unique<VectorizedChunkScan>(
-            spec, rel, worker_preds[worker], ctx.arena(worker));
+            spec, worker_preds[worker], ctx.arena(worker));
       }
       scanner->Run(chunk, resolved, &out);
       return;
     }
 
+    const Relation& rel = *chunk.rel;
     json::JsonbBuilder text_builder;  // JSON-text mode: re-parse per document
     std::vector<uint8_t> text_buf;
     std::vector<Value> slots(num_slots);
 
     for (size_t r = 0; r < chunk.row_count; r++) {
-      const size_t row = chunk.row_begin + r;
+      const size_t row = chunk.row_begin + r;  // local to the part relation
+      const int64_t row_id = chunk.rowid_base + static_cast<int64_t>(row);
       // Lazily materialized document for fallback routes.
       const uint8_t* doc_bytes = nullptr;
       bool doc_failed = false;
@@ -624,7 +754,7 @@ RowSet ScanExec(const ScanSpec& spec, QueryContext& ctx) {
         const ResolvedAccess& ra = resolved[i];
         const Expr& access = *spec.accesses[i];
         if (access.kind == ExprKind::kAccess && access.path == kRowIdPath) {
-          slots[i] = Value::Int(static_cast<int64_t>(row));
+          slots[i] = Value::Int(row_id);
           continue;
         }
         if (ra.route == ResolvedAccess::Route::kFallback) {
@@ -632,8 +762,7 @@ RowSet ScanExec(const ScanSpec& spec, QueryContext& ctx) {
           slots[i] = doc == nullptr
                          ? Value::Null()
                          : EvalScanExprOnJsonb(access, json::JsonbValue(doc),
-                                               static_cast<int64_t>(row), arena,
-                                               copy_strings);
+                                               row_id, arena, copy_strings);
           continue;
         }
         const ExtractedColumn& col = *ra.column;
@@ -643,8 +772,7 @@ RowSet ScanExec(const ScanSpec& spec, QueryContext& ctx) {
             slots[i] = doc == nullptr
                            ? Value::Null()
                            : EvalScanExprOnJsonb(access, json::JsonbValue(doc),
-                                                 static_cast<int64_t>(row), arena,
-                                                 copy_strings);
+                                                 row_id, arena, copy_strings);
           } else {
             slots[i] = Value::Null();
           }
@@ -692,6 +820,14 @@ RowSet ScanExec(const ScanSpec& spec, QueryContext& ctx) {
                         static_cast<int64_t>(chunks.size()));
   JSONTILES_COUNTER_ADD("scan.tiles_skipped",
                         static_cast<int64_t>(skipped.load()));
+  if (sharded_base) {
+    ctx.shards_scanned += parts.size();
+    ctx.shards_pruned += pruned_shards;
+    JSONTILES_COUNTER_ADD("scan.shards_scanned",
+                          static_cast<int64_t>(parts.size()));
+    JSONTILES_COUNTER_ADD("scan.shards_pruned",
+                          static_cast<int64_t>(pruned_shards));
+  }
 
   // Merge in chunk order (deterministic results).
   size_t total = 0;
@@ -708,6 +844,10 @@ RowSet ScanExec(const ScanSpec& spec, QueryContext& ctx) {
   }
   prof.AddCounter("tiles", static_cast<int64_t>(chunks.size()));
   prof.AddCounter("tiles_skipped", static_cast<int64_t>(skipped.load()));
+  if (sharded_base) {
+    prof.AddCounter("shards", static_cast<int64_t>(parts.size()));
+    prof.AddCounter("shards_pruned", static_cast<int64_t>(pruned_shards));
+  }
   if (vectorized) {
     size_t batches = 0, batch_rows = 0;
     for (const auto& s : scanners) {

@@ -26,6 +26,10 @@
 #include "util/status.h"
 #include "util/thread_pool.h"
 
+namespace jsontiles::storage {
+class ShardedRelation;
+}  // namespace jsontiles::storage
+
 namespace jsontiles::exec {
 
 using Row = std::vector<Value>;
@@ -88,6 +92,11 @@ class QueryContext {
   /// Tiles skipped by §4.8 across all scans of this query (observability).
   size_t tiles_skipped = 0;
   size_t tiles_scanned = 0;
+  /// Shard-level pruning across all sharded scans of this query: shards
+  /// skipped entirely (routing key, shard bloom, shard zone maps) vs shards
+  /// whose tiles were considered. Unsharded scans touch neither.
+  size_t shards_pruned = 0;
+  size_t shards_scanned = 0;
 
   /// Per-operator profiling sink (EXPLAIN ANALYZE). Null means off: each
   /// operator then pays a single branch. Not owned; the SQL layer attaches
@@ -106,6 +115,16 @@ class QueryContext {
 
 struct ScanSpec {
   const storage::Relation* relation = nullptr;
+  /// Sharded scan source (exactly one of relation/sharded is set). The scan
+  /// iterates the shards, pruning whole shards with shard-level statistics
+  /// (routing key → bloom → zone maps) before any tile-level work, and
+  /// offsets row ids by each shard's RowIdBase so they are globally unique.
+  const storage::ShardedRelation* sharded = nullptr;
+  /// With `sharded`: scan the array side relations (§3.5) for this encoded
+  /// array path instead of the base shards — one part per shard that has
+  /// one. Shard-level pruning does not apply (the statistics describe the
+  /// base documents); tile-level pruning still does.
+  std::string sharded_side_path;
   std::string table_alias;
   /// Pushed-down accesses; output slot i = accesses[i].
   std::vector<ExprPtr> accesses;

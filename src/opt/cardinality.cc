@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "exec/scan.h"
+#include "storage/shard.h"
 
 namespace jsontiles::opt {
 
@@ -108,6 +109,51 @@ double EstimateJoinKeyDistinct(const Relation& relation,
   }
   // Unique-key fallback: every row has its own key value.
   return scan_card < 1 ? 1.0 : scan_card;
+}
+
+ScanEstimate EstimateShardedScanCardinality(
+    const storage::ShardedRelation& sharded,
+    const std::vector<ExprPtr>& accesses, const ExprPtr& filter,
+    const std::vector<std::string>& null_rejecting_paths, size_t sample_size) {
+  ScanEstimate est;
+  const size_t total = sharded.num_rows();
+  if (total == 0) return est;
+  for (size_t s = 0; s < sharded.shard_count(); s++) {
+    const Relation& shard = sharded.shard(s);
+    if (shard.num_rows() == 0) continue;
+    // Proportional sample split, at least a handful per non-empty shard.
+    size_t share = sample_size * shard.num_rows() / total;
+    share = std::max<size_t>(share, std::min<size_t>(sample_size, 8));
+    est.cardinality += EstimateScanCardinality(shard, accesses, filter,
+                                               null_rejecting_paths, share)
+                           .cardinality;
+  }
+  if (est.cardinality < 1) est.cardinality = 1;
+  return est;
+}
+
+double EstimateShardedJoinKeyDistinct(const storage::ShardedRelation& sharded,
+                                      const std::string& encoded_path,
+                                      double scan_card) {
+  const double card = scan_card < 1 ? 1.0 : scan_card;
+  const bool disjoint_keys =
+      sharded.shard_options().routing == storage::ShardRouting::kHashKey &&
+      sharded.routing_path() == encoded_path;
+  double sum = 0;
+  double max_one = 0;
+  for (size_t s = 0; s < sharded.shard_count(); s++) {
+    const Relation& shard = sharded.shard(s);
+    if (shard.num_rows() == 0) continue;
+    // Per-shard estimate, scaled by the shard's weight in the scan output.
+    double shard_card =
+        card * static_cast<double>(shard.num_rows()) /
+        static_cast<double>(sharded.num_rows() == 0 ? 1 : sharded.num_rows());
+    double d = EstimateJoinKeyDistinct(shard, encoded_path, shard_card);
+    sum += d;
+    max_one = std::max(max_one, d);
+  }
+  double distinct = disjoint_keys ? sum : std::max(max_one, 1.0);
+  return std::min(std::max(distinct, 1.0), card);
 }
 
 }  // namespace jsontiles::opt

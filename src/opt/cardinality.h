@@ -17,6 +17,10 @@
 #include "exec/expression.h"
 #include "storage/relation.h"
 
+namespace jsontiles::storage {
+class ShardedRelation;
+}  // namespace jsontiles::storage
+
 namespace jsontiles::opt {
 
 struct ScanEstimate {
@@ -38,6 +42,22 @@ ScanEstimate EstimateScanCardinality(
 double EstimateJoinKeyDistinct(const storage::Relation& relation,
                                const std::string& encoded_path,
                                double scan_card);
+
+/// Sharded scan estimate: sum of the per-shard estimates, with the sample
+/// budget split across shards in proportion to their row counts.
+ScanEstimate EstimateShardedScanCardinality(
+    const storage::ShardedRelation& sharded,
+    const std::vector<exec::ExprPtr>& accesses, const exec::ExprPtr& filter,
+    const std::vector<std::string>& null_rejecting_paths, size_t sample_size);
+
+/// Distinct join-key values over a sharded relation. When the relation is
+/// hash-routed on exactly `encoded_path`, equal keys never straddle shards,
+/// so per-shard distinct counts sum; otherwise the same value may recur in
+/// every shard and the max per-shard count is the sound lower estimate.
+/// Capped at `scan_card` either way.
+double EstimateShardedJoinKeyDistinct(const storage::ShardedRelation& sharded,
+                                      const std::string& encoded_path,
+                                      double scan_card);
 
 }  // namespace jsontiles::opt
 

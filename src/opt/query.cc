@@ -212,17 +212,34 @@ void QueryBlock::BuildPlan(const PlannerOptions& options, bool estimate_all,
   if (num_tables > 1 || estimate_all) {
     for (size_t i = 0; i < num_tables; i++) {
       const TableRef& t = tables_[i];
-      if (t.relation != nullptr) {
+      if (t.relation != nullptr || t.sharded != nullptr) {
         ExprPtr scan_filter = t.filter == nullptr
                                   ? nullptr
                                   : exec::RewriteAccessesToSlots(
                                         t.filter, [&](const Expr& a) {
                                           return state->LocalSlot(i, a);
                                         });
-        cards[i] = EstimateScanCardinality(*t.relation, table_accesses[i],
-                                           scan_filter, null_rejecting[i],
-                                           options.sample_size)
-                       .cardinality;
+        if (t.relation != nullptr) {
+          cards[i] = EstimateScanCardinality(*t.relation, table_accesses[i],
+                                             scan_filter, null_rejecting[i],
+                                             options.sample_size)
+                         .cardinality;
+        } else if (t.sharded_side_path.empty()) {
+          cards[i] = EstimateShardedScanCardinality(
+                         *t.sharded, table_accesses[i], scan_filter,
+                         null_rejecting[i], options.sample_size)
+                         .cardinality;
+        } else {
+          // Side-relation scan: estimate each shard's side part separately.
+          cards[i] = 0;
+          for (const auto& part : t.sharded->SideParts(t.sharded_side_path)) {
+            cards[i] += EstimateScanCardinality(
+                            *part.relation, table_accesses[i], scan_filter,
+                            null_rejecting[i], options.sample_size)
+                            .cardinality;
+          }
+          if (cards[i] < 1) cards[i] = 1;
+        }
       } else {
         cards[i] = static_cast<double>(t.rowset->size());
       }
@@ -237,20 +254,20 @@ void QueryBlock::BuildPlan(const PlannerOptions& options, bool estimate_all,
       size_t rt = table_index[OwningTable(j.right)];
       edge.left = static_cast<int>(lt);
       edge.right = static_cast<int>(rt);
-      if (j.left->kind == exec::ExprKind::kAccess &&
-          tables_[lt].relation != nullptr) {
-        edge.left_distinct =
-            EstimateJoinKeyDistinct(*tables_[lt].relation, j.left->path, cards[lt]);
-      } else {
-        edge.left_distinct = cards[lt];
-      }
-      if (j.right->kind == exec::ExprKind::kAccess &&
-          tables_[rt].relation != nullptr) {
-        edge.right_distinct = EstimateJoinKeyDistinct(*tables_[rt].relation,
-                                                      j.right->path, cards[rt]);
-      } else {
-        edge.right_distinct = cards[rt];
-      }
+      auto key_distinct = [&](const ExprPtr& key, size_t t) -> double {
+        if (key->kind != exec::ExprKind::kAccess) return cards[t];
+        const TableRef& ref = tables_[t];
+        if (ref.relation != nullptr) {
+          return EstimateJoinKeyDistinct(*ref.relation, key->path, cards[t]);
+        }
+        if (ref.sharded != nullptr && ref.sharded_side_path.empty()) {
+          return EstimateShardedJoinKeyDistinct(*ref.sharded, key->path,
+                                                cards[t]);
+        }
+        return cards[t];
+      };
+      edge.left_distinct = key_distinct(j.left, lt);
+      edge.right_distinct = key_distinct(j.right, rt);
       graph.edges.push_back(edge);
     }
     JoinOrderResult result = OptimizeJoinOrder(graph);
@@ -303,9 +320,11 @@ RowSet QueryBlock::Execute(exec::QueryContext& ctx, const PlannerOptions& option
             ? nullptr
             : exec::RewriteAccessesToSlots(
                   t.filter, [&](const Expr& a) { return local_slot(i, a); });
-    if (t.relation != nullptr) {
+    if (t.relation != nullptr || t.sharded != nullptr) {
       exec::ScanSpec spec;
       spec.relation = t.relation;
+      spec.sharded = t.sharded;
+      spec.sharded_side_path = t.sharded_side_path;
       spec.table_alias = t.alias;
       spec.accesses = table_accesses[i];
       spec.filter = scan_filter;

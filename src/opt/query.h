@@ -17,8 +17,20 @@
 #include "exec/operators.h"
 #include "exec/scan.h"
 #include "storage/relation.h"
+#include "storage/shard.h"
 
 namespace jsontiles::opt {
+
+/// A scan source that is either a plain relation or a sharded relation.
+/// Implicitly constructible from both, so workload helpers taking
+/// `const TableSource&` accept either storage form at the call site.
+struct TableSource {
+  const storage::Relation* relation = nullptr;
+  const storage::ShardedRelation* sharded = nullptr;
+
+  TableSource(const storage::Relation& rel) : relation(&rel) {}
+  TableSource(const storage::ShardedRelation& sh) : sharded(&sh) {}
+};
 
 struct PlannerOptions {
   /// Run the cost-based join-order search (sampling + tile statistics).
@@ -44,6 +56,12 @@ struct PlanEstimate {
 struct TableRef {
   std::string alias;
   const storage::Relation* relation = nullptr;
+  /// Alternative source: a sharded relation (scanned shard-by-shard with
+  /// shard-level pruning; see exec::ScanSpec::sharded).
+  const storage::ShardedRelation* sharded = nullptr;
+  /// With `sharded`: scan its array side relations for this encoded array
+  /// path instead of the base shards.
+  std::string sharded_side_path;
   /// Alternative source: a materialized row set with named columns.
   const exec::RowSet* rowset = nullptr;
   std::vector<std::string> rowset_columns;
@@ -58,6 +76,34 @@ struct TableRef {
     t.relation = relation;
     t.filter = std::move(filter);
     return t;
+  }
+  static TableRef Sharded(std::string alias,
+                          const storage::ShardedRelation* sharded,
+                          exec::ExprPtr filter = nullptr) {
+    TableRef t;
+    t.alias = std::move(alias);
+    t.sharded = sharded;
+    t.filter = std::move(filter);
+    return t;
+  }
+  /// The array side relations (§3.5) of a sharded load, as one scan source.
+  static TableRef ShardedSide(std::string alias,
+                              const storage::ShardedRelation* sharded,
+                              std::string array_path,
+                              exec::ExprPtr filter = nullptr) {
+    TableRef t;
+    t.alias = std::move(alias);
+    t.sharded = sharded;
+    t.sharded_side_path = std::move(array_path);
+    t.filter = std::move(filter);
+    return t;
+  }
+  /// Either a plain or a sharded scan, per the source's form.
+  static TableRef Src(std::string alias, const TableSource& source,
+                      exec::ExprPtr filter = nullptr) {
+    return source.relation != nullptr
+               ? Rel(std::move(alias), source.relation, std::move(filter))
+               : Sharded(std::move(alias), source.sharded, std::move(filter));
   }
   static TableRef Rows(std::string alias, const exec::RowSet* rowset,
                        std::vector<std::string> columns,

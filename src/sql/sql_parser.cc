@@ -689,6 +689,8 @@ Result<SqlResult> ExecuteSql(std::string_view statement, const SqlCatalog& catal
   } restore{ctx, saved_profile};
   const size_t tiles_scanned_before = ctx.tiles_scanned;
   const size_t tiles_skipped_before = ctx.tiles_skipped;
+  const size_t shards_scanned_before = ctx.shards_scanned;
+  const size_t shards_pruned_before = ctx.shards_pruned;
   auto exec_begin = std::chrono::steady_clock::now();
 
   ParsedQuery query;
@@ -698,7 +700,8 @@ Result<SqlResult> ExecuteSql(std::string_view statement, const SqlCatalog& catal
   // --- validate tables -------------------------------------------------------
   std::vector<std::string> aliases;
   for (const auto& [name, alias] : query.tables) {
-    if (catalog.tables.find(name) == catalog.tables.end()) {
+    if (catalog.tables.find(name) == catalog.tables.end() &&
+        catalog.sharded_tables.find(name) == catalog.sharded_tables.end()) {
       return Status::NotFound("unknown table '" + name + "'");
     }
     if (std::find(aliases.begin(), aliases.end(), alias) != aliases.end()) {
@@ -749,7 +752,13 @@ Result<SqlResult> ExecuteSql(std::string_view statement, const SqlCatalog& catal
   for (const auto& [name, alias] : query.tables) {
     auto it = table_filters.find(alias);
     ExprPtr filter = it == table_filters.end() ? nullptr : exec::And(it->second);
-    block.AddTable(opt::TableRef::Rel(alias, catalog.tables.at(name), filter));
+    auto plain = catalog.tables.find(name);
+    if (plain != catalog.tables.end()) {
+      block.AddTable(opt::TableRef::Rel(alias, plain->second, filter));
+    } else {
+      block.AddTable(opt::TableRef::Sharded(
+          alias, catalog.sharded_tables.at(name), filter));
+    }
   }
   for (auto& [left, right] : join_edges) block.AddJoin(left, right);
   if (!residual.empty()) block.Where(exec::And(residual));
@@ -885,12 +894,20 @@ Result<SqlResult> ExecuteSql(std::string_view statement, const SqlCatalog& catal
                          std::chrono::steady_clock::now() - exec_begin)
                          .count();
     std::string text = profile->FormatTree();
-    char footer[160];
+    char footer[200];
     std::snprintf(footer, sizeof(footer),
                   "Execution time: %.3f ms\nTiles scanned: %zu, skipped: %zu",
                   exec_ms, ctx.tiles_scanned - tiles_scanned_before,
                   ctx.tiles_skipped - tiles_skipped_before);
     text += footer;
+    const size_t shards_scanned = ctx.shards_scanned - shards_scanned_before;
+    const size_t shards_pruned = ctx.shards_pruned - shards_pruned_before;
+    if (shards_scanned > 0 || shards_pruned > 0) {
+      std::snprintf(footer, sizeof(footer),
+                    "\nShards scanned: %zu, pruned: %zu", shards_scanned,
+                    shards_pruned);
+      text += footer;
+    }
 
     SqlResult plan;
     plan.column_names.push_back("QUERY PLAN");

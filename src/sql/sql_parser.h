@@ -45,6 +45,10 @@ namespace jsontiles::sql {
 
 struct SqlCatalog {
   std::map<std::string, const storage::Relation*> tables;
+  /// Sharded tables, by the same namespace as `tables` (a name must not
+  /// appear in both). Scans iterate shards with shard-level pruning; EXPLAIN
+  /// ANALYZE reports shards scanned/pruned in the footer.
+  std::map<std::string, const storage::ShardedRelation*> sharded_tables;
 };
 
 struct SqlResult {

@@ -85,9 +85,15 @@ Result<std::unique_ptr<Relation>> Loader::Load(
     }
   }
 
-  // Malformed documents skipped so far, shared across partitions: the
-  // max_errors cap is per load, not per partition.
+  // Malformed documents skipped by this load, shared across partitions. The
+  // max_errors cap is checked against shared_skip_counter when set (sharded
+  // loads enforce one global cap across concurrent shard loads), otherwise
+  // against this load's own count; skipped_total always holds this load's
+  // own skips for the breakdown.
   std::atomic<size_t> skipped_total{0};
+  std::atomic<size_t>* cap_counter = options_.shared_skip_counter
+                                         ? options_.shared_skip_counter
+                                         : &skipped_total;
 
   auto process_partition = [&](size_t p) -> Status {
     JSONTILES_FAILPOINT_RETURN("loader.partition");
@@ -109,8 +115,11 @@ Result<std::unique_ptr<Relation>> Loader::Load(
       Status st = builder.Transform(docs[begin + i], &buf);
       if (!st.ok()) {
         const size_t so_far =
-            skipped_total.fetch_add(1, std::memory_order_relaxed) + 1;
+            cap_counter->fetch_add(1, std::memory_order_relaxed) + 1;
         if (so_far > options_.max_errors) return st;
+        if (cap_counter != &skipped_total) {
+          skipped_total.fetch_add(1, std::memory_order_relaxed);
+        }
         JSONTILES_COUNTER_ADD("loader.docs_skipped", 1);
         continue;
       }
@@ -261,7 +270,8 @@ Result<std::unique_ptr<Relation>> Loader::Load(
       std::vector<std::string> docs_for_path;
       for (size_t r = 0; r < relation->num_rows(); r++) {
         std::vector<std::vector<uint8_t>> exploded;
-        tiles::ExplodeArray(relation->Jsonb(r), path, static_cast<int64_t>(r),
+        tiles::ExplodeArray(relation->Jsonb(r), path,
+                            options_.rowid_base + static_cast<int64_t>(r),
                             &exploded);
         for (const auto& e : exploded) {
           docs_for_path.push_back(json::JsonbValue(e.data()).ToJsonText());

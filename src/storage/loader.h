@@ -11,6 +11,8 @@
 #ifndef JSONTILES_STORAGE_LOADER_H_
 #define JSONTILES_STORAGE_LOADER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -50,6 +52,14 @@ struct LoadOptions {
   double array_min_avg_elements = 2.0;
   double array_min_presence = 0.2;
   size_t array_detect_sample = 1024;
+  /// When several Loader instances load shards of one dataset concurrently,
+  /// they share a skip counter so max_errors caps the skips globally, not
+  /// per shard. LoadBreakdown::skipped_docs still reports this load's own
+  /// skips. Null (the default) keeps a private counter.
+  std::atomic<size_t>* shared_skip_counter = nullptr;
+  /// Added to local row indices when materializing parent row ids in array
+  /// side relations (`_rowid`), so a shard's side rows reference global ids.
+  int64_t rowid_base = 0;
 };
 
 class Loader {

@@ -1,0 +1,724 @@
+#include "storage/shard.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "json/jsonb.h"
+#include "obs/obs.h"
+#include "storage/serialize.h"
+#include "tiles/keypath.h"
+#include "util/bit_util.h"
+#include "util/failpoint.h"
+#include "util/thread_pool.h"
+
+namespace jsontiles::storage {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Documents-per-shard cap mirrored by OpenSharded validation: a corrupt
+/// manifest cannot make us allocate an absurd shard vector.
+constexpr uint64_t kMaxShardCount = 4096;
+
+Status AnnotateShard(const Status& st, size_t shard, const std::string& name) {
+  return Status(st.code(), "shard " + std::to_string(shard) + " of '" + name +
+                               "': " + st.message());
+}
+
+/// Per-document routing decision. Returns the target shard and classifies
+/// the routing value so ShardedRelation::routing_kind() can tell the exec
+/// layer whether equality pruning is sound.
+struct RouteFlags {
+  bool has_int = false;
+  bool has_string = false;
+  bool has_other = false;
+};
+
+uint32_t RouteOne(std::string_view doc, size_t index, size_t shard_count,
+                  const std::string& routing_path, json::JsonbBuilder* builder,
+                  std::vector<uint8_t>* scratch, RouteFlags* flags) {
+  const uint32_t fallback = static_cast<uint32_t>(index % shard_count);
+  scratch->clear();
+  if (!builder->Transform(doc, scratch).ok()) {
+    // Malformed: route by position; the shard loader applies the
+    // max_errors policy exactly as an unsharded load would.
+    return fallback;
+  }
+  auto value =
+      tiles::LookupPath(json::JsonbValue(scratch->data()), routing_path);
+  if (!value.has_value()) return fallback;
+  switch (value->type()) {
+    case json::JsonType::kNull:
+      // SQL NULL never matches an equality predicate, so position-routing
+      // nulls keeps pruning sound without flagging kMixed.
+      return fallback;
+    case json::JsonType::kInt:
+      flags->has_int = true;
+      return static_cast<uint32_t>(ShardKeyHashInt(value->GetInt()) %
+                                   shard_count);
+    case json::JsonType::kFloat: {
+      double d = value->GetDouble();
+      if (std::floor(d) == d && d >= -9223372036854775808.0 &&
+          d < 9223372036854775808.0) {
+        flags->has_int = true;
+        return static_cast<uint32_t>(
+            ShardKeyHashInt(static_cast<int64_t>(d)) % shard_count);
+      }
+      flags->has_other = true;
+      return fallback;
+    }
+    case json::JsonType::kString:
+      flags->has_string = true;
+      return static_cast<uint32_t>(ShardKeyHashString(value->GetString()) %
+                                   shard_count);
+    default:
+      // Bools, numeric strings, objects, arrays: no pruning contract.
+      flags->has_other = true;
+      return fallback;
+  }
+}
+
+RoutingValueKind KindFromFlags(const RouteFlags& f) {
+  if (f.has_other || (f.has_int && f.has_string)) {
+    return RoutingValueKind::kMixed;
+  }
+  if (f.has_int) return RoutingValueKind::kIntOnly;
+  if (f.has_string) return RoutingValueKind::kStringOnly;
+  return RoutingValueKind::kNone;
+}
+
+// --- Manifest serialization ------------------------------------------------
+// serialize.cc keeps its Writer/Reader in an anonymous namespace, so the
+// manifest carries its own small LEB128 writer/reader with the same
+// defensive shape (bounds-checked reads, JT_READ-style early returns).
+
+constexpr char kManifestMagic[4] = {'J', 'T', 'S', 'M'};
+constexpr uint32_t kManifestVersion = 1;
+
+class ManifestWriter {
+ public:
+  explicit ManifestWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(v); }
+  void Varint(uint64_t v) {
+    uint8_t buf[10];
+    int n = bit_util::EncodeVarint(buf, v);
+    out_->insert(out_->end(), buf, buf + n);
+  }
+  void F64(double v) {
+    size_t pos = out_->size();
+    out_->resize(pos + 8);
+    std::memcpy(out_->data() + pos, &v, 8);
+  }
+  void Str(std::string_view s) {
+    Varint(s.size());
+    out_->insert(out_->end(), s.begin(), s.end());
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+class ManifestReader {
+ public:
+  ManifestReader(const uint8_t* data, size_t size)
+      : data_(data), size_(size) {}
+
+  bool U8(uint8_t* v) {
+    if (pos_ >= size_) return false;
+    *v = data_[pos_++];
+    return true;
+  }
+  bool Varint(uint64_t* v) {
+    uint64_t result = 0;
+    int shift = 0;
+    while (pos_ < size_) {
+      uint8_t b = data_[pos_++];
+      result |= static_cast<uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) {
+        *v = result;
+        return true;
+      }
+      shift += 7;
+      if (shift > 63) return false;
+    }
+    return false;
+  }
+  bool F64(double* v) {
+    if (pos_ + 8 > size_) return false;
+    std::memcpy(v, data_ + pos_, 8);
+    pos_ += 8;
+    return true;
+  }
+  bool Str(std::string* s) {
+    uint64_t n;
+    if (!Varint(&n) || pos_ + n > size_) return false;
+    s->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return true;
+  }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+#define JTSM_READ(expr) \
+  if (!(expr)) return Status::ParseError("corrupt shard manifest: " #expr)
+
+Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::Internal("cannot open " + path);
+  size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (written != bytes.size()) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::Internal("cannot stat " + path);
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  size_t read = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (read != bytes.size()) return Status::Internal("short read from " + path);
+  return bytes;
+}
+
+std::string ShardFileName(const std::string& name, size_t shard) {
+  return name + ".shard-" + std::to_string(shard) + ".jtrl";
+}
+
+}  // namespace
+
+ShardStats ComputeShardStats(const Relation& shard) {
+  ShardStats stats;
+  if (shard.mode() != StorageMode::kTiles) return stats;
+
+  // Bloom: the union of the tile blooms. Tile blooms cover every path
+  // MayContainPath would say yes to (extracted-path prefixes plus seen
+  // non-extracted paths), so the union is a sound shard-level filter. All
+  // tiles are built with the same bloom geometry; bail out (no path stats)
+  // if a restored relation ever disagrees.
+  std::vector<uint64_t> words;
+  size_t inserted = 0;
+  bool geometry_ok = true;
+  for (const auto& tile : shard.tiles()) {
+    const auto& tw = tile.seen_paths().words();
+    if (words.empty()) {
+      words = tw;
+    } else if (tw.size() != words.size()) {
+      geometry_ok = false;
+      break;
+    } else {
+      for (size_t i = 0; i < words.size(); i++) words[i] |= tw[i];
+    }
+    inserted += tile.seen_paths().num_inserted();
+  }
+  if (!geometry_ok) return stats;
+  stats.has_path_stats = true;
+  if (!words.empty()) {
+    stats.paths = BloomFilter::Restore(std::move(words), inserted);
+  }
+
+  // Zone maps: for every path any tile extracted with a min/max, widen the
+  // range across tiles. The entry is only valid when every tile that may
+  // contain the path has a trustworthy extracted column of one
+  // order-preserving storage class — otherwise values hide in binary JSON
+  // (or in another class) outside the range.
+  auto int_class = [](tiles::ColumnType t) {
+    return t == tiles::ColumnType::kInt64 || t == tiles::ColumnType::kTimestamp;
+  };
+  for (const auto& tile : shard.tiles()) {
+    for (const auto& col : tile.columns) {
+      if (!col.has_minmax) continue;
+      auto [it, fresh] = stats.zones.try_emplace(col.path);
+      if (fresh) it->second.storage_type = col.storage_type;
+    }
+  }
+  for (auto& [path, zone] : stats.zones) {
+    for (const auto& tile : shard.tiles()) {
+      if (!tile.MayContainPath(path)) continue;
+      const tiles::ExtractedColumn* col = tile.FindColumn(path);
+      if (col == nullptr || !col->has_minmax || col->has_type_outliers) {
+        zone.valid = false;
+        break;
+      }
+      bool same_class =
+          (int_class(col->storage_type) && int_class(zone.storage_type)) ||
+          (col->storage_type == tiles::ColumnType::kFloat64 &&
+           zone.storage_type == tiles::ColumnType::kFloat64);
+      if (!same_class) {
+        zone.valid = false;
+        break;
+      }
+      // Timestamp beats plain Int64 when both appear: scans compare
+      // timestamps as int64 microseconds either way.
+      if (!zone.any_values) {
+        zone.min_i = col->min_i;
+        zone.max_i = col->max_i;
+        zone.min_d = col->min_d;
+        zone.max_d = col->max_d;
+        zone.any_values = true;
+      } else {
+        zone.min_i = std::min(zone.min_i, col->min_i);
+        zone.max_i = std::max(zone.max_i, col->max_i);
+        zone.min_d = std::min(zone.min_d, col->min_d);
+        zone.max_d = std::max(zone.max_d, col->max_d);
+      }
+    }
+    if (!zone.any_values) zone.valid = false;
+  }
+  // Drop invalid entries so FindZone misses are cheap and unambiguous.
+  for (auto it = stats.zones.begin(); it != stats.zones.end();) {
+    if (it->second.valid) {
+      ++it;
+    } else {
+      it = stats.zones.erase(it);
+    }
+  }
+  return stats;
+}
+
+Result<std::unique_ptr<ShardedRelation>> ShardedRelation::Load(
+    const std::vector<std::string>& docs, const std::string& name,
+    StorageMode mode, tiles::TileConfig config, LoadOptions load_options,
+    ShardOptions shard_options, LoadBreakdown* breakdown) {
+  JSONTILES_TRACE_SPAN("shard.load");
+  if (shard_options.shard_count == 0 ||
+      shard_options.shard_count > kMaxShardCount) {
+    return Status::InvalidArgument("shard_count must be in [1, " +
+                                   std::to_string(kMaxShardCount) + "]");
+  }
+  if (shard_options.routing == ShardRouting::kHashKey &&
+      shard_options.routing_keys.empty()) {
+    return Status::InvalidArgument("hash routing requires routing_keys");
+  }
+  auto wall0 = Clock::now();
+  const size_t shard_count = shard_options.shard_count;
+
+  std::string routing_path;
+  if (shard_options.routing == ShardRouting::kHashKey) {
+    for (const auto& key : shard_options.routing_keys) {
+      tiles::AppendKeySegment(&routing_path, key);
+    }
+  }
+
+  // Route every document to a shard. Hash routing parses each document once
+  // to find the routing value; the per-doc work is independent, so it runs
+  // on the pool alongside nothing else (the shard loads come after).
+  std::vector<uint32_t> target(docs.size(), 0);
+  RoutingValueKind routing_kind = RoutingValueKind::kNone;
+  if (shard_count > 1 || shard_options.routing == ShardRouting::kHashKey) {
+    if (shard_options.routing == ShardRouting::kRoundRobin) {
+      for (size_t i = 0; i < docs.size(); i++) {
+        target[i] = static_cast<uint32_t>(i % shard_count);
+      }
+    } else {
+      JSONTILES_TRACE_SPAN("shard.route");
+      const size_t workers = std::max<size_t>(load_options.num_threads, 1);
+      std::vector<RouteFlags> flags(workers + 1);
+      if (workers > 1 && docs.size() > 1) {
+        ThreadPool pool(workers);
+        std::vector<json::JsonbBuilder> builders(workers + 1);
+        std::vector<std::vector<uint8_t>> scratch(workers + 1);
+        pool.ParallelFor(
+            docs.size(),
+            [&](size_t i, size_t w) {
+              target[i] =
+                  RouteOne(docs[i], i, shard_count, routing_path, &builders[w],
+                           &scratch[w], &flags[w]);
+            },
+            /*chunk=*/256);
+      } else {
+        json::JsonbBuilder builder;
+        std::vector<uint8_t> scratch;
+        for (size_t i = 0; i < docs.size(); i++) {
+          target[i] = RouteOne(docs[i], i, shard_count, routing_path, &builder,
+                               &scratch, &flags[0]);
+        }
+      }
+      RouteFlags merged;
+      for (const auto& f : flags) {
+        merged.has_int |= f.has_int;
+        merged.has_string |= f.has_string;
+        merged.has_other |= f.has_other;
+      }
+      routing_kind = KindFromFlags(merged);
+    }
+  }
+
+  std::vector<std::vector<std::string>> shard_docs(shard_count);
+  if (shard_count > 1) {
+    std::vector<size_t> counts(shard_count, 0);
+    for (uint32_t t : target) counts[t]++;
+    for (size_t s = 0; s < shard_count; s++) shard_docs[s].reserve(counts[s]);
+    for (size_t i = 0; i < docs.size(); i++) {
+      shard_docs[target[i]].push_back(docs[i]);
+    }
+  } else {
+    shard_docs[0] = docs;
+  }
+
+  // Load the shards concurrently: one single-threaded Loader per shard, the
+  // outer pool provides the parallelism. max_errors is enforced globally
+  // through the shared counter (checked inside each Loader).
+  std::atomic<size_t> shared_skips{0};
+  std::vector<std::unique_ptr<Relation>> shards(shard_count);
+  std::vector<LoadBreakdown> shard_bd(shard_count);
+  auto load_shard = [&](size_t s, size_t) -> Status {
+    JSONTILES_FAILPOINT_RETURN("shard.shard_load");
+    JSONTILES_TRACE_SPAN("shard.shard_load");
+    LoadOptions opts = load_options;
+    opts.num_threads = 1;
+    opts.shared_skip_counter = &shared_skips;
+    opts.rowid_base = RowIdBase(s);
+    Loader loader(mode, config, opts);
+    auto result = loader.Load(shard_docs[s], name, &shard_bd[s]);
+    if (!result.ok()) return result.status();
+    shards[s] = result.MoveValueOrDie();
+    return Status::OK();
+  };
+  const size_t load_workers =
+      std::min(std::max<size_t>(load_options.num_threads, 1), shard_count);
+  Status load_st;
+  if (load_workers > 1 && shard_count > 1) {
+    ThreadPool pool(load_workers);
+    // Annotating with the shard index needs the index of the *failing*
+    // iteration; wrap so the returned Status already carries it.
+    load_st = pool.ParallelForStatus(shard_count, [&](size_t s, size_t w) {
+      Status st = load_shard(s, w);
+      return st.ok() ? st : AnnotateShard(st, s, name);
+    });
+  } else {
+    for (size_t s = 0; s < shard_count && load_st.ok(); s++) {
+      Status st = load_shard(s, 0);
+      if (!st.ok()) load_st = AnnotateShard(st, s, name);
+    }
+  }
+  if (!load_st.ok()) return load_st;
+
+  auto sharded = std::unique_ptr<ShardedRelation>(new ShardedRelation());
+  sharded->name_ = name;
+  sharded->mode_ = mode;
+  sharded->config_ = config;
+  sharded->shard_options_ = shard_options;
+  sharded->routing_path_ = std::move(routing_path);
+  sharded->routing_kind_ = routing_kind;
+  sharded->shards_ = std::move(shards);
+  sharded->shard_stats_.reserve(shard_count);
+  for (size_t s = 0; s < shard_count; s++) {
+    sharded->shard_stats_.push_back(ComputeShardStats(*sharded->shards_[s]));
+    sharded->num_rows_ += sharded->shards_[s]->num_rows();
+  }
+  JSONTILES_COUNTER_ADD("shard.loads", 1);
+  JSONTILES_COUNTER_ADD("shard.shards_loaded", shard_count);
+
+  if (breakdown != nullptr) {
+    *breakdown = LoadBreakdown{};
+    for (const auto& bd : shard_bd) {
+      breakdown->jsonb_secs += bd.jsonb_secs;
+      breakdown->mine_secs += bd.mine_secs;
+      breakdown->reorder_secs += bd.reorder_secs;
+      breakdown->extract_secs += bd.extract_secs;
+      breakdown->tuples += bd.tuples;
+      breakdown->moved_tuples += bd.moved_tuples;
+      breakdown->skipped_docs += bd.skipped_docs;
+    }
+    breakdown->total_wall_secs = Seconds(wall0, Clock::now());
+  }
+  return sharded;
+}
+
+std::vector<ShardedRelation::SidePart> ShardedRelation::SideParts(
+    std::string_view array_path) const {
+  std::vector<SidePart> parts;
+  for (size_t s = 0; s < shards_.size(); s++) {
+    const Relation* side = shards_[s]->FindSideRelation(array_path);
+    if (side != nullptr) parts.push_back({side, RowIdBase(s)});
+  }
+  return parts;
+}
+
+bool ShardedRelation::HasSideRelation(std::string_view array_path) const {
+  for (const auto& shard : shards_) {
+    if (shard->FindSideRelation(array_path) != nullptr) return true;
+  }
+  return false;
+}
+
+std::unique_ptr<ShardedRelation> ShardedRelation::Assemble(
+    std::string name, StorageMode mode, tiles::TileConfig config,
+    ShardOptions shard_options, std::string routing_path,
+    RoutingValueKind routing_kind,
+    std::vector<std::unique_ptr<Relation>> shards) {
+  auto sharded = std::unique_ptr<ShardedRelation>(new ShardedRelation());
+  sharded->name_ = std::move(name);
+  sharded->mode_ = mode;
+  sharded->config_ = config;
+  sharded->shard_options_ = std::move(shard_options);
+  sharded->routing_path_ = std::move(routing_path);
+  sharded->routing_kind_ = routing_kind;
+  sharded->shards_ = std::move(shards);
+  sharded->shard_stats_.reserve(sharded->shards_.size());
+  for (const auto& shard : sharded->shards_) {
+    sharded->shard_stats_.push_back(ComputeShardStats(*shard));
+    sharded->num_rows_ += shard->num_rows();
+  }
+  return sharded;
+}
+
+std::string ShardManifestPath(const std::string& dir,
+                              const std::string& name) {
+  return dir + "/" + name + ".jtsm";
+}
+
+Status SaveSharded(const ShardedRelation& sharded, const std::string& dir) {
+  JSONTILES_TRACE_SPAN("shard.save");
+  std::vector<std::string> written;
+  auto cleanup = [&]() {
+    for (const auto& path : written) std::remove(path.c_str());
+  };
+
+  std::vector<size_t> file_sizes(sharded.shard_count(), 0);
+  for (size_t s = 0; s < sharded.shard_count(); s++) {
+    std::vector<uint8_t> bytes;
+    Status st = SerializeRelation(sharded.shard(s), &bytes);
+    if (st.ok()) {
+      const std::string path = dir + "/" + ShardFileName(sharded.name(), s);
+      written.push_back(path);
+      file_sizes[s] = bytes.size();
+      st = WriteFile(path, bytes);
+    }
+    if (!st.ok()) {
+      cleanup();
+      return AnnotateShard(st, s, sharded.name());
+    }
+  }
+
+  {
+    Status st = JSONTILES_FAILPOINT_STATUS("shard.manifest_write");
+    if (!st.ok()) {
+      cleanup();
+      return st;
+    }
+  }
+
+  std::vector<uint8_t> manifest;
+  ManifestWriter w(&manifest);
+  manifest.insert(manifest.end(), kManifestMagic, kManifestMagic + 4);
+  w.Varint(kManifestVersion);
+  w.Str(sharded.name());
+  w.U8(static_cast<uint8_t>(sharded.mode()));
+  w.U8(static_cast<uint8_t>(sharded.shard_options().routing));
+  w.Str(sharded.routing_path());
+  w.U8(static_cast<uint8_t>(sharded.routing_kind()));
+  const auto& config = sharded.config();
+  w.Varint(config.tile_size);
+  w.Varint(config.partition_size);
+  w.F64(config.extraction_threshold);
+  w.U8(config.enable_date_extraction ? 1 : 0);
+  w.U8(config.enable_reordering ? 1 : 0);
+  w.Varint(sharded.shard_count());
+  for (size_t s = 0; s < sharded.shard_count(); s++) {
+    w.Str(ShardFileName(sharded.name(), s));
+    w.Varint(sharded.shard(s).num_rows());
+    w.Varint(file_sizes[s]);
+  }
+
+  // Manifest last, via temp file + rename: a reader either sees no manifest
+  // or a manifest whose shard files are all complete.
+  const std::string manifest_path = ShardManifestPath(dir, sharded.name());
+  const std::string tmp_path = manifest_path + ".tmp";
+  Status st = WriteFile(tmp_path, manifest);
+  if (st.ok() && std::rename(tmp_path.c_str(), manifest_path.c_str()) != 0) {
+    st = Status::Internal("cannot rename " + tmp_path);
+  }
+  if (!st.ok()) {
+    std::remove(tmp_path.c_str());
+    cleanup();
+    return st;
+  }
+  JSONTILES_COUNTER_ADD("shard.manifests_written", 1);
+  return Status::OK();
+}
+
+namespace {
+
+Status ValidateShardFileName(const std::string& filename) {
+  if (filename.empty()) {
+    return Status::ParseError("corrupt shard manifest: empty shard filename");
+  }
+  if (filename.find('/') != std::string::npos ||
+      filename.find('\\') != std::string::npos ||
+      filename.find('\0') != std::string::npos ||
+      filename == "." || filename == "..") {
+    return Status::ParseError(
+        "corrupt shard manifest: shard filename must be a plain file name");
+  }
+  return Status::OK();
+}
+
+Status ParseManifest(const std::vector<uint8_t>& bytes, std::string* name,
+                     StorageMode* mode, ShardOptions* shard_options,
+                     std::string* routing_path, RoutingValueKind* routing_kind,
+                     tiles::TileConfig* config,
+                     std::vector<std::string>* filenames,
+                     std::vector<uint64_t>* num_rows,
+                     std::vector<uint64_t>* file_sizes) {
+  ManifestReader r(bytes.data(), bytes.size());
+  JTSM_READ(bytes.size() >= 4 &&
+            std::memcmp(bytes.data(), kManifestMagic, 4) == 0);
+  // Skip the magic (the reader starts at 0).
+  {
+    uint8_t b;
+    for (int i = 0; i < 4; i++) JTSM_READ(r.U8(&b));
+  }
+  uint64_t version;
+  JTSM_READ(r.Varint(&version));
+  JTSM_READ(version == kManifestVersion);
+  JTSM_READ(r.Str(name));
+  JTSM_READ(!name->empty());
+  uint8_t mode_raw, routing_raw, kind_raw;
+  JTSM_READ(r.U8(&mode_raw));
+  JTSM_READ(mode_raw <= static_cast<uint8_t>(StorageMode::kTiles));
+  *mode = static_cast<StorageMode>(mode_raw);
+  JTSM_READ(r.U8(&routing_raw));
+  JTSM_READ(routing_raw <= static_cast<uint8_t>(ShardRouting::kHashKey));
+  shard_options->routing = static_cast<ShardRouting>(routing_raw);
+  JTSM_READ(r.Str(routing_path));
+  JTSM_READ(r.U8(&kind_raw));
+  JTSM_READ(kind_raw <= static_cast<uint8_t>(RoutingValueKind::kMixed));
+  *routing_kind = static_cast<RoutingValueKind>(kind_raw);
+  uint64_t tile_size, partition_size;
+  JTSM_READ(r.Varint(&tile_size));
+  JTSM_READ(tile_size >= 1 && tile_size <= (1u << 20));
+  JTSM_READ(r.Varint(&partition_size));
+  JTSM_READ(partition_size >= 1 && partition_size <= (1u << 20));
+  config->tile_size = tile_size;
+  config->partition_size = partition_size;
+  JTSM_READ(r.F64(&config->extraction_threshold));
+  JTSM_READ(config->extraction_threshold >= 0 &&
+            config->extraction_threshold <= 1);
+  uint8_t flag;
+  JTSM_READ(r.U8(&flag));
+  JTSM_READ(flag <= 1);
+  config->enable_date_extraction = flag != 0;
+  JTSM_READ(r.U8(&flag));
+  JTSM_READ(flag <= 1);
+  config->enable_reordering = flag != 0;
+  uint64_t shard_count;
+  JTSM_READ(r.Varint(&shard_count));
+  JTSM_READ(shard_count >= 1 && shard_count <= kMaxShardCount);
+  shard_options->shard_count = shard_count;
+  for (uint64_t s = 0; s < shard_count; s++) {
+    std::string filename;
+    uint64_t rows, size;
+    JTSM_READ(r.Str(&filename));
+    JSONTILES_RETURN_NOT_OK(ValidateShardFileName(filename));
+    JTSM_READ(r.Varint(&rows));
+    JTSM_READ(r.Varint(&size));
+    filenames->push_back(std::move(filename));
+    num_rows->push_back(rows);
+    file_sizes->push_back(size);
+  }
+  JTSM_READ(r.AtEnd());
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShardedRelation>> OpenSharded(
+    const std::string& manifest_path) {
+  JSONTILES_TRACE_SPAN("shard.open");
+  JSONTILES_FAILPOINT_RETURN("shard.open");
+  auto bytes = ReadFile(manifest_path);
+  if (!bytes.ok()) return bytes.status();
+
+  std::string name, routing_path;
+  StorageMode mode;
+  ShardOptions shard_options;
+  RoutingValueKind routing_kind;
+  tiles::TileConfig config;
+  std::vector<std::string> filenames;
+  std::vector<uint64_t> num_rows, file_sizes;
+  JSONTILES_RETURN_NOT_OK(ParseManifest(bytes.ValueOrDie(), &name, &mode,
+                                        &shard_options, &routing_path,
+                                        &routing_kind, &config, &filenames,
+                                        &num_rows, &file_sizes));
+  if (shard_options.routing == ShardRouting::kRoundRobin) {
+    // Defensive: a round-robin manifest must not smuggle in pruning state.
+    if (!routing_path.empty() || routing_kind != RoutingValueKind::kNone) {
+      return Status::ParseError(
+          "corrupt shard manifest: round-robin with routing state");
+    }
+  }
+
+  std::string dir = ".";
+  if (auto slash = manifest_path.find_last_of('/');
+      slash != std::string::npos) {
+    dir = manifest_path.substr(0, slash);
+  }
+
+  std::vector<std::unique_ptr<Relation>> shards;
+  shards.reserve(filenames.size());
+  for (size_t s = 0; s < filenames.size(); s++) {
+    const std::string path = dir + "/" + filenames[s];
+    auto file = ReadFile(path);
+    if (!file.ok()) return AnnotateShard(file.status(), s, name);
+    // Exact-size check first: truncated or padded shard files fail with a
+    // clear message even when the content happens to still deserialize.
+    if (file.ValueOrDie().size() != file_sizes[s]) {
+      return AnnotateShard(
+          Status::ParseError("shard file " + filenames[s] + " has " +
+                             std::to_string(file.ValueOrDie().size()) +
+                             " bytes, manifest expects " +
+                             std::to_string(file_sizes[s])),
+          s, name);
+    }
+    auto relation = DeserializeRelation(file.ValueOrDie().data(),
+                                        file.ValueOrDie().size());
+    if (!relation.ok()) return AnnotateShard(relation.status(), s, name);
+    std::unique_ptr<Relation> shard = relation.MoveValueOrDie();
+    if (shard->mode() != mode) {
+      return AnnotateShard(
+          Status::ParseError("shard file mode disagrees with manifest"), s,
+          name);
+    }
+    if (shard->num_rows() != num_rows[s]) {
+      return AnnotateShard(
+          Status::ParseError("shard file has " +
+                             std::to_string(shard->num_rows()) +
+                             " rows, manifest expects " +
+                             std::to_string(num_rows[s])),
+          s, name);
+    }
+    shards.push_back(std::move(shard));
+  }
+  JSONTILES_COUNTER_ADD("shard.manifests_opened", 1);
+  return ShardedRelation::Assemble(std::move(name), mode, config,
+                                   std::move(shard_options),
+                                   std::move(routing_path), routing_kind,
+                                   std::move(shards));
+}
+
+}  // namespace jsontiles::storage

@@ -17,6 +17,7 @@ using exec::ValueType;
 using opt::PlannerOptions;
 using opt::QueryBlock;
 using opt::TableRef;
+using opt::TableSource;
 using storage::Relation;
 
 // Access shorthands.
@@ -34,11 +35,11 @@ ExprPtr AD(const char* t, const char* key) {
 }
 
 // A "table" of the combined relation: IS NOT NULL on the table's key marker.
-TableRef T(const Relation& rel, const char* alias, const char* marker,
+TableRef T(const TableSource& rel, const char* alias, const char* marker,
            ExprPtr extra = nullptr) {
   ExprPtr filter = exec::IsNotNull(AI(alias, marker));
   if (extra != nullptr) filter = exec::And(filter, std::move(extra));
-  return TableRef::Rel(alias, &rel, std::move(filter));
+  return TableRef::Src(alias, rel, std::move(filter));
 }
 
 // l_extendedprice * (1 - l_discount)
@@ -71,7 +72,7 @@ using exec::Sub;
 using exec::Substring;
 using exec::Year;
 
-RowSet Q1(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
+RowSet Q1(const TableSource& rel, QueryContext& ctx, const PlannerOptions& opts) {
   QueryBlock q;
   q.AddTable(T(rel, "l", "l_orderkey",
                Le(AD("l", "l_shipdate"), ConstDate("1998-09-02"))));
@@ -90,7 +91,7 @@ RowSet Q1(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
   return q.Execute(ctx, opts);
 }
 
-RowSet Q2(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
+RowSet Q2(const TableSource& rel, QueryContext& ctx, const PlannerOptions& opts) {
   // Candidate suppliers for size-15 %BRASS parts in EUROPE.
   QueryBlock inner;
   inner.AddTable(T(rel, "p", "p_partkey",
@@ -142,7 +143,7 @@ RowSet Q2(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
   return outer.Execute(ctx, opts);
 }
 
-RowSet Q3(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
+RowSet Q3(const TableSource& rel, QueryContext& ctx, const PlannerOptions& opts) {
   QueryBlock q;
   q.AddTable(T(rel, "c", "c_custkey",
                Eq(AS("c", "c_mktsegment"), ConstString("BUILDING"))));
@@ -161,7 +162,7 @@ RowSet Q3(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
   return q.Execute(ctx, opts);
 }
 
-RowSet Q4(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
+RowSet Q4(const TableSource& rel, QueryContext& ctx, const PlannerOptions& opts) {
   QueryBlock ob;
   ob.AddTable(T(rel, "o", "o_orderkey",
                 And(Ge(AD("o", "o_orderdate"), ConstDate("1993-07-01")),
@@ -181,7 +182,7 @@ RowSet Q4(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
   return exec::SortExec(std::move(agg), {{Slot(0), false}}, ctx);
 }
 
-RowSet Q5(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
+RowSet Q5(const TableSource& rel, QueryContext& ctx, const PlannerOptions& opts) {
   QueryBlock q;
   q.AddTable(T(rel, "c", "c_custkey"));
   q.AddTable(T(rel, "o", "o_orderkey",
@@ -204,7 +205,7 @@ RowSet Q5(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
   return q.Execute(ctx, opts);
 }
 
-RowSet Q6(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
+RowSet Q6(const TableSource& rel, QueryContext& ctx, const PlannerOptions& opts) {
   QueryBlock q;
   q.AddTable(T(rel, "l", "l_orderkey",
                And({Ge(AD("l", "l_shipdate"), ConstDate("1994-01-01")),
@@ -217,7 +218,7 @@ RowSet Q6(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
   return q.Execute(ctx, opts);
 }
 
-RowSet Q7(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
+RowSet Q7(const TableSource& rel, QueryContext& ctx, const PlannerOptions& opts) {
   ExprPtr nations = InList(AS("n1", "n_name"), {"FRANCE", "GERMANY"});
   ExprPtr nations2 = InList(AS("n2", "n_name"), {"FRANCE", "GERMANY"});
   QueryBlock q;
@@ -246,7 +247,7 @@ RowSet Q7(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
   return q.Execute(ctx, opts);
 }
 
-RowSet Q8(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
+RowSet Q8(const TableSource& rel, QueryContext& ctx, const PlannerOptions& opts) {
   QueryBlock q;
   q.AddTable(T(rel, "p", "p_partkey",
                Eq(AS("p", "p_type"), ConstString("ECONOMY ANODIZED STEEL"))));
@@ -278,7 +279,7 @@ RowSet Q8(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
   return exec::SortExec(std::move(shares), {{Slot(0), false}}, ctx);
 }
 
-RowSet Q9(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
+RowSet Q9(const TableSource& rel, QueryContext& ctx, const PlannerOptions& opts) {
   QueryBlock q;
   q.AddTable(T(rel, "p", "p_partkey", Like(AS("p", "p_name"), "%green%")));
   q.AddTable(T(rel, "l", "l_orderkey"));
@@ -300,7 +301,7 @@ RowSet Q9(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
   return q.Execute(ctx, opts);
 }
 
-RowSet Q10(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
+RowSet Q10(const TableSource& rel, QueryContext& ctx, const PlannerOptions& opts) {
   QueryBlock q;
   q.AddTable(T(rel, "c", "c_custkey"));
   q.AddTable(T(rel, "o", "o_orderkey",
@@ -322,7 +323,7 @@ RowSet Q10(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
   return q.Execute(ctx, opts);
 }
 
-RowSet Q11(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
+RowSet Q11(const TableSource& rel, QueryContext& ctx, const PlannerOptions& opts) {
   auto build_value_block = [&]() {
     QueryBlock q;
     q.AddTable(T(rel, "ps", "ps_partkey"));
@@ -344,7 +345,7 @@ RowSet Q11(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
   return exec::SortExec(std::move(filtered), {{Slot(1), true}}, ctx);
 }
 
-RowSet Q12(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
+RowSet Q12(const TableSource& rel, QueryContext& ctx, const PlannerOptions& opts) {
   QueryBlock q;
   q.AddTable(T(rel, "o", "o_orderkey"));
   q.AddTable(
@@ -366,7 +367,7 @@ RowSet Q12(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
   return q.Execute(ctx, opts);
 }
 
-RowSet Q13(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
+RowSet Q13(const TableSource& rel, QueryContext& ctx, const PlannerOptions& opts) {
   QueryBlock ob;
   ob.AddTable(T(rel, "o", "o_orderkey",
                 Like(AS("o", "o_comment"), "%special%requests%",
@@ -390,7 +391,7 @@ RowSet Q13(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
   return exec::SortExec(std::move(dist), {{Slot(1), true}, {Slot(0), true}}, ctx);
 }
 
-RowSet Q14(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
+RowSet Q14(const TableSource& rel, QueryContext& ctx, const PlannerOptions& opts) {
   QueryBlock q;
   q.AddTable(T(rel, "l", "l_orderkey",
                And(Ge(AD("l", "l_shipdate"), ConstDate("1995-09-01")),
@@ -406,7 +407,7 @@ RowSet Q14(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
       grouped, {Mul(ConstFloat(100.0), Div(Slot(0), Slot(1)))}, ctx);
 }
 
-RowSet Q15(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
+RowSet Q15(const TableSource& rel, QueryContext& ctx, const PlannerOptions& opts) {
   QueryBlock lb;
   lb.AddTable(T(rel, "l", "l_orderkey",
                 And(Ge(AD("l", "l_shipdate"), ConstDate("1996-01-01")),
@@ -432,7 +433,7 @@ RowSet Q15(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
   return sb.Execute(ctx, opts);
 }
 
-RowSet Q16(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
+RowSet Q16(const TableSource& rel, QueryContext& ctx, const PlannerOptions& opts) {
   QueryBlock bad;
   bad.AddTable(T(rel, "s", "s_suppkey",
                  Like(AS("s", "s_comment"), "%Customer%Complaints%")));
@@ -462,7 +463,7 @@ RowSet Q16(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
       ctx);
 }
 
-RowSet Q17(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
+RowSet Q17(const TableSource& rel, QueryContext& ctx, const PlannerOptions& opts) {
   QueryBlock avg_block;
   avg_block.AddTable(T(rel, "l", "l_orderkey"));
   avg_block.GroupBy({AI("l", "l_partkey")});
@@ -487,7 +488,7 @@ RowSet Q17(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
   return exec::ProjectExec(total, {Div(Slot(0), ConstFloat(7.0))}, ctx);
 }
 
-RowSet Q18(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
+RowSet Q18(const TableSource& rel, QueryContext& ctx, const PlannerOptions& opts) {
   QueryBlock lb;
   lb.AddTable(T(rel, "l", "l_orderkey"));
   lb.GroupBy({AI("l", "l_orderkey")});
@@ -512,7 +513,7 @@ RowSet Q18(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
   return q.Execute(ctx, opts);
 }
 
-RowSet Q19(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
+RowSet Q19(const TableSource& rel, QueryContext& ctx, const PlannerOptions& opts) {
   QueryBlock q;
   q.AddTable(T(rel, "l", "l_orderkey",
                And(InList(AS("l", "l_shipmode"), {"AIR", "REG AIR"}),
@@ -539,7 +540,7 @@ RowSet Q19(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
   return q.Execute(ctx, opts);
 }
 
-RowSet Q20(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
+RowSet Q20(const TableSource& rel, QueryContext& ctx, const PlannerOptions& opts) {
   QueryBlock pb;
   pb.AddTable(T(rel, "p", "p_partkey", Like(AS("p", "p_name"), "forest%")));
   pb.Select({AI("p", "p_partkey")});
@@ -582,7 +583,7 @@ RowSet Q20(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
   return exec::SortExec(std::move(result), {{Slot(1), false}}, ctx);
 }
 
-RowSet Q21(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
+RowSet Q21(const TableSource& rel, QueryContext& ctx, const PlannerOptions& opts) {
   // l2: any lineitem per order/supplier.
   QueryBlock l2b;
   l2b.AddTable(T(rel, "l", "l_orderkey"));
@@ -627,7 +628,7 @@ RowSet Q21(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
   return exec::LimitExec(std::move(agg), 100);
 }
 
-RowSet Q22(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
+RowSet Q22(const TableSource& rel, QueryContext& ctx, const PlannerOptions& opts) {
   std::vector<std::string> codes = {"13", "31", "23", "29", "30", "18", "17"};
 
   QueryBlock avg_block;
@@ -661,7 +662,7 @@ RowSet Q22(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
 
 }  // namespace
 
-exec::RowSet RunTpchQuery(int number, const Relation& rel, QueryContext& ctx,
+exec::RowSet RunTpchQuery(int number, const opt::TableSource& rel, QueryContext& ctx,
                           const PlannerOptions& planner) {
   switch (number) {
     case 1: return Q1(rel, ctx, planner);

@@ -17,8 +17,9 @@
 
 namespace jsontiles::workload {
 
-/// Execute TPC-H query `number` (1-22) against the combined relation.
-exec::RowSet RunTpchQuery(int number, const storage::Relation& rel,
+/// Execute TPC-H query `number` (1-22) against the combined relation. The
+/// source may be a plain or a sharded relation (implicit TableSource).
+exec::RowSet RunTpchQuery(int number, const opt::TableSource& rel,
                           exec::QueryContext& ctx,
                           const opt::PlannerOptions& planner = {});
 

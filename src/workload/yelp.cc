@@ -16,6 +16,7 @@ using exec::Slot;
 using exec::ValueType;
 using opt::QueryBlock;
 using opt::TableRef;
+using opt::TableSource;
 
 const char* kCities[] = {"Phoenix", "Las Vegas", "Toronto", "Charlotte",
                          "Pittsburgh", "Montreal", "Cleveland", "Madison"};
@@ -174,14 +175,14 @@ ExprPtr BI(const char* t, const char* k) { return Access(t, {k}, ValueType::kInt
 ExprPtr BF(const char* t, const char* k) { return Access(t, {k}, ValueType::kFloat); }
 
 // Y1: average review stars and review volume per city of open businesses.
-RowSet Y1(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
+RowSet Y1(const TableSource& rel, QueryContext& ctx, const PlannerOptions& opts) {
   QueryBlock q;
-  q.AddTable(TableRef::Rel(
-      "b", &rel,
+  q.AddTable(TableRef::Src(
+      "b", rel,
       And(IsNotNull(BS("b", "business_id")),
           And(IsNotNull(BS("b", "city")),
               Eq(BI("b", "is_open"), ConstInt(1))))));
-  q.AddTable(TableRef::Rel("r", &rel, IsNotNull(BS("r", "review_id"))));
+  q.AddTable(TableRef::Src("r", rel, IsNotNull(BS("r", "review_id"))));
   q.AddJoin(BS("r", "business_id"), BS("b", "business_id"));
   q.GroupBy({BS("b", "city")});
   q.Aggregate(AggSpec::Avg(BI("r", "stars")));
@@ -191,12 +192,12 @@ RowSet Y1(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
 }
 
 // Y2: the most active reviewers and their average given stars.
-RowSet Y2(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
+RowSet Y2(const TableSource& rel, QueryContext& ctx, const PlannerOptions& opts) {
   QueryBlock q;
-  q.AddTable(TableRef::Rel("u", &rel,
+  q.AddTable(TableRef::Src("u", rel,
                            And(IsNotNull(BS("u", "user_id")),
                                IsNotNull(BS("u", "yelping_since")))));
-  q.AddTable(TableRef::Rel("r", &rel, IsNotNull(BS("r", "review_id"))));
+  q.AddTable(TableRef::Src("r", rel, IsNotNull(BS("r", "review_id"))));
   q.AddJoin(BS("r", "user_id"), BS("u", "user_id"));
   q.GroupBy({BS("u", "user_id"), BS("u", "name")});
   q.Aggregate(AggSpec::CountStar());
@@ -208,11 +209,11 @@ RowSet Y2(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
 }
 
 // Y3: three-way join: do elite reviewers rate differently per state?
-RowSet Y3(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
+RowSet Y3(const TableSource& rel, QueryContext& ctx, const PlannerOptions& opts) {
   QueryBlock q;
-  q.AddTable(TableRef::Rel("b", &rel, IsNotNull(BS("b", "state"))));
-  q.AddTable(TableRef::Rel("r", &rel, IsNotNull(BS("r", "review_id"))));
-  q.AddTable(TableRef::Rel("u", &rel,
+  q.AddTable(TableRef::Src("b", rel, IsNotNull(BS("b", "state"))));
+  q.AddTable(TableRef::Src("r", rel, IsNotNull(BS("r", "review_id"))));
+  q.AddTable(TableRef::Src("u", rel,
                            And(IsNotNull(BS("u", "yelping_since")),
                                Gt(BI("u", "fans"), ConstInt(50)))));
   q.AddJoin(BS("r", "business_id"), BS("b", "business_id"));
@@ -225,9 +226,9 @@ RowSet Y3(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
 }
 
 // Y4 (paper's example): number of reviews per star rating.
-RowSet Y4(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
+RowSet Y4(const TableSource& rel, QueryContext& ctx, const PlannerOptions& opts) {
   QueryBlock q;
-  q.AddTable(TableRef::Rel("r", &rel, IsNotNull(BS("r", "review_id"))));
+  q.AddTable(TableRef::Src("r", rel, IsNotNull(BS("r", "review_id"))));
   q.GroupBy({BI("r", "stars")});
   q.Aggregate(AggSpec::CountStar());
   q.OrderBy(Slot(0));
@@ -235,13 +236,13 @@ RowSet Y4(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
 }
 
 // Y5: compliment-weighted tips per state for highly-rated businesses.
-RowSet Y5(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
+RowSet Y5(const TableSource& rel, QueryContext& ctx, const PlannerOptions& opts) {
   QueryBlock q;
-  q.AddTable(TableRef::Rel("b", &rel,
+  q.AddTable(TableRef::Src("b", rel,
                            And(IsNotNull(BS("b", "state"))   ,
                                Ge(BF("b", "stars"), exec::ConstFloat(4.0)))));
-  q.AddTable(TableRef::Rel(
-      "t", &rel,
+  q.AddTable(TableRef::Src(
+      "t", rel,
       And(IsNotNull(BI("t", "compliment_count")), IsNotNull(BS("t", "date")))));
   q.AddJoin(BS("t", "business_id"), BS("b", "business_id"));
   q.GroupBy({BS("b", "state")});
@@ -253,7 +254,7 @@ RowSet Y5(const Relation& rel, QueryContext& ctx, const PlannerOptions& opts) {
 
 }  // namespace
 
-exec::RowSet RunYelpQuery(int number, const storage::Relation& rel,
+exec::RowSet RunYelpQuery(int number, const opt::TableSource& rel,
                           exec::QueryContext& ctx,
                           const opt::PlannerOptions& planner) {
   switch (number) {

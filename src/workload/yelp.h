@@ -27,8 +27,9 @@ struct YelpOptions {
 
 std::vector<std::string> GenerateYelp(const YelpOptions& options);
 
-/// The five Yelp queries (Table 2).
-exec::RowSet RunYelpQuery(int number, const storage::Relation& rel,
+/// The five Yelp queries (Table 2). The source may be a plain or a sharded
+/// relation (implicit TableSource).
+exec::RowSet RunYelpQuery(int number, const opt::TableSource& rel,
                           exec::QueryContext& ctx,
                           const opt::PlannerOptions& planner = {});
 const char* YelpQueryName(int number);

@@ -1,0 +1,197 @@
+// ExactFloatSum (exec/float_sum.h) underpins the sharded/unsharded
+// bit-identity guarantee: SUM/AVG must not depend on the order rows are
+// merged. These tests permute adversarial inputs (catastrophic cancellation,
+// 1e16-magnitude spreads, half-ulp rounding edges), split them into
+// arbitrary Merge partitions, and check the aggregate layer end to end.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/float_sum.h"
+#include "exec/operators.h"
+#include "exec/scan.h"
+
+namespace jsontiles::exec {
+namespace {
+
+double SumOf(const std::vector<double>& xs) {
+  ExactFloatSum sum;
+  for (double x : xs) sum.Add(x);
+  return sum.Round();
+}
+
+TEST(ExactFloatSumTest, EmptyAndSingle) {
+  ExactFloatSum sum;
+  EXPECT_TRUE(sum.empty());
+  EXPECT_EQ(sum.Round(), 0.0);
+  sum.Add(3.25);
+  EXPECT_FALSE(sum.empty());
+  EXPECT_EQ(sum.Round(), 3.25);
+}
+
+TEST(ExactFloatSumTest, CancellationIsExact) {
+  // 1e16 + 1 - 1e16 loses the 1 under naive double addition order (1e16 + 1
+  // rounds to 1e16); the exact sum keeps it in a partial.
+  EXPECT_EQ(SumOf({1e16, 1.0, -1e16}), 1.0);
+  EXPECT_EQ(SumOf({1.0, 1e16, -1e16}), 1.0);
+  EXPECT_EQ(SumOf({-1e16, 1e16, 1.0}), 1.0);
+}
+
+TEST(ExactFloatSumTest, OrderIndependentOnAdversarialInputs) {
+  std::vector<double> base = {1e16,    -1e16, 1.0,     1e-3,  -1e-3,
+                              3.14159, 2e15,  -2e15,   1e100, -1e100,
+                              7.0,     0.1,   0.2,     0.3,   -0.6,
+                              1e-300,  5e7,   -2.5e-9, 42.0,  -41.875};
+  const double expected = SumOf(base);
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 500; trial++) {
+    std::shuffle(base.begin(), base.end(), rng);
+    ASSERT_EQ(SumOf(base), expected) << "trial " << trial;
+  }
+}
+
+TEST(ExactFloatSumTest, MergeEqualsSequential) {
+  std::vector<double> values;
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> mag(-30, 30);
+  for (int i = 0; i < 400; i++) {
+    values.push_back(std::ldexp(static_cast<double>(rng()) / 1e9 - 2.0,
+                                static_cast<int>(mag(rng))));
+  }
+  const double expected = SumOf(values);
+  // Any partition into per-worker partial sums merges to the same bits.
+  for (size_t parts : {size_t{2}, size_t{3}, size_t{7}, size_t{64}}) {
+    std::vector<ExactFloatSum> partials(parts);
+    for (size_t i = 0; i < values.size(); i++) {
+      partials[i % parts].Add(values[i]);
+    }
+    ExactFloatSum total;
+    for (const auto& p : partials) total.Merge(p);
+    EXPECT_EQ(total.Round(), expected) << parts << " partitions";
+  }
+}
+
+TEST(ExactFloatSumTest, HalfUlpRounding) {
+  // The fsum correction case: the discarded tail must nudge the top partial
+  // when the naive rounding of the top two went the wrong way. Compare
+  // against long double accumulation on inputs small enough for it to be
+  // exact.
+  std::vector<double> values;
+  for (int i = 0; i < 1000; i++) {
+    values.push_back(std::ldexp(1.0, -(i % 60)));
+  }
+  long double reference = 0.0L;
+  for (double v : values) reference += static_cast<long double>(v);
+  EXPECT_EQ(SumOf(values), static_cast<double>(reference));
+}
+
+TEST(ExactFloatSumTest, NonFiniteSticky) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(SumOf({1.0, inf, 2.0}), inf);
+  EXPECT_EQ(SumOf({-inf, 5.0}), -inf);
+  EXPECT_TRUE(std::isnan(SumOf({inf, -inf})));
+  EXPECT_TRUE(std::isnan(SumOf({1.0, std::nan(""), 2.0})));
+  // Commutative across merges too.
+  ExactFloatSum a, b;
+  a.Add(inf);
+  b.Add(-inf);
+  a.Merge(b);
+  EXPECT_TRUE(std::isnan(a.Round()));
+}
+
+TEST(ExactFloatSumTest, NegativeZeroAndZeroRuns) {
+  EXPECT_EQ(SumOf({0.0, -0.0, 0.0}), 0.0);
+  EXPECT_EQ(SumOf({-1.5, 1.5}), 0.0);
+}
+
+// The aggregate layer: SUM/AVG over the same multiset of rows in different
+// orders produce identical bits (this is what sharded scans rely on — their
+// chunk order differs from the unsharded document order).
+TEST(AggDeterminismTest, SumAndAvgAreOrderIndependent) {
+  std::vector<double> values = {1e15, 0.1, -1e15, 0.2, 3.7,
+                                -0.3, 9e14, 0.4,  -9e14};
+  auto run = [&](const std::vector<double>& vs) {
+    RowSet input;
+    for (double v : vs) input.push_back({Value::Float(v)});
+    QueryContext ctx;
+    std::vector<AggSpec> aggs = {AggSpec::Sum(Slot(0)), AggSpec::Avg(Slot(0))};
+    RowSet out = AggregateExec(input, {}, aggs, ctx);
+    return std::make_pair(out[0][0].d, out[0][1].d);
+  };
+  auto expected = run(values);
+  std::mt19937 rng(3);
+  for (int trial = 0; trial < 50; trial++) {
+    std::shuffle(values.begin(), values.end(), rng);
+    auto got = run(values);
+    EXPECT_EQ(got.first, expected.first);
+    EXPECT_EQ(got.second, expected.second);
+  }
+}
+
+// Mixed int/float sums: ints accumulate exactly in a separate integer
+// accumulator and fold into the float total at the end — no matter where the
+// first float appears in the stream.
+TEST(AggDeterminismTest, MixedIntFloatSumIsOrderIndependent) {
+  auto run = [](const std::vector<Value>& vs) {
+    RowSet input;
+    for (const Value& v : vs) input.push_back({v});
+    QueryContext ctx;
+    std::vector<AggSpec> aggs = {AggSpec::Sum(Slot(0))};
+    return AggregateExec(input, {}, aggs, ctx)[0][0];
+  };
+  std::vector<Value> values = {Value::Int(1), Value::Float(0.5),
+                               Value::Int((int64_t{1} << 53) + 1),
+                               Value::Float(-0.5), Value::Int(-7)};
+  Value expected = run(values);
+  ASSERT_EQ(expected.type, ValueType::kFloat);
+  std::mt19937 rng(5);
+  for (int trial = 0; trial < 100; trial++) {
+    std::shuffle(values.begin(), values.end(), rng);
+    Value got = run(values);
+    ASSERT_EQ(got.type, ValueType::kFloat);
+    EXPECT_EQ(got.d, expected.d) << "trial " << trial;
+  }
+}
+
+// Pure-int sums stay integers with exact 64-bit arithmetic.
+TEST(AggDeterminismTest, PureIntSumStaysInt) {
+  RowSet input;
+  for (int i = 1; i <= 100; i++) input.push_back({Value::Int(i)});
+  QueryContext ctx;
+  std::vector<AggSpec> aggs = {AggSpec::Sum(Slot(0)),
+                               AggSpec::Avg(Slot(0))};
+  RowSet out = AggregateExec(input, {}, aggs, ctx);
+  EXPECT_EQ(out[0][0].type, ValueType::kInt);
+  EXPECT_EQ(out[0][0].i, 5050);
+  EXPECT_EQ(out[0][1].type, ValueType::kFloat);
+  EXPECT_EQ(out[0][1].d, 50.5);
+}
+
+// MIN/MAX ties are broken deterministically (e.g. -0.0 vs 0.0 compare
+// equal): whichever order the rows arrive, the same representative wins.
+TEST(AggDeterminismTest, MinMaxTiesAreDeterministic) {
+  auto run = [](const std::vector<Value>& vs) {
+    RowSet input;
+    for (const Value& v : vs) input.push_back({v});
+    QueryContext ctx;
+    std::vector<AggSpec> aggs = {AggSpec::Min(Slot(0)), AggSpec::Max(Slot(0))};
+    RowSet out = AggregateExec(input, {}, aggs, ctx);
+    return std::make_pair(std::signbit(out[0][0].d), std::signbit(out[0][1].d));
+  };
+  std::vector<Value> values = {Value::Float(0.0), Value::Float(-0.0),
+                               Value::Float(0.0), Value::Float(-0.0)};
+  auto expected = run(values);
+  std::mt19937 rng(9);
+  for (int trial = 0; trial < 30; trial++) {
+    std::shuffle(values.begin(), values.end(), rng);
+    EXPECT_EQ(run(values), expected);
+  }
+}
+
+}  // namespace
+}  // namespace jsontiles::exec
