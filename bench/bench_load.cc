@@ -1,0 +1,184 @@
+// Loader parse-path benchmark: baseline streaming parser vs. the on-demand
+// SIMD path (LoadOptions::ondemand) on single-thread bulk loads, per
+// workload. Doubles as the CI perf-smoke gate: --load-json writes a summary
+// (BENCH_load.json) with per-workload docs/sec and speedups, and the binary
+// exits non-zero when the two paths produce different relations — so a wiring
+// regression fails the job even before the assertions on the JSON run.
+//
+// Usage:
+//   bench_load [--load-json PATH]
+// Environment: JSONTILES_SF / JSONTILES_TWEETS / JSONTILES_YELP scale the
+// workloads (bench_common.h defaults).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "json/structural_index.h"
+#include "storage/loader.h"
+#include "storage/serialize.h"
+#include "workload/simdjson_corpus.h"
+#include "workload/tpch.h"
+#include "workload/twitter.h"
+#include "workload/yelp.h"
+
+namespace {
+
+using namespace jsontiles;         // NOLINT
+using namespace jsontiles::bench;  // NOLINT
+
+struct Workload {
+  std::string name;
+  std::vector<std::string> docs;
+};
+
+struct Measurement {
+  double baseline_wall = 0;
+  double ondemand_wall = 0;
+  bool identical = false;
+};
+
+// Single-thread kJsonb loads, best of 3, plus byte-identity of the loaded
+// relations (serialized form covers rows and every JSONB buffer).
+Measurement MeasureLoad(const Workload& w) {
+  Measurement m;
+  storage::LoadOptions baseline_opts;
+  baseline_opts.num_threads = 1;
+  storage::LoadOptions ondemand_opts = baseline_opts;
+  ondemand_opts.ondemand = true;
+
+  std::unique_ptr<storage::Relation> baseline_rel, ondemand_rel;
+  m.baseline_wall = TimeBest([&] {
+    baseline_rel = storage::Loader(storage::StorageMode::kJsonb, {},
+                                   baseline_opts)
+                       .Load(w.docs, w.name)
+                       .MoveValueOrDie();
+    benchmark::DoNotOptimize(baseline_rel);
+  });
+  m.ondemand_wall = TimeBest([&] {
+    ondemand_rel = storage::Loader(storage::StorageMode::kJsonb, {},
+                                   ondemand_opts)
+                       .Load(w.docs, w.name)
+                       .MoveValueOrDie();
+    benchmark::DoNotOptimize(ondemand_rel);
+  });
+
+  std::vector<uint8_t> a, b;
+  m.identical = storage::SerializeRelation(*baseline_rel, &a).ok() &&
+                storage::SerializeRelation(*ondemand_rel, &b).ok() && a == b;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchObs obs(&argc, argv);
+
+  std::string json_path;
+  for (int i = 1; i < argc; i++) {
+    std::string_view arg = argv[i];
+    if (arg == "--load-json" || arg.rfind("--load-json=", 0) == 0) {
+      size_t eq = arg.find('=');
+      if (eq != std::string_view::npos) {
+        json_path = std::string(arg.substr(eq + 1));
+      } else if (i + 1 < argc) {
+        json_path = argv[++i];
+      } else {
+        std::fprintf(stderr, "missing path after --load-json\n");
+        return 2;
+      }
+    }
+  }
+  // Fail before the run, not after (same contract as --metrics-json).
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::fclose(f);
+  }
+
+  std::vector<Workload> workloads;
+  {
+    workload::TpchOptions options;
+    options.scale_factor = TpchScaleFactor();
+    workloads.push_back({"TPC-H", workload::GenerateTpch(options).combined});
+  }
+  {
+    workload::YelpOptions options;
+    options.num_business = YelpBusinesses();
+    workloads.push_back({"Yelp", workload::GenerateYelp(options)});
+  }
+  {
+    workload::TwitterOptions options;
+    options.num_tweets = TwitterTweets();
+    workloads.push_back({"Twitter", workload::GenerateTwitter(options)});
+  }
+  {
+    Workload corpus{"simdjson", {}};
+    for (auto& file : workload::GenerateSimdJsonCorpus()) {
+      corpus.docs.push_back(std::move(file.json));
+    }
+    workloads.push_back(std::move(corpus));
+  }
+
+  std::printf("stage-1 tier: %s\n", json::StructuralIndexIsa());
+
+  TablePrinter table("Single-thread load: streaming parser vs on-demand");
+  table.SetHeader({"Workload", "Docs", "MB", "Base Kdocs/s", "Ondemand Kdocs/s",
+                   "Speedup", "Identical"});
+  bool ok = true;
+  std::string workloads_json;
+  std::vector<double> speedups;
+  for (const auto& w : workloads) {
+    Measurement m = MeasureLoad(w);
+    ok = ok && m.identical;
+    size_t bytes = 0;
+    for (const auto& d : w.docs) bytes += d.size();
+    const double docs = static_cast<double>(w.docs.size());
+    const double base_rate = docs / m.baseline_wall;
+    const double od_rate = docs / m.ondemand_wall;
+    const double speedup = m.baseline_wall / m.ondemand_wall;
+    speedups.push_back(speedup);
+    table.AddRow({w.name, std::to_string(w.docs.size()),
+                  Fmt(static_cast<double>(bytes) / 1e6, "%.1f"),
+                  Fmt(base_rate / 1000.0, "%.1f"),
+                  Fmt(od_rate / 1000.0, "%.1f"), Fmt(speedup, "%.2fx"),
+                  m.identical ? "yes" : "NO"});
+    if (!workloads_json.empty()) workloads_json += ",\n";
+    workloads_json +=
+        "    {\"name\": \"" + w.name +
+        "\", \"docs\": " + std::to_string(w.docs.size()) +
+        ", \"bytes\": " + std::to_string(bytes) +
+        ", \"baseline_docs_per_sec\": " + Fmt(base_rate, "%.1f") +
+        ", \"ondemand_docs_per_sec\": " + Fmt(od_rate, "%.1f") +
+        ", \"speedup\": " + Fmt(speedup, "%.3f") +
+        ", \"identical\": " + (m.identical ? "true" : "false") + "}";
+  }
+  table.Print();
+
+  const double geomean = GeoMean(speedups);
+  std::printf("geomean speedup: %.2fx\n", geomean);
+
+  std::string json = "{\n  \"isa\": \"" +
+                     std::string(json::StructuralIndexIsa()) +
+                     "\",\n  \"workloads\": [\n" + workloads_json +
+                     "\n  ],\n  \"geomean_speedup\": " + Fmt(geomean, "%.3f") +
+                     ",\n  \"ok\": " + std::string(ok ? "true" : "false") +
+                     "\n}\n";
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("load summary written to %s\n", json_path.c_str());
+  }
+  std::printf("parse-path identity: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -25,7 +25,7 @@ constexpr uint8_t kTagNumeric = 7;
 constexpr uint8_t kTagObject = 8;
 constexpr uint8_t kTagArray = 9;
 
-constexpr int kMaxNesting = 256;
+constexpr int kMaxNesting = JsonbBuilder::kMaxNesting;
 
 inline uint8_t Tag(const uint8_t* p) { return *p >> 4; }
 inline uint8_t Imm(const uint8_t* p) { return *p & 0x0F; }
@@ -410,12 +410,122 @@ std::string JsonbValue::ToJsonText() const {
 // JsonbBuilder: pass 1 (parse + size), pass 2 (write)
 // ---------------------------------------------------------------------------
 
-std::string_view JsonbBuilder::DecodeString(const JsonLexer& lexer) {
-  if (!lexer.string_has_escape()) return lexer.string_lexeme();
+std::string_view JsonbBuilder::DecodeStringLexeme(std::string_view lexeme,
+                                                  bool has_escape) {
+  if (!has_escape) return lexeme;
   if (decoded_used_ == decoded_.size()) decoded_.emplace_back();
   std::string& slot = decoded_[decoded_used_++];
-  JsonLexer::Unescape(lexer.string_lexeme(), &slot);
+  JsonLexer::Unescape(lexeme, &slot);
   return slot;
+}
+
+std::string_view JsonbBuilder::DecodeString(const JsonLexer& lexer) {
+  return DecodeStringLexeme(lexer.string_lexeme(), lexer.string_has_escape());
+}
+
+void JsonbBuilder::SetNumberIntNode(uint32_t index, int64_t v) {
+  Node& node = nodes_[index];
+  node.type = JsonType::kInt;
+  node.int_val = v;
+  if (v >= 0 && v <= 15) {
+    node.size = 1;
+  } else {
+    uint64_t mag = v < 0 ? -static_cast<uint64_t>(v) : static_cast<uint64_t>(v);
+    node.size = 1 + static_cast<uint64_t>(bit_util::MinBytes(mag));
+  }
+}
+
+void JsonbBuilder::SetNumberFloatNode(uint32_t index, double d) {
+  Node& node = nodes_[index];
+  node.type = JsonType::kFloat;
+  node.dbl_val = d;
+  node.float_width = IsLosslessHalf(d) ? 2 : IsLosslessSingle(d) ? 4 : 8;
+  node.size = 1 + node.float_width;
+}
+
+void JsonbBuilder::SetStringNode(uint32_t index, std::string_view decoded) {
+  Node& node = nodes_[index];
+  Numeric num;
+  if (options_.detect_numeric_strings && ParseNumeric(decoded, &num)) {
+    node.type = JsonType::kNumericString;
+    node.num_val = num;
+    uint64_t mag = num.unscaled < 0 ? -static_cast<uint64_t>(num.unscaled)
+                                    : static_cast<uint64_t>(num.unscaled);
+    node.size = 2 + static_cast<uint64_t>(bit_util::VarintSize(mag));
+  } else {
+    node.type = JsonType::kString;
+    node.str = decoded;
+    if (decoded.size() < 15) {
+      node.size = 1 + decoded.size();
+    } else {
+      node.size = 1 +
+                  static_cast<uint64_t>(bit_util::VarintSize(decoded.size())) +
+                  decoded.size();
+    }
+  }
+}
+
+void JsonbBuilder::FinalizeObject(uint32_t index,
+                                  std::vector<uint32_t>& children,
+                                  size_t begin) {
+  // Sort by key (stable: equal keys keep input order), then keep the last
+  // occurrence of each duplicate key, as PostgreSQL's jsonb does. The dedup
+  // compacts [begin, end) in place. Typical objects are small, so sort them
+  // with a stable insertion sort: std::stable_sort allocates a merge buffer
+  // per call, which dominates the profile on short-document workloads.
+  const auto key_less = [this](uint32_t a, uint32_t b) {
+    return nodes_[a].key < nodes_[b].key;
+  };
+  uint32_t* base = children.data() + begin;
+  const size_t n = children.size() - begin;
+  if (n <= 32) {
+    for (size_t i = 1; i < n; i++) {
+      const uint32_t v = base[i];
+      size_t j = i;
+      while (j > 0 && key_less(v, base[j - 1])) {
+        base[j] = base[j - 1];
+        j--;
+      }
+      base[j] = v;
+    }
+  } else {
+    std::stable_sort(children.begin() + static_cast<long>(begin),
+                     children.end(), key_less);
+  }
+  size_t w = begin;
+  for (size_t i = begin; i < children.size(); i++) {
+    if (i + 1 < children.size() &&
+        nodes_[children[i]].key == nodes_[children[i + 1]].key) {
+      continue;  // superseded by a later duplicate
+    }
+    children[w++] = children[i];
+  }
+  children.resize(w);
+  Node& node = nodes_[index];
+  node.sorted_begin = static_cast<uint32_t>(sorted_children_.size());
+  node.count = static_cast<uint32_t>(w - begin);
+  sorted_children_.insert(sorted_children_.end(),
+                          children.begin() + static_cast<long>(begin),
+                          children.end());
+  uint64_t slots_size = 0;
+  for (size_t i = begin; i < children.size(); i++) {
+    const Node& child = nodes_[children[i]];
+    slots_size += child.size + child.key.size() + 2;
+  }
+  int ow = slots_size <= 0xFF ? 1 : slots_size <= 0xFFFF ? 2 : 4;
+  node.offset_width = static_cast<uint8_t>(ow);
+  node.size = 1 + bit_util::VarintSize(node.count) +
+              static_cast<uint64_t>(node.count) * ow + slots_size;
+}
+
+void JsonbBuilder::FinalizeArray(uint32_t index, uint32_t count,
+                                 uint64_t slots_size) {
+  Node& node = nodes_[index];
+  node.count = count;
+  int ow = slots_size <= 0xFF ? 1 : slots_size <= 0xFFFF ? 2 : 4;
+  node.offset_width = static_cast<uint8_t>(ow);
+  node.size = 1 + bit_util::VarintSize(count) +
+              static_cast<uint64_t>(count) * ow + slots_size;
 }
 
 Status JsonbBuilder::ParseValue(JsonLexer& lexer, Token token, uint32_t* index,
@@ -437,44 +547,14 @@ Status JsonbBuilder::ParseValue(JsonLexer& lexer, Token token, uint32_t* index,
       return Status::OK();
     case Token::kNumber:
       if (lexer.number_is_int()) {
-        int64_t v = lexer.int_value();
-        nodes_[idx].type = JsonType::kInt;
-        nodes_[idx].int_val = v;
-        if (v >= 0 && v <= 15) {
-          nodes_[idx].size = 1;
-        } else {
-          uint64_t mag = v < 0 ? -static_cast<uint64_t>(v) : static_cast<uint64_t>(v);
-          nodes_[idx].size = 1 + static_cast<uint64_t>(bit_util::MinBytes(mag));
-        }
+        SetNumberIntNode(idx, lexer.int_value());
       } else {
-        double d = lexer.double_value();
-        nodes_[idx].type = JsonType::kFloat;
-        nodes_[idx].dbl_val = d;
-        nodes_[idx].float_width = IsLosslessHalf(d) ? 2 : IsLosslessSingle(d) ? 4 : 8;
-        nodes_[idx].size = 1 + nodes_[idx].float_width;
+        SetNumberFloatNode(idx, lexer.double_value());
       }
       return Status::OK();
-    case Token::kString: {
-      std::string_view s = DecodeString(lexer);
-      Numeric num;
-      if (options_.detect_numeric_strings && ParseNumeric(s, &num)) {
-        nodes_[idx].type = JsonType::kNumericString;
-        nodes_[idx].num_val = num;
-        uint64_t mag = num.unscaled < 0 ? -static_cast<uint64_t>(num.unscaled)
-                                        : static_cast<uint64_t>(num.unscaled);
-        nodes_[idx].size = 2 + static_cast<uint64_t>(bit_util::VarintSize(mag));
-      } else {
-        nodes_[idx].type = JsonType::kString;
-        nodes_[idx].str = s;
-        if (s.size() < 15) {
-          nodes_[idx].size = 1 + s.size();
-        } else {
-          nodes_[idx].size = 1 + static_cast<uint64_t>(bit_util::VarintSize(s.size())) +
-                             s.size();
-        }
-      }
+    case Token::kString:
+      SetStringNode(idx, DecodeString(lexer));
       return Status::OK();
-    }
     case Token::kObjectBegin: {
       nodes_[idx].type = JsonType::kObject;
       std::vector<uint32_t> children;
@@ -506,32 +586,7 @@ Status JsonbBuilder::ParseValue(JsonLexer& lexer, Token token, uint32_t* index,
           return Status::ParseError("expected ',' or '}'");
         }
       }
-      // Sort by key (stable: equal keys keep input order), then keep the last
-      // occurrence of each duplicate key, as PostgreSQL's jsonb does.
-      std::stable_sort(children.begin(), children.end(),
-                       [this](uint32_t a, uint32_t b) {
-                         return nodes_[a].key < nodes_[b].key;
-                       });
-      std::vector<uint32_t> unique;
-      unique.reserve(children.size());
-      for (size_t i = 0; i < children.size(); i++) {
-        if (i + 1 < children.size() &&
-            nodes_[children[i]].key == nodes_[children[i + 1]].key) {
-          continue;  // superseded by a later duplicate
-        }
-        unique.push_back(children[i]);
-      }
-      nodes_[idx].sorted_begin = static_cast<uint32_t>(sorted_children_.size());
-      nodes_[idx].count = static_cast<uint32_t>(unique.size());
-      sorted_children_.insert(sorted_children_.end(), unique.begin(), unique.end());
-      uint64_t slots_size = 0;
-      for (uint32_t child : unique) {
-        slots_size += nodes_[child].size + nodes_[child].key.size() + 2;
-      }
-      int ow = slots_size <= 0xFF ? 1 : slots_size <= 0xFFFF ? 2 : 4;
-      nodes_[idx].offset_width = static_cast<uint8_t>(ow);
-      nodes_[idx].size = 1 + bit_util::VarintSize(nodes_[idx].count) +
-                         static_cast<uint64_t>(nodes_[idx].count) * ow + slots_size;
+      FinalizeObject(idx, children, 0);
       return Status::OK();
     }
     case Token::kArrayBegin: {
@@ -560,11 +615,7 @@ Status JsonbBuilder::ParseValue(JsonLexer& lexer, Token token, uint32_t* index,
           return Status::ParseError("expected ',' or ']'");
         }
       }
-      nodes_[idx].count = count;
-      int ow = slots_size <= 0xFF ? 1 : slots_size <= 0xFFFF ? 2 : 4;
-      nodes_[idx].offset_width = static_cast<uint8_t>(ow);
-      nodes_[idx].size = 1 + bit_util::VarintSize(count) +
-                         static_cast<uint64_t>(count) * ow + slots_size;
+      FinalizeArray(idx, count, slots_size);
       return Status::OK();
     }
     default:

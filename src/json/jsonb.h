@@ -46,6 +46,8 @@
 
 namespace jsontiles::json {
 
+struct StructuralIndex;  // structural_index.h
+
 /// Read-only view of one JSONB value inside a buffer. Cheap to copy.
 class JsonbValue {
  public:
@@ -113,9 +115,22 @@ class JsonbBuilder {
   JsonbBuilder() = default;
   explicit JsonbBuilder(Options options) : options_(options) {}
 
+  /// Maximum container nesting depth accepted by the parser (and enforced by
+  /// ValidateJsonb on untrusted buffers).
+  static constexpr int kMaxNesting = 256;
+
   /// Two-pass transformation (§5.3). On success `out` holds exactly one
   /// serialized document.
   Status Transform(std::string_view json_text, std::vector<uint8_t>* out);
+
+  /// Stage 2 of the on-demand parse path (ondemand.cc): same output contract
+  /// as Transform, but the structure comes from a prebuilt StructuralIndex
+  /// instead of per-character lexing. Accepted documents serialize to bytes
+  /// identical to Transform's; on any rejection callers must fall back to
+  /// Transform, whose Status is authoritative (OndemandTransformer does).
+  Status TransformIndexed(std::string_view json_text,
+                          const StructuralIndex& index,
+                          std::vector<uint8_t>* out);
 
  private:
   static constexpr uint32_t kInvalid = 0xFFFFFFFF;
@@ -140,6 +155,22 @@ class JsonbBuilder {
   std::string_view DecodeString(const JsonLexer& lexer);
   void WriteValue(uint32_t index, uint8_t* out, size_t pos) const;
 
+  // Leaf/container finalization shared by ParseValue and the indexed parse
+  // (ondemand.cc), so both paths compute identical node sizes and layouts.
+  void SetNumberIntNode(uint32_t index, int64_t v);
+  void SetNumberFloatNode(uint32_t index, double d);
+  void SetStringNode(uint32_t index, std::string_view decoded);
+  void FinalizeObject(uint32_t index, std::vector<uint32_t>& children,
+                      size_t begin);
+  void FinalizeArray(uint32_t index, uint32_t count, uint64_t slots_size);
+  std::string_view DecodeStringLexeme(std::string_view lexeme,
+                                      bool has_escape);
+
+  // On-demand stage 2 (ondemand.cc): recursive walk over a structural-index
+  // cursor, building the same Node tree as ParseValue.
+  struct IndexedCursor;
+  Status ParseIndexedValue(IndexedCursor& cursor, uint32_t* index, int depth);
+
   Options options_;
   std::vector<Node> nodes_;
   std::vector<uint32_t> sorted_children_;
@@ -149,6 +180,9 @@ class JsonbBuilder {
   // objects (and with them any SSO-inlined bytes the views point at).
   std::deque<std::string> decoded_;
   size_t decoded_used_ = 0;
+  // Frame-stacked child indices for the indexed parse (ParseValue allocates a
+  // vector per object; the indexed walk shares this one across the document).
+  std::vector<uint32_t> indexed_children_;
 };
 
 /// Convenience: one-shot transformation.

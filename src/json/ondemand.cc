@@ -1,0 +1,448 @@
+// Stage 2 of the on-demand parse path plus the OndemandTransformer facade.
+//
+// The walker consumes the ascending positions of a StructuralIndex. Between
+// two consecutive index entries there is never any structure: a string lexeme
+// is one slice, a number or literal is lexed in place and the bytes up to the
+// next entry must be whitespace (`12x` indexes only the `1`, so the `x` would
+// otherwise be silently skipped — exactly the kind of divergence the
+// differential tests exist to catch). Everything the walker does not
+// recognize is an error, and every error makes OndemandTransformer re-parse
+// with the streaming parser, which owns the final Status.
+
+#include "json/ondemand.h"
+
+#include <cstring>
+
+#include "obs/obs.h"
+#include "util/failpoint.h"
+
+namespace jsontiles::json {
+
+namespace {
+
+inline bool IsJsonWs(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+// True when [from, to) holds only JSON whitespace (vacuously for from >= to).
+inline bool AllWhitespace(std::string_view text, size_t from, size_t to) {
+  for (size_t i = from; i < to; i++) {
+    if (!IsJsonWs(text[i])) return false;
+  }
+  return true;
+}
+
+inline int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+// Validates a raw string lexeme (the bytes between the two delimiter quotes)
+// under exactly JsonLexer::LexString's rules: no unescaped control characters
+// below 0x20, escapes restricted to the JSON set, \u followed by four hex
+// digits. A lexeme cannot end in an unescaped backslash — that backslash
+// would have escaped the closing quote and stage 1 would have kept scanning —
+// but the bounds checks don't rely on it.
+Status ValidateStringLexeme(std::string_view lexeme, bool* has_escape) {
+  *has_escape = false;
+  const char* p = lexeme.data();
+  const size_t n = lexeme.size();
+  size_t i = 0;
+  while (i < n) {
+    // Word-at-a-time fast path: skip eight clean bytes per iteration. A byte
+    // needs attention when it is a backslash (exact zero-byte test on
+    // w ^ 0x5C..) or below 0x20 (the hasless trick; bytes >= 0x80 have the
+    // high bit set and can never be flagged, and a cross-byte borrow can only
+    // cause a false positive next to a genuine control byte, which the
+    // careful loop below then rejects anyway).
+    while (i + 8 <= n) {
+      uint64_t w;
+      std::memcpy(&w, p + i, 8);
+      constexpr uint64_t kOnes = 0x0101010101010101ULL;
+      constexpr uint64_t kHighs = 0x8080808080808080ULL;
+      const uint64_t bs = w ^ (kOnes * static_cast<uint8_t>('\\'));
+      const uint64_t flagged = (((bs - kOnes) & ~bs) | ((w - kOnes * 0x20) & ~w)) & kHighs;
+      if (flagged != 0) break;
+      i += 8;
+    }
+    if (i >= n) break;
+    const unsigned char c = static_cast<unsigned char>(p[i]);
+    if (c == '\\') {
+      *has_escape = true;
+      if (i + 1 >= n) return Status::ParseError("unterminated escape");
+      switch (p[i + 1]) {
+        case '"':
+        case '\\':
+        case '/':
+        case 'b':
+        case 'f':
+        case 'n':
+        case 'r':
+        case 't':
+          i += 2;
+          break;
+        case 'u': {
+          if (i + 6 > n) return Status::ParseError("truncated \\u escape");
+          for (size_t k = i + 2; k < i + 6; k++) {
+            if (HexValue(p[k]) < 0) {
+              return Status::ParseError("invalid \\u escape");
+            }
+          }
+          i += 6;
+          break;
+        }
+        default:
+          return Status::ParseError("invalid escape character");
+      }
+    } else if (c < 0x20) {
+      return Status::ParseError("unescaped control character in string");
+    } else {
+      i++;
+    }
+  }
+  return Status::OK();
+}
+
+struct NumberToken {
+  bool is_int;
+  int64_t int_value;
+  double double_value;
+  size_t length;  // bytes consumed from the start position
+};
+
+// Lexes the number starting at `p` with the streaming lexer itself, so the
+// grammar (leading zeros, exponent shape) and the int64 / double conversion
+// (including the overflow-to-HUGE_VAL fallback) cannot drift between paths.
+Status LexNumberAt(std::string_view text, size_t p, NumberToken* out) {
+  JsonLexer lexer(text.substr(p));
+  Token token;
+  JSONTILES_RETURN_NOT_OK(lexer.Next(&token));
+  // The caller dispatched on '-' or a digit, so the token is a number.
+  out->is_int = lexer.number_is_int();
+  out->int_value = lexer.int_value();
+  out->double_value = lexer.double_value();
+  out->length = lexer.position();
+  return Status::OK();
+}
+
+}  // namespace
+
+// Read head over a StructuralIndex. `NextBound()` is where the current scalar
+// run must end: the next structural position, or end of input.
+struct JsonbBuilder::IndexedCursor {
+  std::string_view text;
+  const uint32_t* pos;
+  size_t count;
+  // Stage 1 proved no string holds a backslash or control byte: lexemes need
+  // neither validation nor decoding.
+  bool clean_strings;
+  // Per-byte problem bitmap from stage 1 (bit set = backslash or control byte
+  // inside a string): even when the document as a whole is not clean, any
+  // individual lexeme whose bit range is clear can be taken as-is.
+  const uint64_t* problems;
+  size_t cur = 0;
+
+  bool AtEnd() const { return cur >= count; }
+  char Peek() const { return text[pos[cur]]; }
+  size_t NextBound() const { return cur < count ? pos[cur] : text.size(); }
+
+  // True when no problem bit is set in [a, b).
+  bool CleanRange(size_t a, size_t b) const {
+    if (a >= b) return true;
+    const size_t wa = a / 64;
+    const size_t wb = (b - 1) / 64;
+    const uint64_t lo = ~0ULL << (a % 64);
+    const uint64_t hi = ~0ULL >> (63 - (b - 1) % 64);
+    if (wa == wb) return (problems[wa] & lo & hi) == 0;
+    uint64_t acc = (problems[wa] & lo) | (problems[wb] & hi);
+    for (size_t w = wa + 1; w < wb; w++) acc |= problems[w];
+    return acc == 0;
+  }
+};
+
+Status JsonbBuilder::ParseIndexedValue(IndexedCursor& cursor, uint32_t* index,
+                                       int depth) {
+  if (depth > kMaxNesting) return Status::ParseError("nesting too deep");
+  if (cursor.AtEnd()) return Status::ParseError("unexpected end of input");
+  const size_t p = cursor.pos[cursor.cur++];
+  const char ch = cursor.text[p];
+  const uint32_t idx = static_cast<uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  *index = idx;
+
+  switch (ch) {
+    case 'n':
+    case 't':
+    case 'f': {
+      const std::string_view word =
+          ch == 'n' ? "null" : (ch == 't' ? "true" : "false");
+      // A matching literal has no structural character inside it, so the next
+      // index entry — the scalar-run bound — lies at or past its end.
+      if (cursor.text.compare(p, word.size(), word) != 0 ||
+          !AllWhitespace(cursor.text, p + word.size(), cursor.NextBound())) {
+        return Status::ParseError("invalid literal");
+      }
+      nodes_[idx].type = ch == 'n' ? JsonType::kNull : JsonType::kBool;
+      nodes_[idx].int_val = ch == 't' ? 1 : 0;
+      nodes_[idx].size = 1;
+      return Status::OK();
+    }
+
+    case '"': {
+      // Inside a string nothing is indexed, so the next entry is the closing
+      // quote (stage 1 rejects unterminated strings).
+      if (cursor.AtEnd()) return Status::Internal("index: missing close quote");
+      const size_t q = cursor.pos[cursor.cur++];
+      if (cursor.text[q] != '"') {
+        return Status::Internal("index: missing close quote");
+      }
+      const std::string_view lexeme = cursor.text.substr(p + 1, q - p - 1);
+      if (cursor.clean_strings || cursor.CleanRange(p + 1, q)) {
+        SetStringNode(idx, lexeme);
+        return Status::OK();
+      }
+      bool has_escape;
+      JSONTILES_RETURN_NOT_OK(ValidateStringLexeme(lexeme, &has_escape));
+      SetStringNode(idx, DecodeStringLexeme(lexeme, has_escape));
+      return Status::OK();
+    }
+
+    case '{': {
+      nodes_[idx].type = JsonType::kObject;
+      const size_t frame = indexed_children_.size();
+      uint32_t prev = kInvalid;
+      if (cursor.AtEnd()) return Status::ParseError("unexpected end of input");
+      if (cursor.Peek() == '}') {
+        cursor.cur++;
+      } else {
+        while (true) {
+          // Key.
+          const size_t kp = cursor.pos[cursor.cur];
+          if (cursor.text[kp] != '"') {
+            return Status::ParseError("expected object key");
+          }
+          cursor.cur++;
+          if (cursor.AtEnd()) {
+            return Status::Internal("index: missing close quote");
+          }
+          const size_t kq = cursor.pos[cursor.cur++];
+          if (cursor.text[kq] != '"') {
+            return Status::Internal("index: missing close quote");
+          }
+          const std::string_view key_lexeme =
+              cursor.text.substr(kp + 1, kq - kp - 1);
+          std::string_view key = key_lexeme;
+          if (!cursor.clean_strings && !cursor.CleanRange(kp + 1, kq)) {
+            bool key_escape;
+            JSONTILES_RETURN_NOT_OK(
+                ValidateStringLexeme(key_lexeme, &key_escape));
+            key = DecodeStringLexeme(key_lexeme, key_escape);
+          }
+          if (key.size() > 0xFFFF) return Status::ParseError("key too long");
+          // Colon.
+          if (cursor.AtEnd() || cursor.Peek() != ':') {
+            return Status::ParseError("expected ':'");
+          }
+          cursor.cur++;
+          // Value.
+          uint32_t child;
+          JSONTILES_RETURN_NOT_OK(ParseIndexedValue(cursor, &child, depth + 1));
+          nodes_[child].key = key;
+          if (prev == kInvalid) {
+            nodes_[idx].first_child = child;
+          } else {
+            nodes_[prev].next_sibling = child;
+          }
+          prev = child;
+          indexed_children_.push_back(child);
+          // Separator.
+          if (cursor.AtEnd()) return Status::ParseError("expected ',' or '}'");
+          const char sep = cursor.Peek();
+          if (sep == ',') {
+            cursor.cur++;
+            if (cursor.AtEnd()) {
+              return Status::ParseError("unexpected end of input");
+            }
+            if (cursor.Peek() == '}') {
+              return Status::ParseError("trailing comma");
+            }
+            continue;
+          }
+          if (sep != '}') return Status::ParseError("expected ',' or '}'");
+          cursor.cur++;
+          break;
+        }
+      }
+      FinalizeObject(idx, indexed_children_, frame);
+      indexed_children_.resize(frame);
+      return Status::OK();
+    }
+
+    case '[': {
+      nodes_[idx].type = JsonType::kArray;
+      uint32_t prev = kInvalid;
+      uint64_t slots_size = 0;
+      uint32_t count = 0;
+      if (cursor.AtEnd()) return Status::ParseError("unexpected end of input");
+      if (cursor.Peek() == ']') {
+        cursor.cur++;
+      } else {
+        while (true) {
+          uint32_t child;
+          JSONTILES_RETURN_NOT_OK(ParseIndexedValue(cursor, &child, depth + 1));
+          if (prev == kInvalid) {
+            nodes_[idx].first_child = child;
+          } else {
+            nodes_[prev].next_sibling = child;
+          }
+          prev = child;
+          slots_size += nodes_[child].size;
+          count++;
+          if (cursor.AtEnd()) return Status::ParseError("expected ',' or ']'");
+          const char sep = cursor.Peek();
+          if (sep == ',') {
+            cursor.cur++;
+            if (cursor.AtEnd()) {
+              return Status::ParseError("unexpected end of input");
+            }
+            if (cursor.Peek() == ']') {
+              return Status::ParseError("trailing comma");
+            }
+            continue;
+          }
+          if (sep != ']') return Status::ParseError("expected ',' or ']'");
+          cursor.cur++;
+          break;
+        }
+      }
+      FinalizeArray(idx, count, slots_size);
+      return Status::OK();
+    }
+
+    case ':':
+    case ',':
+    case '}':
+    case ']':
+      return Status::ParseError("unexpected token");
+
+    default: {
+      if (ch == '-' || (ch >= '0' && ch <= '9')) {
+        // Fast path for plain integers (the bulk of analytic workloads):
+        // optional '-', up to 18 digits (always fits int64), no leading zero,
+        // nothing but whitespace up to the next structural position. Anything
+        // else — floats, exponents, 19+ digits, malformed input — re-lexes
+        // through the streaming lexer so values and error statuses are its.
+        const size_t bound = cursor.NextBound();
+        size_t q = p + (ch == '-' ? 1 : 0);
+        const size_t digits_begin = q;
+        uint64_t magnitude = 0;
+        while (q < bound && cursor.text[q] >= '0' && cursor.text[q] <= '9') {
+          magnitude = magnitude * 10 + static_cast<uint64_t>(cursor.text[q] - '0');
+          q++;
+        }
+        const size_t ndigits = q - digits_begin;
+        const bool grammar_ok =
+            ndigits >= 1 && !(ndigits > 1 && cursor.text[digits_begin] == '0');
+        if (grammar_ok && ndigits <= 18 &&
+            AllWhitespace(cursor.text, q, bound)) {
+          SetNumberIntNode(idx, ch == '-'
+                                    ? -static_cast<int64_t>(magnitude)
+                                    : static_cast<int64_t>(magnitude));
+          return Status::OK();
+        }
+        // Decimal fast path (Clinger): for w.f with at most 15 total digits
+        // the scaled mantissa fits in 2^53 and the power of ten is exact, so
+        // double(mantissa) / 10^frac performs one correctly-rounded division
+        // of the exact decimal value — bit-identical to what from_chars in
+        // the streaming lexer produces. Exponents and longer numbers re-lex.
+        if (grammar_ok && q < bound && cursor.text[q] == '.') {
+          static constexpr double kPow10[16] = {
+              1e0, 1e1, 1e2,  1e3,  1e4,  1e5,  1e6,  1e7,
+              1e8, 1e9, 1e10, 1e11, 1e12, 1e13, 1e14, 1e15};
+          size_t r = q + 1;
+          while (r < bound && cursor.text[r] >= '0' && cursor.text[r] <= '9') {
+            magnitude = magnitude * 10 + static_cast<uint64_t>(cursor.text[r] - '0');
+            r++;
+          }
+          const size_t frac = r - (q + 1);
+          if (frac >= 1 && ndigits + frac <= 15 &&
+              AllWhitespace(cursor.text, r, bound)) {
+            const double v = static_cast<double>(magnitude) / kPow10[frac];
+            SetNumberFloatNode(idx, ch == '-' ? -v : v);
+            return Status::OK();
+          }
+        }
+        NumberToken num;
+        JSONTILES_RETURN_NOT_OK(LexNumberAt(cursor.text, p, &num));
+        // The lexer stops at the first non-number character; anything between
+        // there and the next structural position must be whitespace.
+        if (!AllWhitespace(cursor.text, p + num.length, cursor.NextBound())) {
+          return Status::ParseError("invalid number");
+        }
+        if (num.is_int) {
+          SetNumberIntNode(idx, num.int_value);
+        } else {
+          SetNumberFloatNode(idx, num.double_value);
+        }
+        return Status::OK();
+      }
+      return Status::ParseError("unexpected character");
+    }
+  }
+}
+
+Status JsonbBuilder::TransformIndexed(std::string_view json_text,
+                                      const StructuralIndex& index,
+                                      std::vector<uint8_t>* out) {
+  nodes_.clear();
+  sorted_children_.clear();
+  decoded_used_ = 0;
+  indexed_children_.clear();
+
+  if (index.count == 0) return Status::ParseError("empty input");
+  IndexedCursor cursor{json_text, index.positions.data(), index.count,
+                       index.clean_strings, index.problems.data()};
+  uint32_t root;
+  JSONTILES_RETURN_NOT_OK(ParseIndexedValue(cursor, &root, 0));
+  if (!cursor.AtEnd()) return Status::ParseError("trailing content");
+  if (nodes_[root].size > 0xFFFFFFFFull) {
+    return Status::OutOfRange("document larger than 4 GiB");
+  }
+  out->resize(nodes_[root].size);
+  WriteValue(root, out->data(), 0);
+  return Status::OK();
+}
+
+Status OndemandTransformer::Transform(std::string_view json_text,
+                                      std::vector<uint8_t>* out) {
+  if (!JSONTILES_FAILPOINT_FIRES("ondemand.force_fallback")) {
+    JSONTILES_OBS_ONLY(obs::Stopwatch obs_watch);
+    Status st = BuildStructuralIndex(json_text, &index_);
+    JSONTILES_HIST_RECORD("jsonb.ondemand.stage1_micros",
+                          obs_watch.Lap() * 1e6);
+    if (st.ok()) {
+      st = builder_.TransformIndexed(json_text, index_, out);
+      JSONTILES_HIST_RECORD("jsonb.ondemand.stage2_micros",
+                            obs_watch.Lap() * 1e6);
+      if (st.ok()) {
+        docs_ondemand_++;
+        JSONTILES_COUNTER_ADD("jsonb.ondemand.docs", 1);
+        JSONTILES_COUNTER_ADD("jsonb.ondemand.bytes_in",
+                              static_cast<int64_t>(json_text.size()));
+        JSONTILES_COUNTER_ADD("jsonb.ondemand.bytes_out",
+                              static_cast<int64_t>(out->size()));
+        return st;
+      }
+    }
+  }
+  // Structural anomaly (or forced fallback): the streaming parser decides.
+  // Re-parsing keeps the Status — and any accepted output — exactly what the
+  // baseline would have produced, so rejected documents can never diverge.
+  docs_fallback_++;
+  JSONTILES_COUNTER_ADD("jsonb.ondemand.fallbacks", 1);
+  return builder_.Transform(json_text, out);
+}
+
+}  // namespace jsontiles::json

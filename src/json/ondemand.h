@@ -1,0 +1,61 @@
+// On-demand text -> JSONB transformation (the loader's fast parse path,
+// "On-Demand JSON", Keiser & Lemire, arXiv 2312.17149).
+//
+// Stage 1 (structural_index.h) SIMD-scans the whole buffer once and records
+// every structural position. Stage 2 (JsonbBuilder::TransformIndexed) walks
+// that index lazily: strings become single slices between two index entries
+// instead of per-character loops, numbers and literals are lexed in place,
+// and the node tree / two-pass write machinery is shared with the streaming
+// parser — so an accepted document serializes to bytes identical to
+// JsonbBuilder::Transform's, by construction.
+//
+// Fallback contract: on ANY anomaly — stage-1 scan failure, a stage-2
+// rejection, or the `ondemand.force_fallback` failpoint — the transformer
+// re-parses the document with the streaming parser and returns its result.
+// The streaming parser is therefore the arbiter of acceptance and of error
+// statuses; the on-demand path can only ever change how fast an accepted
+// document is transformed, never what the caller observes. The parser
+// differential tests (and the CI leg running them under ASan/UBSan) hold the
+// two paths byte-identical over the workload corpora and a mutation fuzz
+// corpus.
+
+#ifndef JSONTILES_JSON_ONDEMAND_H_
+#define JSONTILES_JSON_ONDEMAND_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "json/jsonb.h"
+#include "json/structural_index.h"
+#include "util/status.h"
+
+namespace jsontiles::json {
+
+/// Drop-in replacement for JsonbBuilder in bulk-load loops. Reusable: the
+/// structural index and builder scratch keep their capacity across calls.
+class OndemandTransformer {
+ public:
+  OndemandTransformer() = default;
+  explicit OndemandTransformer(JsonbBuilder::Options options)
+      : builder_(options) {}
+
+  /// Same contract as JsonbBuilder::Transform: on success `out` holds exactly
+  /// one serialized document, bit-identical to the streaming parser's output.
+  Status Transform(std::string_view json_text, std::vector<uint8_t>* out);
+
+  /// Documents served by the indexed path since construction.
+  uint64_t docs_ondemand() const { return docs_ondemand_; }
+  /// Documents that fell back to the streaming parser (including rejects).
+  uint64_t docs_fallback() const { return docs_fallback_; }
+
+ private:
+  JsonbBuilder builder_;
+  StructuralIndex index_;
+  uint64_t docs_ondemand_ = 0;
+  uint64_t docs_fallback_ = 0;
+};
+
+}  // namespace jsontiles::json
+
+#endif  // JSONTILES_JSON_ONDEMAND_H_

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <mutex>
 
+#include "json/ondemand.h"
 #include "obs/obs.h"
 #include "tiles/array_extract.h"
 #include "tiles/keypath.h"
@@ -109,10 +110,12 @@ Result<std::unique_ptr<Relation>> Loader::Load(
     // so one bad record cannot take down a billion-row bulk load.
     auto t0 = Clock::now();
     json::JsonbBuilder builder;
+    json::OndemandTransformer ondemand;
     result.jsonb.reserve(count);
     for (size_t i = 0; i < count; i++) {
       std::vector<uint8_t> buf;
-      Status st = builder.Transform(docs[begin + i], &buf);
+      Status st = options_.ondemand ? ondemand.Transform(docs[begin + i], &buf)
+                                    : builder.Transform(docs[begin + i], &buf);
       if (!st.ok()) {
         const size_t so_far =
             cap_counter->fetch_add(1, std::memory_order_relaxed) + 1;

@@ -42,6 +42,12 @@ struct LoadBreakdown {
 
 struct LoadOptions {
   size_t num_threads = 1;
+  /// Use the two-stage on-demand parse path (json/ondemand.h) for the
+  /// text -> JSONB phase: a SIMD structural-index scan plus a lazy walker,
+  /// falling back per document to the streaming parser on any anomaly.
+  /// Produces byte-identical JSONB and an identical LoadBreakdown; purely a
+  /// speed knob, enforced by the parser-differential CI leg.
+  bool ondemand = false;
   /// Degraded-mode loading: skip (and count, across all partitions) up to
   /// this many malformed documents instead of failing the whole load. The
   /// default 0 keeps fail-fast behavior: the first parse error aborts.

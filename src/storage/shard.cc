@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "json/jsonb.h"
+#include "json/ondemand.h"
 #include "obs/obs.h"
 #include "storage/serialize.h"
 #include "tiles/keypath.h"
@@ -44,10 +45,16 @@ struct RouteFlags {
 
 uint32_t RouteOne(std::string_view doc, size_t index, size_t shard_count,
                   const std::string& routing_path, json::JsonbBuilder* builder,
+                  json::OndemandTransformer* ondemand,
                   std::vector<uint8_t>* scratch, RouteFlags* flags) {
   const uint32_t fallback = static_cast<uint32_t>(index % shard_count);
   scratch->clear();
-  if (!builder->Transform(doc, scratch).ok()) {
+  // Both parse paths produce byte-identical JSONB, so the routing decision
+  // cannot depend on which one LoadOptions::ondemand selected.
+  const Status parse_st = ondemand != nullptr
+                              ? ondemand->Transform(doc, scratch)
+                              : builder->Transform(doc, scratch);
+  if (!parse_st.ok()) {
     // Malformed: route by position; the shard loader applies the
     // max_errors policy exactly as an unsharded load would.
     return fallback;
@@ -340,20 +347,25 @@ Result<std::unique_ptr<ShardedRelation>> ShardedRelation::Load(
       if (workers > 1 && docs.size() > 1) {
         ThreadPool pool(workers);
         std::vector<json::JsonbBuilder> builders(workers + 1);
+        std::vector<json::OndemandTransformer> transformers(
+            load_options.ondemand ? workers + 1 : 0);
         std::vector<std::vector<uint8_t>> scratch(workers + 1);
         pool.ParallelFor(
             docs.size(),
             [&](size_t i, size_t w) {
               target[i] =
                   RouteOne(docs[i], i, shard_count, routing_path, &builders[w],
+                           load_options.ondemand ? &transformers[w] : nullptr,
                            &scratch[w], &flags[w]);
             },
             /*chunk=*/256);
       } else {
         json::JsonbBuilder builder;
+        json::OndemandTransformer transformer;
         std::vector<uint8_t> scratch;
         for (size_t i = 0; i < docs.size(); i++) {
           target[i] = RouteOne(docs[i], i, shard_count, routing_path, &builder,
+                               load_options.ondemand ? &transformer : nullptr,
                                &scratch, &flags[0]);
         }
       }

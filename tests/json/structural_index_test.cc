@@ -1,0 +1,207 @@
+// Stage-1 structural index: hand-computed positions, escape and boundary
+// behavior, and bit-identity between the scalar reference and whichever
+// vector tier the machine runs (the differential tests in
+// ondemand_differential_test.cc then hold the full pipeline to the streaming
+// parser).
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/simd.h"
+#include "json/structural_index.h"
+#include "util/random.h"
+#include "workload/simdjson_corpus.h"
+#include "workload/tpch.h"
+
+namespace jsontiles::json {
+namespace {
+
+// Restores the exec::simd kill switch on scope exit.
+struct SimdGuard {
+  bool prev = exec::simd::Enabled();
+  ~SimdGuard() { exec::simd::SetEnabled(prev); }
+};
+
+// The valid prefix of the positions buffer.
+std::vector<uint32_t> Slice(const StructuralIndex& index) {
+  return std::vector<uint32_t>(index.positions.begin(),
+                               index.positions.begin() +
+                                   static_cast<long>(index.count));
+}
+
+std::vector<uint32_t> Positions(std::string_view input) {
+  StructuralIndex index;
+  Status st = BuildStructuralIndex(input, &index);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return Slice(index);
+}
+
+TEST(StructuralIndexTest, HandComputedPositions) {
+  EXPECT_EQ(Positions(R"({"a":1})"),
+            (std::vector<uint32_t>{0, 1, 3, 4, 5, 6}));
+  // `n` starts a scalar run; the later literal characters are not indexed.
+  EXPECT_EQ(Positions("[null, 12]"), (std::vector<uint32_t>{0, 1, 5, 7, 9}));
+  // A scalar after whitespace is a fresh run start.
+  EXPECT_EQ(Positions("1 2"), (std::vector<uint32_t>{0, 2}));
+  // Only the delimiter quotes of a string are indexed.
+  EXPECT_EQ(Positions(R"("hello world {",)"),
+            (std::vector<uint32_t>{0, 14, 15}));
+  EXPECT_EQ(Positions(""), std::vector<uint32_t>{});
+  EXPECT_EQ(Positions("   \t\n"), std::vector<uint32_t>{});
+}
+
+TEST(StructuralIndexTest, StructureInsideStringsIsNotIndexed) {
+  EXPECT_EQ(Positions(R"("{[:,]}")"), (std::vector<uint32_t>{0, 7}));
+  EXPECT_EQ(Positions(R"(["a,b", "c:d"])"),
+            (std::vector<uint32_t>{0, 1, 5, 6, 8, 12, 13}));
+}
+
+TEST(StructuralIndexTest, EscapedQuotesDoNotToggleStrings) {
+  // "a\"b" — the escaped quote stays inside the string.
+  EXPECT_EQ(Positions("\"a\\\"b\""), (std::vector<uint32_t>{0, 5}));
+  // "\\" — even backslash run, the final quote is real.
+  EXPECT_EQ(Positions("\"\\\\\""), (std::vector<uint32_t>{0, 3}));
+  // "\\\"" — odd run escapes the quote.
+  EXPECT_EQ(Positions("\"\\\\\\\"\""), (std::vector<uint32_t>{0, 5}));
+}
+
+TEST(StructuralIndexTest, UnterminatedStringFails) {
+  StructuralIndex index;
+  EXPECT_FALSE(BuildStructuralIndex("\"abc", &index).ok());
+  EXPECT_FALSE(BuildStructuralIndex("{\"a\": \"", &index).ok());
+  // Trailing escaped quote keeps the string open.
+  EXPECT_FALSE(BuildStructuralIndex("\"abc\\\"", &index).ok());
+}
+
+TEST(StructuralIndexTest, Utf8PassesThroughAsScalar) {
+  // Multi-byte sequences (and even invalid bytes) classify as one scalar run.
+  const std::string doc = "[\"caf\xc3\xa9\", \xf0\x9f\x98\x80]";
+  EXPECT_EQ(Positions(doc),
+            (std::vector<uint32_t>{0, 1, 7, 8, 10, 14}));
+}
+
+TEST(StructuralIndexTest, ReusedIndexIsCleared) {
+  StructuralIndex index;
+  ASSERT_TRUE(BuildStructuralIndex(R"({"a":1})", &index).ok());
+  ASSERT_EQ(index.count, 6u);
+  // The buffer is grow-only; only `count` resets between documents.
+  ASSERT_TRUE(BuildStructuralIndex("7", &index).ok());
+  EXPECT_EQ(Slice(index), std::vector<uint32_t>{0});
+}
+
+// --- Tier identity ---------------------------------------------------------
+// The scalar loop defines the semantics; the vector tiers must agree bit for
+// bit on every input, including ones crafted to straddle 64-byte blocks.
+
+StructuralIndex ScalarScan(std::string_view input, Status* st) {
+  SimdGuard guard;
+  exec::simd::SetEnabled(false);
+  EXPECT_STREQ(StructuralIndexIsa(), "scalar");
+  StructuralIndex index;
+  *st = BuildStructuralIndex(input, &index);
+  return index;
+}
+
+StructuralIndex VectorScan(std::string_view input, Status* st) {
+  SimdGuard guard;
+  exec::simd::SetEnabled(true);
+  StructuralIndex index;
+  *st = BuildStructuralIndex(input, &index);
+  return index;
+}
+
+void ExpectTierIdentity(std::string_view input) {
+  Status scalar_st, vector_st;
+  auto scalar = ScalarScan(input, &scalar_st);
+  auto vector = VectorScan(input, &vector_st);
+  EXPECT_EQ(scalar_st.ok(), vector_st.ok()) << input;
+  EXPECT_EQ(Slice(scalar), Slice(vector)) << input;
+  EXPECT_EQ(scalar.clean_strings, vector.clean_strings) << input;
+  // The problem bitmap must agree on every word the walker may probe.
+  const size_t words = (input.size() + 63) / 64;
+  for (size_t w = 0; w < words; w++) {
+    EXPECT_EQ(scalar.problems[w], vector.problems[w]) << input << " word " << w;
+  }
+}
+
+TEST(StructuralIndexTest, CleanStringsFlag) {
+  StructuralIndex index;
+  // No escapes, no control bytes inside strings: clean.
+  ASSERT_TRUE(BuildStructuralIndex(R"({"a": "hello", "b": [1, "x"]})", &index)
+                  .ok());
+  EXPECT_TRUE(index.clean_strings);
+  // Raw UTF-8 inside strings is still clean (bytes >= 0x80).
+  ASSERT_TRUE(BuildStructuralIndex("\"caf\xc3\xa9\"", &index).ok());
+  EXPECT_TRUE(index.clean_strings);
+  // A backslash inside a string (value or key) clears the flag.
+  ASSERT_TRUE(BuildStructuralIndex(R"("a\"b")", &index).ok());
+  EXPECT_FALSE(index.clean_strings);
+  ASSERT_TRUE(
+      BuildStructuralIndex("{\"k\\u00e9\": 1}", &index).ok());
+  EXPECT_FALSE(index.clean_strings);
+  // A raw control byte inside a string clears it too (the walker must keep
+  // validating so the document is rejected like the streaming parser does).
+  ASSERT_TRUE(BuildStructuralIndex("\"a\tb\"", &index).ok());
+  EXPECT_FALSE(index.clean_strings);
+  // Control bytes and backslashes outside strings don't affect the flag; the
+  // backslash surfaces as an indexed scalar the walker rejects.
+  ASSERT_TRUE(BuildStructuralIndex("[1,\t2]", &index).ok());
+  EXPECT_TRUE(index.clean_strings);
+}
+
+TEST(StructuralIndexTierTest, BlockBoundaryStrings) {
+  // Escapes, quotes and backslash runs placed around the 64-byte block seam
+  // (and the 16/32-byte lane seams inside it).
+  for (size_t pad : {0u, 1u, 14u, 15u, 16u, 30u, 31u, 32u, 33u, 47u, 48u,
+                     61u, 62u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+    const std::string fill(pad, 'a');
+    ExpectTierIdentity("\"" + fill + "\\\"tail\"");
+    ExpectTierIdentity("\"" + fill + "\\\\\"");
+    ExpectTierIdentity("[\"" + fill + "\", " + fill + "]");
+    ExpectTierIdentity(fill + "\"unterminated");
+    ExpectTierIdentity("\"" + std::string(pad, '\\') + "x\"");
+  }
+}
+
+TEST(StructuralIndexTierTest, RandomBytes) {
+  Random rng(20260808);
+  const char alphabet[] = "{}[],:\"\\ \t\n0123456789aeu\xc3\xa9";
+  for (int iter = 0; iter < 2000; iter++) {
+    const size_t len = rng.Uniform(200);
+    std::string input;
+    input.reserve(len);
+    for (size_t i = 0; i < len; i++) {
+      input.push_back(alphabet[rng.Uniform(sizeof(alphabet) - 1)]);
+    }
+    ExpectTierIdentity(input);
+  }
+}
+
+TEST(StructuralIndexTierTest, WorkloadDocuments) {
+  workload::TpchOptions tpch;
+  tpch.scale_factor = 0.001;
+  for (const auto& doc : workload::GenerateTpch(tpch).combined) {
+    ExpectTierIdentity(doc);
+  }
+  for (const auto& file : workload::GenerateSimdJsonCorpus()) {
+    ExpectTierIdentity(file.json);
+  }
+}
+
+TEST(StructuralIndexTierTest, IsaReportsKillSwitch) {
+  SimdGuard guard;
+  exec::simd::SetEnabled(false);
+  EXPECT_STREQ(StructuralIndexIsa(), "scalar");
+  exec::simd::SetEnabled(true);
+  if (exec::simd::CompiledIn()) {
+    EXPECT_STRNE(StructuralIndexIsa(), "scalar");
+  } else {
+    EXPECT_STREQ(StructuralIndexIsa(), "scalar");
+  }
+}
+
+}  // namespace
+}  // namespace jsontiles::json

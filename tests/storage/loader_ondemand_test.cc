@@ -1,0 +1,169 @@
+// LoadOptions::ondemand through the loader and sharded loads: the on-demand
+// parse path must leave every observable loader behavior unchanged — the
+// loaded rows, the LoadBreakdown (skipped_docs in particular, under
+// degraded-mode max_errors), the fail-fast contract, and the global skip cap
+// across shards.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/loader.h"
+#include "storage/relation.h"
+#include "storage/serialize.h"
+#include "storage/shard.h"
+#include "util/failpoint.h"
+
+namespace jsontiles::storage {
+namespace {
+
+// Docs with malformed records sprinkled at known positions (every 7th),
+// including shapes that fail at different stages of the on-demand path:
+// stage-1 (unterminated string), stage-2 (grammar), and plain truncation.
+std::vector<std::string> MixedDocs(size_t n, size_t* bad_count) {
+  std::vector<std::string> docs;
+  *bad_count = 0;
+  for (size_t i = 0; i < n; i++) {
+    if (i % 7 == 3) {
+      const char* bad[] = {R"({"id": )", R"({"id" 1})", "{\"s\": \"oops",
+                           R"([1,,2])"};
+      docs.push_back(bad[i % 4]);
+      (*bad_count)++;
+    } else {
+      docs.push_back(R"({"id":)" + std::to_string(i) + R"(,"name":"user)" +
+                     std::to_string(i % 13) + R"("})");
+    }
+  }
+  return docs;
+}
+
+TEST(LoaderOndemandTest, SkippedDocsParityInDegradedMode) {
+  size_t bad_count = 0;
+  const auto docs = MixedDocs(200, &bad_count);
+  ASSERT_GT(bad_count, 0u);
+
+  for (size_t num_threads : {1u, 4u}) {
+    LoadOptions base;
+    base.num_threads = num_threads;
+    base.max_errors = 1000;  // skip them all
+    LoadBreakdown baseline_bd, ondemand_bd;
+
+    auto baseline = Loader(StorageMode::kJsonb, {}, base)
+                        .Load(docs, "t", &baseline_bd)
+                        .MoveValueOrDie();
+    LoadOptions od = base;
+    od.ondemand = true;
+    auto ondemand = Loader(StorageMode::kJsonb, {}, od)
+                        .Load(docs, "t", &ondemand_bd)
+                        .MoveValueOrDie();
+
+    EXPECT_EQ(baseline_bd.skipped_docs, bad_count);
+    EXPECT_EQ(ondemand_bd.skipped_docs, bad_count);
+    EXPECT_EQ(baseline_bd.tuples, ondemand_bd.tuples);
+    ASSERT_EQ(baseline->num_rows(), ondemand->num_rows());
+    std::vector<uint8_t> a, b;
+    ASSERT_TRUE(SerializeRelation(*baseline, &a).ok());
+    ASSERT_TRUE(SerializeRelation(*ondemand, &b).ok());
+    EXPECT_EQ(a, b) << "threads=" << num_threads;
+  }
+}
+
+TEST(LoaderOndemandTest, FailFastParityWithoutMaxErrors) {
+  size_t bad_count = 0;
+  const auto docs = MixedDocs(50, &bad_count);
+  LoadOptions od;
+  od.ondemand = true;
+  auto baseline = Loader(StorageMode::kJsonb, {}, {}).Load(docs, "t");
+  auto ondemand = Loader(StorageMode::kJsonb, {}, od).Load(docs, "t");
+  ASSERT_FALSE(baseline.ok());
+  ASSERT_FALSE(ondemand.ok());
+  EXPECT_EQ(baseline.status().code(), ondemand.status().code());
+}
+
+TEST(LoaderOndemandTest, MaxErrorsCapParity) {
+  size_t bad_count = 0;
+  const auto docs = MixedDocs(100, &bad_count);
+  ASSERT_GT(bad_count, 2u);
+  for (bool ondemand : {false, true}) {
+    LoadOptions opts;
+    opts.ondemand = ondemand;
+    opts.max_errors = bad_count - 1;  // one too few: the load must fail
+    EXPECT_FALSE(Loader(StorageMode::kJsonb, {}, opts).Load(docs, "t").ok())
+        << "ondemand=" << ondemand;
+    opts.max_errors = bad_count;  // exactly enough
+    LoadBreakdown bd;
+    auto rel = Loader(StorageMode::kJsonb, {}, opts).Load(docs, "t", &bd);
+    ASSERT_TRUE(rel.ok()) << "ondemand=" << ondemand;
+    EXPECT_EQ(bd.skipped_docs, bad_count);
+  }
+}
+
+TEST(LoaderOndemandTest, ShardedSkipParityAndGlobalCap) {
+  size_t bad_count = 0;
+  const auto docs = MixedDocs(300, &bad_count);
+  ShardOptions shard_options;
+  shard_options.shard_count = 4;
+  shard_options.routing = ShardRouting::kHashKey;
+  shard_options.routing_keys = {"id"};
+
+  LoadOptions base;
+  base.num_threads = 4;
+  base.max_errors = 1000;
+  LoadBreakdown baseline_bd, ondemand_bd;
+  auto baseline = ShardedRelation::Load(docs, "t", StorageMode::kJsonb, {},
+                                        base, shard_options, &baseline_bd)
+                      .MoveValueOrDie();
+  LoadOptions od = base;
+  od.ondemand = true;
+  auto ondemand = ShardedRelation::Load(docs, "t", StorageMode::kJsonb, {}, od,
+                                        shard_options, &ondemand_bd)
+                      .MoveValueOrDie();
+
+  // Same skips, same rows, same per-shard routing (identical JSONB implies
+  // identical routing values).
+  EXPECT_EQ(baseline_bd.skipped_docs, bad_count);
+  EXPECT_EQ(ondemand_bd.skipped_docs, bad_count);
+  EXPECT_EQ(baseline->num_rows(), ondemand->num_rows());
+  ASSERT_EQ(baseline->shard_count(), ondemand->shard_count());
+  for (size_t s = 0; s < baseline->shard_count(); s++) {
+    std::vector<uint8_t> a, b;
+    ASSERT_TRUE(SerializeRelation(baseline->shard(s), &a).ok());
+    ASSERT_TRUE(SerializeRelation(ondemand->shard(s), &b).ok());
+    EXPECT_EQ(a, b) << "shard " << s;
+  }
+
+  // The max_errors cap stays global across shards on the on-demand path.
+  od.max_errors = bad_count - 1;
+  EXPECT_FALSE(ShardedRelation::Load(docs, "t", StorageMode::kJsonb, {}, od,
+                                     shard_options)
+                   .ok());
+}
+
+#if JSONTILES_FAILPOINTS_AVAILABLE
+TEST(LoaderOndemandTest, ForcedFallbackLoadsIdentically) {
+  failpoint::DisableAll();
+  size_t bad_count = 0;
+  const auto docs = MixedDocs(60, &bad_count);
+  LoadOptions od;
+  od.ondemand = true;
+  od.max_errors = 1000;
+  LoadBreakdown normal_bd, forced_bd;
+  auto normal = Loader(StorageMode::kJsonb, {}, od)
+                    .Load(docs, "t", &normal_bd)
+                    .MoveValueOrDie();
+  failpoint::Enable("ondemand.force_fallback", failpoint::Spec::EveryK(2));
+  auto forced = Loader(StorageMode::kJsonb, {}, od)
+                    .Load(docs, "t", &forced_bd)
+                    .MoveValueOrDie();
+  failpoint::DisableAll();
+  EXPECT_EQ(normal_bd.skipped_docs, forced_bd.skipped_docs);
+  std::vector<uint8_t> a, b;
+  ASSERT_TRUE(SerializeRelation(*normal, &a).ok());
+  ASSERT_TRUE(SerializeRelation(*forced, &b).ok());
+  EXPECT_EQ(a, b);
+}
+#endif  // JSONTILES_FAILPOINTS_AVAILABLE
+
+}  // namespace
+}  // namespace jsontiles::storage
