@@ -7,6 +7,7 @@
 //   JSONTILES_THREADS  worker threads for loading/scans (default 1)
 //   JSONTILES_TWEETS   Twitter stream size (default 20000)
 //   JSONTILES_YELP     Yelp businesses (default 300)
+//   JSONTILES_ONDEMAND use the on-demand parse path for loading (default 0)
 
 #ifndef JSONTILES_BENCH_BENCH_COMMON_H_
 #define JSONTILES_BENCH_BENCH_COMMON_H_
@@ -42,6 +43,9 @@ inline double TpchScaleFactor() { return EnvDouble("JSONTILES_SF", 0.01); }
 inline size_t BenchThreads() { return EnvSize("JSONTILES_THREADS", 1); }
 inline size_t TwitterTweets() { return EnvSize("JSONTILES_TWEETS", 20000); }
 inline size_t YelpBusinesses() { return EnvSize("JSONTILES_YELP", 300); }
+/// JSONTILES_ONDEMAND=1 switches every loader-driven benchmark to the
+/// on-demand (structural index + direct emission) parse path.
+inline bool OndemandEnv() { return EnvSize("JSONTILES_ONDEMAND", 0) != 0; }
 
 inline const std::vector<storage::StorageMode>& AllModes() {
   static const std::vector<storage::StorageMode> kModes = {
@@ -57,6 +61,7 @@ LoadAllModes(const std::vector<std::string>& docs, const std::string& name,
              storage::LoadOptions options = {}) {
   std::map<storage::StorageMode, std::unique_ptr<storage::Relation>> out;
   if (options.num_threads == 0) options.num_threads = BenchThreads();
+  if (!options.ondemand) options.ondemand = OndemandEnv();
   for (auto mode : AllModes()) {
     storage::Loader loader(mode, config, options);
     out[mode] = loader.Load(docs, name).MoveValueOrDie();

@@ -40,9 +40,13 @@ struct Measurement {
   bool identical = false;
 };
 
-// Single-thread kJsonb loads, best of 3, plus byte-identity of the loaded
-// relations (serialized form covers rows and every JSONB buffer).
-Measurement MeasureLoad(const Workload& w) {
+// Single-thread loads, best of 3, plus byte-identity of the loaded relations
+// (serialized form covers rows, every JSONB buffer and — for kTiles — the
+// extracted tile columns and statistics). The kJsonb rows isolate the parse
+// path itself; the kTiles rows additionally exercise direct tile ingest
+// (key-path collection and column materialization off the emitter's scalar
+// directories instead of per-path JSONB navigation).
+Measurement MeasureLoad(const Workload& w, storage::StorageMode mode) {
   Measurement m;
   storage::LoadOptions baseline_opts;
   baseline_opts.num_threads = 1;
@@ -51,15 +55,13 @@ Measurement MeasureLoad(const Workload& w) {
 
   std::unique_ptr<storage::Relation> baseline_rel, ondemand_rel;
   m.baseline_wall = TimeBest([&] {
-    baseline_rel = storage::Loader(storage::StorageMode::kJsonb, {},
-                                   baseline_opts)
+    baseline_rel = storage::Loader(mode, {}, baseline_opts)
                        .Load(w.docs, w.name)
                        .MoveValueOrDie();
     benchmark::DoNotOptimize(baseline_rel);
   });
   m.ondemand_wall = TimeBest([&] {
-    ondemand_rel = storage::Loader(storage::StorageMode::kJsonb, {},
-                                   ondemand_opts)
+    ondemand_rel = storage::Loader(mode, {}, ondemand_opts)
                        .Load(w.docs, w.name)
                        .MoveValueOrDie();
     benchmark::DoNotOptimize(ondemand_rel);
@@ -127,46 +129,65 @@ int main(int argc, char** argv) {
 
   std::printf("stage-1 tier: %s\n", json::StructuralIndexIsa());
 
-  TablePrinter table("Single-thread load: streaming parser vs on-demand");
-  table.SetHeader({"Workload", "Docs", "MB", "Base Kdocs/s", "Ondemand Kdocs/s",
-                   "Speedup", "Identical"});
   bool ok = true;
-  std::string workloads_json;
-  std::vector<double> speedups;
-  for (const auto& w : workloads) {
-    Measurement m = MeasureLoad(w);
-    ok = ok && m.identical;
-    size_t bytes = 0;
-    for (const auto& d : w.docs) bytes += d.size();
-    const double docs = static_cast<double>(w.docs.size());
-    const double base_rate = docs / m.baseline_wall;
-    const double od_rate = docs / m.ondemand_wall;
-    const double speedup = m.baseline_wall / m.ondemand_wall;
-    speedups.push_back(speedup);
-    table.AddRow({w.name, std::to_string(w.docs.size()),
-                  Fmt(static_cast<double>(bytes) / 1e6, "%.1f"),
-                  Fmt(base_rate / 1000.0, "%.1f"),
-                  Fmt(od_rate / 1000.0, "%.1f"), Fmt(speedup, "%.2fx"),
-                  m.identical ? "yes" : "NO"});
-    if (!workloads_json.empty()) workloads_json += ",\n";
-    workloads_json +=
-        "    {\"name\": \"" + w.name +
-        "\", \"docs\": " + std::to_string(w.docs.size()) +
-        ", \"bytes\": " + std::to_string(bytes) +
-        ", \"baseline_docs_per_sec\": " + Fmt(base_rate, "%.1f") +
-        ", \"ondemand_docs_per_sec\": " + Fmt(od_rate, "%.1f") +
-        ", \"speedup\": " + Fmt(speedup, "%.3f") +
-        ", \"identical\": " + (m.identical ? "true" : "false") + "}";
-  }
-  table.Print();
+  // One measurement pass per storage mode: kJsonb isolates the parse path,
+  // kTiles adds mining/extraction fed by the direct-ingest directories.
+  auto run_mode = [&](storage::StorageMode mode, const char* title,
+                      std::string* out_json) -> double {
+    TablePrinter table(title);
+    table.SetHeader({"Workload", "Docs", "MB", "Base Kdocs/s",
+                     "Ondemand Kdocs/s", "Speedup", "Identical"});
+    std::vector<double> speedups;
+    for (const auto& w : workloads) {
+      Measurement m = MeasureLoad(w, mode);
+      ok = ok && m.identical;
+      size_t bytes = 0;
+      for (const auto& d : w.docs) bytes += d.size();
+      const double docs = static_cast<double>(w.docs.size());
+      const double base_rate = docs / m.baseline_wall;
+      const double od_rate = docs / m.ondemand_wall;
+      const double speedup = m.baseline_wall / m.ondemand_wall;
+      speedups.push_back(speedup);
+      table.AddRow({w.name, std::to_string(w.docs.size()),
+                    Fmt(static_cast<double>(bytes) / 1e6, "%.1f"),
+                    Fmt(base_rate / 1000.0, "%.1f"),
+                    Fmt(od_rate / 1000.0, "%.1f"), Fmt(speedup, "%.2fx"),
+                    m.identical ? "yes" : "NO"});
+      if (!out_json->empty()) *out_json += ",\n";
+      *out_json +=
+          "    {\"name\": \"" + w.name +
+          "\", \"docs\": " + std::to_string(w.docs.size()) +
+          ", \"bytes\": " + std::to_string(bytes) +
+          ", \"baseline_docs_per_sec\": " + Fmt(base_rate, "%.1f") +
+          ", \"ondemand_docs_per_sec\": " + Fmt(od_rate, "%.1f") +
+          ", \"speedup\": " + Fmt(speedup, "%.3f") +
+          ", \"identical\": " + (m.identical ? "true" : "false") + "}";
+    }
+    table.Print();
+    return GeoMean(speedups);
+  };
 
-  const double geomean = GeoMean(speedups);
+  std::string workloads_json;
+  const double geomean =
+      run_mode(storage::StorageMode::kJsonb,
+               "Single-thread load: streaming parser vs on-demand",
+               &workloads_json);
   std::printf("geomean speedup: %.2fx\n", geomean);
+
+  std::string tiles_json;
+  const double tiles_geomean =
+      run_mode(storage::StorageMode::kTiles,
+               "Single-thread Tiles load: streaming parser vs direct ingest",
+               &tiles_json);
+  std::printf("tiles geomean speedup: %.2fx\n", tiles_geomean);
 
   std::string json = "{\n  \"isa\": \"" +
                      std::string(json::StructuralIndexIsa()) +
                      "\",\n  \"workloads\": [\n" + workloads_json +
                      "\n  ],\n  \"geomean_speedup\": " + Fmt(geomean, "%.3f") +
+                     ",\n  \"tiles_workloads\": [\n" + tiles_json +
+                     "\n  ],\n  \"tiles_geomean_speedup\": " +
+                     Fmt(tiles_geomean, "%.3f") +
                      ",\n  \"ok\": " + std::string(ok ? "true" : "false") +
                      "\n}\n";
   if (!json_path.empty()) {

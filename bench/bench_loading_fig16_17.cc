@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
   // JSONTILES_ONDEMAND=1 loads through the on-demand parse path; with
   // --metrics-json the jsonb.ondemand.stage1/stage2 histograms then split the
   // WriteJSONB phase into SIMD scan vs. lazy walk.
-  load_options.ondemand = EnvSize("JSONTILES_ONDEMAND", 0) != 0;
+  load_options.ondemand = OndemandEnv();
   if (load_options.ondemand) std::printf("parse path: ondemand\n");
 
   // Figure 16: phase breakdown of the Tiles insertion (percent of phase sum).

@@ -39,6 +39,7 @@ double LoadWall(const std::vector<std::string>& docs, size_t shards,
                 size_t threads) {
   storage::LoadOptions load_options;
   load_options.num_threads = threads;
+  load_options.ondemand = OndemandEnv();
   storage::ShardOptions shard_options;
   shard_options.shard_count = shards;
   return TimeBest([&] {
@@ -118,6 +119,7 @@ int main(int argc, char** argv) {
   // return the unsharded answer.
   storage::LoadOptions load_options;
   load_options.num_threads = kLoadThreads;
+  load_options.ondemand = OndemandEnv();
   storage::ShardOptions shard_options;
   shard_options.shard_count = kPruneShards;
   shard_options.routing = storage::ShardRouting::kHashKey;

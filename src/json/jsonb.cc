@@ -6,34 +6,20 @@
 
 #include "json/dom.h"
 #include "json/float16.h"
+#include "json/jsonb_wire.h"
 #include "obs/obs.h"
 #include "util/bit_util.h"
 #include "util/logging.h"
 
 namespace jsontiles::json {
 
+// Wire constants and leaf encoders are shared with the direct emitter
+// (ondemand.cc) via jsonb_wire.h, so the two serializers cannot drift.
+using namespace wire;  // NOLINT
+
 namespace {
 
-constexpr uint8_t kTagNull = 0;
-constexpr uint8_t kTagFalse = 1;
-constexpr uint8_t kTagTrue = 2;
-constexpr uint8_t kTagIntSmall = 3;
-constexpr uint8_t kTagInt = 4;
-constexpr uint8_t kTagFloat = 5;
-constexpr uint8_t kTagString = 6;
-constexpr uint8_t kTagNumeric = 7;
-constexpr uint8_t kTagObject = 8;
-constexpr uint8_t kTagArray = 9;
-
 constexpr int kMaxNesting = JsonbBuilder::kMaxNesting;
-
-inline uint8_t Tag(const uint8_t* p) { return *p >> 4; }
-inline uint8_t Imm(const uint8_t* p) { return *p & 0x0F; }
-
-inline int OffsetWidth(uint8_t code) { return code == 0 ? 1 : code == 1 ? 2 : 4; }
-inline uint8_t OffsetWidthCode(int width) {
-  return width == 1 ? 0 : width == 2 ? 1 : 2;
-}
 
 // Varint decode that fails instead of reading past `avail` bytes (the shared
 // bit_util::DecodeVarint trusts its input and has no bound).
@@ -427,19 +413,14 @@ void JsonbBuilder::SetNumberIntNode(uint32_t index, int64_t v) {
   Node& node = nodes_[index];
   node.type = JsonType::kInt;
   node.int_val = v;
-  if (v >= 0 && v <= 15) {
-    node.size = 1;
-  } else {
-    uint64_t mag = v < 0 ? -static_cast<uint64_t>(v) : static_cast<uint64_t>(v);
-    node.size = 1 + static_cast<uint64_t>(bit_util::MinBytes(mag));
-  }
+  node.size = IntSize(v);
 }
 
 void JsonbBuilder::SetNumberFloatNode(uint32_t index, double d) {
   Node& node = nodes_[index];
   node.type = JsonType::kFloat;
   node.dbl_val = d;
-  node.float_width = IsLosslessHalf(d) ? 2 : IsLosslessSingle(d) ? 4 : 8;
+  node.float_width = FloatWidth(d);
   node.size = 1 + node.float_width;
 }
 
@@ -449,19 +430,11 @@ void JsonbBuilder::SetStringNode(uint32_t index, std::string_view decoded) {
   if (options_.detect_numeric_strings && ParseNumeric(decoded, &num)) {
     node.type = JsonType::kNumericString;
     node.num_val = num;
-    uint64_t mag = num.unscaled < 0 ? -static_cast<uint64_t>(num.unscaled)
-                                    : static_cast<uint64_t>(num.unscaled);
-    node.size = 2 + static_cast<uint64_t>(bit_util::VarintSize(mag));
+    node.size = NumericSize(num);
   } else {
     node.type = JsonType::kString;
     node.str = decoded;
-    if (decoded.size() < 15) {
-      node.size = 1 + decoded.size();
-    } else {
-      node.size = 1 +
-                  static_cast<uint64_t>(bit_util::VarintSize(decoded.size())) +
-                  decoded.size();
-    }
+    node.size = StringSize(decoded.size());
   }
 }
 
@@ -512,20 +485,18 @@ void JsonbBuilder::FinalizeObject(uint32_t index,
     const Node& child = nodes_[children[i]];
     slots_size += child.size + child.key.size() + 2;
   }
-  int ow = slots_size <= 0xFF ? 1 : slots_size <= 0xFFFF ? 2 : 4;
+  int ow = OffsetWidthFor(slots_size);
   node.offset_width = static_cast<uint8_t>(ow);
-  node.size = 1 + bit_util::VarintSize(node.count) +
-              static_cast<uint64_t>(node.count) * ow + slots_size;
+  node.size = ContainerHeaderSize(node.count, ow) + slots_size;
 }
 
 void JsonbBuilder::FinalizeArray(uint32_t index, uint32_t count,
                                  uint64_t slots_size) {
   Node& node = nodes_[index];
   node.count = count;
-  int ow = slots_size <= 0xFF ? 1 : slots_size <= 0xFFFF ? 2 : 4;
+  int ow = OffsetWidthFor(slots_size);
   node.offset_width = static_cast<uint8_t>(ow);
-  node.size = 1 + bit_util::VarintSize(count) +
-              static_cast<uint64_t>(count) * ow + slots_size;
+  node.size = ContainerHeaderSize(count, ow) + slots_size;
 }
 
 Status JsonbBuilder::ParseValue(JsonLexer& lexer, Token token, uint32_t* index,
@@ -627,67 +598,29 @@ void JsonbBuilder::WriteValue(uint32_t index, uint8_t* out, size_t pos) const {
   const Node& node = nodes_[index];
   switch (node.type) {
     case JsonType::kNull:
-      out[pos] = kTagNull << 4;
+      EncodeNull(out + pos);
       return;
     case JsonType::kBool:
-      out[pos] = static_cast<uint8_t>((node.int_val ? kTagTrue : kTagFalse) << 4);
+      EncodeBool(out + pos, node.int_val != 0);
       return;
-    case JsonType::kInt: {
-      int64_t v = node.int_val;
-      if (v >= 0 && v <= 15) {
-        out[pos] = static_cast<uint8_t>(kTagIntSmall << 4 | v);
-        return;
-      }
-      uint64_t mag = v < 0 ? -static_cast<uint64_t>(v) : static_cast<uint64_t>(v);
-      int n = bit_util::MinBytes(mag);
-      out[pos] = static_cast<uint8_t>(kTagInt << 4 | (v < 0 ? 8 : 0) | (n - 1));
-      bit_util::StoreLE(out + pos + 1, mag, n);
+    case JsonType::kInt:
+      EncodeInt(out + pos, node.int_val);
       return;
-    }
     case JsonType::kFloat:
-      out[pos] = static_cast<uint8_t>(kTagFloat << 4 | node.float_width);
-      switch (node.float_width) {
-        case 2:
-          bit_util::StoreU16(out + pos + 1,
-                             FloatToHalf(static_cast<float>(node.dbl_val)));
-          break;
-        case 4:
-          bit_util::StoreU32(out + pos + 1,
-                             std::bit_cast<uint32_t>(static_cast<float>(node.dbl_val)));
-          break;
-        default:
-          bit_util::StoreU64(out + pos + 1, std::bit_cast<uint64_t>(node.dbl_val));
-      }
+      EncodeFloat(out + pos, node.dbl_val, node.float_width);
       return;
-    case JsonType::kString: {
-      size_t len = node.str.size();
-      if (len < 15) {
-        out[pos] = static_cast<uint8_t>(kTagString << 4 | len);
-        std::memcpy(out + pos + 1, node.str.data(), len);
-      } else {
-        out[pos] = kTagString << 4 | 15;
-        int n = bit_util::EncodeVarint(out + pos + 1, len);
-        std::memcpy(out + pos + 1 + static_cast<size_t>(n), node.str.data(), len);
-      }
+    case JsonType::kString:
+      EncodeString(out + pos, node.str);
       return;
-    }
-    case JsonType::kNumericString: {
-      out[pos] = kTagNumeric << 4;
-      uint64_t mag = node.num_val.unscaled < 0
-                         ? -static_cast<uint64_t>(node.num_val.unscaled)
-                         : static_cast<uint64_t>(node.num_val.unscaled);
-      out[pos + 1] = static_cast<uint8_t>(
-          (node.num_val.unscaled < 0 ? 0x80 : 0) | node.num_val.scale);
-      bit_util::EncodeVarint(out + pos + 2, mag);
+    case JsonType::kNumericString:
+      EncodeNumeric(out + pos, node.num_val);
       return;
-    }
     case JsonType::kObject: {
-      out[pos] = static_cast<uint8_t>(kTagObject << 4 |
-                                      OffsetWidthCode(node.offset_width));
-      size_t p = pos + 1;
-      p += static_cast<size_t>(bit_util::EncodeVarint(out + p, node.count));
-      size_t offsets_pos = p;
-      size_t slots_pos = p + static_cast<size_t>(node.count) * node.offset_width;
+      uint8_t* offsets = EncodeContainerHeader(out + pos, kTagObject,
+                                               node.count, node.offset_width);
+      size_t offsets_pos = static_cast<size_t>(offsets - out);
+      size_t slots_pos =
+          offsets_pos + static_cast<size_t>(node.count) * node.offset_width;
       uint64_t rel = 0;
       for (uint32_t i = 0; i < node.count; i++) {
         uint32_t child = sorted_children_[node.sorted_begin + i];
@@ -704,12 +637,11 @@ void JsonbBuilder::WriteValue(uint32_t index, uint8_t* out, size_t pos) const {
       return;
     }
     case JsonType::kArray: {
-      out[pos] = static_cast<uint8_t>(kTagArray << 4 |
-                                      OffsetWidthCode(node.offset_width));
-      size_t p = pos + 1;
-      p += static_cast<size_t>(bit_util::EncodeVarint(out + p, node.count));
-      size_t offsets_pos = p;
-      size_t slots_pos = p + static_cast<size_t>(node.count) * node.offset_width;
+      uint8_t* offsets = EncodeContainerHeader(out + pos, kTagArray,
+                                               node.count, node.offset_width);
+      size_t offsets_pos = static_cast<size_t>(offsets - out);
+      size_t slots_pos =
+          offsets_pos + static_cast<size_t>(node.count) * node.offset_width;
       uint64_t rel = 0;
       uint32_t child = node.first_child;
       for (uint32_t i = 0; i < node.count; i++) {

@@ -46,8 +46,6 @@
 
 namespace jsontiles::json {
 
-struct StructuralIndex;  // structural_index.h
-
 /// Read-only view of one JSONB value inside a buffer. Cheap to copy.
 class JsonbValue {
  public:
@@ -123,15 +121,6 @@ class JsonbBuilder {
   /// serialized document.
   Status Transform(std::string_view json_text, std::vector<uint8_t>* out);
 
-  /// Stage 2 of the on-demand parse path (ondemand.cc): same output contract
-  /// as Transform, but the structure comes from a prebuilt StructuralIndex
-  /// instead of per-character lexing. Accepted documents serialize to bytes
-  /// identical to Transform's; on any rejection callers must fall back to
-  /// Transform, whose Status is authoritative (OndemandTransformer does).
-  Status TransformIndexed(std::string_view json_text,
-                          const StructuralIndex& index,
-                          std::vector<uint8_t>* out);
-
  private:
   static constexpr uint32_t kInvalid = 0xFFFFFFFF;
 
@@ -155,8 +144,6 @@ class JsonbBuilder {
   std::string_view DecodeString(const JsonLexer& lexer);
   void WriteValue(uint32_t index, uint8_t* out, size_t pos) const;
 
-  // Leaf/container finalization shared by ParseValue and the indexed parse
-  // (ondemand.cc), so both paths compute identical node sizes and layouts.
   void SetNumberIntNode(uint32_t index, int64_t v);
   void SetNumberFloatNode(uint32_t index, double d);
   void SetStringNode(uint32_t index, std::string_view decoded);
@@ -165,11 +152,6 @@ class JsonbBuilder {
   void FinalizeArray(uint32_t index, uint32_t count, uint64_t slots_size);
   std::string_view DecodeStringLexeme(std::string_view lexeme,
                                       bool has_escape);
-
-  // On-demand stage 2 (ondemand.cc): recursive walk over a structural-index
-  // cursor, building the same Node tree as ParseValue.
-  struct IndexedCursor;
-  Status ParseIndexedValue(IndexedCursor& cursor, uint32_t* index, int depth);
 
   Options options_;
   std::vector<Node> nodes_;
@@ -180,9 +162,6 @@ class JsonbBuilder {
   // objects (and with them any SSO-inlined bytes the views point at).
   std::deque<std::string> decoded_;
   size_t decoded_used_ = 0;
-  // Frame-stacked child indices for the indexed parse (ParseValue allocates a
-  // vector per object; the indexed walk shares this one across the document).
-  std::vector<uint32_t> indexed_children_;
 };
 
 /// Convenience: one-shot transformation.

@@ -2,27 +2,41 @@
 // "On-Demand JSON", Keiser & Lemire, arXiv 2312.17149).
 //
 // Stage 1 (structural_index.h) SIMD-scans the whole buffer once and records
-// every structural position. Stage 2 (JsonbBuilder::TransformIndexed) walks
-// that index lazily: strings become single slices between two index entries
-// instead of per-character loops, numbers and literals are lexed in place,
-// and the node tree / two-pass write machinery is shared with the streaming
-// parser — so an accepted document serializes to bytes identical to
-// JsonbBuilder::Transform's, by construction.
+// every structural position. Stage 2 (DirectEmitter) walks that index ONCE
+// and emits serialized JSONB as it goes — no intermediate node tree, no
+// second sizing pass. Container headers (offset width, varint count, offset
+// table) depend on the serialized size of the children, which is unknown
+// until the container closes, so children are emitted first onto a tape and
+// the header is patched in front at close: arrays shift their slot area up
+// by the header size, objects additionally reorder slots into sorted
+// duplicate-free key order (last occurrence wins, as in the streaming
+// parser). Leaf encodings are shared with the streaming parser via
+// jsonb_wire.h, so an accepted document is bit-identical to
+// JsonbBuilder::Transform's output by construction — and the parser
+// differential tests hold the two paths to that contract over the workload
+// corpora and a mutation fuzz corpus (with a dedicated ASan/UBSan CI leg).
 //
-// Fallback contract: on ANY anomaly — stage-1 scan failure, a stage-2
+// Tile ingest: the same walk can collect a per-document scalar directory
+// (OndemandIngest) — every leaf's encoded key path, JSON type and offset in
+// the emitted document, in exactly the order tiles::ForEachKeyPath visits
+// leaves of the finished JSONB. The loader uses the directory to build the
+// mining transactions and to materialize tile columns without re-navigating
+// the document per extracted path.
+//
+// Fallback contract: on ANY anomaly — stage-1 scan failure, an emitter
 // rejection, or the `ondemand.force_fallback` failpoint — the transformer
-// re-parses the document with the streaming parser and returns its result.
+// re-parses the document with the streaming parser and returns its result
+// (deriving the ingest directory from the finished JSONB when requested).
 // The streaming parser is therefore the arbiter of acceptance and of error
 // statuses; the on-demand path can only ever change how fast an accepted
-// document is transformed, never what the caller observes. The parser
-// differential tests (and the CI leg running them under ASan/UBSan) hold the
-// two paths byte-identical over the workload corpora and a mutation fuzz
-// corpus.
+// document is transformed, never what the caller observes.
 
 #ifndef JSONTILES_JSON_ONDEMAND_H_
 #define JSONTILES_JSON_ONDEMAND_H_
 
 #include <cstdint>
+#include <deque>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -32,26 +46,190 @@
 
 namespace jsontiles::json {
 
+/// Per-document scalar directory collected during direct emission (and, for
+/// fallback documents, derived from the finished JSONB). Entries appear in
+/// tiles::ForEachKeyPath order over the emitted document: objects in sorted
+/// deduplicated member order, arrays capped at `max_array_elements`, nesting
+/// capped at `max_path_depth`.
+struct OndemandIngest {
+  struct Leaf {
+    uint32_t path_off;   // into `paths`
+    uint32_t path_len;   // encoded key-path length (tiles/keypath.h format)
+    uint32_t value_off;  // offset of the value header within the document
+    uint8_t type;        // JsonType of the leaf (post numeric-string detection)
+  };
+  std::vector<Leaf> leaves;
+  std::string paths;  // concatenated encoded key paths
+};
+
+/// Flat multi-document directory for bulk loads: one shared leaf array and
+/// one shared path arena instead of two heap blocks per document. Keeping a
+/// partition's directories in two contiguous allocations matters twice over —
+/// the parse loop stops paying per-document malloc/free, and the downstream
+/// phases (transaction interning, slot-matrix fill) scan leaves linearly
+/// instead of chasing tens of thousands of scattered small objects.
+struct OndemandIngestPool {
+  struct Doc {
+    uint64_t leaf_begin;   // into `leaves`
+    uint64_t leaf_end;
+    uint64_t paths_begin;  // leaf path_off values are relative to this
+  };
+  std::vector<OndemandIngest::Leaf> leaves;  // concatenated per-document runs
+  std::string paths;                         // concatenated per-document arenas
+  std::vector<Doc> docs;
+
+  void Clear() {
+    leaves.clear();
+    paths.clear();
+    docs.clear();
+  }
+};
+
+/// Borrowed view of one document's leaves (inside a pool or a standalone
+/// directory) — how tile extraction receives a tile's directories in
+/// permuted order without copying them.
+struct OndemandLeafRun {
+  const OndemandIngest::Leaf* leaves;
+  size_t count;
+};
+
+/// Key-path collection bounds, mirroring tiles::TileConfig (the json layer
+/// cannot depend on tiles headers; the loader copies the two fields over).
+struct OndemandIngestConfig {
+  int max_path_depth = 8;
+  uint32_t max_array_elements = 4;
+};
+
+/// Derive the scalar directory from a finished JSONB document — the reference
+/// semantics the emitter's inline collection must match (differential-tested),
+/// and the path fallback documents take.
+void BuildIngestFromJsonb(JsonbValue doc, const OndemandIngestConfig& config,
+                          OndemandIngest* out);
+
+/// Single-pass JSONB emitter over a structural index. Reusable: the tape and
+/// all per-frame scratch keep their capacity across calls. Any returned error
+/// means "fall back to the streaming parser"; nothing observable is produced.
+class DirectEmitter {
+ public:
+  DirectEmitter() = default;
+  explicit DirectEmitter(JsonbBuilder::Options options) : options_(options) {}
+
+  /// On success `out` holds exactly one serialized document, bit-identical to
+  /// JsonbBuilder::Transform's output. When `ingest` is non-null the walk also
+  /// fills the scalar directory under `ingest_config`'s bounds.
+  Status Emit(std::string_view json_text, const StructuralIndex& index,
+              std::vector<uint8_t>* out,
+              const OndemandIngestConfig* ingest_config, OndemandIngest* ingest);
+
+  /// Slot bytes moved by container-close header patching in the last
+  /// successful Emit (the direct path's fixup cost; feeds the
+  /// jsonb.ondemand.direct_moved_bytes counter).
+  uint64_t moved_bytes() const { return moved_bytes_; }
+
+ private:
+  struct Cursor;  // read head over the structural index (ondemand.cc)
+
+  // One emitted object member awaiting its parent's close: where its slot
+  // (value + key bytes + u16 key length) lies on the tape, its decoded key,
+  // and which ingest leaves its subtree produced.
+  struct Member {
+    uint64_t slot_off;
+    uint64_t slot_len;
+    std::string_view key;  // backed by the input text or decoded_keys_
+    uint32_t leaf_begin;
+    uint32_t leaf_end;
+  };
+
+  Status EmitValue(Cursor& cursor, int depth, bool collect, uint64_t* size_out);
+  Status CloseObject(size_t member_base, uint64_t start, bool sorted_unique,
+                     uint64_t* size_out);
+  Status CloseArray(size_t ends_base, uint64_t start, uint32_t frame_leaf_begin,
+                    uint64_t* size_out);
+
+  uint8_t* Reserve(size_t n);
+  uint64_t AppendString(std::string_view decoded, JsonType* leaf_type);
+  bool RecordLeaf(JsonType type, uint64_t value_off);
+  std::string_view DecodeKeyLexeme(std::string_view lexeme);
+
+  JsonbBuilder::Options options_;
+
+  // Tape: emitted bytes live in [0, tape_size_). The vector is kept at its
+  // high-water size and never shrunk, so steady-state emission performs no
+  // zero-initializing resizes.
+  std::vector<uint8_t> tape_;
+  uint64_t tape_size_ = 0;
+  uint64_t moved_bytes_ = 0;
+
+  // Per-frame scratch (stacks shared across the document).
+  std::vector<Member> members_;      // object frames
+  std::vector<uint64_t> child_ends_; // array frames: cumulative slot ends
+  std::vector<uint32_t> sort_scratch_;
+  std::vector<uint8_t> slot_scratch_;
+  std::vector<OndemandIngest::Leaf> leaf_scratch_;
+
+  // Decoded escaped member keys must stay stable until the enclosing object
+  // closes; a deque never relocates elements (same trick as JsonbBuilder).
+  std::deque<std::string> decoded_keys_;
+  size_t decoded_keys_used_ = 0;
+  std::string string_scratch_;  // escaped value strings (used immediately)
+
+  // Ingest collection state (null when the caller wants JSONB only).
+  OndemandIngest* ingest_ = nullptr;
+  int ingest_depth_cap_ = 0;
+  uint32_t ingest_array_cap_ = 0;
+  std::string prefix_;  // encoded key path of the value being emitted
+  // High-water marks across documents: bulk loads hand in a fresh directory
+  // per document, so without a sizing hint its arena and leaf vector would
+  // re-grow from zero every time (several small allocations per document —
+  // measurable at millions of docs). Reserving the largest size seen so far
+  // makes steady-state collection two right-sized allocations per document.
+  size_t ingest_leaves_hint_ = 0;
+  size_t ingest_paths_hint_ = 0;
+};
+
 /// Drop-in replacement for JsonbBuilder in bulk-load loops. Reusable: the
-/// structural index and builder scratch keep their capacity across calls.
+/// structural index and emitter scratch keep their capacity across calls.
 class OndemandTransformer {
  public:
   OndemandTransformer() = default;
   explicit OndemandTransformer(JsonbBuilder::Options options)
-      : builder_(options) {}
+      : builder_(options), emitter_(options) {}
 
   /// Same contract as JsonbBuilder::Transform: on success `out` holds exactly
   /// one serialized document, bit-identical to the streaming parser's output.
   Status Transform(std::string_view json_text, std::vector<uint8_t>* out);
 
-  /// Documents served by the indexed path since construction.
+  /// Tile-ingest variant: additionally fills `ingest` with the document's
+  /// scalar directory (inline on the direct path, derived from the finished
+  /// JSONB on fallback — so it is always present when the Status is OK).
+  Status Transform(std::string_view json_text, std::vector<uint8_t>* out,
+                   const OndemandIngestConfig& ingest_config,
+                   OndemandIngest* ingest);
+
+  /// Bulk-load variant: on success appends the document's directory to
+  /// `pool` (one Doc entry, leaves and paths concatenated onto the shared
+  /// buffers); on failure the pool is untouched, keeping pool->docs parallel
+  /// to the accepted documents. The directory is collected into an internal
+  /// reusable scratch first, so steady-state loading allocates nothing per
+  /// document beyond the pool's amortized growth.
+  Status Transform(std::string_view json_text, std::vector<uint8_t>* out,
+                   const OndemandIngestConfig& ingest_config,
+                   OndemandIngestPool* pool);
+
+  /// Documents served by the direct-emission path since construction.
   uint64_t docs_ondemand() const { return docs_ondemand_; }
   /// Documents that fell back to the streaming parser (including rejects).
   uint64_t docs_fallback() const { return docs_fallback_; }
 
  private:
+  Status TransformImpl(std::string_view json_text, std::vector<uint8_t>* out,
+                       const OndemandIngestConfig* ingest_config,
+                       OndemandIngest* ingest);
+
   JsonbBuilder builder_;
+  DirectEmitter emitter_;
   StructuralIndex index_;
+  OndemandIngest ingest_scratch_;  // pool variant: reused across documents
   uint64_t docs_ondemand_ = 0;
   uint64_t docs_fallback_ = 0;
 };

@@ -111,11 +111,30 @@ Result<std::unique_ptr<Relation>> Loader::Load(
     auto t0 = Clock::now();
     json::JsonbBuilder builder;
     json::OndemandTransformer ondemand;
+    // Tiles + on-demand: the emitter collects each document's scalar
+    // directory during the very walk that serializes it, so key-path
+    // collection and column materialization below skip re-navigating the
+    // JSONB. The pool holds the partition's directories in ORIGINAL document
+    // order (failed documents append nothing); after reordering each tile
+    // indexes into it through the permutation rather than shuffling the
+    // directories themselves.
+    const bool direct_ingest =
+        mode_ == StorageMode::kTiles && options_.ondemand;
+    const json::OndemandIngestConfig ingest_config{config_.max_path_depth,
+                                                   config_.max_array_elements};
+    json::OndemandIngestPool dirs;
+    if (direct_ingest) dirs.docs.reserve(count);
     result.jsonb.reserve(count);
     for (size_t i = 0; i < count; i++) {
       std::vector<uint8_t> buf;
-      Status st = options_.ondemand ? ondemand.Transform(docs[begin + i], &buf)
-                                    : builder.Transform(docs[begin + i], &buf);
+      Status st;
+      if (direct_ingest) {
+        st = ondemand.Transform(docs[begin + i], &buf, ingest_config, &dirs);
+      } else if (options_.ondemand) {
+        st = ondemand.Transform(docs[begin + i], &buf);
+      } else {
+        st = builder.Transform(docs[begin + i], &buf);
+      }
       if (!st.ok()) {
         const size_t so_far =
             cap_counter->fetch_add(1, std::memory_order_relaxed) + 1;
@@ -140,7 +159,11 @@ Result<std::unique_ptr<Relation>> Loader::Load(
     views.reserve(count);
     for (const auto& b : result.jsonb) views.emplace_back(b.data());
     tiles::DocumentItems items;
-    items.Collect(views, config_);
+    if (direct_ingest) {
+      items.CollectFromIngest(dirs);
+    } else {
+      items.Collect(views, config_);
+    }
     auto t2 = Clock::now();
     result.mine_secs += Seconds(t1, t2);
 
@@ -189,8 +212,21 @@ Result<std::unique_ptr<Relation>> Loader::Load(
 
       std::vector<json::JsonbValue> tile_views(views.begin() + static_cast<long>(tile_begin),
                                                views.begin() + static_cast<long>(tile_end));
+      // The pool stays in original document order; hand the tile its
+      // directories through the permutation as borrowed leaf runs.
+      std::vector<json::OndemandLeafRun> tile_dirs;
+      if (direct_ingest) {
+        tile_dirs.reserve(indices.size());
+        for (uint32_t doc_index : indices) {
+          const auto& d = dirs.docs[doc_index];
+          tile_dirs.push_back(json::OndemandLeafRun{
+              dirs.leaves.data() + d.leaf_begin,
+              static_cast<size_t>(d.leaf_end - d.leaf_begin)});
+        }
+      }
       result.tiles.push_back(tile_builder.BuildFromItems(
-          tile_views, tile_items, tile_begin, &itemsets));
+          tile_views, tile_items, tile_begin, &itemsets,
+          direct_ingest ? tile_dirs.data() : nullptr));
       result.extract_secs += Seconds(m1, Clock::now());
     }
     return Status::OK();

@@ -48,6 +48,33 @@ void DocumentItems::Collect(const std::vector<json::JsonbValue>& docs,
   }
 }
 
+void DocumentItems::CollectFromIngest(const json::OndemandIngestPool& pool) {
+  dict.clear();
+  ids.clear();
+  transactions.clear();
+  item_counts.clear();
+  transactions.reserve(pool.docs.size());
+  std::string key;  // reusable dict-key buffer (hot loop: no allocation)
+  for (const auto& doc : pool.docs) {
+    mining::Transaction tx;
+    tx.reserve(doc.leaf_end - doc.leaf_begin);
+    for (uint64_t i = doc.leaf_begin; i < doc.leaf_end; i++) {
+      const auto& leaf = pool.leaves[i];
+      key.assign(pool.paths, doc.paths_begin + leaf.path_off, leaf.path_len);
+      key.push_back(static_cast<char>(leaf.type));
+      auto it = ids.find(std::string_view(key));
+      if (it == ids.end()) {
+        it = ids.emplace(key, static_cast<mining::Item>(dict.size())).first;
+        dict.push_back(key);
+        item_counts.push_back(0);
+      }
+      tx.push_back(it->second);
+      item_counts[it->second]++;
+    }
+    transactions.push_back(std::move(tx));
+  }
+}
+
 DocumentItems DocumentItems::Project(
     const std::vector<uint32_t>& doc_indices) const {
   DocumentItems out;
@@ -100,7 +127,8 @@ uint64_t HashJsonbScalar(const json::JsonbValue& value) {
 
 Tile TileBuilder::BuildFromItems(const std::vector<json::JsonbValue>& docs,
                                  const DocumentItems& items, size_t row_begin,
-                                 const std::vector<mining::Itemset>* premined) const {
+                                 const std::vector<mining::Itemset>* premined,
+                                 const json::OndemandLeafRun* dirs) const {
   JSONTILES_CHECK(items.transactions.size() == docs.size());
   Tile tile;
   tile.row_begin = row_begin;
@@ -156,7 +184,50 @@ Tile TileBuilder::BuildFromItems(const std::vector<json::JsonbValue>& docs,
     types_per_path[std::string(DictKeyPath(items.dict[i]))]++;
   }
 
-  for (auto& [path, choice] : ordered) {
+  // With scalar directories from the direct-emission parse path, resolve
+  // every (document, column) value offset in one pass over the transactions
+  // instead of one LookupPath tree descent per document per column. A slot is
+  // filled exactly when the document carries the column's path at the chosen
+  // type — the same condition the LookupPath branches below test — so both
+  // routes feed identical values to the columns, HLL sketches and zone maps.
+  constexpr uint32_t kNoSlot = 0xFFFFFFFF;
+  const size_t ncols = ordered.size();
+  std::vector<uint32_t> slots;
+  if (dirs != nullptr && ncols > 0) {
+    std::vector<uint32_t> item_to_col(items.dict.size(), kNoSlot);
+    for (size_t c = 0; c < ncols; c++) {
+      item_to_col[ordered[c].second.item] = static_cast<uint32_t>(c);
+    }
+    slots.assign(docs.size() * ncols, kNoSlot);
+    for (size_t d = 0; d < docs.size(); d++) {
+      const mining::Transaction& tx = items.transactions[d];
+      JSONTILES_CHECK(tx.size() == dirs[d].count);
+      for (size_t k = 0; k < tx.size(); k++) {
+        const uint32_t c = item_to_col[tx[k]];
+        if (c != kNoSlot) {
+          slots[d * ncols + c] = dirs[d].leaves[k].value_off;
+        }
+      }
+    }
+  }
+
+  for (size_t ci = 0; ci < ordered.size(); ci++) {
+    auto& [path, choice] = ordered[ci];
+    // The document's value for this column, already filtered to the chosen
+    // source type: by construction for the slot route, by an explicit type
+    // check for the LookupPath route.
+    const auto column_value =
+        [&](size_t d) -> std::optional<json::JsonbValue> {
+      if (!slots.empty()) {
+        const uint32_t off = slots[d * ncols + ci];
+        if (off == kNoSlot) return std::nullopt;
+        return json::JsonbValue(docs[d].data() + off);
+      }
+      auto value = LookupPath(docs[d], path);
+      auto type = static_cast<json::JsonType>(DictKeyType(items.dict[choice.item]));
+      if (!value.has_value() || value->type() != type) return std::nullopt;
+      return value;
+    };
     auto source_type = static_cast<json::JsonType>(DictKeyType(items.dict[choice.item]));
     ExtractedColumn col;
     col.path = path;
@@ -170,9 +241,9 @@ Tile TileBuilder::BuildFromItems(const std::vector<json::JsonbValue>& docs,
       size_t present = 0;
       size_t parsed = 0;
       Timestamp ts;
-      for (const auto& doc : docs) {
-        auto value = LookupPath(doc, path);
-        if (!value.has_value() || value->type() != json::JsonType::kString) continue;
+      for (size_t d = 0; d < docs.size(); d++) {
+        auto value = column_value(d);
+        if (!value.has_value()) continue;
         present++;
         if (ParseTimestamp(value->GetString(), &ts)) parsed++;
       }
@@ -187,10 +258,10 @@ Tile TileBuilder::BuildFromItems(const std::vector<json::JsonbValue>& docs,
     // Materialize the column; §4.6: sample values into a HLL sketch.
     col.column = Column(col.storage_type);
     HyperLogLog sketch;
-    for (const auto& doc : docs) {
-      auto value = LookupPath(doc, path);
+    for (size_t d = 0; d < docs.size(); d++) {
+      auto value = column_value(d);
       bool stored = false;
-      if (value.has_value() && value->type() == source_type) {
+      if (value.has_value()) {
         switch (col.storage_type) {
           case ColumnType::kBool:
             col.column.AppendBool(value->GetBool());

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "json/jsonb.h"
+#include "json/ondemand.h"
 #include "mining/fpgrowth.h"
 #include "tiles/keypath.h"
 #include "tiles/tile.h"
@@ -36,6 +37,16 @@ struct DocumentItems {
   void Collect(const std::vector<json::JsonbValue>& docs,
                const TileConfig& config);
 
+  /// Same interning as Collect, but over the pooled scalar directories from
+  /// the direct-emission parse path: the key paths were already gathered (in
+  /// ForEachKeyPath order) while the documents were being emitted, so no
+  /// JSONB re-navigation happens here — one linear scan over the pool's leaf
+  /// array. Item ids come out identical to what Collect would assign because
+  /// both visit paths in the same order. The directories must have been
+  /// collected under this TileConfig's max_path_depth / max_array_elements
+  /// bounds.
+  void CollectFromIngest(const json::OndemandIngestPool& pool);
+
   /// Restrict to a subset of the documents (used per tile after reordering).
   DocumentItems Project(const std::vector<uint32_t>& doc_indices) const;
 };
@@ -51,10 +62,17 @@ class TileBuilder {
   /// Same but with pre-collected items (avoids re-collection after
   /// reordering). `items.transactions` must be parallel to `docs`. When
   /// `premined` is non-null it is used instead of mining again (the loader
-  /// times the mining phase separately, Fig 16).
+  /// times the mining phase separately, Fig 16). When `dirs` is non-null it
+  /// points at docs.size() leaf runs parallel to `docs` (each run parallel to
+  /// the document's transaction); column materialization then jumps straight
+  /// to each value's recorded offset instead of re-navigating the document
+  /// per extracted path. Borrowed runs, not owned directories: after
+  /// reordering the loader hands each tile its directories in permuted order
+  /// without moving (or copying) anything out of the pool.
   Tile BuildFromItems(const std::vector<json::JsonbValue>& docs,
                       const DocumentItems& items, size_t row_begin,
-                      const std::vector<mining::Itemset>* premined = nullptr) const;
+                      const std::vector<mining::Itemset>* premined = nullptr,
+                      const json::OndemandLeafRun* dirs = nullptr) const;
 
   /// The set of frequent itemsets for a chunk, at an explicit support count
   /// (used by reordering with the reduced threshold).

@@ -70,10 +70,19 @@ TEST(OndemandDifferentialTest, EdgeDocuments) {
       R"({"a":{}})",
       R"([[],[[]],{}])",
       R"({"b":2,"a":1,"b":3})",            // duplicate keys: last wins
+      R"({"dup":1,"dup":2,"Dup":3,"dup":4})",  // case-sensitive dedup
+      R"({"b":{"x":1,"x":2},"a":[{"k":1,"k":2}],"b":0})",  // nested dups
       R"({"":null})",                      // empty key
+      R"({"":1,"":2})",                    // duplicate empty keys
       R"({"a":"19.99","b":"-0.001"})",     // numeric strings (§5.2)
       R"(["\u0041\u00e9\u6c34\ud83d\ude00"])",  // BMP + surrogate pair
       R"("\ud800")",                       // lone surrogate: lexer accepts
+      R"("\udc00\ud800")",                 // lone surrogates, reversed order
+      R"("\ud83d\ud83d\ude00")",           // lone high + real surrogate pair
+      R"("\u0022\u005c\u002f")",           // escapes decoding to " \ / --
+                                           // decoded bytes must not be
+                                           // re-lexed as structure
+      R"(["\u0041","\u0000z"])",         // overlong ASCII escape, escaped NUL
       R"("a\/b\\c\"d\b\f\n\r\t")",
       "\"caf\xc3\xa9 \xf0\x9f\x98\x80\"",  // raw UTF-8
       "\"\xff\xfe\x80\"",                  // invalid UTF-8: not validated
@@ -158,19 +167,29 @@ TEST(OndemandDifferentialTest, LongStringsAndKeys) {
 
 class OndemandMutationFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
-// Mirrors parser_fuzz_test.cc's mutation engine, plus a deep-nesting seed;
+// Mirrors parser_fuzz_test.cc's mutation engine, plus seeds aimed at the
+// direct emitter's hard cases: deep nesting, documents sitting right at the
+// kMaxNesting cap (one inserted bracket tips them over), duplicate keys at
+// several levels (the object close-time sort/dedup), and strings of lone
+// surrogates and overlong escapes (escape decoding and clean-range slicing);
 // every mutated document goes through the differential checker.
 TEST_P(OndemandMutationFuzzTest, MutatedTextStaysIdentical) {
   const std::string deep = "[[[[[[[[{\"a\":[1,2,{\"b\":null}]}]]]]]]]]";
+  const std::string depth_cap =
+      std::string(255, '[') + "0" + std::string(255, ']');
   const std::string seeds[] = {
       R"({"id":1,"user":{"name":"ada","tags":[1,2.5,"x",null,true]},"p":"19.99"})",
       R"([[[1,2],[3,4]],{"k":"v"},[],{}])",
       R"({"a":"é😀\n\t","b":-123456789012345,"c":1e-7})",
       deep,
+      depth_cap,
+      R"({"k":1,"k":"two","a":{"k":null,"k":[1,1]},"k":3,"b":0,"a":9})",
+      R"(["\ud800","\udfff","\u0000z","\u0041\u0022","é\ud83d"])",
   };
+  constexpr size_t kNumSeeds = sizeof(seeds) / sizeof(seeds[0]);
   Random rng(GetParam());
   for (int iter = 0; iter < 300; iter++) {
-    std::string text = seeds[rng.Uniform(4)];
+    std::string text = seeds[rng.Uniform(kNumSeeds)];
     int mutations = 1 + static_cast<int>(rng.Uniform(6));
     for (int m = 0; m < mutations && !text.empty(); m++) {
       switch (rng.Uniform(4)) {

@@ -166,9 +166,25 @@ TEST(StructuralIndexTierTest, BlockBoundaryStrings) {
   }
 }
 
+// The avx2 nibble-LUT classifier folds bytes with | 0x20 before the table
+// compare, which shadows ':' with 0x1A and ',' with 0x0C; the kernel must
+// strip those (they are control bytes, scalar chars to the reference
+// classifier) both inside and outside strings.
+TEST(StructuralIndexTierTest, LutShadowBytesClassifyAsScalars) {
+  for (const char shadow : {'\x1a', '\x0c'}) {
+    const std::string s(1, shadow);
+    ExpectTierIdentity(s);
+    ExpectTierIdentity("[1" + s + "2]");
+    ExpectTierIdentity("\"a" + s + "b\"");  // in-string: a problem bit, not
+                                            // a structural position
+    ExpectTierIdentity("{\"k\"" + s + ":1}");
+    ExpectTierIdentity(std::string(63, ' ') + s + "7");  // block seam
+  }
+}
+
 TEST(StructuralIndexTierTest, RandomBytes) {
   Random rng(20260808);
-  const char alphabet[] = "{}[],:\"\\ \t\n0123456789aeu\xc3\xa9";
+  const char alphabet[] = "{}[],:\"\\ \t\n\x1a\x0c0123456789aeu\xc3\xa9";
   for (int iter = 0; iter < 2000; iter++) {
     const size_t len = rng.Uniform(200);
     std::string input;
@@ -188,6 +204,58 @@ TEST(StructuralIndexTierTest, WorkloadDocuments) {
   }
   for (const auto& file : workload::GenerateSimdJsonCorpus()) {
     ExpectTierIdentity(file.json);
+  }
+}
+
+// --- Scratch reuse across shrinking documents ------------------------------
+// `positions` and `problems` are grow-only buffers: a scan over a short
+// document rewrites only their valid prefix and leaves earlier entries from a
+// longer document in place. None of that remnant state may ever be observable
+// — stale positions past `count`, stale problem bits inside the new
+// document's word range (which would make the walker treat a clean lexeme as
+// dirty, or worse), or a stale clean_strings verdict. Exercised on every tier
+// because the scalar loop and the vector kernels reset the prefix
+// differently.
+void ExpectNoStaleStateAcrossShrinkingDocs() {
+  // Escape-heavy opener: sets problem bits in every word it touches and
+  // leaves a long positions prefix behind.
+  std::string big = "[";
+  for (int i = 0; i < 200; i++) big += "\"a\\n\\t\\u0041x\",";
+  big += "\"\\\\\"]";
+  // Strictly shrinking continuations: dirty, clean, tiny.
+  const std::string docs[] = {
+      big,
+      R"({"k": "clean words only", "n": [1, 2.5, true, null]})",
+      "\"a\\\"b\"",  // small dirty: one escape, bits must be exactly here
+      R"({"a":1})",  // small clean: all valid problem words must be zero
+      "7",
+  };
+  StructuralIndex reused;
+  for (const std::string& doc : docs) {
+    StructuralIndex fresh;
+    ASSERT_TRUE(BuildStructuralIndex(doc, &reused).ok()) << doc;
+    ASSERT_TRUE(BuildStructuralIndex(doc, &fresh).ok()) << doc;
+    EXPECT_EQ(Slice(reused), Slice(fresh)) << doc;
+    EXPECT_EQ(reused.clean_strings, fresh.clean_strings) << doc;
+    const size_t words = (doc.size() + 63) / 64;
+    ASSERT_GE(reused.problems.size(), words);
+    for (size_t w = 0; w < words; w++) {
+      EXPECT_EQ(reused.problems[w], fresh.problems[w]) << doc << " word " << w;
+    }
+  }
+}
+
+TEST(StructuralIndexTierTest, ShrinkingDocumentsCarryNoStaleState) {
+  {
+    SimdGuard guard;
+    exec::simd::SetEnabled(false);
+    ASSERT_STREQ(StructuralIndexIsa(), "scalar");
+    ExpectNoStaleStateAcrossShrinkingDocs();
+  }
+  {
+    SimdGuard guard;
+    exec::simd::SetEnabled(true);  // avx2 or vec128 where compiled in
+    ExpectNoStaleStateAcrossShrinkingDocs();
   }
 }
 

@@ -1,0 +1,214 @@
+// Direct tile ingest differential: the scalar directory the emitter collects
+// inline during direct emission must equal the reference directory derived
+// from the finished JSONB (BuildIngestFromJsonb — itself locked to
+// tiles::ForEachKeyPath here), and DocumentItems::CollectFromIngest must
+// intern exactly what DocumentItems::Collect does. Together with the loader's
+// byte-identity test in ondemand_differential_test.cc this pins every layer
+// of the direct-ingest path to the navigating baseline.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "json/jsonb.h"
+#include "json/ondemand.h"
+#include "tiles/keypath.h"
+#include "tiles/tile_builder.h"
+#include "workload/twitter.h"
+#include "workload/yelp.h"
+
+namespace jsontiles::tiles {
+namespace {
+
+json::OndemandIngestConfig IngestConfigFor(const TileConfig& config) {
+  return json::OndemandIngestConfig{config.max_path_depth,
+                                    config.max_array_elements};
+}
+
+// (path, type) pairs of a directory, with offsets sanity-checked against the
+// document bytes.
+std::vector<CollectedPath> DirectoryPaths(const json::OndemandIngest& dir,
+                                          const std::vector<uint8_t>& doc) {
+  std::vector<CollectedPath> out;
+  for (const auto& leaf : dir.leaves) {
+    EXPECT_LE(leaf.path_off + leaf.path_len, dir.paths.size());
+    EXPECT_LT(leaf.value_off, doc.size());
+    json::JsonbValue value(doc.data() + leaf.value_off);
+    EXPECT_EQ(static_cast<uint8_t>(value.type()), leaf.type);
+    out.push_back(CollectedPath{
+        dir.paths.substr(leaf.path_off, leaf.path_len),
+        static_cast<json::JsonType>(leaf.type)});
+  }
+  return out;
+}
+
+// Emit `text` with inline collection and check the directory against both the
+// JSONB-derived reference and ForEachKeyPath over the emitted document.
+void ExpectDirectoryParity(std::string_view text, const TileConfig& config) {
+  json::OndemandTransformer ondemand;
+  std::vector<uint8_t> doc;
+  json::OndemandIngest inline_dir;
+  ASSERT_TRUE(
+      ondemand.Transform(text, &doc, IngestConfigFor(config), &inline_dir).ok())
+      << text;
+  ASSERT_EQ(ondemand.docs_ondemand(), 1u) << text;  // direct path, no fallback
+
+  json::OndemandIngest derived_dir;
+  json::BuildIngestFromJsonb(json::JsonbValue(doc.data()),
+                             IngestConfigFor(config), &derived_dir);
+  const auto inline_paths = DirectoryPaths(inline_dir, doc);
+  const auto derived_paths = DirectoryPaths(derived_dir, doc);
+  EXPECT_EQ(inline_paths, derived_paths) << text;
+  // Offsets too — both routes must point at the same value bytes.
+  ASSERT_EQ(inline_dir.leaves.size(), derived_dir.leaves.size()) << text;
+  for (size_t i = 0; i < inline_dir.leaves.size(); i++) {
+    EXPECT_EQ(inline_dir.leaves[i].value_off, derived_dir.leaves[i].value_off)
+        << text << " leaf " << i;
+  }
+
+  // And the reference itself must match the tile layer's walker.
+  std::vector<CollectedPath> walker_paths;
+  ForEachKeyPath(json::JsonbValue(doc.data()), config,
+                 [&](std::string_view path, json::JsonType type) {
+                   walker_paths.push_back(
+                       CollectedPath{std::string(path), type});
+                 });
+  EXPECT_EQ(inline_paths, walker_paths) << text;
+}
+
+TEST(DirectIngestTest, HandWrittenDocuments) {
+  TileConfig config;
+  const char* docs[] = {
+      R"({"a":1,"b":"x","c":null,"d":true,"e":2.5,"f":"19.99"})",
+      R"({})",
+      R"([])",
+      R"(7)",           // root scalar: one leaf with an empty path
+      R"("s")",
+      R"(null)",
+      // Duplicate keys: dropped members' leaves must vanish with them.
+      R"({"b":2,"a":1,"b":3})",
+      R"({"k":{"x":1},"k":{"y":2}})",
+      R"({"z":1,"y":{"d":1,"c":[1,2]},"x":0})",  // out-of-order keys
+      // Arrays past the element cap and nesting past the depth cap.
+      R"([1,2,3,4,5,6,7])",
+      R"({"deep":{"deep":{"deep":{"deep":{"deep":{"deep":{"deep":{"deep":{"deep":1}}}}}}}}})",
+      R"({"mixed":[{"a":1},[2,3],"s",null,9,10]})",
+      // Escaped keys and values.
+      "{\"k\\u0041\":\"v\\n\",\"k\\u0042\":[true,false]}",
+  };
+  for (const char* doc : docs) ExpectDirectoryParity(doc, config);
+}
+
+TEST(DirectIngestTest, TightCapsChangeCollection) {
+  TileConfig config;
+  config.max_path_depth = 2;
+  config.max_array_elements = 1;
+  const char* docs[] = {
+      R"({"a":{"b":{"c":1}},"d":[1,2,3],"e":2})",
+      R"([[1,2],[3,4],{"k":{"deep":1}}])",
+  };
+  for (const char* doc : docs) ExpectDirectoryParity(doc, config);
+}
+
+TEST(DirectIngestTest, WorkloadCorpora) {
+  TileConfig config;
+  workload::TwitterOptions twitter;
+  twitter.num_tweets = 500;
+  twitter.changing_schema = true;
+  for (const auto& doc : workload::GenerateTwitter(twitter)) {
+    ExpectDirectoryParity(doc, config);
+  }
+  workload::YelpOptions yelp;
+  yelp.num_business = 30;
+  for (const auto& doc : workload::GenerateYelp(yelp)) {
+    ExpectDirectoryParity(doc, config);
+  }
+}
+
+// The pool variant must append exactly what the per-document variant
+// produces: one Doc entry per accepted document, leaves and paths
+// concatenated, path offsets relative to the document's paths_begin — and a
+// rejected document must leave the pool untouched.
+TEST(DirectIngestTest, PoolAppendsMatchPerDocumentDirectories) {
+  TileConfig config;
+  json::OndemandTransformer per_doc;
+  json::OndemandTransformer pooled;
+  json::OndemandIngestPool pool;
+  const char* texts[] = {
+      R"({"a":1,"b":[true,"x"],"c":{"d":null}})",
+      "this is not json",  // rejected: no pool entry
+      R"([{"k":1},{"k":2},7])",
+      R"("root scalar")",
+  };
+  std::vector<json::OndemandIngest> expected;
+  size_t accepted = 0;
+  for (const char* text : texts) {
+    std::vector<uint8_t> buf_a, buf_b;
+    json::OndemandIngest dir;
+    const bool ok_a =
+        per_doc.Transform(text, &buf_a, IngestConfigFor(config), &dir).ok();
+    const bool ok_b =
+        pooled.Transform(text, &buf_b, IngestConfigFor(config), &pool).ok();
+    ASSERT_EQ(ok_a, ok_b) << text;
+    if (!ok_a) continue;
+    EXPECT_EQ(buf_a, buf_b) << text;
+    expected.push_back(std::move(dir));
+    accepted++;
+    ASSERT_EQ(pool.docs.size(), accepted) << text;
+  }
+  ASSERT_EQ(pool.docs.size(), expected.size());
+  for (size_t d = 0; d < expected.size(); d++) {
+    const auto& doc = pool.docs[d];
+    ASSERT_EQ(doc.leaf_end - doc.leaf_begin, expected[d].leaves.size());
+    for (size_t i = 0; i < expected[d].leaves.size(); i++) {
+      const auto& got = pool.leaves[doc.leaf_begin + i];
+      const auto& want = expected[d].leaves[i];
+      EXPECT_EQ(got.value_off, want.value_off);
+      EXPECT_EQ(got.type, want.type);
+      EXPECT_EQ(pool.paths.substr(doc.paths_begin + got.path_off, got.path_len),
+                expected[d].paths.substr(want.path_off, want.path_len));
+    }
+  }
+}
+
+// CollectFromIngest must reproduce Collect exactly: same dictionary, same
+// item ids (first-encounter order), same transactions and frequencies —
+// mining and reordering downstream depend on all four.
+TEST(DirectIngestTest, CollectFromIngestMatchesCollect) {
+  TileConfig config;
+  workload::TwitterOptions twitter;
+  twitter.num_tweets = 400;
+  const auto texts = workload::GenerateTwitter(twitter);
+
+  json::OndemandTransformer ondemand;
+  std::vector<std::vector<uint8_t>> docs;
+  json::OndemandIngestPool pool;
+  for (const auto& text : texts) {
+    std::vector<uint8_t> buf;
+    ASSERT_TRUE(
+        ondemand.Transform(text, &buf, IngestConfigFor(config), &pool).ok());
+    docs.push_back(std::move(buf));
+  }
+  std::vector<json::JsonbValue> views;
+  views.reserve(docs.size());
+  for (const auto& b : docs) views.emplace_back(b.data());
+
+  DocumentItems baseline;
+  baseline.Collect(views, config);
+  DocumentItems direct;
+  direct.CollectFromIngest(pool);
+
+  EXPECT_EQ(direct.dict, baseline.dict);
+  EXPECT_EQ(direct.transactions, baseline.transactions);
+  EXPECT_EQ(direct.item_counts, baseline.item_counts);
+  ASSERT_EQ(direct.ids.size(), baseline.ids.size());
+  for (const auto& [key, id] : baseline.ids) {
+    auto it = direct.ids.find(key);
+    ASSERT_NE(it, direct.ids.end()) << key;
+    EXPECT_EQ(it->second, id) << key;
+  }
+}
+
+}  // namespace
+}  // namespace jsontiles::tiles
