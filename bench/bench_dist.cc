@@ -1,0 +1,257 @@
+// Distributed shard execution benchmark (DESIGN.md §13): worker-count sweep
+// over the Fig-14 workloads. TPC-H and Yelp are loaded sharded (4 shards),
+// saved, reopened from their manifests, and the full query set runs three
+// ways: locally (no cluster) and on clusters of {1, 2, 4} worker processes.
+// Every distributed answer must be bit-identical to the local one — the
+// binary doubles as a correctness gate — and the summary reports wall
+// seconds per worker count plus the 4-worker speedup over 1 worker.
+//
+//   --dist-json <path>   write the summary as JSON (CI uploads it)
+//
+// Speedup expectations are machine-dependent: on a multi-core host the
+// 4-worker point should approach the shard-parallel ideal, on a 1-core CI
+// runner it measures pure exchange overhead (documented, not gated).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_common.h"
+#include "dist/cluster.h"
+#include "storage/shard.h"
+#include "workload/tpch.h"
+#include "workload/tpch_queries.h"
+#include "workload/yelp.h"
+
+#ifndef JSONTILES_WORKERD_PATH
+#error "bench_dist requires the JSONTILES_WORKERD_PATH compile definition"
+#endif
+
+namespace {
+
+using namespace jsontiles;         // NOLINT
+using namespace jsontiles::bench;  // NOLINT
+
+constexpr size_t kShards = 4;
+
+std::string Canonical(const exec::RowSet& rows) {
+  std::string out;
+  for (const auto& row : rows) {
+    for (const auto& v : row) {
+      out += v.is_null() ? "∅" : v.ToString();
+      out += "|";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+struct Workload {
+  const char* name;
+  std::unique_ptr<storage::ShardedRelation> sharded;
+  std::string manifest_path;
+  int num_queries = 0;
+  std::vector<std::string> baseline;  // local answers, by query index
+};
+
+exec::RowSet RunQuery(const Workload& w, int query, exec::QueryContext& ctx) {
+  if (std::string_view(w.name) == "tpch") {
+    return workload::RunTpchQuery(query, *w.sharded, ctx);
+  }
+  return workload::RunYelpQuery(query, *w.sharded, ctx);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchObs obs(&argc, argv);
+
+  std::string json_path;
+  for (int i = 1; i < argc; i++) {
+    std::string_view arg = argv[i];
+    if (arg == "--dist-json" || arg.rfind("--dist-json=", 0) == 0) {
+      size_t eq = arg.find('=');
+      if (eq != std::string_view::npos) {
+        json_path = std::string(arg.substr(eq + 1));
+      } else if (i + 1 < argc) {
+        json_path = argv[++i];
+      } else {
+        std::fprintf(stderr, "missing path after --dist-json\n");
+        return 2;
+      }
+    }
+  }
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::fclose(f);
+  }
+
+  // ---- Load, save, reopen both workloads. ---------------------------------
+  const char* tmpdir_env = std::getenv("TMPDIR");
+  const std::string dir =
+      (tmpdir_env != nullptr && tmpdir_env[0] != '\0') ? tmpdir_env : "/tmp";
+  storage::LoadOptions load_options;
+  load_options.num_threads = 4;
+  load_options.ondemand = OndemandEnv();
+  storage::ShardOptions shard_options;
+  shard_options.shard_count = kShards;
+
+  workload::TpchOptions tpch_options;
+  tpch_options.scale_factor = TpchScaleFactor();
+  auto tpch_docs = workload::GenerateTpch(tpch_options).combined;
+  workload::YelpOptions yelp_options;
+  yelp_options.num_business = YelpBusinesses();
+  auto yelp_docs = workload::GenerateYelp(yelp_options);
+
+  Workload workloads[2];
+  workloads[0].name = "tpch";
+  workloads[0].num_queries = 22;
+  workloads[1].name = "yelp";
+  workloads[1].num_queries = 5;
+  const std::vector<std::string>* docs[2] = {&tpch_docs, &yelp_docs};
+  for (int w = 0; w < 2; w++) {
+    auto loaded = storage::ShardedRelation::Load(
+        *docs[w], workloads[w].name, storage::StorageMode::kTiles, {},
+        load_options, shard_options);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load %s: %s\n", workloads[w].name,
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    auto sharded = loaded.MoveValueOrDie();
+    Status st = storage::SaveSharded(*sharded, dir);
+    if (!st.ok()) {
+      std::fprintf(stderr, "save %s: %s\n", workloads[w].name,
+                   st.ToString().c_str());
+      return 1;
+    }
+    workloads[w].manifest_path =
+        storage::ShardManifestPath(dir, workloads[w].name);
+    auto reopened = storage::OpenSharded(workloads[w].manifest_path);
+    if (!reopened.ok()) {
+      std::fprintf(stderr, "open %s: %s\n", workloads[w].name,
+                   reopened.status().ToString().c_str());
+      return 1;
+    }
+    workloads[w].sharded = reopened.MoveValueOrDie();
+  }
+  std::printf("tpch tuples=%zu yelp tuples=%zu shards=%zu\n",
+              tpch_docs.size(), yelp_docs.size(), kShards);
+
+  // ---- Local baseline: answers + wall over the whole query set. -----------
+  double local_wall = 0;
+  for (Workload& w : workloads) {
+    for (int q = 1; q <= w.num_queries; q++) {
+      exec::QueryContext ctx;
+      w.baseline.push_back(Canonical(RunQuery(w, q, ctx)));
+    }
+  }
+  local_wall = TimeBest([&] {
+    for (Workload& w : workloads) {
+      for (int q = 1; q <= w.num_queries; q++) {
+        exec::QueryContext ctx;
+        auto rows = RunQuery(w, q, ctx);
+        if (rows.size() > (1u << 30)) std::abort();  // keep it observable
+      }
+    }
+  });
+
+  // ---- Worker-count sweep. ------------------------------------------------
+  TablePrinter table("Distributed Fig-14 sweep (kTiles, 4 shards) [s]");
+  table.SetHeader({"Workers", "Wall", "vs local", "Identical"});
+  table.AddRow({"local", Fmt(local_wall), "1.00x", "yes"});
+  std::string sweep_json;
+  bool all_identical = true;
+  double wall_w1 = 0, wall_w4 = 0;
+  for (size_t workers : {size_t{1}, size_t{2}, size_t{4}}) {
+    dist::ClusterOptions cluster_options;
+    cluster_options.num_workers = workers;
+    cluster_options.workerd_path = JSONTILES_WORKERD_PATH;
+    std::vector<std::unique_ptr<dist::Cluster>> clusters;
+    bool identical = true;
+    for (Workload& w : workloads) {
+      auto cluster = dist::Cluster::Start(w.manifest_path, w.sharded.get(),
+                                          cluster_options);
+      if (!cluster.ok()) {
+        std::fprintf(stderr, "cluster start (%s, %zu workers): %s\n", w.name,
+                     workers, cluster.status().ToString().c_str());
+        return 1;
+      }
+      clusters.push_back(cluster.MoveValueOrDie());
+    }
+    // Correctness pass: distributed answers must match the local baseline.
+    for (int w = 0; w < 2; w++) {
+      for (int q = 1; q <= workloads[w].num_queries; q++) {
+        exec::QueryContext ctx;
+        ctx.dist = clusters[w].get();
+        const std::string got = Canonical(RunQuery(workloads[w], q, ctx));
+        if (got != workloads[w].baseline[q - 1]) {
+          std::fprintf(stderr, "FAIL: %s Q%d differs at %zu workers\n",
+                       workloads[w].name, q, workers);
+          identical = false;
+        }
+      }
+    }
+    double wall = TimeBest([&] {
+      for (int w = 0; w < 2; w++) {
+        for (int q = 1; q <= workloads[w].num_queries; q++) {
+          exec::QueryContext ctx;
+          ctx.dist = clusters[w].get();
+          auto rows = RunQuery(workloads[w], q, ctx);
+          if (rows.size() > (1u << 30)) std::abort();
+        }
+      }
+    });
+    if (workers == 1) wall_w1 = wall;
+    if (workers == 4) wall_w4 = wall;
+    all_identical = all_identical && identical;
+    table.AddRow({std::to_string(workers), Fmt(wall),
+                  Fmt(local_wall / wall, "%.2fx"), identical ? "yes" : "NO"});
+    if (!sweep_json.empty()) sweep_json += ",\n";
+    sweep_json += "    {\"workers\": " + std::to_string(workers) +
+                  ", \"wall_secs\": " + Fmt(wall, "%.6f") +
+                  ", \"speedup_vs_local\": " + Fmt(local_wall / wall, "%.3f") +
+                  ", \"identical\": " + (identical ? "true" : "false") + "}";
+  }
+  table.Print();
+  const double speedup_4w = wall_w1 / wall_w4;
+  std::printf("4-worker speedup over 1 worker: %.2fx\n", speedup_4w);
+
+  // Cleanup shard files.
+  for (const Workload& w : workloads) {
+    for (size_t s = 0; s < kShards; s++) {
+      std::remove((dir + "/" + w.name + ".shard-" + std::to_string(s) +
+                   ".jtrl")
+                      .c_str());
+    }
+    std::remove(w.manifest_path.c_str());
+  }
+
+  std::string json =
+      "{\n  \"tpch_tuples\": " + std::to_string(tpch_docs.size()) +
+      ",\n  \"yelp_tuples\": " + std::to_string(yelp_docs.size()) +
+      ",\n  \"shards\": " + std::to_string(kShards) +
+      ",\n  \"local_wall_secs\": " + Fmt(local_wall, "%.6f") +
+      ",\n  \"sweep\": [\n" + sweep_json + "\n  ],\n  \"speedup_4worker\": " +
+      Fmt(speedup_4w, "%.3f") +
+      ",\n  \"ok\": " + std::string(all_identical ? "true" : "false") + "\n}\n";
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("dist summary written to %s\n", json_path.c_str());
+  }
+  std::printf("distributed differential: %s\n",
+              all_identical ? "PASS" : "FAIL");
+  return all_identical ? 0 : 1;
+}

@@ -1,0 +1,506 @@
+#include "dist/cluster.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "exec/scan.h"
+#include "obs/obs.h"
+#include "util/failpoint.h"
+
+namespace jsontiles::dist {
+
+namespace {
+
+std::string TempDir() {
+  const char* env = std::getenv("TMPDIR");
+  if (env != nullptr && env[0] != '\0') return env;
+  return "/tmp";
+}
+
+std::string WorkerName(size_t index) {
+  return "worker " + std::to_string(index);
+}
+
+/// Greedy LPT: largest shards first (by manifest row count, ties to the
+/// lower shard index), each to the currently least-loaded worker (ties to
+/// the lower worker index). Deterministic, and within ~4/3 of the optimal
+/// makespan — good enough that a 4-worker sweep sees real speedup even with
+/// skewed shards.
+std::vector<size_t> AssignShards(const std::vector<uint64_t>& shard_rows,
+                                 size_t num_workers) {
+  std::vector<size_t> order(shard_rows.size());
+  for (size_t i = 0; i < order.size(); i++) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (shard_rows[a] != shard_rows[b]) return shard_rows[a] > shard_rows[b];
+    return a < b;
+  });
+  std::vector<uint64_t> load(num_workers, 0);
+  std::vector<size_t> owner(shard_rows.size(), 0);
+  for (size_t s : order) {
+    size_t best = 0;
+    for (size_t w = 1; w < num_workers; w++) {
+      if (load[w] < load[best]) best = w;
+    }
+    owner[s] = best;
+    load[best] += shard_rows[s];
+  }
+  return owner;
+}
+
+}  // namespace
+
+Status Cluster::SpawnWorker(size_t index, const ClusterOptions& options,
+                            WorkerConn* worker) {
+  worker->socket_path = TempDir() + "/jtw-" + std::to_string(getpid()) + "-" +
+                        std::to_string(index) + ".sock";
+  struct sockaddr_un addr;
+  if (worker->socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " +
+                                   worker->socket_path);
+  }
+  ::unlink(worker->socket_path.c_str());
+
+  std::vector<std::string> args;
+  args.push_back(options.workerd_path);
+  args.push_back("--socket");
+  args.push_back(worker->socket_path);
+  for (const std::string& fp : options.worker_failpoints) {
+    args.push_back("--failpoint");
+    args.push_back(fp);
+  }
+
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    return Status::Internal(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    std::vector<char*> argv;
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(options.workerd_path.c_str(), argv.data());
+    _exit(127);  // exec failed; parent sees the early exit while connecting
+  }
+  worker->pid = pid;
+  return Status::OK();
+}
+
+Status Cluster::ConnectWorker(const ClusterOptions& options,
+                              WorkerConn* worker) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options.connect_timeout_ms);
+  int backoff_us = 1000;
+  while (true) {
+    // A worker that died during startup (exec failure, crash failpoint)
+    // would otherwise make us spin until the timeout.
+    int wstatus = 0;
+    if (::waitpid(worker->pid, &wstatus, WNOHANG) > 0) {
+      worker->pid = -1;
+      return Status::Internal(WorkerName(worker - workers_.data()) +
+                              " exited during startup");
+    }
+    bool attempt_failed = JSONTILES_FAILPOINT_FIRES("dist.connect");
+    int fd = -1;
+    if (!attempt_failed) {
+      fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (fd < 0) {
+        return Status::Internal(std::string("socket: ") +
+                                std::strerror(errno));
+      }
+      struct sockaddr_un addr;
+      std::memset(&addr, 0, sizeof(addr));
+      addr.sun_family = AF_UNIX;
+      std::strncpy(addr.sun_path, worker->socket_path.c_str(),
+                   sizeof(addr.sun_path) - 1);
+      if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    sizeof(addr)) == 0) {
+        worker->fd = fd;
+        return Status::OK();
+      }
+      ::close(fd);
+      attempt_failed = true;
+    }
+    (void)attempt_failed;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::Internal("timed out connecting to " +
+                              WorkerName(worker - workers_.data()) + " at " +
+                              worker->socket_path);
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    backoff_us = std::min(backoff_us * 2, 50000);
+  }
+}
+
+Result<std::unique_ptr<Cluster>> Cluster::Start(
+    const std::string& manifest_path, const storage::ShardedRelation* local,
+    ClusterOptions options) {
+  if (options.workerd_path.empty()) {
+    return Status::InvalidArgument("ClusterOptions::workerd_path is required");
+  }
+  if (options.num_workers == 0) {
+    return Status::InvalidArgument("ClusterOptions::num_workers must be >= 1");
+  }
+  auto manifest = storage::ReadShardManifest(manifest_path);
+  JSONTILES_RETURN_NOT_OK(manifest.status());
+
+  std::unique_ptr<Cluster> cluster(new Cluster());
+  cluster->local_ = local;
+  cluster->manifest_path_ = manifest_path;
+  cluster->manifest_ = std::move(manifest.ValueOrDie());
+  cluster->options_ = options;
+  cluster->shard_owner_ =
+      AssignShards(cluster->manifest_.num_rows, options.num_workers);
+  cluster->workers_.resize(options.num_workers);
+  for (size_t s = 0; s < cluster->shard_owner_.size(); s++) {
+    cluster->workers_[cluster->shard_owner_[s]].shards.push_back(s);
+  }
+
+  JSONTILES_TRACE_SPAN("dist.cluster_start");
+  for (size_t w = 0; w < cluster->workers_.size(); w++) {
+    WorkerConn& worker = cluster->workers_[w];
+    Status st = cluster->SpawnWorker(w, options, &worker);
+    if (st.ok()) st = cluster->ConnectWorker(options, &worker);
+
+    // Handshake: the worker leads with kHello, we reply with the shard
+    // assignment (kOpen) and expect kOpenOk row counts matching the
+    // manifest.
+    FrameType type;
+    std::vector<uint8_t> payload;
+    if (st.ok()) {
+      st = ReadFrame(worker.fd, options.recv_timeout_ms, &type, &payload,
+                     nullptr);
+      if (st.ok() && type != FrameType::kHello) {
+        st = Status::Internal(WorkerName(w) + ": expected Hello");
+      }
+    }
+    HelloMsg hello;
+    if (st.ok()) st = DecodeHello(payload, &hello);
+    if (st.ok() && hello.version != kWireVersion) {
+      st = Status::Internal(WorkerName(w) + ": wire version mismatch (" +
+                            std::to_string(hello.version) + " != " +
+                            std::to_string(kWireVersion) + ")");
+    }
+    if (st.ok()) {
+      OpenMsg open;
+      open.manifest_path = manifest_path;
+      open.num_threads = options.worker_threads;
+      for (size_t s : worker.shards) open.shards.push_back(s);
+      payload.clear();
+      EncodeOpen(open, &payload);
+      st = WriteFrame(worker.fd, FrameType::kOpen, payload, nullptr);
+    }
+    if (st.ok()) {
+      st = ReadFrame(worker.fd, options.recv_timeout_ms, &type, &payload,
+                     nullptr);
+    }
+    if (st.ok() && type == FrameType::kError) {
+      Status reported = Status::OK();
+      st = DecodeStatus(payload, &reported);
+      if (st.ok()) {
+        st = Status(reported.code(),
+                    WorkerName(w) + " failed to open shards: " +
+                        reported.message());
+      }
+    } else if (st.ok()) {
+      OpenOkMsg ok_msg;
+      if (type != FrameType::kOpenOk) {
+        st = Status::Internal(WorkerName(w) + ": expected OpenOk");
+      }
+      if (st.ok()) st = DecodeOpenOk(payload, &ok_msg);
+      if (st.ok() && ok_msg.shard_rows.size() != worker.shards.size()) {
+        st = Status::Internal(WorkerName(w) + ": OpenOk shard count mismatch");
+      }
+      for (size_t i = 0; st.ok() && i < worker.shards.size(); i++) {
+        if (ok_msg.shard_rows[i] !=
+            cluster->manifest_.num_rows[worker.shards[i]]) {
+          st = Status::Internal(
+              WorkerName(w) + ": shard " +
+              std::to_string(worker.shards[i]) +
+              " row count does not match the manifest");
+        }
+      }
+    }
+    if (!st.ok()) {
+      cluster->KillAll();
+      return st;
+    }
+  }
+  JSONTILES_COUNTER_ADD("dist.workers_started",
+                        static_cast<int64_t>(cluster->workers_.size()));
+  return cluster;
+}
+
+void Cluster::KillAll() {
+  for (WorkerConn& worker : workers_) {
+    if (worker.fd >= 0) {
+      ::close(worker.fd);
+      worker.fd = -1;
+    }
+    if (worker.pid > 0) {
+      ::kill(worker.pid, SIGKILL);
+      ::waitpid(worker.pid, nullptr, 0);
+      worker.pid = -1;
+    }
+    if (!worker.socket_path.empty()) ::unlink(worker.socket_path.c_str());
+  }
+}
+
+Cluster::~Cluster() {
+  // Graceful first: Shutdown frame + close, then give each worker a moment
+  // to exit before escalating to SIGKILL. Never hangs, never leaks a child.
+  const std::vector<uint8_t> empty;
+  for (WorkerConn& worker : workers_) {
+    if (worker.fd >= 0) {
+      (void)WriteFrame(worker.fd, FrameType::kShutdown, empty, nullptr);
+      ::close(worker.fd);
+      worker.fd = -1;
+    }
+  }
+  for (WorkerConn& worker : workers_) {
+    if (worker.pid <= 0) continue;
+    bool reaped = false;
+    for (int i = 0; i < 200; i++) {  // up to ~2s
+      if (::waitpid(worker.pid, nullptr, WNOHANG) > 0) {
+        reaped = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    if (!reaped) {
+      ::kill(worker.pid, SIGKILL);
+      ::waitpid(worker.pid, nullptr, 0);
+    }
+    worker.pid = -1;
+  }
+  for (WorkerConn& worker : workers_) {
+    if (!worker.socket_path.empty()) ::unlink(worker.socket_path.c_str());
+  }
+}
+
+Status Cluster::RunFragments(const exec::ScanSpec& spec,
+                             const std::vector<size_t>& fragment_shards,
+                             bool is_side,
+                             const std::vector<exec::ExprPtr>& group_by,
+                             const std::vector<exec::AggSpec>& aggs,
+                             exec::QueryContext& ctx,
+                             std::vector<exec::RowSet>* row_buckets,
+                             exec::AggGroupMap* agg_merge,
+                             exec::ExchangeStats* stats) {
+  if (poisoned_) {
+    return Status::Internal(
+        "cluster is poisoned by an earlier worker failure");
+  }
+  const bool is_agg = agg_merge != nullptr;
+  stats->workers.resize(workers_.size());
+
+  // Dispatch: one fragment per shard to its owner. Fragment frames are tiny
+  // (an expression tree), so writing them all before reading results cannot
+  // fill a socket buffer.
+  std::vector<size_t> outstanding(workers_.size(), 0);
+  for (size_t s : fragment_shards) {
+    FragmentMsg frag;
+    frag.fragment_id = static_cast<uint32_t>(s);
+    frag.shard_index = static_cast<uint32_t>(s);
+    frag.is_side = is_side;
+    if (is_side) frag.side_path = spec.sharded_side_path;
+    frag.enable_tile_skipping = ctx.options().enable_tile_skipping;
+    frag.enable_vectorized = ctx.options().enable_vectorized;
+    frag.accesses = spec.accesses;
+    frag.filter = spec.filter;
+    frag.null_rejecting_paths = spec.null_rejecting_paths;
+    frag.range_predicates = spec.range_predicates;
+    frag.group_by = group_by;
+    frag.aggs = aggs;
+    std::vector<uint8_t> payload;
+    EncodeFragment(frag, &payload);
+    const size_t w = shard_owner_[s];
+    Status st = WriteFrame(
+        workers_[w].fd,
+        is_agg ? FrameType::kAggFragment : FrameType::kScanFragment, payload,
+        &stats->workers[w].bytes);
+    if (!st.ok()) {
+      poisoned_ = true;
+      return Status(st.code(),
+                    "sending fragment to " + WorkerName(w) + ": " +
+                        st.message());
+    }
+    stats->workers[w].frames++;
+    outstanding[w]++;
+  }
+
+  // Collect: a worker executes its fragments sequentially and each fragment
+  // ends in exactly one kFragmentDone or kError, so the per-connection
+  // stream stays frame-aligned even across failed fragments.
+  Status first_error = Status::OK();
+  size_t outstanding_total = 0;
+  for (size_t n : outstanding) outstanding_total += n;
+  Arena* arena = ctx.arena(0);
+  while (outstanding_total > 0) {
+    std::vector<struct pollfd> pfds;
+    std::vector<size_t> pfd_worker;
+    for (size_t w = 0; w < workers_.size(); w++) {
+      if (outstanding[w] == 0) continue;
+      pfds.push_back({workers_[w].fd, POLLIN, 0});
+      pfd_worker.push_back(w);
+    }
+    int pr = ::poll(pfds.data(), pfds.size(), options_.recv_timeout_ms);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      poisoned_ = true;
+      return Status::Internal(std::string("poll: ") + std::strerror(errno));
+    }
+    if (pr == 0) {
+      poisoned_ = true;
+      return Status::Internal("exchange recv timed out");
+    }
+    for (size_t p = 0; p < pfds.size(); p++) {
+      if (pfds[p].revents == 0) continue;
+      const size_t w = pfd_worker[p];
+      exec::ExchangeWorkerStats& wstats = stats->workers[w];
+      FrameType type;
+      std::vector<uint8_t> payload;
+      Status st = ReadFrame(workers_[w].fd, options_.recv_timeout_ms, &type,
+                            &payload, &wstats.bytes);
+      if (!st.ok()) {
+        poisoned_ = true;
+        if (st.code() == StatusCode::kOutOfRange) {
+          return Status::Internal(WorkerName(w) + " exited unexpectedly");
+        }
+        return Status(st.code(),
+                      WorkerName(w) + ": " + st.message());
+      }
+      wstats.frames++;
+      switch (type) {
+        case FrameType::kRowBatch: {
+          uint32_t fragment_id = 0;
+          exec::RowSet batch;
+          st = DecodeRowBatch(payload, arena, &fragment_id, &batch);
+          if (st.ok() && (is_agg || fragment_id >= row_buckets->size())) {
+            st = Status::ParseError("unexpected RowBatch fragment id");
+          }
+          if (!st.ok()) break;
+          wstats.batches++;
+          exec::RowSet& bucket = (*row_buckets)[fragment_id];
+          for (exec::Row& row : batch) bucket.push_back(std::move(row));
+          break;
+        }
+        case FrameType::kAggResult: {
+          AggPartial partial;
+          st = DecodeAggPartial(payload, aggs.size(), arena, &partial);
+          if (st.ok() && !is_agg) {
+            st = Status::ParseError("unexpected AggResult frame");
+          }
+          if (!st.ok()) break;
+          wstats.batches++;
+          for (auto& [hash, group] : partial.groups) {
+            exec::MergeGroup(agg_merge, hash, std::move(group), aggs);
+          }
+          break;
+        }
+        case FrameType::kFragmentDone: {
+          FragmentDoneMsg done;
+          st = DecodeFragmentDone(payload, &done);
+          if (!st.ok()) break;
+          wstats.rows += done.rows_out;
+          wstats.wall_nanos += done.wall_nanos;
+          stats->tiles_scanned += done.tiles_scanned;
+          stats->tiles_skipped += done.tiles_skipped;
+          outstanding[w]--;
+          outstanding_total--;
+          break;
+        }
+        case FrameType::kError: {
+          Status reported = Status::OK();
+          st = DecodeStatus(payload, &reported);
+          if (!st.ok()) break;
+          if (first_error.ok()) {
+            first_error =
+                Status(reported.code(),
+                       WorkerName(w) + ": " + reported.message());
+          }
+          outstanding[w]--;
+          outstanding_total--;
+          break;
+        }
+        default:
+          st = Status::ParseError("unexpected frame type on exchange");
+          break;
+      }
+      if (!st.ok()) {
+        poisoned_ = true;
+        return Status(st.code(), WorkerName(w) + ": " + st.message());
+      }
+    }
+  }
+  return first_error;
+}
+
+Status Cluster::Scan(const exec::ScanSpec& spec, exec::QueryContext& ctx,
+                     exec::RowSet* out, exec::ExchangeStats* stats) {
+  std::vector<size_t> fragment_shards;
+  const bool is_side = !spec.sharded_side_path.empty();
+  if (is_side) {
+    // Shard-level pruning does not apply to side scans (the statistics
+    // describe the base documents) — exactly the local scan's behavior.
+    for (const auto& part : local_->SideParts(spec.sharded_side_path)) {
+      fragment_shards.push_back(static_cast<size_t>(
+          part.rowid_base >> storage::ShardedRelation::kRowIdShardShift));
+    }
+  } else {
+    fragment_shards =
+        exec::SurvivingShards(spec, ctx.options().enable_tile_skipping);
+    stats->shards_scanned += fragment_shards.size();
+    stats->shards_pruned +=
+        local_->shard_count() - fragment_shards.size();
+  }
+
+  std::vector<exec::RowSet> buckets(manifest_.shard_count());
+  JSONTILES_RETURN_NOT_OK(RunFragments(spec, fragment_shards, is_side,
+                                       /*group_by=*/{}, /*aggs=*/{}, ctx,
+                                       &buckets, /*agg_merge=*/nullptr,
+                                       stats));
+  // Ascending shard order = the local sharded scan's part order, so the
+  // concatenation is bit-identical to local execution.
+  size_t total = 0;
+  for (const exec::RowSet& b : buckets) total += b.size();
+  out->reserve(out->size() + total);
+  for (exec::RowSet& b : buckets) {
+    for (exec::Row& row : b) out->push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+Status Cluster::Aggregate(const exec::ScanSpec& spec,
+                          const std::vector<exec::ExprPtr>& group_by,
+                          const std::vector<exec::AggSpec>& aggs,
+                          exec::QueryContext& ctx, exec::RowSet* out,
+                          exec::ExchangeStats* stats) {
+  std::vector<size_t> fragment_shards =
+      exec::SurvivingShards(spec, ctx.options().enable_tile_skipping);
+  stats->shards_scanned += fragment_shards.size();
+  stats->shards_pruned += local_->shard_count() - fragment_shards.size();
+
+  exec::AggGroupMap merged;
+  JSONTILES_RETURN_NOT_OK(RunFragments(spec, fragment_shards,
+                                       /*is_side=*/false, group_by, aggs, ctx,
+                                       /*row_buckets=*/nullptr, &merged,
+                                       stats));
+  if (group_by.empty() && merged.empty()) {
+    out->push_back(exec::EmptyGlobalAggRow(aggs));
+    return Status::OK();
+  }
+  exec::FinalizeGroups(merged, aggs, out);
+  return Status::OK();
+}
+
+}  // namespace jsontiles::dist

@@ -1,0 +1,132 @@
+// Distributed shard execution: the coordinator side (DESIGN.md §13).
+//
+// A Cluster forks N long-lived worker processes (jsontiles_workerd), each
+// listening on its own AF_UNIX socket, and speaks the dist/wire.h frame
+// protocol to them. Shards of one saved relation (a JTSM manifest) are
+// assigned to workers up front by greedy LPT over the manifest's per-shard
+// row counts — the manifest carries them exactly so planning needs no shard
+// file I/O. Per query, the coordinator sends one plan fragment per surviving
+// shard to the shard's owner and multiplexes the result frames back.
+//
+// Determinism: fragment granularity is one shard, the coordinator computes
+// the surviving-shard set with the same SurvivingShards the local scan uses,
+// and scan results are concatenated in ascending shard order — exactly the
+// local sharded scan's part order — so distributed scans are bit-identical
+// to local ones for any worker count. Aggregates push partials down and
+// merge through exec/agg_state.h's order-independent accumulators.
+//
+// Failure semantics: a worker that dies mid-query (EOF/POLLHUP) or a recv
+// timeout surfaces a clean Status and poisons the cluster (connections can
+// no longer be trusted to be frame-aligned); a worker that *reports* an
+// error (kError frame) keeps the stream aligned, so only the query fails.
+
+#ifndef JSONTILES_DIST_CLUSTER_H_
+#define JSONTILES_DIST_CLUSTER_H_
+
+#include <sys/types.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/wire.h"
+#include "exec/exchange.h"
+#include "storage/shard.h"
+#include "util/status.h"
+
+namespace jsontiles::dist {
+
+struct ClusterOptions {
+  size_t num_workers = 2;
+  /// ExecOptions::num_threads of each worker-side fragment context.
+  size_t worker_threads = 1;
+  /// Path of the jsontiles_workerd binary (tests/benches get it from the
+  /// JSONTILES_WORKERD_PATH compile definition).
+  std::string workerd_path;
+  /// Budget for connecting to a freshly forked worker (retry with backoff —
+  /// the coordinator races the worker's bind+listen).
+  int connect_timeout_ms = 10000;
+  /// Budget for any single result frame during a query.
+  int recv_timeout_ms = 60000;
+  /// Failpoint specs forwarded to every worker's command line
+  /// ("name=always|nth:N|everyk:K") — failpoints are per-process.
+  std::vector<std::string> worker_failpoints;
+};
+
+class Cluster : public exec::DistRuntime {
+ public:
+  /// Fork + connect + handshake the workers and assign every shard of the
+  /// manifest. `local` is the coordinator's own open ShardedRelation for the
+  /// same manifest: Serves() identifies it, and side-relation fragments are
+  /// planned from its side-part inventory. On any failure every spawned
+  /// worker is killed and reaped — no orphan processes, no stale sockets.
+  static Result<std::unique_ptr<Cluster>> Start(
+      const std::string& manifest_path, const storage::ShardedRelation* local,
+      ClusterOptions options);
+
+  ~Cluster() override;
+
+  // --- exec::DistRuntime -----------------------------------------------
+  bool Serves(const storage::ShardedRelation* rel) const override {
+    return rel != nullptr && rel == local_;
+  }
+  size_t num_workers() const override { return workers_.size(); }
+  Status Scan(const exec::ScanSpec& spec, exec::QueryContext& ctx,
+              exec::RowSet* out, exec::ExchangeStats* stats) override;
+  Status Aggregate(const exec::ScanSpec& spec,
+                   const std::vector<exec::ExprPtr>& group_by,
+                   const std::vector<exec::AggSpec>& aggs,
+                   exec::QueryContext& ctx, exec::RowSet* out,
+                   exec::ExchangeStats* stats) override;
+
+  // --- introspection (tests, benches) ----------------------------------
+  size_t shard_count() const { return manifest_.shard_count(); }
+  /// Owning worker of each shard (the LPT assignment).
+  const std::vector<size_t>& shard_owner() const { return shard_owner_; }
+  const storage::ShardManifestInfo& manifest() const { return manifest_; }
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+ private:
+  struct WorkerConn {
+    pid_t pid = -1;
+    int fd = -1;
+    std::string socket_path;
+    std::vector<size_t> shards;  // assigned shard indices, ascending
+  };
+
+  Cluster() = default;
+
+  /// One fragment per entry of `fragment_shards` (ascending shard indices),
+  /// dispatched to each shard's owner and collected until every fragment
+  /// reported kFragmentDone or kError. Scan results land in
+  /// `row_buckets[shard]`; aggregate partials merge into `agg_merge`.
+  Status RunFragments(const exec::ScanSpec& spec,
+                      const std::vector<size_t>& fragment_shards, bool is_side,
+                      const std::vector<exec::ExprPtr>& group_by,
+                      const std::vector<exec::AggSpec>& aggs,
+                      exec::QueryContext& ctx,
+                      std::vector<exec::RowSet>* row_buckets,
+                      exec::AggGroupMap* agg_merge,
+                      exec::ExchangeStats* stats);
+
+  Status SpawnWorker(size_t index, const ClusterOptions& options,
+                     WorkerConn* worker);
+  Status ConnectWorker(const ClusterOptions& options, WorkerConn* worker);
+  void KillAll();
+
+  const storage::ShardedRelation* local_ = nullptr;
+  std::string manifest_path_;
+  storage::ShardManifestInfo manifest_;
+  ClusterOptions options_;
+  std::vector<WorkerConn> workers_;
+  std::vector<size_t> shard_owner_;
+  /// Set when a connection can no longer be trusted to be frame-aligned
+  /// (worker died or timed out mid-stream); all later queries fail fast.
+  bool poisoned_ = false;
+};
+
+}  // namespace jsontiles::dist
+
+#endif  // JSONTILES_DIST_CLUSTER_H_

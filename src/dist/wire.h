@@ -1,0 +1,237 @@
+// Wire format of the distributed exchange (DESIGN.md §13).
+//
+// A connection carries a stream of frames. Each frame is length-prefixed,
+// LZ4-compressed (the spill block idiom: store raw when compression does not
+// help) and checksummed:
+//
+//   [u8 type][u32 raw_size][u32 comp_size][u64 checksum][payload bytes]
+//
+// comp_size == 0 means the payload is stored raw (raw_size bytes on the
+// wire); otherwise comp_size LZ4 bytes follow and decompress to raw_size.
+// The checksum covers the payload exactly as it appears on the wire, seeded
+// with the header fields, so neither payload corruption nor a header/payload
+// mismatch goes undetected. Sizes are capped (kMaxFramePayload) before any
+// allocation — a corrupt length cannot make the decoder allocate absurd
+// buffers. Everything below the frame layer is bounds-checked via WireReader:
+// the corrupt-frame corpus test feeds truncations and bit flips of real
+// streams through DecodeFrame under ASan.
+//
+// Message payloads (plan fragments, row batches, aggregate partials) are
+// versioned implicitly by kWireVersion, exchanged in the Hello handshake:
+// coordinator and workers come from the same build, so a mismatch is a
+// deployment error, reported cleanly.
+
+#ifndef JSONTILES_DIST_WIRE_H_
+#define JSONTILES_DIST_WIRE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "exec/agg_state.h"
+#include "exec/expression.h"
+#include "exec/operators.h"
+#include "exec/scan.h"
+#include "util/arena.h"
+#include "util/status.h"
+
+namespace jsontiles::dist {
+
+inline constexpr uint32_t kWireVersion = 1;
+/// Hard cap on a frame's raw and compressed payload size. Batches are cut at
+/// ~256 KiB, so real frames sit far below it; its job is bounding allocation
+/// when a length field is corrupt.
+inline constexpr size_t kMaxFramePayload = 256u << 20;
+
+enum class FrameType : uint8_t {
+  kHello = 1,         // worker -> coordinator: version, pid
+  kOpen = 2,          // coordinator -> worker: manifest, assigned shards
+  kOpenOk = 3,        // worker -> coordinator: per-shard row counts
+  kScanFragment = 4,  // coordinator -> worker: scan one shard
+  kAggFragment = 5,   // coordinator -> worker: scan + partial-aggregate
+  kRowBatch = 6,      // worker -> coordinator: a batch of result rows
+  kAggResult = 7,     // worker -> coordinator: partial aggregate groups
+  kFragmentDone = 8,  // worker -> coordinator: fragment finished + stats
+  kError = 9,         // worker -> coordinator: fragment/open failed
+  kShutdown = 10,     // coordinator -> worker: exit cleanly
+};
+inline constexpr uint8_t kMaxFrameType = 10;
+
+// ---------------------------------------------------------------------------
+// Byte codec
+// ---------------------------------------------------------------------------
+
+/// Appends to a caller-owned buffer. Fixed-width fields are little-endian;
+/// varints are unsigned LEB128 (signed values zigzag first).
+class WireWriter {
+ public:
+  explicit WireWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(v); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v);
+  void Varint(uint64_t v);
+  void SVarint(int64_t v);
+  void Str(std::string_view s);  // varint length + bytes
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+/// Bounds-checked reader over a decoded frame payload. Every getter returns
+/// false on truncation; decoding helpers below turn that into ParseError.
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool U8(uint8_t* v);
+  bool U32(uint32_t* v);
+  bool U64(uint64_t* v);
+  bool I64(int64_t* v);
+  bool F64(double* v);
+  bool Varint(uint64_t* v);
+  bool SVarint(int64_t* v);
+  bool Str(std::string* s);
+  /// Zero-copy view into the payload buffer (valid only while it lives).
+  bool StrView(std::string_view* s);
+
+  bool AtEnd() const { return pos_ == size_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Frame layer
+// ---------------------------------------------------------------------------
+
+/// Frame `payload` (compress + header + checksum) onto `stream`.
+void AppendFrame(FrameType type, const std::vector<uint8_t>& payload,
+                 std::vector<uint8_t>* stream);
+
+/// AppendFrame + a full write to `fd` (EINTR/partial-write safe). Fault
+/// site: `dist.frame_write`. `wire_bytes` (optional) accumulates the bytes
+/// put on the wire.
+Status WriteFrame(int fd, FrameType type, const std::vector<uint8_t>& payload,
+                  uint64_t* wire_bytes);
+
+/// Decode one frame from a memory buffer: validates header bounds, checksum,
+/// and decompression; `*consumed` is the frame's total encoded size. This is
+/// the single decode path — ReadFrame layers socket I/O on top, and the
+/// corrupt-frame corpus test drives it directly.
+Status DecodeFrame(const uint8_t* data, size_t size, size_t* consumed,
+                   FrameType* type, std::vector<uint8_t>* payload);
+
+/// Read one frame from `fd` with a deadline over the whole frame. Returns
+/// kOutOfRange("connection closed") on clean EOF at a frame boundary,
+/// kInternal on timeout, ParseError on a corrupt frame. `wire_bytes`
+/// (optional) accumulates bytes received.
+Status ReadFrame(int fd, int timeout_ms, FrameType* type,
+                 std::vector<uint8_t>* payload, uint64_t* wire_bytes);
+
+// ---------------------------------------------------------------------------
+// Message codecs
+// ---------------------------------------------------------------------------
+
+struct HelloMsg {
+  uint32_t version = kWireVersion;
+  int64_t pid = 0;
+};
+void EncodeHello(const HelloMsg& msg, std::vector<uint8_t>* out);
+Status DecodeHello(const std::vector<uint8_t>& payload, HelloMsg* msg);
+
+struct OpenMsg {
+  std::string manifest_path;
+  std::vector<uint64_t> shards;  // assigned shard indices, ascending
+  uint64_t num_threads = 1;      // per-fragment QueryContext threads
+};
+void EncodeOpen(const OpenMsg& msg, std::vector<uint8_t>* out);
+Status DecodeOpen(const std::vector<uint8_t>& payload, OpenMsg* msg);
+
+struct OpenOkMsg {
+  std::vector<uint64_t> shard_rows;  // parallel to OpenMsg::shards
+};
+void EncodeOpenOk(const OpenOkMsg& msg, std::vector<uint8_t>* out);
+Status DecodeOpenOk(const std::vector<uint8_t>& payload, OpenOkMsg* msg);
+
+/// Scalar value codec (spill row idiom: type byte, scale byte, payload).
+/// Decoded strings are copied into `arena`.
+void EncodeValue(const exec::Value& v, WireWriter* w);
+bool DecodeValue(WireReader* r, Arena* arena, exec::Value* v);
+
+/// Expression tree codec. Decoded expressions own their string storage
+/// (const_storage / in_storage / pattern, as the expression factories build
+/// them); kLike recompiles its matcher from the pattern. Depth and arity are
+/// capped so corrupt input cannot recurse or allocate unboundedly.
+void EncodeExpr(const exec::Expr& e, WireWriter* w);
+Status DecodeExpr(WireReader* r, size_t depth, exec::ExprPtr* out);
+
+/// One plan fragment: scan one shard (or its side relation for `side_path`),
+/// with optional partial aggregation (kAggFragment frames; group_by/aggs
+/// empty in kScanFragment frames). `string_pool` backs decoded
+/// range-predicate constants — a deque so grown entries never move.
+struct FragmentMsg {
+  uint32_t fragment_id = 0;
+  uint32_t shard_index = 0;
+  bool is_side = false;
+  std::string side_path;
+  bool enable_tile_skipping = true;
+  bool enable_vectorized = true;
+  std::vector<exec::ExprPtr> accesses;
+  exec::ExprPtr filter;
+  std::vector<std::string> null_rejecting_paths;
+  std::vector<exec::RangePredicate> range_predicates;
+  std::vector<exec::ExprPtr> group_by;
+  std::vector<exec::AggSpec> aggs;
+  std::deque<std::string> string_pool;
+};
+void EncodeFragment(const FragmentMsg& msg, std::vector<uint8_t>* out);
+Status DecodeFragment(const std::vector<uint8_t>& payload, FragmentMsg* msg);
+
+/// Row batches: worker results streamed back in fragment order. Decoded
+/// strings go into `arena` (the coordinator's query arena) and rows are
+/// appended to `out`.
+void EncodeRowBatch(uint32_t fragment_id, const exec::RowSet& rows,
+                    size_t row_begin, size_t row_end,
+                    std::vector<uint8_t>* out);
+Status DecodeRowBatch(const std::vector<uint8_t>& payload, Arena* arena,
+                      uint32_t* fragment_id, exec::RowSet* out);
+
+/// Partial-aggregate result: every group of the worker's group table with
+/// its key hash (recorded, not recomputed, so coordinator merge uses the
+/// exact same bucket chain). Decode needs the agg count from the request.
+void EncodeAggPartial(uint32_t fragment_id, const exec::AggGroupMap& groups,
+                      const std::vector<exec::AggSpec>& aggs,
+                      std::vector<uint8_t>* out);
+struct AggPartial {
+  uint32_t fragment_id = 0;
+  std::vector<std::pair<uint64_t, exec::AggGroup>> groups;
+};
+Status DecodeAggPartial(const std::vector<uint8_t>& payload, size_t num_aggs,
+                        Arena* arena, AggPartial* out);
+
+struct FragmentDoneMsg {
+  uint32_t fragment_id = 0;
+  uint64_t rows_out = 0;
+  uint64_t tiles_scanned = 0;
+  uint64_t tiles_skipped = 0;
+  uint64_t wall_nanos = 0;
+};
+void EncodeFragmentDone(const FragmentDoneMsg& msg, std::vector<uint8_t>* out);
+Status DecodeFragmentDone(const std::vector<uint8_t>& payload,
+                          FragmentDoneMsg* msg);
+
+void EncodeStatus(const Status& st, std::vector<uint8_t>* out);
+/// Returns the decoded (non-OK) status in *decoded; the return value reports
+/// whether the payload itself parsed.
+Status DecodeStatus(const std::vector<uint8_t>& payload, Status* decoded);
+
+}  // namespace jsontiles::dist
+
+#endif  // JSONTILES_DIST_WIRE_H_

@@ -1,0 +1,306 @@
+#include "dist/worker.h"
+
+#include <errno.h>
+#include <stdio.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "dist/wire.h"
+#include "exec/scan.h"
+#include "storage/shard.h"
+#include "util/failpoint.h"
+
+namespace jsontiles::dist {
+
+namespace {
+
+/// Cut row batches at roughly this much encoded payload so the coordinator
+/// can overlap decode with worker-side scanning and no frame balloons.
+constexpr size_t kBatchBytes = 256u << 10;
+
+/// A worker waits indefinitely for the next fragment between queries; the
+/// frame deadline only bounds a frame that started arriving.
+constexpr int kIdleTimeoutMs = 3600 * 1000;
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+size_t EstimatedRowBytes(const exec::Row& row) {
+  size_t bytes = 4;
+  for (const exec::Value& v : row) {
+    bytes += 12;
+    if (v.type == exec::ValueType::kString) bytes += v.s.size();
+  }
+  return bytes;
+}
+
+/// Worker state for one coordinator connection.
+struct WorkerState {
+  int fd = -1;
+  storage::ShardManifestInfo manifest;
+  std::vector<size_t> assigned;  // ascending shard indices
+  std::vector<std::unique_ptr<storage::Relation>> relations;  // parallel
+  uint64_t num_threads = 1;
+
+  const storage::Relation* ShardRelation(size_t shard_index) const {
+    auto it = std::lower_bound(assigned.begin(), assigned.end(), shard_index);
+    if (it == assigned.end() || *it != shard_index) return nullptr;
+    return relations[static_cast<size_t>(it - assigned.begin())].get();
+  }
+};
+
+Status SendError(WorkerState& state, const Status& error) {
+  std::vector<uint8_t> payload;
+  EncodeStatus(error, &payload);
+  return WriteFrame(state.fd, FrameType::kError, payload, nullptr);
+}
+
+Status HandleOpen(WorkerState& state, const std::vector<uint8_t>& payload) {
+  OpenMsg open;
+  JSONTILES_RETURN_NOT_OK(DecodeOpen(payload, &open));
+  auto manifest = storage::ReadShardManifest(open.manifest_path);
+  JSONTILES_RETURN_NOT_OK(manifest.status());
+  state.manifest = std::move(manifest.ValueOrDie());
+  state.assigned.clear();
+  for (uint64_t s : open.shards) {
+    if (s >= state.manifest.shard_count()) {
+      return Status::InvalidArgument("assigned shard index out of range");
+    }
+    state.assigned.push_back(static_cast<size_t>(s));
+  }
+  auto relations = storage::OpenShardSubset(state.manifest, state.assigned);
+  JSONTILES_RETURN_NOT_OK(relations.status());
+  state.relations = std::move(relations.ValueOrDie());
+  state.num_threads = open.num_threads;
+
+  OpenOkMsg ok;
+  for (const auto& rel : state.relations) ok.shard_rows.push_back(rel->num_rows());
+  std::vector<uint8_t> reply;
+  EncodeOpenOk(ok, &reply);
+  return WriteFrame(state.fd, FrameType::kOpenOk, reply, nullptr);
+}
+
+/// Execute one fragment end to end; frames written: row batches / an
+/// aggregate partial, then FragmentDone. A Status return here means the
+/// fragment failed *before* any result frame went out, so the caller can
+/// still report it as a clean kError.
+Status RunFragment(WorkerState& state, const FragmentMsg& frag, bool is_agg) {
+  JSONTILES_FAILPOINT_RETURN("dist.worker_exec");
+  if (JSONTILES_FAILPOINT_FIRES("dist.worker_crash")) {
+    _exit(3);  // simulated hard crash: no error frame, no cleanup
+  }
+  const uint64_t start_nanos = NowNanos();
+
+  const storage::Relation* shard = state.ShardRelation(frag.shard_index);
+  if (shard == nullptr) {
+    return Status::InvalidArgument("fragment names an unassigned shard " +
+                                   std::to_string(frag.shard_index));
+  }
+  const storage::Relation* rel = shard;
+  if (frag.is_side) {
+    rel = shard->FindSideRelation(frag.side_path);
+    if (rel == nullptr) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(frag.shard_index) +
+          " has no side relation for the fragment's array path");
+    }
+  }
+
+  exec::ExecOptions options;
+  options.num_threads = static_cast<size_t>(state.num_threads);
+  options.enable_tile_skipping = frag.enable_tile_skipping;
+  options.enable_vectorized = frag.enable_vectorized;
+  exec::QueryContext ctx(options);
+
+  exec::ScanSpec spec;
+  spec.relation = rel;
+  spec.rowid_base = storage::ShardedRelation::RowIdBase(frag.shard_index);
+  spec.accesses = frag.accesses;
+  spec.filter = frag.filter;
+  spec.null_rejecting_paths = frag.null_rejecting_paths;
+  spec.range_predicates = frag.range_predicates;
+
+  exec::RowSet rows = exec::ScanExec(spec, ctx);
+  JSONTILES_RETURN_NOT_OK(ctx.ConsumeStatus());
+
+  FragmentDoneMsg done;
+  done.fragment_id = frag.fragment_id;
+  done.tiles_scanned = ctx.tiles_scanned;
+  done.tiles_skipped = ctx.tiles_skipped;
+
+  std::vector<uint8_t> payload;
+  if (is_agg) {
+    exec::AggGroupMap groups;
+    exec::AccumulateRows(rows, frag.group_by, frag.aggs, ctx.arena(0),
+                         &groups);
+    size_t num_groups = 0;
+    for (const auto& [h, bucket] : groups) num_groups += bucket.size();
+    done.rows_out = num_groups;
+    if (!groups.empty()) {
+      EncodeAggPartial(frag.fragment_id, groups, frag.aggs, &payload);
+      JSONTILES_RETURN_NOT_OK(
+          WriteFrame(state.fd, FrameType::kAggResult, payload, nullptr));
+    }
+  } else {
+    done.rows_out = rows.size();
+    size_t begin = 0;
+    while (begin < rows.size()) {
+      size_t end = begin;
+      size_t est = 0;
+      while (end < rows.size() && (end == begin || est < kBatchBytes)) {
+        est += EstimatedRowBytes(rows[end]);
+        end++;
+      }
+      payload.clear();
+      EncodeRowBatch(frag.fragment_id, rows, begin, end, &payload);
+      JSONTILES_RETURN_NOT_OK(
+          WriteFrame(state.fd, FrameType::kRowBatch, payload, nullptr));
+      begin = end;
+    }
+  }
+
+  done.wall_nanos = NowNanos() - start_nanos;
+  payload.clear();
+  EncodeFragmentDone(done, &payload);
+  return WriteFrame(state.fd, FrameType::kFragmentDone, payload, nullptr);
+}
+
+}  // namespace
+
+Status ParseFailpointArg(const std::string& arg) {
+  const size_t eq = arg.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument("expected name=spec: " + arg);
+  }
+  const std::string name = arg.substr(0, eq);
+  const std::string spec = arg.substr(eq + 1);
+  if (spec == "always") {
+    failpoint::Enable(name, failpoint::Spec::Always());
+    return Status::OK();
+  }
+  const auto parse_count = [&](const std::string& prefix,
+                               uint64_t* n) -> bool {
+    if (spec.rfind(prefix, 0) != 0) return false;
+    const std::string digits = spec.substr(prefix.size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      return false;
+    }
+    *n = std::strtoull(digits.c_str(), nullptr, 10);
+    return *n > 0;
+  };
+  uint64_t n = 0;
+  if (parse_count("nth:", &n)) {
+    failpoint::Enable(name, failpoint::Spec::Nth(n));
+    return Status::OK();
+  }
+  if (parse_count("everyk:", &n)) {
+    failpoint::Enable(name, failpoint::Spec::EveryK(n));
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown failpoint spec: " + arg);
+}
+
+int RunWorker(const WorkerOptions& options) {
+  struct sockaddr_un addr;
+  if (options.socket_path.empty() ||
+      options.socket_path.size() >= sizeof(addr.sun_path)) {
+    fprintf(stderr, "jsontiles_workerd: bad socket path\n");
+    return 2;
+  }
+  int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    perror("jsontiles_workerd: socket");
+    return 1;
+  }
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, options.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ::unlink(options.socket_path.c_str());
+  if (::bind(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd, 1) != 0) {
+    perror("jsontiles_workerd: bind/listen");
+    ::close(listen_fd);
+    return 1;
+  }
+  int fd = ::accept(listen_fd, nullptr, nullptr);
+  ::close(listen_fd);
+  if (fd < 0) {
+    perror("jsontiles_workerd: accept");
+    return 1;
+  }
+
+  WorkerState state;
+  state.fd = fd;
+
+  HelloMsg hello;
+  hello.pid = static_cast<int64_t>(getpid());
+  std::vector<uint8_t> payload;
+  EncodeHello(hello, &payload);
+  if (!WriteFrame(fd, FrameType::kHello, payload, nullptr).ok()) {
+    ::close(fd);
+    return 1;
+  }
+
+  int exit_code = 0;
+  while (true) {
+    FrameType type;
+    Status st = ReadFrame(fd, kIdleTimeoutMs, &type, &payload, nullptr);
+    if (!st.ok()) {
+      // Clean EOF = coordinator went away (its destructor closes first on
+      // error paths); anything else is a protocol/transport failure.
+      exit_code = st.code() == StatusCode::kOutOfRange ? 0 : 1;
+      if (exit_code != 0) {
+        fprintf(stderr, "jsontiles_workerd: %s\n", st.ToString().c_str());
+      }
+      break;
+    }
+    if (type == FrameType::kShutdown) break;
+
+    switch (type) {
+      case FrameType::kOpen:
+        st = HandleOpen(state, payload);
+        break;
+      case FrameType::kScanFragment:
+      case FrameType::kAggFragment: {
+        FragmentMsg frag;
+        st = DecodeFragment(payload, &frag);
+        if (st.ok()) {
+          st = RunFragment(state, frag,
+                           type == FrameType::kAggFragment);
+        }
+        break;
+      }
+      default:
+        st = Status::ParseError("unexpected frame type " +
+                                std::to_string(static_cast<int>(type)));
+        break;
+    }
+    if (!st.ok()) {
+      // Report and stay alive: the error frame takes the fragment's place
+      // in the stream, so the coordinator stays frame-aligned.
+      if (!SendError(state, st).ok()) {
+        exit_code = 1;
+        break;
+      }
+    }
+  }
+  ::close(fd);
+  ::unlink(options.socket_path.c_str());
+  return exit_code;
+}
+
+}  // namespace jsontiles::dist

@@ -1,0 +1,37 @@
+// Distributed shard execution: the worker side (DESIGN.md §13).
+//
+// jsontiles_workerd is a thin process around the existing engine: it opens
+// only its assigned shards of a JTSM manifest (storage::OpenShardSubset) and
+// executes scan / partial-aggregate fragments with the same ScanExec and
+// accumulator code local queries use, streaming results back as wire frames.
+// One connection, one coordinator, fragments executed in arrival order —
+// every fragment ends in exactly one FragmentDone or Error frame, which is
+// what keeps the coordinator's stream multiplexing frame-aligned.
+
+#ifndef JSONTILES_DIST_WORKER_H_
+#define JSONTILES_DIST_WORKER_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace jsontiles::dist {
+
+struct WorkerOptions {
+  /// AF_UNIX path to bind + listen on; the coordinator connects here.
+  std::string socket_path;
+};
+
+/// Arm a failpoint from its command-line form "name=always|nth:N|everyk:K"
+/// (failpoints are per-process, so the coordinator forwards worker-side ones
+/// through jsontiles_workerd's argv).
+Status ParseFailpointArg(const std::string& arg);
+
+/// Serve one coordinator connection until Shutdown or EOF; the process exit
+/// code. Runs the bind / listen / accept / Hello handshake, then the frame
+/// loop.
+int RunWorker(const WorkerOptions& options);
+
+}  // namespace jsontiles::dist
+
+#endif  // JSONTILES_DIST_WORKER_H_

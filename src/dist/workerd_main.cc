@@ -1,0 +1,41 @@
+// jsontiles_workerd: one worker process of a distributed cluster
+// (DESIGN.md §13). Spawned by dist::Cluster; not meant to be run by hand,
+// but doing so is harmless — it waits for a coordinator on --socket.
+
+#include <signal.h>
+#include <stdio.h>
+
+#include <string>
+
+#include "dist/worker.h"
+
+int main(int argc, char** argv) {
+  // A coordinator that dies mid-stream must surface as a write error, not
+  // kill the worker silently.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  jsontiles::dist::WorkerOptions options;
+  for (int i = 1; i < argc; i++) {
+    const std::string arg = argv[i];
+    if (arg == "--socket" && i + 1 < argc) {
+      options.socket_path = argv[++i];
+    } else if (arg == "--failpoint" && i + 1 < argc) {
+      const jsontiles::Status st =
+          jsontiles::dist::ParseFailpointArg(argv[++i]);
+      if (!st.ok()) {
+        fprintf(stderr, "jsontiles_workerd: %s\n", st.ToString().c_str());
+        return 2;
+      }
+    } else {
+      fprintf(stderr,
+              "usage: jsontiles_workerd --socket <path> "
+              "[--failpoint name=always|nth:N|everyk:K]...\n");
+      return 2;
+    }
+  }
+  if (options.socket_path.empty()) {
+    fprintf(stderr, "jsontiles_workerd: --socket is required\n");
+    return 2;
+  }
+  return jsontiles::dist::RunWorker(options);
+}

@@ -93,6 +93,25 @@ class ExactFloatSum {
 
   bool empty() const { return partials_.empty() && !has_special_; }
 
+  /// Wire access (exec/agg_state.h serializes accumulators for the
+  /// distributed partial-aggregate push-down): the exact internal state, so a
+  /// restored sum merges bit-identically to the original.
+  const std::vector<double>& partials() const { return partials_; }
+  double special() const { return special_; }
+  bool has_special() const { return has_special_; }
+
+  /// Rebuild from serialized state. The partials are installed verbatim (not
+  /// re-folded): Merge/Add re-establish the non-overlapping invariant
+  /// incrementally, and Round only needs the multiset to be exact.
+  static ExactFloatSum Restore(std::vector<double> partials, double special,
+                               bool has_special) {
+    ExactFloatSum s;
+    s.partials_ = std::move(partials);
+    s.special_ = special;
+    s.has_special_ = has_special;
+    return s;
+  }
+
  private:
   std::vector<double> partials_;
   double special_ = 0.0;  // sum of non-finite inputs (commutative)

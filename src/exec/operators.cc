@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "exec/agg_state.h"
 #include "exec/expr_compile.h"
 #include "exec/float_sum.h"
 #include "exec/simd.h"
@@ -23,53 +24,9 @@ namespace jsontiles::exec {
 
 namespace {
 
-constexpr uint64_t kKeyHashSeed = 0x2545F4914F6CDD1DULL;
-
-// Estimated hash-table cost per row beyond its Values: bucket entry, per-row
-// key vector header, map node slack. Used for budget charges.
-constexpr size_t kPerRowTableOverhead = 64;
-
-// A total order refining Value::Compare for values that compare equal:
-// type tag first, then exact bit pattern for floats (distinguishing -0.0
-// from 0.0 and NaN payloads), then numeric scale. Content-only, so it is
-// identical no matter what order rows arrived in.
-int DeterministicValueOrder(const Value& a, const Value& b) {
-  if (a.type != b.type) return a.type < b.type ? -1 : 1;
-  switch (a.type) {
-    case ValueType::kNull:
-      return 0;
-    case ValueType::kFloat: {
-      uint64_t ba, bb;
-      std::memcpy(&ba, &a.d, 8);
-      std::memcpy(&bb, &b.d, 8);
-      return ba < bb ? -1 : ba > bb ? 1 : 0;
-    }
-    case ValueType::kString: {
-      int c = a.s.compare(b.s);
-      return c < 0 ? -1 : c > 0 ? 1 : 0;
-    }
-    case ValueType::kNumeric:
-      if (a.scale != b.scale) return a.scale < b.scale ? -1 : 1;
-      [[fallthrough]];
-    default:
-      return a.i < b.i ? -1 : a.i > b.i ? 1 : 0;
-  }
-}
-
-// Value::Compare extended into a total order (nulls last, per the sort
-// operator's convention; equal-comparing values ordered by content). Tie
-// breaker for ORDER BY and for MIN/MAX picks between equal-comparing
-// values: input order varies across shard/thread configurations, content
-// does not (DESIGN.md §10).
-int TotalValueOrder(const Value& a, const Value& b) {
-  if (a.is_null() || b.is_null()) {
-    if (a.is_null() && b.is_null()) return 0;
-    return a.is_null() ? 1 : -1;
-  }
-  int cmp = a.Compare(b);
-  if (cmp != 0) return cmp;
-  return DeterministicValueOrder(a, b);
-}
+// kKeyHashSeed / kPerRowTableOverhead / TotalValueOrder live in
+// exec/agg_state.h: the distributed exchange shares them with this file so
+// worker partials hash and tie-break exactly like local aggregation.
 
 // Copy every string payload of `row` into `arena`. Output rows of a spilled
 // partition reference strings in the partition's read-back arena, which dies
@@ -347,124 +304,9 @@ RowSet ProjectExec(const RowSet& in, const std::vector<ExprPtr>& exprs,
 
 namespace {
 
-struct Accumulator {
-  // Sum: integers accumulate exactly in sum_i; everything else goes through
-  // the exact float summer. Both are order-independent, so SUM/AVG results
-  // do not depend on how rows were partitioned across threads, shards or
-  // spill runs (DESIGN.md §10).
-  int64_t sum_i = 0;
-  ExactFloatSum sum_f;
-  bool sum_is_float = false;
-  bool sum_seen = false;
-  int64_t count = 0;  // non-null args (kCount) or rows (kCountStar)
-  Value min, max;
-  std::unordered_set<uint64_t> distinct;  // hash-based distinct
-
-  void AddValue(AggSpec::Kind kind, const Value& v) {
-    switch (kind) {
-      case AggSpec::Kind::kCountStar:
-        count++;
-        return;
-      case AggSpec::Kind::kCount:
-        if (!v.is_null()) count++;
-        return;
-      case AggSpec::Kind::kSum:
-      case AggSpec::Kind::kAvg:
-        if (v.is_null()) return;
-        count++;
-        sum_seen = true;
-        if (v.type == ValueType::kInt) {
-          sum_i += v.i;
-        } else {
-          sum_is_float = true;
-          sum_f.Add(v.AsDouble());
-        }
-        return;
-      case AggSpec::Kind::kMin:
-        if (v.is_null()) return;
-        if (min.is_null() || TotalValueOrder(v, min) < 0) min = v;
-        return;
-      case AggSpec::Kind::kMax:
-        if (v.is_null()) return;
-        if (max.is_null() || TotalValueOrder(v, max) > 0) max = v;
-        return;
-      case AggSpec::Kind::kCountDistinct:
-        if (!v.is_null()) distinct.insert(v.Hash());
-        return;
-    }
-  }
-
-  void Merge(AggSpec::Kind kind, const Accumulator& other) {
-    switch (kind) {
-      case AggSpec::Kind::kCountStar:
-      case AggSpec::Kind::kCount:
-        count += other.count;
-        return;
-      case AggSpec::Kind::kSum:
-      case AggSpec::Kind::kAvg:
-        count += other.count;
-        sum_seen |= other.sum_seen;
-        sum_is_float |= other.sum_is_float;
-        sum_i += other.sum_i;
-        sum_f.Merge(other.sum_f);
-        return;
-      case AggSpec::Kind::kMin:
-        if (!other.min.is_null() &&
-            (min.is_null() || TotalValueOrder(other.min, min) < 0)) {
-          min = other.min;
-        }
-        return;
-      case AggSpec::Kind::kMax:
-        if (!other.max.is_null() &&
-            (max.is_null() || TotalValueOrder(other.max, max) > 0)) {
-          max = other.max;
-        }
-        return;
-      case AggSpec::Kind::kCountDistinct:
-        distinct.insert(other.distinct.begin(), other.distinct.end());
-        return;
-    }
-  }
-
-  // The exact integer part folded into the float summer: split into two
-  // halves that are each exactly representable as doubles, so the combined
-  // sum stays exact.
-  double FloatTotal() const {
-    ExactFloatSum total = sum_f;
-    int64_t hi_part = (sum_i >> 32) << 32;
-    int64_t lo_part = sum_i - hi_part;
-    total.Add(static_cast<double>(hi_part));
-    total.Add(static_cast<double>(lo_part));
-    return total.Round();
-  }
-
-  Value Finalize(AggSpec::Kind kind) const {
-    switch (kind) {
-      case AggSpec::Kind::kCountStar:
-      case AggSpec::Kind::kCount:
-        return Value::Int(count);
-      case AggSpec::Kind::kSum:
-        if (!sum_seen) return Value::Null();
-        return sum_is_float ? Value::Float(FloatTotal()) : Value::Int(sum_i);
-      case AggSpec::Kind::kAvg: {
-        if (count == 0) return Value::Null();
-        return Value::Float(FloatTotal() / static_cast<double>(count));
-      }
-      case AggSpec::Kind::kMin: return min;
-      case AggSpec::Kind::kMax: return max;
-      case AggSpec::Kind::kCountDistinct:
-        return Value::Int(static_cast<int64_t>(distinct.size()));
-    }
-    return Value::Null();
-  }
-};
-
-struct Group {
-  std::vector<Value> keys;
-  std::vector<Accumulator> accs;
-};
-
-using GroupMap = std::unordered_map<uint64_t, std::vector<Group>>;
+// Accumulator / AggGroup / AggGroupMap moved to exec/agg_state.h so the
+// distributed exchange can build worker-side partials and merge them in the
+// coordinator through the same order-independent state.
 
 // One row into the group map. When `batched` is set, group keys and agg args
 // come from the compiled batch results (`lane` = row's index in the current
@@ -472,7 +314,7 @@ using GroupMap = std::unordered_map<uint64_t, std::vector<Group>>;
 // a to its argument's index in the batched expression list (-1 = COUNT(*)).
 // Returns the approximate bytes newly allocated (non-zero only when this row
 // created a group) so callers can charge the memory budget.
-size_t Accumulate(GroupMap& groups, const std::vector<ExprPtr>& group_by,
+size_t Accumulate(AggGroupMap& groups, const std::vector<ExprPtr>& group_by,
                   const std::vector<AggSpec>& aggs,
                   const std::vector<int>& agg_expr_idx, const Row& row,
                   Arena* arena, const BatchedExprs* batched, size_t lane) {
@@ -489,7 +331,7 @@ size_t Accumulate(GroupMap& groups, const std::vector<ExprPtr>& group_by,
     keys.push_back(v);
   }
   auto& bucket = groups[h];
-  Group* group = nullptr;
+  AggGroup* group = nullptr;
   for (auto& g : bucket) {
     bool equal = true;
     for (size_t i = 0; i < keys.size() && equal; i++) {
@@ -502,9 +344,9 @@ size_t Accumulate(GroupMap& groups, const std::vector<ExprPtr>& group_by,
   }
   size_t new_bytes = 0;
   if (group == nullptr) {
-    bucket.push_back(Group{std::move(keys), std::vector<Accumulator>(aggs.size())});
+    bucket.push_back(AggGroup{std::move(keys), std::vector<Accumulator>(aggs.size())});
     group = &bucket.back();
-    new_bytes = sizeof(Group) + aggs.size() * sizeof(Accumulator) +
+    new_bytes = sizeof(AggGroup) + aggs.size() * sizeof(Accumulator) +
                 group_by.size() * sizeof(Value) + key_bytes +
                 kPerRowTableOverhead;
   }
@@ -531,7 +373,7 @@ Status AggregateInMemory(const RowSet& in, const std::vector<ExprPtr>& group_by,
                          bool budgeted, bool* aborted, RowSet* out) {
   *aborted = false;
   const size_t parallel_threshold = 16384;
-  std::vector<GroupMap> partials;
+  std::vector<AggGroupMap> partials;
   // Reservations outlive the group maps' useful life below; one per worker
   // (BudgetReservation is single-threaded, the budget under it is atomic).
   std::deque<BudgetReservation> reservations;
@@ -550,7 +392,7 @@ Status AggregateInMemory(const RowSet& in, const std::vector<ExprPtr>& group_by,
                       ctx.options().enable_vectorized);
 
   std::atomic<bool> over_budget{false};
-  auto accumulate_range = [&](GroupMap& groups, size_t begin, size_t end,
+  auto accumulate_range = [&](AggGroupMap& groups, size_t begin, size_t end,
                               Arena* arena, BatchedExprs* batched,
                               BudgetReservation* res) {
     JSONTILES_TRACE_SPAN("exec.agg.partial");
@@ -612,14 +454,14 @@ Status AggregateInMemory(const RowSet& in, const std::vector<ExprPtr>& group_by,
 
   // Merge partials into the first map. Unique groups across partials were
   // all charged above, so the merged map never exceeds the reservation.
-  GroupMap& merged = partials[0];
+  AggGroupMap& merged = partials[0];
   {
     JSONTILES_TRACE_SPAN("exec.agg.merge");
     for (size_t p = 1; p < partials.size(); p++) {
       for (auto& [h, bucket] : partials[p]) {
         auto& dst_bucket = merged[h];
         for (auto& g : bucket) {
-          Group* target = nullptr;
+          AggGroup* target = nullptr;
           for (auto& existing : dst_bucket) {
             bool equal = true;
             for (size_t i = 0; i < g.keys.size() && equal; i++) {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 
+#include "exec/exchange.h"
 #include "exec/expr_compile.h"
 #include "exec/vector_batch.h"
 #include "obs/obs.h"
@@ -585,8 +586,34 @@ bool ShardCanBeSkipped(const storage::ShardStats& stats, const ScanSpec& spec) {
 
 }  // namespace
 
+std::vector<size_t> SurvivingShards(const ScanSpec& spec,
+                                    bool enable_pruning) {
+  const storage::ShardedRelation& sharded = *spec.sharded;
+  std::vector<size_t> out;
+  out.reserve(sharded.shard_count());
+  const int64_t eq_target =
+      enable_pruning ? RoutingEqTarget(sharded, spec.range_predicates) : -1;
+  for (size_t s = 0; s < sharded.shard_count(); s++) {
+    if (enable_pruning &&
+        ((eq_target >= 0 && static_cast<int64_t>(s) != eq_target) ||
+         ShardCanBeSkipped(sharded.shard_stats(s), spec))) {
+      continue;
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
 RowSet ScanExec(const ScanSpec& spec, QueryContext& ctx) {
   JSONTILES_TRACE_SPAN("exec.scan");
+  // Distributed execution: when a runtime serves this sharded relation, the
+  // scan becomes per-shard fragments on worker processes (base and side
+  // scans alike). Workers run with ctx.dist unset, so their single-shard
+  // scans take the local path below.
+  if (ctx.dist != nullptr && spec.sharded != nullptr &&
+      ctx.dist->Serves(spec.sharded)) {
+    return ExchangeExec(spec, ctx);
+  }
   const storage::ShardedRelation* sharded = spec.sharded;
   const bool sharded_base = sharded != nullptr && spec.sharded_side_path.empty();
 
@@ -599,7 +626,7 @@ RowSet ScanExec(const ScanSpec& spec, QueryContext& ctx) {
   std::string source_name;
   if (sharded == nullptr) {
     const Relation& rel = *spec.relation;
-    parts.push_back(ScanPart{&rel, 0});
+    parts.push_back(ScanPart{&rel, spec.rowid_base});
     total_rows = rel.num_rows();
     mode = rel.mode();
     source_name = rel.name();
@@ -615,16 +642,11 @@ RowSet ScanExec(const ScanSpec& spec, QueryContext& ctx) {
     mode = sharded->mode();
     source_name = sharded->name();
     total_rows = sharded->num_rows();
-    const bool prune = ctx.options().enable_tile_skipping;
-    const int64_t eq_target =
-        prune ? RoutingEqTarget(*sharded, spec.range_predicates) : -1;
-    for (size_t s = 0; s < sharded->shard_count(); s++) {
+    const std::vector<size_t> survivors =
+        SurvivingShards(spec, ctx.options().enable_tile_skipping);
+    pruned_shards = sharded->shard_count() - survivors.size();
+    for (size_t s : survivors) {
       JSONTILES_TRACE_SPAN("exec.scan.shard");
-      if (prune && ((eq_target >= 0 && static_cast<int64_t>(s) != eq_target) ||
-                    ShardCanBeSkipped(sharded->shard_stats(s), spec))) {
-        pruned_shards++;
-        continue;
-      }
       parts.push_back(ScanPart{&sharded->shard(s),
                                storage::ShardedRelation::RowIdBase(s)});
     }

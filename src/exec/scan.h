@@ -32,6 +32,8 @@ class ShardedRelation;
 
 namespace jsontiles::exec {
 
+class DistRuntime;  // exec/exchange.h
+
 using Row = std::vector<Value>;
 using RowSet = std::vector<Row>;
 
@@ -103,6 +105,12 @@ class QueryContext {
   /// one for the duration of a profiled statement.
   obs::PlanProfile* profile = nullptr;
 
+  /// Distributed runtime (exec/exchange.h). Null means local execution.
+  /// When set, sharded scans of relations the runtime serves are dispatched
+  /// to worker processes instead of running in this process. Not owned; the
+  /// SQL layer (or a test/bench driver) attaches one per statement.
+  DistRuntime* dist = nullptr;
+
  private:
   ExecOptions options_;
   MemoryBudget budget_;
@@ -134,10 +142,22 @@ struct ScanSpec {
   std::vector<std::string> null_rejecting_paths;
   /// Range predicates enabling zone-map tile skipping (§4.8 extension).
   std::vector<RangePredicate> range_predicates;
+  /// With `relation`: row-id offset added to every row's virtual row id.
+  /// Worker processes scan a single shard as a plain relation and pass
+  /// RowIdBase(shard) here so rowids match the sharded scan's exactly.
+  int64_t rowid_base = 0;
 };
 
 /// Execute the scan; rows contain one value per access, in order.
 RowSet ScanExec(const ScanSpec& spec, QueryContext& ctx);
+
+/// Shard indices of `spec.sharded` that survive shard-level pruning (routing
+/// key → shard bloom → shard zone maps), ascending. With `enable_pruning`
+/// false, every shard survives. This is the exact shard set a local sharded
+/// scan would visit — the distributed coordinator plans fragments from it so
+/// pruning behaves identically in both modes. Base scans only (side-relation
+/// parts are enumerated via ShardedRelation::SideParts).
+std::vector<size_t> SurvivingShards(const ScanSpec& spec, bool enable_pruning);
 
 /// Evaluate one access against a binary JSON document (the fallback route
 /// and the JSONB storage route). When `copy_strings` is set, string results

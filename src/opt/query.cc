@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "exec/exchange.h"
 #include "obs/plan_profile.h"
 #include "opt/cardinality.h"
 #include "opt/join_order.h"
@@ -306,11 +307,70 @@ RowSet QueryBlock::Execute(exec::QueryContext& ctx, const PlannerOptions& option
     return state.LocalSlot(table, access);
   };
 
+  // ---- Distributed partial-aggregate push-down (DESIGN.md §13). -------------
+  // A single-table aggregate over a cluster-served sharded relation skips the
+  // scan/aggregate pair entirely: workers scan their shards and aggregate
+  // locally, the coordinator merges partials through the same accumulators.
+  // With one table the global slot layout equals the scan's local layout, so
+  // the rewritten expressions are valid on the worker side verbatim.
+  obs::PlanProfile* profile = ctx.profile;
+  if (ctx.dist != nullptr && num_tables == 1 && joins_.empty() &&
+      where_ == nullptr && (!aggs_.empty() || !group_by_.empty()) &&
+      tables_[0].sharded != nullptr && tables_[0].sharded_side_path.empty() &&
+      ctx.dist->Serves(tables_[0].sharded)) {
+    const TableRef& t = tables_[0];
+    exec::ScanSpec spec;
+    spec.sharded = t.sharded;
+    spec.table_alias = t.alias;
+    spec.accesses = table_accesses[0];
+    spec.filter = t.filter == nullptr
+                      ? nullptr
+                      : exec::RewriteAccessesToSlots(
+                            t.filter,
+                            [&](const Expr& a) { return local_slot(0, a); });
+    spec.null_rejecting_paths = null_rejecting[0];
+    spec.range_predicates = range_predicates[0];
+    std::vector<ExprPtr> keys;
+    keys.reserve(group_by_.size());
+    for (const auto& e : group_by_) {
+      keys.push_back(exec::RewriteAccessesToSlots(
+          e, [&](const Expr& a) { return local_slot(0, a); }));
+    }
+    std::vector<AggSpec> aggs;
+    aggs.reserve(aggs_.size());
+    for (const auto& a : aggs_) {
+      AggSpec rewritten = a;
+      if (a.arg != nullptr) {
+        rewritten.arg = exec::RewriteAccessesToSlots(
+            a.arg, [&](const Expr& e) { return local_slot(0, e); });
+      }
+      aggs.push_back(std::move(rewritten));
+    }
+    RowSet out = exec::ExchangeAggregateExec(spec, keys, aggs, ctx);
+    if (ctx.cancelled()) return {};
+    if (profile != nullptr) profile->SetRoot(profile->last_id());
+    auto chain_tail = [&]() {
+      if (profile != nullptr) profile->Chain(profile->last_id());
+    };
+    if (having_ != nullptr) {
+      out = exec::FilterExec(std::move(out), having_, ctx);
+      chain_tail();
+    }
+    if (!order_by_.empty()) {
+      out = exec::SortExec(std::move(out), order_by_, ctx);
+      chain_tail();
+    }
+    if (has_limit_) {
+      out = exec::LimitExec(std::move(out), limit_, ctx);
+      chain_tail();
+    }
+    return out;
+  }
+
   // ---- Scans. ---------------------------------------------------------------
   // Profiled runs wire the plan tree as the operators execute: every operator
   // appends exactly one entry, so ctx.profile->last_id() after a call is that
   // operator's node.
-  obs::PlanProfile* profile = ctx.profile;
   std::vector<int> scan_node(num_tables, -1);
   std::vector<RowSet> scanned(num_tables);
   for (size_t i = 0; i < num_tables; i++) {

@@ -687,6 +687,15 @@ Result<SqlResult> ExecuteSql(std::string_view statement, const SqlCatalog& catal
     obs::PlanProfile* saved;
     ~ProfileRestore() { ctx.profile = saved; }
   } restore{ctx, saved_profile};
+  // Attach the catalog's distributed runtime for the statement's duration
+  // (same restore discipline as the profile pointer).
+  exec::DistRuntime* saved_dist = ctx.dist;
+  if (catalog.dist != nullptr) ctx.dist = catalog.dist;
+  struct DistRestore {
+    exec::QueryContext& ctx;
+    exec::DistRuntime* saved;
+    ~DistRestore() { ctx.dist = saved; }
+  } dist_restore{ctx, saved_dist};
   const size_t tiles_scanned_before = ctx.tiles_scanned;
   const size_t tiles_skipped_before = ctx.tiles_skipped;
   const size_t shards_scanned_before = ctx.shards_scanned;

@@ -49,6 +49,11 @@ struct SqlCatalog {
   /// appear in both). Scans iterate shards with shard-level pruning; EXPLAIN
   /// ANALYZE reports shards scanned/pruned in the footer.
   std::map<std::string, const storage::ShardedRelation*> sharded_tables;
+  /// Distributed runtime (exec/exchange.h; a dist::Cluster). Not owned.
+  /// When set, it is attached to the QueryContext for each statement:
+  /// sharded scans of relations the runtime serves execute on the cluster's
+  /// worker processes, and eligible aggregates push partials down.
+  exec::DistRuntime* dist = nullptr;
 };
 
 struct SqlResult {

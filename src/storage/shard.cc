@@ -108,7 +108,10 @@ RoutingValueKind KindFromFlags(const RouteFlags& f) {
 // defensive shape (bounds-checked reads, JT_READ-style early returns).
 
 constexpr char kManifestMagic[4] = {'J', 'T', 'S', 'M'};
-constexpr uint32_t kManifestVersion = 1;
+// Version 2 appends a per-shard side-relation inventory (path + rows) to
+// each shard entry, so a coordinator can plan side-scan fragments from the
+// manifest alone. Version-1 manifests are still accepted (no inventory).
+constexpr uint32_t kManifestVersion = 2;
 
 class ManifestWriter {
  public:
@@ -555,6 +558,18 @@ Status SaveSharded(const ShardedRelation& sharded, const std::string& dir) {
     w.Str(ShardFileName(sharded.name(), s));
     w.Varint(sharded.shard(s).num_rows());
     w.Varint(file_sizes[s]);
+    // v2: the shard's side-relation inventory, sorted by path (the in-memory
+    // map iterates in hash order; the manifest must be deterministic).
+    std::vector<std::pair<std::string, uint64_t>> sides;
+    for (const auto& [path, side] : sharded.shard(s).side_relations()) {
+      sides.emplace_back(path, side->num_rows());
+    }
+    std::sort(sides.begin(), sides.end());
+    w.Varint(sides.size());
+    for (const auto& [path, rows] : sides) {
+      w.Str(path);
+      w.Varint(rows);
+    }
   }
 
   // Manifest last, via temp file + rename: a reader either sees no manifest
@@ -590,13 +605,8 @@ Status ValidateShardFileName(const std::string& filename) {
   return Status::OK();
 }
 
-Status ParseManifest(const std::vector<uint8_t>& bytes, std::string* name,
-                     StorageMode* mode, ShardOptions* shard_options,
-                     std::string* routing_path, RoutingValueKind* routing_kind,
-                     tiles::TileConfig* config,
-                     std::vector<std::string>* filenames,
-                     std::vector<uint64_t>* num_rows,
-                     std::vector<uint64_t>* file_sizes) {
+Status ParseManifest(const std::vector<uint8_t>& bytes,
+                     ShardManifestInfo* info) {
   ManifestReader r(bytes.data(), bytes.size());
   JTSM_READ(bytes.size() >= 4 &&
             std::memcmp(bytes.data(), kManifestMagic, 4) == 0);
@@ -607,41 +617,42 @@ Status ParseManifest(const std::vector<uint8_t>& bytes, std::string* name,
   }
   uint64_t version;
   JTSM_READ(r.Varint(&version));
-  JTSM_READ(version == kManifestVersion);
-  JTSM_READ(r.Str(name));
-  JTSM_READ(!name->empty());
+  JTSM_READ(version >= 1 && version <= kManifestVersion);
+  info->version = version;
+  JTSM_READ(r.Str(&info->name));
+  JTSM_READ(!info->name.empty());
   uint8_t mode_raw, routing_raw, kind_raw;
   JTSM_READ(r.U8(&mode_raw));
   JTSM_READ(mode_raw <= static_cast<uint8_t>(StorageMode::kTiles));
-  *mode = static_cast<StorageMode>(mode_raw);
+  info->mode = static_cast<StorageMode>(mode_raw);
   JTSM_READ(r.U8(&routing_raw));
   JTSM_READ(routing_raw <= static_cast<uint8_t>(ShardRouting::kHashKey));
-  shard_options->routing = static_cast<ShardRouting>(routing_raw);
-  JTSM_READ(r.Str(routing_path));
+  info->shard_options.routing = static_cast<ShardRouting>(routing_raw);
+  JTSM_READ(r.Str(&info->routing_path));
   JTSM_READ(r.U8(&kind_raw));
   JTSM_READ(kind_raw <= static_cast<uint8_t>(RoutingValueKind::kMixed));
-  *routing_kind = static_cast<RoutingValueKind>(kind_raw);
+  info->routing_kind = static_cast<RoutingValueKind>(kind_raw);
   uint64_t tile_size, partition_size;
   JTSM_READ(r.Varint(&tile_size));
   JTSM_READ(tile_size >= 1 && tile_size <= (1u << 20));
   JTSM_READ(r.Varint(&partition_size));
   JTSM_READ(partition_size >= 1 && partition_size <= (1u << 20));
-  config->tile_size = tile_size;
-  config->partition_size = partition_size;
-  JTSM_READ(r.F64(&config->extraction_threshold));
-  JTSM_READ(config->extraction_threshold >= 0 &&
-            config->extraction_threshold <= 1);
+  info->config.tile_size = tile_size;
+  info->config.partition_size = partition_size;
+  JTSM_READ(r.F64(&info->config.extraction_threshold));
+  JTSM_READ(info->config.extraction_threshold >= 0 &&
+            info->config.extraction_threshold <= 1);
   uint8_t flag;
   JTSM_READ(r.U8(&flag));
   JTSM_READ(flag <= 1);
-  config->enable_date_extraction = flag != 0;
+  info->config.enable_date_extraction = flag != 0;
   JTSM_READ(r.U8(&flag));
   JTSM_READ(flag <= 1);
-  config->enable_reordering = flag != 0;
+  info->config.enable_reordering = flag != 0;
   uint64_t shard_count;
   JTSM_READ(r.Varint(&shard_count));
   JTSM_READ(shard_count >= 1 && shard_count <= kMaxShardCount);
-  shard_options->shard_count = shard_count;
+  info->shard_options.shard_count = shard_count;
   for (uint64_t s = 0; s < shard_count; s++) {
     std::string filename;
     uint64_t rows, size;
@@ -649,88 +660,116 @@ Status ParseManifest(const std::vector<uint8_t>& bytes, std::string* name,
     JSONTILES_RETURN_NOT_OK(ValidateShardFileName(filename));
     JTSM_READ(r.Varint(&rows));
     JTSM_READ(r.Varint(&size));
-    filenames->push_back(std::move(filename));
-    num_rows->push_back(rows);
-    file_sizes->push_back(size);
+    info->filenames.push_back(std::move(filename));
+    info->num_rows.push_back(rows);
+    info->file_sizes.push_back(size);
+    info->sides.emplace_back();
+    if (version >= 2) {
+      uint64_t side_count;
+      JTSM_READ(r.Varint(&side_count));
+      JTSM_READ(side_count <= bytes.size());  // each side costs >= 1 byte
+      for (uint64_t i = 0; i < side_count; i++) {
+        ShardManifestInfo::SideInfo side;
+        JTSM_READ(r.Str(&side.path));
+        JTSM_READ(!side.path.empty());
+        JTSM_READ(r.Varint(&side.num_rows));
+        // Sorted + unique: the writer emits sorted paths; enforcing it here
+        // keeps the inventory canonical for consumers.
+        JTSM_READ(info->sides.back().empty() ||
+                  info->sides.back().back().path < side.path);
+        info->sides.back().push_back(std::move(side));
+      }
+    }
   }
   JTSM_READ(r.AtEnd());
+  if (info->shard_options.routing == ShardRouting::kRoundRobin) {
+    // Defensive: a round-robin manifest must not smuggle in pruning state.
+    if (!info->routing_path.empty() ||
+        info->routing_kind != RoutingValueKind::kNone) {
+      return Status::ParseError(
+          "corrupt shard manifest: round-robin with routing state");
+    }
+  }
   return Status::OK();
 }
 
 }  // namespace
 
-Result<std::unique_ptr<ShardedRelation>> OpenSharded(
-    const std::string& manifest_path) {
-  JSONTILES_TRACE_SPAN("shard.open");
+Result<ShardManifestInfo> ReadShardManifest(const std::string& manifest_path) {
   JSONTILES_FAILPOINT_RETURN("shard.open");
   auto bytes = ReadFile(manifest_path);
   if (!bytes.ok()) return bytes.status();
-
-  std::string name, routing_path;
-  StorageMode mode;
-  ShardOptions shard_options;
-  RoutingValueKind routing_kind;
-  tiles::TileConfig config;
-  std::vector<std::string> filenames;
-  std::vector<uint64_t> num_rows, file_sizes;
-  JSONTILES_RETURN_NOT_OK(ParseManifest(bytes.ValueOrDie(), &name, &mode,
-                                        &shard_options, &routing_path,
-                                        &routing_kind, &config, &filenames,
-                                        &num_rows, &file_sizes));
-  if (shard_options.routing == ShardRouting::kRoundRobin) {
-    // Defensive: a round-robin manifest must not smuggle in pruning state.
-    if (!routing_path.empty() || routing_kind != RoutingValueKind::kNone) {
-      return Status::ParseError(
-          "corrupt shard manifest: round-robin with routing state");
-    }
-  }
-
-  std::string dir = ".";
+  ShardManifestInfo info;
+  JSONTILES_RETURN_NOT_OK(ParseManifest(bytes.ValueOrDie(), &info));
+  info.dir = ".";
   if (auto slash = manifest_path.find_last_of('/');
       slash != std::string::npos) {
-    dir = manifest_path.substr(0, slash);
+    info.dir = manifest_path.substr(0, slash);
   }
+  return info;
+}
 
+Result<std::vector<std::unique_ptr<Relation>>> OpenShardSubset(
+    const ShardManifestInfo& info, const std::vector<size_t>& shard_indices) {
   std::vector<std::unique_ptr<Relation>> shards;
-  shards.reserve(filenames.size());
-  for (size_t s = 0; s < filenames.size(); s++) {
-    const std::string path = dir + "/" + filenames[s];
+  shards.reserve(shard_indices.size());
+  for (size_t i = 0; i < shard_indices.size(); i++) {
+    const size_t s = shard_indices[i];
+    if (s >= info.shard_count() || (i > 0 && shard_indices[i - 1] >= s)) {
+      return Status::InvalidArgument(
+          "shard indices must be ascending, unique and in range");
+    }
+    const std::string path = info.dir + "/" + info.filenames[s];
     auto file = ReadFile(path);
-    if (!file.ok()) return AnnotateShard(file.status(), s, name);
+    if (!file.ok()) return AnnotateShard(file.status(), s, info.name);
     // Exact-size check first: truncated or padded shard files fail with a
     // clear message even when the content happens to still deserialize.
-    if (file.ValueOrDie().size() != file_sizes[s]) {
+    if (file.ValueOrDie().size() != info.file_sizes[s]) {
       return AnnotateShard(
-          Status::ParseError("shard file " + filenames[s] + " has " +
+          Status::ParseError("shard file " + info.filenames[s] + " has " +
                              std::to_string(file.ValueOrDie().size()) +
                              " bytes, manifest expects " +
-                             std::to_string(file_sizes[s])),
-          s, name);
+                             std::to_string(info.file_sizes[s])),
+          s, info.name);
     }
     auto relation = DeserializeRelation(file.ValueOrDie().data(),
                                         file.ValueOrDie().size());
-    if (!relation.ok()) return AnnotateShard(relation.status(), s, name);
+    if (!relation.ok()) return AnnotateShard(relation.status(), s, info.name);
     std::unique_ptr<Relation> shard = relation.MoveValueOrDie();
-    if (shard->mode() != mode) {
+    if (shard->mode() != info.mode) {
       return AnnotateShard(
           Status::ParseError("shard file mode disagrees with manifest"), s,
-          name);
+          info.name);
     }
-    if (shard->num_rows() != num_rows[s]) {
+    if (shard->num_rows() != info.num_rows[s]) {
       return AnnotateShard(
           Status::ParseError("shard file has " +
                              std::to_string(shard->num_rows()) +
                              " rows, manifest expects " +
-                             std::to_string(num_rows[s])),
-          s, name);
+                             std::to_string(info.num_rows[s])),
+          s, info.name);
     }
     shards.push_back(std::move(shard));
   }
+  return shards;
+}
+
+Result<std::unique_ptr<ShardedRelation>> OpenSharded(
+    const std::string& manifest_path) {
+  JSONTILES_TRACE_SPAN("shard.open");
+  auto info = ReadShardManifest(manifest_path);
+  if (!info.ok()) return info.status();
+
+  std::vector<size_t> all(info.ValueOrDie().shard_count());
+  for (size_t s = 0; s < all.size(); s++) all[s] = s;
+  auto shards = OpenShardSubset(info.ValueOrDie(), all);
+  if (!shards.ok()) return shards.status();
   JSONTILES_COUNTER_ADD("shard.manifests_opened", 1);
-  return ShardedRelation::Assemble(std::move(name), mode, config,
-                                   std::move(shard_options),
-                                   std::move(routing_path), routing_kind,
-                                   std::move(shards));
+  ShardManifestInfo& i = info.ValueOrDie();
+  return ShardedRelation::Assemble(std::move(i.name), i.mode, i.config,
+                                   std::move(i.shard_options),
+                                   std::move(i.routing_path), i.routing_kind,
+                                   shards.MoveValueOrDie());
 }
 
 }  // namespace jsontiles::storage

@@ -190,10 +190,50 @@ std::string ShardManifestPath(const std::string& dir, const std::string& name);
 /// is removed — a manifest on disk always names complete shard files.
 Status SaveSharded(const ShardedRelation& sharded, const std::string& dir);
 
-/// Open a manifest written by SaveSharded. Validates the manifest structure,
-/// each shard file's exact size (truncated or oversized files fail cleanly),
-/// and each shard's JTRL content; shard statistics are recomputed. Statuses
-/// name the failing shard file.
+/// Everything the manifest records: enough for a distributed coordinator to
+/// plan fragment assignment (per-shard row counts, byte sizes, side-relation
+/// inventory) without opening any shard file. Manifest version 2 added the
+/// per-shard side inventory; version-1 manifests still parse, with `sides`
+/// left empty.
+struct ShardManifestInfo {
+  uint64_t version = 0;
+  std::string name;
+  StorageMode mode = StorageMode::kTiles;
+  ShardOptions shard_options;
+  std::string routing_path;
+  RoutingValueKind routing_kind = RoutingValueKind::kNone;
+  tiles::TileConfig config;
+  /// Directory holding the manifest (and thus the shard files).
+  std::string dir;
+  // Parallel arrays, one entry per shard.
+  std::vector<std::string> filenames;
+  std::vector<uint64_t> num_rows;
+  std::vector<uint64_t> file_sizes;
+  /// Array side relations (§3.5) per shard: encoded path + element rows,
+  /// sorted by path. Empty (outer vector) for version-1 manifests.
+  struct SideInfo {
+    std::string path;
+    uint64_t num_rows = 0;
+  };
+  std::vector<std::vector<SideInfo>> sides;
+
+  size_t shard_count() const { return filenames.size(); }
+};
+
+/// Parse and validate a manifest written by SaveSharded without touching any
+/// shard file.
+Result<ShardManifestInfo> ReadShardManifest(const std::string& manifest_path);
+
+/// Open the shard files at `shard_indices` (ascending, in-range, unique) of
+/// a parsed manifest. Validates each file's exact size (truncated or
+/// oversized files fail cleanly) and JTRL content against the manifest;
+/// statuses name the failing shard file. This is the worker-process entry
+/// point: a worker opens only its assigned shards.
+Result<std::vector<std::unique_ptr<Relation>>> OpenShardSubset(
+    const ShardManifestInfo& info, const std::vector<size_t>& shard_indices);
+
+/// Open a manifest written by SaveSharded (ReadShardManifest + OpenShardSubset
+/// over every shard); shard statistics are recomputed.
 Result<std::unique_ptr<ShardedRelation>> OpenSharded(
     const std::string& manifest_path);
 

@@ -1,0 +1,191 @@
+// Failure injection for the distributed runtime (DESIGN.md §13): every
+// remote failure mode must surface as a clean Status on the coordinator —
+// never a hang, never a crash. Coordinator-side failpoints (dist.connect,
+// dist.frame_write) are enabled in-process; worker-side ones
+// (dist.worker_exec, dist.worker_crash) are forwarded on the workerd command
+// line because failpoints are per-process.
+//
+// The failure model under test: a worker that *reports* an error (kError
+// frame) keeps the connection frame-aligned, so only that query fails and
+// the cluster remains usable; a worker that dies (EOF) or times out poisons
+// the cluster and every later query fails fast.
+
+#include "util/failpoint.h"
+
+#if JSONTILES_FAILPOINTS_AVAILABLE
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/cluster.h"
+#include "storage/shard.h"
+#include "workload/tpch.h"
+#include "workload/tpch_queries.h"
+
+#ifndef JSONTILES_WORKERD_PATH
+#error "dist tests require the JSONTILES_WORKERD_PATH compile definition"
+#endif
+
+namespace jsontiles::dist {
+namespace {
+
+using exec::QueryContext;
+
+class DistFailpointTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workload::TpchOptions options;
+    options.scale_factor = 0.002;
+    docs_ = new std::vector<std::string>(
+        workload::GenerateTpch(options).combined);
+    storage::LoadOptions load_options;
+    load_options.num_threads = 2;
+    storage::ShardOptions shard_options;
+    shard_options.shard_count = 3;
+    auto loaded = storage::ShardedRelation::Load(
+                      *docs_, "tpch", storage::StorageMode::kTiles, {},
+                      load_options, shard_options)
+                      .MoveValueOrDie();
+    dir_ = new std::string(::testing::TempDir());
+    JSONTILES_CHECK(storage::SaveSharded(*loaded, *dir_).ok());
+    manifest_path_ =
+        new std::string(storage::ShardManifestPath(*dir_, "tpch"));
+    sharded_ = storage::OpenSharded(*manifest_path_).MoveValueOrDie().release();
+  }
+
+  static void TearDownTestSuite() {
+    delete sharded_;
+    for (size_t s = 0; s < 3; s++) {
+      std::remove(
+          (*dir_ + "/tpch.shard-" + std::to_string(s) + ".jtrl").c_str());
+    }
+    std::remove(manifest_path_->c_str());
+    delete manifest_path_;
+    delete dir_;
+    delete docs_;
+  }
+
+  void TearDown() override { failpoint::DisableAll(); }
+
+  static ClusterOptions Options() {
+    ClusterOptions options;
+    options.num_workers = 2;
+    options.workerd_path = JSONTILES_WORKERD_PATH;
+    return options;
+  }
+
+  /// Run TPC-H Q6 (single-table filtered aggregate — exercises the agg
+  /// push-down) and return the context's failure status (OK on success).
+  static Status RunQ6(Cluster* cluster) {
+    QueryContext ctx;
+    ctx.dist = cluster;
+    workload::RunTpchQuery(6, *sharded_, ctx);
+    return ctx.ConsumeStatus();
+  }
+
+  static std::vector<std::string>* docs_;
+  static std::string* dir_;
+  static std::string* manifest_path_;
+  static storage::ShardedRelation* sharded_;
+};
+
+std::vector<std::string>* DistFailpointTest::docs_ = nullptr;
+std::string* DistFailpointTest::dir_ = nullptr;
+std::string* DistFailpointTest::manifest_path_ = nullptr;
+storage::ShardedRelation* DistFailpointTest::sharded_ = nullptr;
+
+// Every connect attempt fails: Start must give up at connect_timeout_ms with
+// a clean Status (and reap the spawned workers — no orphans, no hang).
+TEST_F(DistFailpointTest, ConnectTimeoutFailsCleanly) {
+  failpoint::Enable("dist.connect", failpoint::Spec::Always());
+  ClusterOptions options = Options();
+  options.connect_timeout_ms = 300;
+  auto cluster = Cluster::Start(*manifest_path_, sharded_, options);
+  ASSERT_FALSE(cluster.ok());
+  EXPECT_NE(cluster.status().ToString().find("connect"), std::string::npos)
+      << cluster.status().ToString();
+}
+
+// A frame write failure during the Start handshake (kOpen) surfaces cleanly.
+TEST_F(DistFailpointTest, HandshakeWriteFailureFailsCleanly) {
+  failpoint::Enable("dist.frame_write", failpoint::Spec::Always());
+  auto cluster = Cluster::Start(*manifest_path_, sharded_, Options());
+  ASSERT_FALSE(cluster.ok());
+}
+
+// A frame write failure mid-query fails that query and poisons the cluster:
+// the coordinator can no longer know what the worker received.
+TEST_F(DistFailpointTest, QueryWriteFailurePoisons) {
+  auto cluster = Cluster::Start(*manifest_path_, sharded_, Options())
+                     .MoveValueOrDie();
+  ASSERT_TRUE(RunQ6(cluster.get()).ok());
+
+  failpoint::Enable("dist.frame_write", failpoint::Spec::Always());
+  Status st = RunQ6(cluster.get());
+  EXPECT_FALSE(st.ok());
+
+  failpoint::DisableAll();
+  Status again = RunQ6(cluster.get());
+  EXPECT_FALSE(again.ok());
+  EXPECT_NE(again.ToString().find("poisoned"), std::string::npos)
+      << again.ToString();
+}
+
+// A worker that reports a fragment error (kError frame) fails only that
+// query: the stream stays aligned and the cluster remains usable.
+TEST_F(DistFailpointTest, WorkerExecErrorKeepsClusterUsable) {
+  ClusterOptions options = Options();
+  options.worker_failpoints = {"dist.worker_exec=nth:1"};
+  auto cluster =
+      Cluster::Start(*manifest_path_, sharded_, options).MoveValueOrDie();
+
+  Status st = RunQ6(cluster.get());
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("dist.worker_exec"), std::string::npos)
+      << st.ToString();
+
+  // nth:1 fired once; the cluster must still answer.
+  EXPECT_TRUE(RunQ6(cluster.get()).ok());
+}
+
+// A worker that dies mid-fragment (simulated crash) surfaces "exited
+// unexpectedly" promptly — never a hang — and poisons the cluster.
+TEST_F(DistFailpointTest, WorkerCrashFailsCleanly) {
+  ClusterOptions options = Options();
+  options.worker_failpoints = {"dist.worker_crash=always"};
+  auto cluster =
+      Cluster::Start(*manifest_path_, sharded_, options).MoveValueOrDie();
+
+  Status st = RunQ6(cluster.get());
+  ASSERT_FALSE(st.ok());
+  // Depending on timing the death surfaces as EOF while collecting results
+  // ("exited unexpectedly") or as EPIPE while still dispatching fragments
+  // ("sending fragment to"); both are clean and both poison the cluster.
+  const bool clean_death =
+      st.ToString().find("exited unexpectedly") != std::string::npos ||
+      st.ToString().find("sending fragment to") != std::string::npos;
+  EXPECT_TRUE(clean_death) << st.ToString();
+
+  Status again = RunQ6(cluster.get());
+  EXPECT_FALSE(again.ok());
+  EXPECT_NE(again.ToString().find("poisoned"), std::string::npos)
+      << again.ToString();
+}
+
+// Worker failpoint arguments are validated at spawn time on the worker side;
+// a malformed spec makes workerd exit(2) and Start fail cleanly.
+TEST_F(DistFailpointTest, MalformedWorkerFailpointRejected) {
+  ClusterOptions options = Options();
+  options.connect_timeout_ms = 2000;
+  options.worker_failpoints = {"dist.worker_exec=sometimes"};
+  auto cluster = Cluster::Start(*manifest_path_, sharded_, options);
+  EXPECT_FALSE(cluster.ok());
+}
+
+}  // namespace
+}  // namespace jsontiles::dist
+
+#endif  // JSONTILES_FAILPOINTS_AVAILABLE

@@ -1,0 +1,599 @@
+// Wire-format tests (DESIGN.md §13): every message codec round-trips
+// losslessly, and the frame decoder survives a corpus of corrupted inputs —
+// every truncation prefix and systematic bit flips of real encoded streams —
+// without crashing (the CI sanitizer leg runs this under ASan) and without
+// ever accepting a damaged frame as valid.
+
+#include "dist/wire.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/agg_state.h"
+#include "exec/expression.h"
+#include "util/arena.h"
+
+namespace jsontiles::dist {
+namespace {
+
+using exec::AggSpec;
+using exec::ExprPtr;
+using exec::Row;
+using exec::RowSet;
+using exec::Value;
+
+// ---------------------------------------------------------------------------
+// Frame layer
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> Payload(size_t n, uint8_t seed) {
+  std::vector<uint8_t> p(n);
+  for (size_t i = 0; i < n; i++) p[i] = static_cast<uint8_t>(seed + i * 7);
+  return p;
+}
+
+TEST(DistWireTest, FrameRoundTripRaw) {
+  // Near-random bytes do not compress: stored raw (comp_size == 0).
+  std::vector<uint8_t> payload = Payload(300, 13);
+  std::vector<uint8_t> stream;
+  AppendFrame(FrameType::kRowBatch, payload, &stream);
+
+  size_t consumed = 0;
+  FrameType type;
+  std::vector<uint8_t> decoded;
+  ASSERT_TRUE(DecodeFrame(stream.data(), stream.size(), &consumed, &type,
+                          &decoded)
+                  .ok());
+  EXPECT_EQ(consumed, stream.size());
+  EXPECT_EQ(type, FrameType::kRowBatch);
+  EXPECT_EQ(decoded, payload);
+}
+
+TEST(DistWireTest, FrameRoundTripCompressed) {
+  // Highly repetitive payload: LZ4 engages (comp_size < raw_size on the
+  // wire), decode restores the original bytes.
+  std::vector<uint8_t> payload(64 * 1024, 0x42);
+  std::vector<uint8_t> stream;
+  AppendFrame(FrameType::kAggResult, payload, &stream);
+  EXPECT_LT(stream.size(), payload.size() / 2);
+
+  size_t consumed = 0;
+  FrameType type;
+  std::vector<uint8_t> decoded;
+  ASSERT_TRUE(DecodeFrame(stream.data(), stream.size(), &consumed, &type,
+                          &decoded)
+                  .ok());
+  EXPECT_EQ(type, FrameType::kAggResult);
+  EXPECT_EQ(decoded, payload);
+}
+
+TEST(DistWireTest, FrameRoundTripEmpty) {
+  std::vector<uint8_t> stream;
+  AppendFrame(FrameType::kShutdown, {}, &stream);
+  size_t consumed = 0;
+  FrameType type;
+  std::vector<uint8_t> decoded;
+  ASSERT_TRUE(DecodeFrame(stream.data(), stream.size(), &consumed, &type,
+                          &decoded)
+                  .ok());
+  EXPECT_EQ(type, FrameType::kShutdown);
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(DistWireTest, BackToBackFrames) {
+  std::vector<uint8_t> stream;
+  AppendFrame(FrameType::kHello, Payload(10, 1), &stream);
+  AppendFrame(FrameType::kError, Payload(20, 2), &stream);
+  size_t consumed = 0;
+  FrameType type;
+  std::vector<uint8_t> decoded;
+  ASSERT_TRUE(DecodeFrame(stream.data(), stream.size(), &consumed, &type,
+                          &decoded)
+                  .ok());
+  EXPECT_EQ(type, FrameType::kHello);
+  ASSERT_TRUE(DecodeFrame(stream.data() + consumed, stream.size() - consumed,
+                          &consumed, &type, &decoded)
+                  .ok());
+  EXPECT_EQ(type, FrameType::kError);
+  EXPECT_EQ(decoded, Payload(20, 2));
+}
+
+// ---------------------------------------------------------------------------
+// Message codecs
+// ---------------------------------------------------------------------------
+
+TEST(DistWireTest, HelloOpenOpenOkRoundTrip) {
+  std::vector<uint8_t> buf;
+  EncodeHello(HelloMsg{kWireVersion, 4242}, &buf);
+  HelloMsg hello;
+  ASSERT_TRUE(DecodeHello(buf, &hello).ok());
+  EXPECT_EQ(hello.version, kWireVersion);
+  EXPECT_EQ(hello.pid, 4242);
+
+  buf.clear();
+  OpenMsg open;
+  open.manifest_path = "/tmp/x.jtsm";
+  open.shards = {0, 2, 5};
+  open.num_threads = 4;
+  EncodeOpen(open, &buf);
+  OpenMsg open2;
+  ASSERT_TRUE(DecodeOpen(buf, &open2).ok());
+  EXPECT_EQ(open2.manifest_path, open.manifest_path);
+  EXPECT_EQ(open2.shards, open.shards);
+  EXPECT_EQ(open2.num_threads, 4u);
+
+  buf.clear();
+  OpenOkMsg ok;
+  ok.shard_rows = {100, 250, 3};
+  EncodeOpenOk(ok, &buf);
+  OpenOkMsg ok2;
+  ASSERT_TRUE(DecodeOpenOk(buf, &ok2).ok());
+  EXPECT_EQ(ok2.shard_rows, ok.shard_rows);
+
+  // Descending shard list: rejected (the protocol requires ascending).
+  buf.clear();
+  open.shards = {5, 2};
+  EncodeOpen(open, &buf);
+  EXPECT_FALSE(DecodeOpen(buf, &open2).ok());
+}
+
+std::vector<Value> SampleValues() {
+  return {Value::Null(),
+          Value::Bool(true),
+          Value::Bool(false),
+          Value::Int(0),
+          Value::Int(-1),
+          Value::Int(INT64_MAX),
+          Value::Int(INT64_MIN),
+          Value::Float(0.0),
+          Value::Float(-0.0),
+          Value::Float(2.5),
+          Value::Float(-1.0 / 3.0),
+          Value::String(""),
+          Value::String("a"),
+          Value::String("shipped via wire ✓")};
+}
+
+TEST(DistWireTest, ValueRoundTrip) {
+  Arena arena;
+  for (const Value& v : SampleValues()) {
+    std::vector<uint8_t> buf;
+    WireWriter w(&buf);
+    EncodeValue(v, &w);
+    WireReader r(buf.data(), buf.size());
+    Value out;
+    ASSERT_TRUE(DecodeValue(&r, &arena, &out));
+    EXPECT_TRUE(r.AtEnd());
+    EXPECT_EQ(out.is_null(), v.is_null());
+    if (!v.is_null()) {
+      EXPECT_EQ(out.ToString(), v.ToString());
+    }
+  }
+}
+
+std::vector<ExprPtr> SampleExprs() {
+  using namespace jsontiles::exec;  // NOLINT
+  std::vector<ExprPtr> exprs;
+  exprs.push_back(ConstInt(7));
+  exprs.push_back(ConstFloat(3.25));
+  exprs.push_back(ConstString("text"));
+  exprs.push_back(ConstNull());
+  exprs.push_back(Slot(3));
+  exprs.push_back(Access("l", {"a", "b"}, ValueType::kInt));
+  exprs.push_back(Gt(Access("l", {"qty"}, ValueType::kInt), ConstInt(45)));
+  exprs.push_back(And(IsNotNull(Slot(0)), Not(IsNull(Slot(1)))));
+  exprs.push_back(Like(Access("l", {"c"}, ValueType::kString), "%x_y%"));
+  exprs.push_back(Like(Access("l", {"c"}, ValueType::kString), "a%", true));
+  exprs.push_back(InList(Slot(0), {"alpha", "beta", "gamma"}));
+  exprs.push_back(InListInt(Slot(1), {1, 2, 3, 5, 8}));
+  exprs.push_back(Between(Slot(0), ConstInt(1), ConstInt(9)));
+  exprs.push_back(Case({Gt(Slot(0), ConstInt(0)), ConstInt(1), ConstInt(0)}));
+  exprs.push_back(Substring(Slot(0), 2, 3));
+  exprs.push_back(Year(Access("l", {"d"}, ValueType::kTimestamp)));
+  exprs.push_back(CastTo(Slot(2), ValueType::kFloat));
+  exprs.push_back(ArrayContains("b", {"categories"}, "name", "Bars"));
+  exprs.push_back(Add(Mul(Slot(0), ConstInt(2)), Neg(Slot(1))));
+  return exprs;
+}
+
+TEST(DistWireTest, ExprRoundTrip) {
+  for (const ExprPtr& e : SampleExprs()) {
+    std::vector<uint8_t> buf;
+    WireWriter w(&buf);
+    EncodeExpr(*e, &w);
+    WireReader r(buf.data(), buf.size());
+    ExprPtr out;
+    ASSERT_TRUE(DecodeExpr(&r, 0, &out).ok());
+    EXPECT_TRUE(r.AtEnd());
+    ASSERT_NE(out, nullptr);
+    EXPECT_TRUE(exec::ExprEquals(*e, *out));
+  }
+  // NOT IN and IN must not be conflated (negated travels on the wire).
+  auto in = exec::InList(exec::Slot(0), {"x"});
+  std::vector<uint8_t> buf;
+  WireWriter w(&buf);
+  EncodeExpr(*in, &w);
+  WireReader r(buf.data(), buf.size());
+  ExprPtr out;
+  ASSERT_TRUE(DecodeExpr(&r, 0, &out).ok());
+  EXPECT_TRUE(exec::ExprEquals(*in, *out));
+}
+
+TEST(DistWireTest, FragmentRoundTrip) {
+  using namespace jsontiles::exec;  // NOLINT
+  FragmentMsg msg;
+  msg.fragment_id = 3;
+  msg.shard_index = 3;
+  msg.enable_tile_skipping = false;
+  msg.enable_vectorized = true;
+  msg.accesses = {Access("l", {"a"}, ValueType::kInt),
+                  Access("l", {"b"}, ValueType::kString)};
+  msg.filter = Gt(Access("l", {"a"}, ValueType::kInt), ConstInt(10));
+  msg.null_rejecting_paths = {"a", "b"};
+  RangePredicate rp;
+  rp.path = "a";
+  rp.access_type = ValueType::kInt;
+  rp.op = BinOp::kGt;
+  rp.constant = Value::Int(10);
+  msg.range_predicates.push_back(rp);
+  RangePredicate rp2;
+  rp2.path = "b";
+  rp2.access_type = ValueType::kString;
+  rp2.op = BinOp::kLe;
+  rp2.constant = Value::String("zzz");
+  msg.range_predicates.push_back(rp2);
+  msg.group_by = {Slot(1)};
+  msg.aggs = {AggSpec::CountStar(), AggSpec::Sum(Slot(0)),
+              AggSpec::CountDistinct(Slot(1))};
+
+  std::vector<uint8_t> buf;
+  EncodeFragment(msg, &buf);
+  FragmentMsg out;
+  ASSERT_TRUE(DecodeFragment(buf, &out).ok());
+  EXPECT_EQ(out.fragment_id, 3u);
+  EXPECT_EQ(out.shard_index, 3u);
+  EXPECT_FALSE(out.is_side);
+  EXPECT_FALSE(out.enable_tile_skipping);
+  EXPECT_TRUE(out.enable_vectorized);
+  ASSERT_EQ(out.accesses.size(), 2u);
+  EXPECT_TRUE(ExprEquals(*msg.accesses[1], *out.accesses[1]));
+  ASSERT_NE(out.filter, nullptr);
+  EXPECT_TRUE(ExprEquals(*msg.filter, *out.filter));
+  EXPECT_EQ(out.null_rejecting_paths, msg.null_rejecting_paths);
+  ASSERT_EQ(out.range_predicates.size(), 2u);
+  EXPECT_EQ(out.range_predicates[0].path, "a");
+  EXPECT_EQ(out.range_predicates[0].op, BinOp::kGt);
+  EXPECT_EQ(out.range_predicates[1].constant.ToString(), "zzz");
+  ASSERT_EQ(out.group_by.size(), 1u);
+  ASSERT_EQ(out.aggs.size(), 3u);
+  EXPECT_EQ(out.aggs[1].kind, AggSpec::Kind::kSum);
+  ASSERT_NE(out.aggs[1].arg, nullptr);
+  EXPECT_TRUE(ExprEquals(*msg.aggs[1].arg, *out.aggs[1].arg));
+
+  // Side-relation fragment.
+  FragmentMsg side;
+  side.fragment_id = 0;
+  side.shard_index = 1;
+  side.is_side = true;
+  side.side_path = "categories";
+  side.accesses = {Access("s", {"name"}, ValueType::kString)};
+  buf.clear();
+  EncodeFragment(side, &buf);
+  FragmentMsg side_out;
+  ASSERT_TRUE(DecodeFragment(buf, &side_out).ok());
+  EXPECT_TRUE(side_out.is_side);
+  EXPECT_EQ(side_out.side_path, "categories");
+}
+
+TEST(DistWireTest, RowBatchRoundTrip) {
+  RowSet rows;
+  rows.push_back(Row{Value::Int(1), Value::String("one"), Value::Null()});
+  rows.push_back(Row{Value::Int(2), Value::String(""), Value::Float(0.5)});
+  rows.push_back(Row{});  // zero-width row survives too
+  rows.push_back(Row{Value::Bool(false)});
+
+  std::vector<uint8_t> buf;
+  EncodeRowBatch(9, rows, 0, rows.size(), &buf);
+  Arena arena;
+  uint32_t fragment_id = 0;
+  RowSet out;
+  ASSERT_TRUE(DecodeRowBatch(buf, &arena, &fragment_id, &out).ok());
+  EXPECT_EQ(fragment_id, 9u);
+  ASSERT_EQ(out.size(), rows.size());
+  for (size_t i = 0; i < rows.size(); i++) {
+    ASSERT_EQ(out[i].size(), rows[i].size()) << "row " << i;
+    for (size_t j = 0; j < rows[i].size(); j++) {
+      EXPECT_EQ(out[i][j].is_null(), rows[i][j].is_null());
+      if (!rows[i][j].is_null()) {
+        EXPECT_EQ(out[i][j].ToString(), rows[i][j].ToString());
+      }
+    }
+  }
+
+  // Sub-range encoding: rows [1, 3).
+  buf.clear();
+  EncodeRowBatch(9, rows, 1, 3, &buf);
+  out.clear();
+  ASSERT_TRUE(DecodeRowBatch(buf, &arena, &fragment_id, &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0][0].ToString(), "2");
+}
+
+TEST(DistWireTest, AggPartialRoundTrip) {
+  using namespace jsontiles::exec;  // NOLINT
+  // Build a real group table the way a worker does: accumulate rows.
+  RowSet rows;
+  rows.push_back(Row{Value::String("a"), Value::Int(1), Value::Float(1.5)});
+  rows.push_back(Row{Value::String("a"), Value::Int(2), Value::Float(-0.25)});
+  rows.push_back(Row{Value::String("b"), Value::Int(5), Value::Null()});
+  std::vector<ExprPtr> group_by = {Slot(0)};
+  std::vector<AggSpec> aggs = {AggSpec::CountStar(), AggSpec::Sum(Slot(1)),
+                               AggSpec::Sum(Slot(2)), AggSpec::Min(Slot(1)),
+                               AggSpec::CountDistinct(Slot(1))};
+  Arena arena;
+  AggGroupMap groups;
+  AccumulateRows(rows, group_by, aggs, &arena, &groups);
+
+  std::vector<uint8_t> buf;
+  EncodeAggPartial(7, groups, aggs, &buf);
+  Arena decode_arena;
+  AggPartial partial;
+  ASSERT_TRUE(DecodeAggPartial(buf, aggs.size(), &decode_arena, &partial).ok());
+  EXPECT_EQ(partial.fragment_id, 7u);
+  ASSERT_EQ(partial.groups.size(), 2u);
+
+  // Merging the decoded partial into an empty table and finalizing gives the
+  // same result as finalizing the original — the distributed merge contract.
+  AggGroupMap merged;
+  for (auto& [hash, group] : partial.groups) {
+    MergeGroup(&merged, hash, std::move(group), aggs);
+  }
+  RowSet a, b;
+  FinalizeGroups(groups, aggs, &a);
+  FinalizeGroups(merged, aggs, &b);
+  auto canon = [](RowSet rows) {
+    std::vector<std::string> lines;
+    for (const auto& row : rows) {
+      std::string line;
+      for (const auto& v : row) line += (v.is_null() ? "∅" : v.ToString()) + "|";
+      lines.push_back(line);
+    }
+    std::sort(lines.begin(), lines.end());
+    return lines;
+  };
+  EXPECT_EQ(canon(a), canon(b));
+}
+
+TEST(DistWireTest, FragmentDoneAndStatusRoundTrip) {
+  std::vector<uint8_t> buf;
+  FragmentDoneMsg done;
+  done.fragment_id = 2;
+  done.rows_out = 12345;
+  done.tiles_scanned = 10;
+  done.tiles_skipped = 7;
+  done.wall_nanos = 999;
+  EncodeFragmentDone(done, &buf);
+  FragmentDoneMsg done2;
+  ASSERT_TRUE(DecodeFragmentDone(buf, &done2).ok());
+  EXPECT_EQ(done2.fragment_id, 2u);
+  EXPECT_EQ(done2.rows_out, 12345u);
+  EXPECT_EQ(done2.tiles_scanned, 10u);
+  EXPECT_EQ(done2.tiles_skipped, 7u);
+  EXPECT_EQ(done2.wall_nanos, 999u);
+
+  buf.clear();
+  EncodeStatus(Status::NotFound("shard 3 missing"), &buf);
+  Status decoded;
+  ASSERT_TRUE(DecodeStatus(buf, &decoded).ok());
+  EXPECT_EQ(decoded.code(), StatusCode::kNotFound);
+  EXPECT_NE(decoded.ToString().find("shard 3 missing"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Corrupt-frame corpus
+// ---------------------------------------------------------------------------
+
+/// A realistic stream: hello, open, fragment, row batch, agg partial, done,
+/// error — every codec's bytes appear in frame payloads.
+std::vector<uint8_t> RealStream() {
+  using namespace jsontiles::exec;  // NOLINT
+  std::vector<uint8_t> stream, buf;
+
+  EncodeHello(HelloMsg{kWireVersion, 77}, &buf);
+  AppendFrame(FrameType::kHello, buf, &stream);
+
+  buf.clear();
+  OpenMsg open;
+  open.manifest_path = "/tmp/tpch.jtsm";
+  open.shards = {0, 1, 2};
+  EncodeOpen(open, &buf);
+  AppendFrame(FrameType::kOpen, buf, &stream);
+
+  buf.clear();
+  FragmentMsg frag;
+  frag.fragment_id = 1;
+  frag.shard_index = 1;
+  frag.accesses = {Access("l", {"k"}, ValueType::kInt)};
+  frag.filter = Gt(Access("l", {"k"}, ValueType::kInt), ConstInt(3));
+  frag.group_by = {Slot(0)};
+  frag.aggs = {AggSpec::CountStar()};
+  EncodeFragment(frag, &buf);
+  AppendFrame(FrameType::kAggFragment, buf, &stream);
+
+  buf.clear();
+  RowSet rows;
+  rows.push_back(Row{Value::Int(4), Value::String("wire")});
+  rows.push_back(Row{Value::Null(), Value::Float(1.25)});
+  EncodeRowBatch(1, rows, 0, rows.size(), &buf);
+  AppendFrame(FrameType::kRowBatch, buf, &stream);
+
+  buf.clear();
+  Arena arena;
+  AggGroupMap groups;
+  AccumulateRows(rows, {Slot(0)}, {AggSpec::CountStar()}, &arena, &groups);
+  EncodeAggPartial(1, groups, {AggSpec::CountStar()}, &buf);
+  AppendFrame(FrameType::kAggResult, buf, &stream);
+
+  buf.clear();
+  EncodeFragmentDone(FragmentDoneMsg{1, 2, 1, 0, 5}, &buf);
+  AppendFrame(FrameType::kFragmentDone, buf, &stream);
+
+  buf.clear();
+  EncodeStatus(Status::Internal("boom"), &buf);
+  AppendFrame(FrameType::kError, buf, &stream);
+  return stream;
+}
+
+/// Decode frames (and their payloads, per type) until error or exhaustion.
+/// Must never crash — ASan is the assertion.
+void DrainStream(const uint8_t* data, size_t size) {
+  size_t off = 0;
+  int guard = 0;
+  while (off < size && guard++ < 1000) {
+    size_t consumed = 0;
+    FrameType type;
+    std::vector<uint8_t> payload;
+    if (!DecodeFrame(data + off, size - off, &consumed, &type, &payload)
+             .ok()) {
+      return;
+    }
+    // Feed the payload to its message decoder too (corruption may leave the
+    // frame checksum... only if the flip hit a part the checksum does not
+    // cover — which cannot happen — so this mostly runs on intact frames
+    // ahead of the damaged one; still worth exercising).
+    Arena arena;
+    switch (type) {
+      case FrameType::kHello: {
+        HelloMsg m;
+        (void)DecodeHello(payload, &m);
+        break;
+      }
+      case FrameType::kOpen: {
+        OpenMsg m;
+        (void)DecodeOpen(payload, &m);
+        break;
+      }
+      case FrameType::kOpenOk: {
+        OpenOkMsg m;
+        (void)DecodeOpenOk(payload, &m);
+        break;
+      }
+      case FrameType::kScanFragment:
+      case FrameType::kAggFragment: {
+        FragmentMsg m;
+        (void)DecodeFragment(payload, &m);
+        break;
+      }
+      case FrameType::kRowBatch: {
+        uint32_t id;
+        RowSet rows;
+        (void)DecodeRowBatch(payload, &arena, &id, &rows);
+        break;
+      }
+      case FrameType::kAggResult: {
+        AggPartial m;
+        (void)DecodeAggPartial(payload, 1, &arena, &m);
+        break;
+      }
+      case FrameType::kFragmentDone: {
+        FragmentDoneMsg m;
+        (void)DecodeFragmentDone(payload, &m);
+        break;
+      }
+      case FrameType::kError: {
+        Status st;
+        (void)DecodeStatus(payload, &st);
+        break;
+      }
+      default:
+        break;
+    }
+    off += consumed;
+  }
+}
+
+// Every truncation prefix of the stream: the decoder must reject the cut
+// frame (or stop cleanly at a frame boundary) and never read past the end.
+TEST(DistWireTest, CorpusTruncations) {
+  const std::vector<uint8_t> stream = RealStream();
+  for (size_t n = 0; n < stream.size(); n++) {
+    DrainStream(stream.data(), n);
+  }
+}
+
+// Bit flips: every bit of the first frames and a stride over the rest. A
+// flipped frame must be caught (checksum/bounds) — and whatever happens, no
+// crash, no over-read, no unbounded allocation.
+TEST(DistWireTest, CorpusBitFlips) {
+  const std::vector<uint8_t> stream = RealStream();
+  std::vector<uint8_t> mutated = stream;
+  for (size_t byte = 0; byte < stream.size(); byte++) {
+    // All 8 bits for the first 256 bytes (headers + small frames), one bit
+    // per byte beyond that to bound the corpus.
+    const int bits = byte < 256 ? 8 : 1;
+    for (int bit = 0; bit < bits; bit++) {
+      mutated[byte] ^= static_cast<uint8_t>(1u << bit);
+      DrainStream(mutated.data(), mutated.size());
+      mutated[byte] ^= static_cast<uint8_t>(1u << bit);
+    }
+  }
+  EXPECT_EQ(mutated, stream);
+}
+
+// A flipped payload bit must never decode as a valid frame (checksum).
+TEST(DistWireTest, PayloadCorruptionDetected) {
+  std::vector<uint8_t> payload = Payload(100, 5);
+  std::vector<uint8_t> stream;
+  AppendFrame(FrameType::kRowBatch, payload, &stream);
+  // Flip one payload byte (header is 17 bytes).
+  for (size_t pos : {size_t{17}, stream.size() - 1}) {
+    std::vector<uint8_t> bad = stream;
+    bad[pos] ^= 0x10;
+    size_t consumed = 0;
+    FrameType type;
+    std::vector<uint8_t> decoded;
+    EXPECT_FALSE(
+        DecodeFrame(bad.data(), bad.size(), &consumed, &type, &decoded).ok())
+        << "flip at " << pos;
+  }
+}
+
+// Corrupt length fields are rejected before any allocation: a raw_size far
+// beyond the cap must fail cleanly even though the buffer is tiny.
+TEST(DistWireTest, AbsurdLengthRejected) {
+  std::vector<uint8_t> stream;
+  AppendFrame(FrameType::kHello, Payload(8, 3), &stream);
+  // raw_size lives at bytes [1, 5).
+  std::vector<uint8_t> bad = stream;
+  bad[1] = 0xFF;
+  bad[2] = 0xFF;
+  bad[3] = 0xFF;
+  bad[4] = 0x7F;
+  size_t consumed = 0;
+  FrameType type;
+  std::vector<uint8_t> decoded;
+  EXPECT_FALSE(
+      DecodeFrame(bad.data(), bad.size(), &consumed, &type, &decoded).ok());
+}
+
+TEST(DistWireTest, UnknownFrameTypeRejected) {
+  std::vector<uint8_t> stream;
+  AppendFrame(FrameType::kHello, Payload(8, 3), &stream);
+  std::vector<uint8_t> bad = stream;
+  bad[0] = 0;  // below the valid range
+  size_t consumed = 0;
+  FrameType type;
+  std::vector<uint8_t> decoded;
+  EXPECT_FALSE(
+      DecodeFrame(bad.data(), bad.size(), &consumed, &type, &decoded).ok());
+  bad[0] = kMaxFrameType + 1;
+  EXPECT_FALSE(
+      DecodeFrame(bad.data(), bad.size(), &consumed, &type, &decoded).ok());
+}
+
+}  // namespace
+}  // namespace jsontiles::dist
