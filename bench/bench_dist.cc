@@ -7,6 +7,10 @@
 // seconds per worker count plus the 4-worker speedup over 1 worker.
 //
 //   --dist-json <path>   write the summary as JSON (CI uploads it)
+//   --chaos              seeded crash pass (DESIGN.md §14): every initial
+//                        worker armed with dist.worker_crash_frame at a
+//                        seeded frame boundary; reports recovery counters
+//                        + latency and gates on bit-identity under crashes
 //
 // Speedup expectations are machine-dependent: on a multi-core host the
 // 4-worker point should approach the shard-parallel ideal, on a 1-core CI
@@ -14,6 +18,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <random>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,6 +26,7 @@
 #include "bench_common.h"
 #include "dist/cluster.h"
 #include "storage/shard.h"
+#include "util/failpoint.h"
 #include "workload/tpch.h"
 #include "workload/tpch_queries.h"
 #include "workload/yelp.h"
@@ -69,9 +75,12 @@ int main(int argc, char** argv) {
   BenchObs obs(&argc, argv);
 
   std::string json_path;
+  bool chaos = false;
   for (int i = 1; i < argc; i++) {
     std::string_view arg = argv[i];
-    if (arg == "--dist-json" || arg.rfind("--dist-json=", 0) == 0) {
+    if (arg == "--chaos") {
+      chaos = true;
+    } else if (arg == "--dist-json" || arg.rfind("--dist-json=", 0) == 0) {
       size_t eq = arg.find('=');
       if (eq != std::string_view::npos) {
         json_path = std::string(arg.substr(eq + 1));
@@ -223,6 +232,95 @@ int main(int argc, char** argv) {
   const double speedup_4w = wall_w1 / wall_w4;
   std::printf("4-worker speedup over 1 worker: %.2fx\n", speedup_4w);
 
+  // ---- Chaos pass (--chaos): seeded worker crashes mid-stream. ------------
+  // Every initial worker is armed to SIGKILL itself at a seeded result-frame
+  // boundary (dist.worker_crash_frame=nth:N, N ∈ [1,5]); respawned workers
+  // are healthy. The full query set must stay bit-identical to the local
+  // baseline while the coordinator recovers, and the recovery cost is
+  // reported: retries, respawns, and total recovery latency (wall time from
+  // fault detection through respawn and re-dispatch).
+  std::string chaos_json;
+  bool chaos_ok = true;
+  if (chaos) {
+#if !JSONTILES_FAILPOINTS_AVAILABLE
+    std::fprintf(stderr,
+                 "--chaos requires a build with JSONTILES_FAILPOINTS=ON\n");
+    return 2;
+#else
+    constexpr size_t kChaosWorkers = 2;
+    constexpr uint32_t kChaosSeed = 42;
+    std::mt19937 rng(kChaosSeed);
+    std::uniform_int_distribution<int> frame(1, 5);
+    dist::ClusterOptions chaos_options;
+    chaos_options.num_workers = kChaosWorkers;
+    chaos_options.workerd_path = JSONTILES_WORKERD_PATH;
+    chaos_options.per_worker_failpoints.resize(kChaosWorkers);
+    exec::ExecOptions retry_options;
+    retry_options.dist_retry.respawn_backoff_ms = 1;
+    retry_options.dist_retry.respawn_backoff_cap_ms = 10;
+
+    uint64_t retried = 0, respawned = 0, stale = 0, recovery_nanos = 0;
+    double chaos_wall = 0;
+    for (Workload& w : workloads) {
+      for (size_t i = 0; i < kChaosWorkers; i++) {
+        chaos_options.per_worker_failpoints[i] = {
+            "dist.worker_crash_frame=nth:" + std::to_string(frame(rng))};
+      }
+      auto cluster = dist::Cluster::Start(w.manifest_path, w.sharded.get(),
+                                          chaos_options);
+      if (!cluster.ok()) {
+        std::fprintf(stderr, "chaos cluster start (%s): %s\n", w.name,
+                     cluster.status().ToString().c_str());
+        return 1;
+      }
+      auto c = cluster.MoveValueOrDie();
+      // Single timed pass: the armed crashes fire once per worker lifetime,
+      // so a best-of-n repeat would time the crash-free re-runs instead.
+      chaos_wall += TimeOnce([&] {
+        for (int q = 1; q <= w.num_queries; q++) {
+          exec::QueryContext ctx(retry_options);
+          ctx.dist = c.get();
+          const std::string got = Canonical(RunQuery(w, q, ctx));
+          if (got != w.baseline[q - 1]) {
+            std::fprintf(stderr, "CHAOS FAIL: %s Q%d differs under crashes\n",
+                         w.name, q);
+            chaos_ok = false;
+          }
+        }
+      });
+      if (c->fragments_retried() == 0) {
+        std::fprintf(stderr,
+                     "CHAOS FAIL: %s saw no retried fragments (crashes did "
+                     "not fire?)\n",
+                     w.name);
+        chaos_ok = false;
+      }
+      retried += c->fragments_retried();
+      respawned += c->workers_respawned();
+      stale += c->frames_rejected_stale();
+      recovery_nanos += c->recovery_nanos();
+    }
+    const double recovery_secs = static_cast<double>(recovery_nanos) * 1e-9;
+    std::printf(
+        "chaos (%zu workers, seed %u): wall=%ss retried=%llu respawned=%llu "
+        "stale_frames=%llu recovery=%ss identical=%s\n",
+        kChaosWorkers, kChaosSeed, Fmt(chaos_wall).c_str(),
+        static_cast<unsigned long long>(retried),
+        static_cast<unsigned long long>(respawned),
+        static_cast<unsigned long long>(stale), Fmt(recovery_secs).c_str(),
+        chaos_ok ? "yes" : "NO");
+    chaos_json =
+        "{\"workers\": " + std::to_string(kChaosWorkers) +
+        ", \"seed\": " + std::to_string(kChaosSeed) +
+        ", \"wall_secs\": " + Fmt(chaos_wall, "%.6f") +
+        ", \"fragments_retried\": " + std::to_string(retried) +
+        ", \"workers_respawned\": " + std::to_string(respawned) +
+        ", \"frames_rejected_stale\": " + std::to_string(stale) +
+        ", \"recovery_latency_secs\": " + Fmt(recovery_secs, "%.6f") +
+        ", \"identical\": " + (chaos_ok ? "true" : "false") + "}";
+#endif  // JSONTILES_FAILPOINTS_AVAILABLE
+  }
+
   // Cleanup shard files.
   for (const Workload& w : workloads) {
     for (size_t s = 0; s < kShards; s++) {
@@ -240,7 +338,9 @@ int main(int argc, char** argv) {
       ",\n  \"local_wall_secs\": " + Fmt(local_wall, "%.6f") +
       ",\n  \"sweep\": [\n" + sweep_json + "\n  ],\n  \"speedup_4worker\": " +
       Fmt(speedup_4w, "%.3f") +
-      ",\n  \"ok\": " + std::string(all_identical ? "true" : "false") + "\n}\n";
+      ",\n  \"chaos\": " + (chaos_json.empty() ? "null" : chaos_json) +
+      ",\n  \"ok\": " +
+      std::string(all_identical && chaos_ok ? "true" : "false") + "\n}\n";
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {
@@ -252,6 +352,6 @@ int main(int argc, char** argv) {
     std::printf("dist summary written to %s\n", json_path.c_str());
   }
   std::printf("distributed differential: %s\n",
-              all_identical ? "PASS" : "FAIL");
-  return all_identical ? 0 : 1;
+              all_identical && chaos_ok ? "PASS" : "FAIL");
+  return all_identical && chaos_ok ? 0 : 1;
 }

@@ -51,21 +51,39 @@ int RemainingMs(std::chrono::steady_clock::time_point deadline) {
 }
 
 // Read exactly `size` bytes with a deadline. kOutOfRange on EOF (clean only
-// when `clean_eof_ok` and nothing was read yet), kInternal on timeout.
+// when `clean_eof_ok` and nothing was read yet), kInternal on timeout. When
+// `frame_deadline` is non-null, the wait for the very first byte is bounded
+// by `deadline` (the idle budget) and every later byte by *frame_deadline —
+// which is (re)armed from `frame_timeout_ms` as soon as the first byte
+// lands, so a peer that starts a frame and stalls cannot ride the idle
+// budget.
 Status ReadExact(int fd, uint8_t* dst, size_t size,
                  std::chrono::steady_clock::time_point deadline,
-                 bool clean_eof_ok, uint64_t* wire_bytes) {
+                 bool clean_eof_ok, uint64_t* wire_bytes,
+                 std::chrono::steady_clock::time_point* frame_deadline =
+                     nullptr,
+                 int frame_timeout_ms = 0) {
   size_t done = 0;
+  bool idle = frame_deadline != nullptr &&
+              *frame_deadline == std::chrono::steady_clock::time_point();
   while (done < size) {
     struct pollfd pfd = {fd, POLLIN, 0};
-    const int left = RemainingMs(deadline);
-    if (left == 0) return Status::Internal("exchange recv timed out");
+    const auto effective =
+        (frame_deadline != nullptr && !idle) ? *frame_deadline : deadline;
+    const int left = RemainingMs(effective);
+    if (left == 0) {
+      return Status::Internal(idle ? "exchange idle timed out"
+                                   : "exchange recv timed out");
+    }
     int pr = ::poll(&pfd, 1, left);
     if (pr < 0) {
       if (errno == EINTR) continue;
       return Status::Internal(std::string("poll: ") + std::strerror(errno));
     }
-    if (pr == 0) return Status::Internal("exchange recv timed out");
+    if (pr == 0) {
+      return Status::Internal(idle ? "exchange idle timed out"
+                                   : "exchange recv timed out");
+    }
     ssize_t n = ::read(fd, dst + done, size - done);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -76,6 +94,10 @@ Status ReadExact(int fd, uint8_t* dst, size_t size,
         return Status::OutOfRange("connection closed");
       }
       return Status::Internal("connection closed mid-frame");
+    }
+    if (idle) {
+      *frame_deadline = Deadline(frame_timeout_ms);
+      idle = false;
     }
     done += static_cast<size_t>(n);
   }
@@ -268,12 +290,18 @@ Status DecodeFrame(const uint8_t* data, size_t size, size_t* consumed,
   return Status::OK();
 }
 
-Status ReadFrame(int fd, int timeout_ms, FrameType* type,
-                 std::vector<uint8_t>* payload, uint64_t* wire_bytes) {
-  const auto deadline = Deadline(timeout_ms);
+Status ReadFrame(int fd, int idle_timeout_ms, int frame_timeout_ms,
+                 FrameType* type, std::vector<uint8_t>* payload,
+                 uint64_t* wire_bytes) {
+  const auto idle_deadline = Deadline(idle_timeout_ms);
+  // Armed by ReadExact the moment the first byte arrives; bounds everything
+  // after it.
+  std::chrono::steady_clock::time_point frame_deadline{};
   uint8_t header[kFrameHeaderSize];
-  JSONTILES_RETURN_NOT_OK(ReadExact(fd, header, kFrameHeaderSize, deadline,
-                                    /*clean_eof_ok=*/true, wire_bytes));
+  JSONTILES_RETURN_NOT_OK(ReadExact(fd, header, kFrameHeaderSize,
+                                    idle_deadline, /*clean_eof_ok=*/true,
+                                    wire_bytes, &frame_deadline,
+                                    frame_timeout_ms));
   const uint8_t type_raw = header[0];
   WIRE_READ(type_raw >= 1 && type_raw <= kMaxFrameType);
   const uint32_t raw_size = bit_util::LoadU32(header + 1);
@@ -282,7 +310,8 @@ Status ReadFrame(int fd, int timeout_ms, FrameType* type,
   WIRE_READ(comp_size == 0 || comp_size < raw_size);
   const size_t wire_size = comp_size != 0 ? comp_size : raw_size;
   std::vector<uint8_t> wire(wire_size);
-  JSONTILES_RETURN_NOT_OK(ReadExact(fd, wire.data(), wire_size, deadline,
+  JSONTILES_RETURN_NOT_OK(ReadExact(fd, wire.data(), wire_size,
+                                    frame_deadline,
                                     /*clean_eof_ok=*/false, wire_bytes));
   const uint64_t checksum = bit_util::LoadU64(header + 9);
   WIRE_READ(FrameChecksum(type_raw, raw_size, comp_size, wire.data(),
@@ -635,6 +664,7 @@ Status DecodeExpr(WireReader* r, size_t depth, exec::ExprPtr* out) {
 void EncodeFragment(const FragmentMsg& msg, std::vector<uint8_t>* out) {
   WireWriter w(out);
   w.U32(msg.fragment_id);
+  w.U32(msg.epoch);
   w.U32(msg.shard_index);
   w.U8(static_cast<uint8_t>((msg.is_side ? 1 : 0) |
                             (msg.enable_tile_skipping ? 2 : 0) |
@@ -667,6 +697,7 @@ Status DecodeFragment(const std::vector<uint8_t>& payload, FragmentMsg* msg) {
   using exec::ValueType;
   WireReader r(payload.data(), payload.size());
   WIRE_READ(r.U32(&msg->fragment_id));
+  WIRE_READ(r.U32(&msg->epoch));
   WIRE_READ(r.U32(&msg->shard_index));
   uint8_t flags;
   WIRE_READ(r.U8(&flags));
@@ -751,11 +782,12 @@ Status DecodeFragment(const std::vector<uint8_t>& payload, FragmentMsg* msg) {
 // Row batch codec
 // ---------------------------------------------------------------------------
 
-void EncodeRowBatch(uint32_t fragment_id, const exec::RowSet& rows,
-                    size_t row_begin, size_t row_end,
-                    std::vector<uint8_t>* out) {
+void EncodeRowBatch(uint32_t fragment_id, uint32_t epoch,
+                    const exec::RowSet& rows, size_t row_begin,
+                    size_t row_end, std::vector<uint8_t>* out) {
   WireWriter w(out);
   w.U32(fragment_id);
+  w.U32(epoch);
   w.U32(static_cast<uint32_t>(row_end - row_begin));
   for (size_t i = row_begin; i < row_end; i++) {
     const exec::Row& row = rows[i];
@@ -765,10 +797,12 @@ void EncodeRowBatch(uint32_t fragment_id, const exec::RowSet& rows,
 }
 
 Status DecodeRowBatch(const std::vector<uint8_t>& payload, Arena* arena,
-                      uint32_t* fragment_id, exec::RowSet* out) {
+                      uint32_t* fragment_id, uint32_t* epoch,
+                      exec::RowSet* out) {
   WireReader r(payload.data(), payload.size());
   uint32_t num_rows;
   WIRE_READ(r.U32(fragment_id));
+  WIRE_READ(r.U32(epoch));
   WIRE_READ(r.U32(&num_rows));
   for (uint32_t i = 0; i < num_rows; i++) {
     uint64_t num_values;
@@ -843,11 +877,13 @@ Status DecodeAccumulator(WireReader* r, Arena* arena,
 
 }  // namespace
 
-void EncodeAggPartial(uint32_t fragment_id, const exec::AggGroupMap& groups,
+void EncodeAggPartial(uint32_t fragment_id, uint32_t epoch,
+                      const exec::AggGroupMap& groups,
                       const std::vector<exec::AggSpec>& aggs,
                       std::vector<uint8_t>* out) {
   WireWriter w(out);
   w.U32(fragment_id);
+  w.U32(epoch);
   size_t num_groups = 0;
   for (const auto& [h, bucket] : groups) num_groups += bucket.size();
   w.Varint(num_groups);
@@ -867,6 +903,7 @@ Status DecodeAggPartial(const std::vector<uint8_t>& payload, size_t num_aggs,
                         Arena* arena, AggPartial* out) {
   WireReader r(payload.data(), payload.size());
   WIRE_READ(r.U32(&out->fragment_id));
+  WIRE_READ(r.U32(&out->epoch));
   uint64_t num_groups;
   WIRE_READ(r.Varint(&num_groups));
   WIRE_READ(num_groups <= r.remaining());
@@ -902,6 +939,7 @@ void EncodeFragmentDone(const FragmentDoneMsg& msg,
                         std::vector<uint8_t>* out) {
   WireWriter w(out);
   w.U32(msg.fragment_id);
+  w.U32(msg.epoch);
   w.U64(msg.rows_out);
   w.U64(msg.tiles_scanned);
   w.U64(msg.tiles_skipped);
@@ -912,6 +950,7 @@ Status DecodeFragmentDone(const std::vector<uint8_t>& payload,
                           FragmentDoneMsg* msg) {
   WireReader r(payload.data(), payload.size());
   WIRE_READ(r.U32(&msg->fragment_id));
+  WIRE_READ(r.U32(&msg->epoch));
   WIRE_READ(r.U64(&msg->rows_out));
   WIRE_READ(r.U64(&msg->tiles_scanned));
   WIRE_READ(r.U64(&msg->tiles_skipped));
@@ -935,6 +974,30 @@ Status DecodeStatus(const std::vector<uint8_t>& payload, Status* decoded) {
   WIRE_READ(r.Str(&message));
   WIRE_READ(r.AtEnd());
   *decoded = Status(static_cast<StatusCode>(code), std::move(message));
+  return Status::OK();
+}
+
+void EncodeFragmentError(const FragmentErrorMsg& msg,
+                         std::vector<uint8_t>* out) {
+  WireWriter w(out);
+  w.U32(msg.fragment_id);
+  w.U32(msg.epoch);
+  w.U8(static_cast<uint8_t>(msg.error.code()));
+  w.Str(msg.error.message());
+}
+
+Status DecodeFragmentError(const std::vector<uint8_t>& payload,
+                           FragmentErrorMsg* msg) {
+  WireReader r(payload.data(), payload.size());
+  WIRE_READ(r.U32(&msg->fragment_id));
+  WIRE_READ(r.U32(&msg->epoch));
+  uint8_t code;
+  WIRE_READ(r.U8(&code));
+  WIRE_READ(code >= 1 && code <= static_cast<uint8_t>(StatusCode::kInternal));
+  std::string message;
+  WIRE_READ(r.Str(&message));
+  WIRE_READ(r.AtEnd());
+  msg->error = Status(static_cast<StatusCode>(code), std::move(message));
   return Status::OK();
 }
 

@@ -38,7 +38,7 @@
 
 namespace jsontiles::dist {
 
-inline constexpr uint32_t kWireVersion = 1;
+inline constexpr uint32_t kWireVersion = 2;
 /// Hard cap on a frame's raw and compressed payload size. Batches are cut at
 /// ~256 KiB, so real frames sit far below it; its job is bounding allocation
 /// when a length field is corrupt.
@@ -53,10 +53,12 @@ enum class FrameType : uint8_t {
   kRowBatch = 6,      // worker -> coordinator: a batch of result rows
   kAggResult = 7,     // worker -> coordinator: partial aggregate groups
   kFragmentDone = 8,  // worker -> coordinator: fragment finished + stats
-  kError = 9,         // worker -> coordinator: fragment/open failed
-  kShutdown = 10,     // coordinator -> worker: exit cleanly
+  kError = 9,          // worker -> coordinator: open/protocol failure
+  kShutdown = 10,      // coordinator -> worker: exit cleanly
+  kFragmentError = 11  // worker -> coordinator: one fragment failed
+                       // deterministically (carries fragment id + epoch)
 };
-inline constexpr uint8_t kMaxFrameType = 10;
+inline constexpr uint8_t kMaxFrameType = 11;
 
 // ---------------------------------------------------------------------------
 // Byte codec
@@ -128,12 +130,22 @@ Status WriteFrame(int fd, FrameType type, const std::vector<uint8_t>& payload,
 Status DecodeFrame(const uint8_t* data, size_t size, size_t* consumed,
                    FrameType* type, std::vector<uint8_t>* payload);
 
-/// Read one frame from `fd` with a deadline over the whole frame. Returns
-/// kOutOfRange("connection closed") on clean EOF at a frame boundary,
-/// kInternal on timeout, ParseError on a corrupt frame. `wire_bytes`
-/// (optional) accumulates bytes received.
-Status ReadFrame(int fd, int timeout_ms, FrameType* type,
-                 std::vector<uint8_t>* payload, uint64_t* wire_bytes);
+/// Read one frame from `fd` under two deadlines: `idle_timeout_ms` bounds
+/// the wait for the frame's FIRST byte (how long a quiet peer may stay
+/// silent), and once any byte has arrived `frame_timeout_ms` bounds the rest
+/// of the frame — a peer that opens a header and stalls cannot ride the idle
+/// budget. Returns kOutOfRange("connection closed") on clean EOF at a frame
+/// boundary, kInternal on either timeout, ParseError on a corrupt frame.
+/// `wire_bytes` (optional) accumulates bytes received.
+Status ReadFrame(int fd, int idle_timeout_ms, int frame_timeout_ms,
+                 FrameType* type, std::vector<uint8_t>* payload,
+                 uint64_t* wire_bytes);
+
+/// Single-deadline form: idle and frame share `timeout_ms`.
+inline Status ReadFrame(int fd, int timeout_ms, FrameType* type,
+                        std::vector<uint8_t>* payload, uint64_t* wire_bytes) {
+  return ReadFrame(fd, timeout_ms, timeout_ms, type, payload, wire_bytes);
+}
 
 // ---------------------------------------------------------------------------
 // Message codecs
@@ -178,6 +190,10 @@ Status DecodeExpr(WireReader* r, size_t depth, exec::ExprPtr* out);
 /// range-predicate constants — a deque so grown entries never move.
 struct FragmentMsg {
   uint32_t fragment_id = 0;
+  /// Dispatch epoch: bumped by the coordinator on every (re-)dispatch of the
+  /// fragment and echoed by the worker in every result frame, so a late
+  /// frame from a superseded dispatch is rejected rather than merged.
+  uint32_t epoch = 0;
   uint32_t shard_index = 0;
   bool is_side = false;
   std::string side_path;
@@ -197,20 +213,23 @@ Status DecodeFragment(const std::vector<uint8_t>& payload, FragmentMsg* msg);
 /// Row batches: worker results streamed back in fragment order. Decoded
 /// strings go into `arena` (the coordinator's query arena) and rows are
 /// appended to `out`.
-void EncodeRowBatch(uint32_t fragment_id, const exec::RowSet& rows,
-                    size_t row_begin, size_t row_end,
-                    std::vector<uint8_t>* out);
+void EncodeRowBatch(uint32_t fragment_id, uint32_t epoch,
+                    const exec::RowSet& rows, size_t row_begin,
+                    size_t row_end, std::vector<uint8_t>* out);
 Status DecodeRowBatch(const std::vector<uint8_t>& payload, Arena* arena,
-                      uint32_t* fragment_id, exec::RowSet* out);
+                      uint32_t* fragment_id, uint32_t* epoch,
+                      exec::RowSet* out);
 
 /// Partial-aggregate result: every group of the worker's group table with
 /// its key hash (recorded, not recomputed, so coordinator merge uses the
 /// exact same bucket chain). Decode needs the agg count from the request.
-void EncodeAggPartial(uint32_t fragment_id, const exec::AggGroupMap& groups,
+void EncodeAggPartial(uint32_t fragment_id, uint32_t epoch,
+                      const exec::AggGroupMap& groups,
                       const std::vector<exec::AggSpec>& aggs,
                       std::vector<uint8_t>* out);
 struct AggPartial {
   uint32_t fragment_id = 0;
+  uint32_t epoch = 0;
   std::vector<std::pair<uint64_t, exec::AggGroup>> groups;
 };
 Status DecodeAggPartial(const std::vector<uint8_t>& payload, size_t num_aggs,
@@ -218,6 +237,7 @@ Status DecodeAggPartial(const std::vector<uint8_t>& payload, size_t num_aggs,
 
 struct FragmentDoneMsg {
   uint32_t fragment_id = 0;
+  uint32_t epoch = 0;
   uint64_t rows_out = 0;
   uint64_t tiles_scanned = 0;
   uint64_t tiles_skipped = 0;
@@ -231,6 +251,20 @@ void EncodeStatus(const Status& st, std::vector<uint8_t>* out);
 /// Returns the decoded (non-OK) status in *decoded; the return value reports
 /// whether the payload itself parsed.
 Status DecodeStatus(const std::vector<uint8_t>& payload, Status* decoded);
+
+/// A deterministic per-fragment failure (kFragmentError): re-running the
+/// fragment would fail again, so the coordinator fails the query cleanly
+/// instead of retrying. Carries the fragment identity so stale reports from
+/// a superseded dispatch can be rejected like any other late frame.
+struct FragmentErrorMsg {
+  uint32_t fragment_id = 0;
+  uint32_t epoch = 0;
+  Status error = Status::OK();
+};
+void EncodeFragmentError(const FragmentErrorMsg& msg,
+                         std::vector<uint8_t>* out);
+Status DecodeFragmentError(const std::vector<uint8_t>& payload,
+                           FragmentErrorMsg* msg);
 
 }  // namespace jsontiles::dist
 

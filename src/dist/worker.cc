@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstring>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "dist/wire.h"
@@ -25,9 +26,14 @@ namespace {
 /// can overlap decode with worker-side scanning and no frame balloons.
 constexpr size_t kBatchBytes = 256u << 10;
 
-/// A worker waits indefinitely for the next fragment between queries; the
-/// frame deadline only bounds a frame that started arriving.
+/// A worker waits (nearly) indefinitely for the next fragment between
+/// queries — being idle is its normal state.
 constexpr int kIdleTimeoutMs = 3600 * 1000;
+
+/// But once a frame's first byte has arrived, the rest must follow promptly:
+/// a coordinator that opens a header and stalls is cut off here instead of
+/// riding the idle budget for an hour.
+constexpr int kFrameTimeoutMs = 60 * 1000;
 
 uint64_t NowNanos() {
   return static_cast<uint64_t>(
@@ -66,21 +72,38 @@ Status SendError(WorkerState& state, const Status& error) {
   return WriteFrame(state.fd, FrameType::kError, payload, nullptr);
 }
 
+/// All result frames (RowBatch / AggResult / FragmentDone) funnel through
+/// here so the chaos harness can SIGKILL the worker at a randomized frame
+/// boundary: `dist.worker_crash_frame=nth:N` dies exactly before this
+/// process's N-th result frame reaches the wire.
+Status WriteResultFrame(WorkerState& state, FrameType type,
+                        const std::vector<uint8_t>& payload) {
+  if (JSONTILES_FAILPOINT_FIRES("dist.worker_crash_frame")) {
+    _exit(3);  // simulated hard crash at a frame boundary
+  }
+  return WriteFrame(state.fd, type, payload, nullptr);
+}
+
 Status HandleOpen(WorkerState& state, const std::vector<uint8_t>& payload) {
   OpenMsg open;
   JSONTILES_RETURN_NOT_OK(DecodeOpen(payload, &open));
   auto manifest = storage::ReadShardManifest(open.manifest_path);
   JSONTILES_RETURN_NOT_OK(manifest.status());
-  state.manifest = std::move(manifest.ValueOrDie());
-  state.assigned.clear();
+  // Build into locals and commit only on success: a failed (re-)open — the
+  // coordinator re-opens live workers mid-query when shards migrate off a
+  // dead one — must leave the previous assignment fully usable.
+  std::vector<size_t> assigned;
   for (uint64_t s : open.shards) {
-    if (s >= state.manifest.shard_count()) {
+    if (s >= manifest.ValueOrDie().shard_count()) {
       return Status::InvalidArgument("assigned shard index out of range");
     }
-    state.assigned.push_back(static_cast<size_t>(s));
+    assigned.push_back(static_cast<size_t>(s));
   }
-  auto relations = storage::OpenShardSubset(state.manifest, state.assigned);
+  auto relations =
+      storage::OpenShardSubset(manifest.ValueOrDie(), assigned);
   JSONTILES_RETURN_NOT_OK(relations.status());
+  state.manifest = std::move(manifest.ValueOrDie());
+  state.assigned = std::move(assigned);
   state.relations = std::move(relations.ValueOrDie());
   state.num_threads = open.num_threads;
 
@@ -94,11 +117,16 @@ Status HandleOpen(WorkerState& state, const std::vector<uint8_t>& payload) {
 /// Execute one fragment end to end; frames written: row batches / an
 /// aggregate partial, then FragmentDone. A Status return here means the
 /// fragment failed *before* any result frame went out, so the caller can
-/// still report it as a clean kError.
+/// still report it as a clean kFragmentError.
 Status RunFragment(WorkerState& state, const FragmentMsg& frag, bool is_agg) {
   JSONTILES_FAILPOINT_RETURN("dist.worker_exec");
   if (JSONTILES_FAILPOINT_FIRES("dist.worker_crash")) {
     _exit(3);  // simulated hard crash: no error frame, no cleanup
+  }
+  if (JSONTILES_FAILPOINT_FIRES("dist.worker_hang")) {
+    // Simulated wedge (deadlock, runaway loop): alive but silent. The
+    // coordinator's idle-liveness deadline must kill and replace us.
+    while (true) std::this_thread::sleep_for(std::chrono::seconds(1));
   }
   const uint64_t start_nanos = NowNanos();
 
@@ -136,10 +164,32 @@ Status RunFragment(WorkerState& state, const FragmentMsg& frag, bool is_agg) {
 
   FragmentDoneMsg done;
   done.fragment_id = frag.fragment_id;
+  done.epoch = frag.epoch;
   done.tiles_scanned = ctx.tiles_scanned;
   done.tiles_skipped = ctx.tiles_skipped;
 
   std::vector<uint8_t> payload;
+  if (JSONTILES_FAILPOINT_FIRES("dist.worker_stale_frame")) {
+    // Simulated late frame from a superseded dispatch: a result frame whose
+    // epoch does not match the current one. The coordinator must reject it
+    // (dist.frames_rejected_stale) without disturbing the real results.
+    if (is_agg) {
+      exec::AggGroupMap stale;
+      exec::AccumulateRows(rows, frag.group_by, frag.aggs, ctx.arena(0),
+                           &stale);
+      EncodeAggPartial(frag.fragment_id, frag.epoch + 1000, stale, frag.aggs,
+                       &payload);
+      JSONTILES_RETURN_NOT_OK(
+          WriteResultFrame(state, FrameType::kAggResult, payload));
+    } else {
+      payload.clear();
+      EncodeRowBatch(frag.fragment_id, frag.epoch + 1000, rows, 0,
+                     std::min<size_t>(rows.size(), 1), &payload);
+      JSONTILES_RETURN_NOT_OK(
+          WriteResultFrame(state, FrameType::kRowBatch, payload));
+    }
+    payload.clear();
+  }
   if (is_agg) {
     exec::AggGroupMap groups;
     exec::AccumulateRows(rows, frag.group_by, frag.aggs, ctx.arena(0),
@@ -148,9 +198,10 @@ Status RunFragment(WorkerState& state, const FragmentMsg& frag, bool is_agg) {
     for (const auto& [h, bucket] : groups) num_groups += bucket.size();
     done.rows_out = num_groups;
     if (!groups.empty()) {
-      EncodeAggPartial(frag.fragment_id, groups, frag.aggs, &payload);
+      EncodeAggPartial(frag.fragment_id, frag.epoch, groups, frag.aggs,
+                       &payload);
       JSONTILES_RETURN_NOT_OK(
-          WriteFrame(state.fd, FrameType::kAggResult, payload, nullptr));
+          WriteResultFrame(state, FrameType::kAggResult, payload));
     }
   } else {
     done.rows_out = rows.size();
@@ -163,9 +214,10 @@ Status RunFragment(WorkerState& state, const FragmentMsg& frag, bool is_agg) {
         end++;
       }
       payload.clear();
-      EncodeRowBatch(frag.fragment_id, rows, begin, end, &payload);
+      EncodeRowBatch(frag.fragment_id, frag.epoch, rows, begin, end,
+                     &payload);
       JSONTILES_RETURN_NOT_OK(
-          WriteFrame(state.fd, FrameType::kRowBatch, payload, nullptr));
+          WriteResultFrame(state, FrameType::kRowBatch, payload));
       begin = end;
     }
   }
@@ -173,7 +225,7 @@ Status RunFragment(WorkerState& state, const FragmentMsg& frag, bool is_agg) {
   done.wall_nanos = NowNanos() - start_nanos;
   payload.clear();
   EncodeFragmentDone(done, &payload);
-  return WriteFrame(state.fd, FrameType::kFragmentDone, payload, nullptr);
+  return WriteResultFrame(state, FrameType::kFragmentDone, payload);
 }
 
 }  // namespace
@@ -258,7 +310,9 @@ int RunWorker(const WorkerOptions& options) {
   int exit_code = 0;
   while (true) {
     FrameType type;
-    Status st = ReadFrame(fd, kIdleTimeoutMs, &type, &payload, nullptr);
+    Status st =
+        ReadFrame(fd, kIdleTimeoutMs, kFrameTimeoutMs, &type, &payload,
+                  nullptr);
     if (!st.ok()) {
       // Clean EOF = coordinator went away (its destructor closes first on
       // error paths); anything else is a protocol/transport failure.
@@ -268,19 +322,52 @@ int RunWorker(const WorkerOptions& options) {
       }
       break;
     }
-    if (type == FrameType::kShutdown) break;
+    if (type == FrameType::kShutdown) {
+      if (JSONTILES_FAILPOINT_FIRES("dist.worker_ignore_shutdown")) {
+        // Simulated unresponsive worker: never exits on its own. The
+        // coordinator's teardown must escalate to SIGKILL and still reap.
+        while (true) std::this_thread::sleep_for(std::chrono::seconds(1));
+      }
+      break;
+    }
 
     switch (type) {
       case FrameType::kOpen:
         st = HandleOpen(state, payload);
+        if (!st.ok()) {
+          // Report and stay alive: the error frame takes kOpenOk's place in
+          // the stream, so the coordinator stays frame-aligned — and commits
+          // nothing, so the previous assignment still serves.
+          if (!SendError(state, st).ok()) exit_code = 1;
+          st = Status::OK();
+        }
         break;
       case FrameType::kScanFragment:
       case FrameType::kAggFragment: {
         FragmentMsg frag;
-        st = DecodeFragment(payload, &frag);
-        if (st.ok()) {
-          st = RunFragment(state, frag,
-                           type == FrameType::kAggFragment);
+        Status decode_st = DecodeFragment(payload, &frag);
+        if (!decode_st.ok()) {
+          // Cannot name a fragment we failed to decode.
+          if (!SendError(state, decode_st).ok()) exit_code = 1;
+          break;
+        }
+        Status frag_st =
+            RunFragment(state, frag, type == FrameType::kAggFragment);
+        if (!frag_st.ok()) {
+          // A deterministic fragment failure: report it with the fragment's
+          // identity (kFragmentError takes the fragment's place in the
+          // stream) so the coordinator fails the query cleanly instead of
+          // retrying a fragment that would fail again.
+          FragmentErrorMsg err;
+          err.fragment_id = frag.fragment_id;
+          err.epoch = frag.epoch;
+          err.error = frag_st;
+          std::vector<uint8_t> reply;
+          EncodeFragmentError(err, &reply);
+          if (!WriteFrame(state.fd, FrameType::kFragmentError, reply, nullptr)
+                   .ok()) {
+            exit_code = 1;
+          }
         }
         break;
       }
@@ -289,9 +376,10 @@ int RunWorker(const WorkerOptions& options) {
                                 std::to_string(static_cast<int>(type)));
         break;
     }
+    if (exit_code != 0) break;
     if (!st.ok()) {
-      // Report and stay alive: the error frame takes the fragment's place
-      // in the stream, so the coordinator stays frame-aligned.
+      // Report and stay alive: the error frame takes the failed exchange's
+      // place in the stream, so the coordinator stays frame-aligned.
       if (!SendError(state, st).ok()) {
         exit_code = 1;
         break;

@@ -1,12 +1,21 @@
-// Distributed shard execution: the worker side (DESIGN.md §13).
+// Distributed shard execution: the worker side (DESIGN.md §13, §14).
 //
 // jsontiles_workerd is a thin process around the existing engine: it opens
 // only its assigned shards of a JTSM manifest (storage::OpenShardSubset) and
 // executes scan / partial-aggregate fragments with the same ScanExec and
 // accumulator code local queries use, streaming results back as wire frames.
 // One connection, one coordinator, fragments executed in arrival order —
-// every fragment ends in exactly one FragmentDone or Error frame, which is
-// what keeps the coordinator's stream multiplexing frame-aligned.
+// every fragment ends in exactly one FragmentDone or FragmentError frame
+// (echoing the request's epoch), which is what keeps the coordinator's
+// stream multiplexing frame-aligned and lets it reject frames from a
+// superseded dispatch.
+//
+// Chaos failpoints (armed via --failpoint, DESIGN.md §14): dist.worker_exec
+// (fragment reports a deterministic error), dist.worker_crash (_exit at
+// fragment start), dist.worker_crash_frame (_exit mid result-frame write —
+// the coordinator sees a torn stream), dist.worker_hang (stops reading),
+// dist.worker_stale_frame (pre-sends a wrong-epoch frame),
+// dist.worker_ignore_shutdown (teardown must SIGKILL + reap).
 
 #ifndef JSONTILES_DIST_WORKER_H_
 #define JSONTILES_DIST_WORKER_H_

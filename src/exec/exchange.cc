@@ -31,6 +31,18 @@ void ReportExchange(obs::OperatorProfiler& prof, const ExchangeStats& stats,
   JSONTILES_COUNTER_ADD("dist.frames", static_cast<int64_t>(frames));
   JSONTILES_COUNTER_ADD("dist.bytes_sent", static_cast<int64_t>(bytes));
   JSONTILES_COUNTER_ADD("dist.batches_sent", static_cast<int64_t>(batches));
+  if (stats.fragments_retried > 0) {
+    JSONTILES_COUNTER_ADD("dist.fragments_retried",
+                          static_cast<int64_t>(stats.fragments_retried));
+  }
+  if (stats.workers_respawned > 0) {
+    JSONTILES_COUNTER_ADD("dist.workers_respawned",
+                          static_cast<int64_t>(stats.workers_respawned));
+  }
+  if (stats.frames_rejected_stale > 0) {
+    JSONTILES_COUNTER_ADD("dist.frames_rejected_stale",
+                          static_cast<int64_t>(stats.frames_rejected_stale));
+  }
   if (!prof.active()) return;
   prof.AddCounter("workers", static_cast<int64_t>(stats.workers.size()));
   prof.AddCounter("frames", static_cast<int64_t>(frames));
@@ -41,6 +53,24 @@ void ReportExchange(obs::OperatorProfiler& prof, const ExchangeStats& stats,
   prof.AddCounter("tiles", static_cast<int64_t>(stats.tiles_scanned));
   prof.AddCounter("tiles_skipped",
                   static_cast<int64_t>(stats.tiles_skipped));
+  // Recovery accounting appears only when recovery actually happened — the
+  // happy path's EXPLAIN ANALYZE stays unchanged.
+  if (stats.fragments_retried > 0) {
+    prof.AddCounter("fragments_retried",
+                    static_cast<int64_t>(stats.fragments_retried));
+  }
+  if (stats.workers_respawned > 0) {
+    prof.AddCounter("workers_respawned",
+                    static_cast<int64_t>(stats.workers_respawned));
+  }
+  if (stats.frames_rejected_stale > 0) {
+    prof.AddCounter("frames_rejected_stale",
+                    static_cast<int64_t>(stats.frames_rejected_stale));
+  }
+  if (stats.recovery_nanos > 0) {
+    prof.AddCounter("recovery_nanos",
+                    static_cast<int64_t>(stats.recovery_nanos));
+  }
   // Per-worker rows/bytes/time: the EXPLAIN ANALYZE view of fragment skew.
   for (size_t i = 0; i < stats.workers.size(); i++) {
     const ExchangeWorkerStats& w = stats.workers[i];
@@ -48,6 +78,9 @@ void ReportExchange(obs::OperatorProfiler& prof, const ExchangeStats& stats,
     prof.AddCounter(p + "rows", static_cast<int64_t>(w.rows));
     prof.AddCounter(p + "bytes", static_cast<int64_t>(w.bytes));
     prof.AddCounter(p + "nanos", static_cast<int64_t>(w.wall_nanos));
+    if (w.respawns > 0) {
+      prof.AddCounter(p + "respawns", static_cast<int64_t>(w.respawns));
+    }
   }
 }
 

@@ -25,6 +25,7 @@ struct ExchangeWorkerStats {
   uint64_t frames = 0;      // frames received
   uint64_t batches = 0;     // row/agg-result batches received
   uint64_t wall_nanos = 0;  // worker-reported fragment execution time
+  uint64_t respawns = 0;    // times this worker slot was respawned here
 };
 
 struct ExchangeStats {
@@ -33,6 +34,11 @@ struct ExchangeStats {
   uint64_t shards_pruned = 0;
   uint64_t tiles_scanned = 0;
   uint64_t tiles_skipped = 0;
+  // Fault-tolerance accounting (DESIGN.md §14), per exchange.
+  uint64_t fragments_retried = 0;      // fragment re-dispatches
+  uint64_t workers_respawned = 0;      // worker processes respawned
+  uint64_t frames_rejected_stale = 0;  // epoch-stale frames discarded
+  uint64_t recovery_nanos = 0;         // wall time spent in recovery
 };
 
 /// What a distributed runtime must provide. Implemented by dist::Cluster.

@@ -12,6 +12,7 @@
 #define JSONTILES_EXEC_SCAN_H_
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -37,6 +38,24 @@ class DistRuntime;  // exec/exchange.h
 using Row = std::vector<Value>;
 using RowSet = std::vector<Row>;
 
+/// Fault-tolerance budget of a distributed query (DESIGN.md §14). A worker
+/// that dies or hangs mid-fragment is killed, respawned with capped
+/// exponential backoff, and its fragments re-dispatched (new epoch) to a
+/// surviving worker; fragments are deterministic and results commit only on
+/// FragmentDone, so a re-execution is safe and bit-identical. Zeroed budgets
+/// restore the PR-8 behavior: the first worker death fails the query.
+struct DistRetryPolicy {
+  /// Re-dispatches allowed per fragment before the query fails cleanly.
+  uint32_t max_fragment_retries = 2;
+  /// Respawns allowed per worker slot over the cluster's lifetime; a slot
+  /// that exhausts it is permanently dead and its shards migrate to
+  /// survivors.
+  uint32_t max_worker_respawns = 2;
+  /// First respawn backoff; doubles per consecutive attempt, capped below.
+  uint32_t respawn_backoff_ms = 25;
+  uint32_t respawn_backoff_cap_ms = 1000;
+};
+
 struct ExecOptions {
   size_t num_threads = 1;
   /// §4.8: skip tiles that cannot contain a null-rejecting key path.
@@ -50,6 +69,9 @@ struct ExecOptions {
   size_t mem_limit_bytes = 0;
   /// Directory for spill temp files; empty = $TMPDIR (else /tmp).
   std::string spill_dir;
+  /// Worker-failure recovery budgets for distributed execution (ignored by
+  /// local queries).
+  DistRetryPolicy dist_retry;
 };
 
 /// Per-query state: worker arenas for derived strings (rows reference them,

@@ -7,6 +7,9 @@
 // persistence. Canonicalization is Value::ToString per cell, which renders
 // floats exactly (shortest round-trip), so two equal strings mean equal bits.
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -132,8 +135,20 @@ struct SavedWorkload {
               .c_str());
     }
     if (!manifest_path.empty()) std::remove(manifest_path.c_str());
+    if (!dir.empty()) ::rmdir(dir.c_str());
   }
 };
+
+/// Per-process workload directory: ctest runs each TEST as its own process,
+/// in parallel with the failpoint and chaos suites — every dist test that
+/// saves a workload needs its own directory or they clobber each other's
+/// manifests.
+std::string PrivateDir() {
+  std::string dir =
+      ::testing::TempDir() + "distdiff_" + std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
 
 SavedWorkload SaveAndOpen(const std::vector<std::string>& docs,
                           const std::string& name, size_t shards) {
@@ -146,7 +161,7 @@ SavedWorkload SaveAndOpen(const std::vector<std::string>& docs,
                                       shard_options)
                     .MoveValueOrDie();
   SavedWorkload out;
-  out.dir = ::testing::TempDir();
+  out.dir = PrivateDir();
   out.name = name;
   out.shards = shards;
   JSONTILES_CHECK(storage::SaveSharded(*loaded, out.dir).ok());
@@ -370,7 +385,7 @@ TEST(DistDifferentialTest, CoordinatorShardPruning) {
                                       load_options, shard_options)
                     .MoveValueOrDie();
   SavedWorkload w;
-  w.dir = ::testing::TempDir();
+  w.dir = PrivateDir();
   w.name = "tpch";
   w.shards = 8;
   ASSERT_TRUE(storage::SaveSharded(*loaded, w.dir).ok());

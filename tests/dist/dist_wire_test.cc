@@ -6,9 +6,14 @@
 
 #include "dist/wire.h"
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -297,12 +302,14 @@ TEST(DistWireTest, RowBatchRoundTrip) {
   rows.push_back(Row{Value::Bool(false)});
 
   std::vector<uint8_t> buf;
-  EncodeRowBatch(9, rows, 0, rows.size(), &buf);
+  EncodeRowBatch(9, /*epoch=*/3, rows, 0, rows.size(), &buf);
   Arena arena;
   uint32_t fragment_id = 0;
+  uint32_t epoch = 0;
   RowSet out;
-  ASSERT_TRUE(DecodeRowBatch(buf, &arena, &fragment_id, &out).ok());
+  ASSERT_TRUE(DecodeRowBatch(buf, &arena, &fragment_id, &epoch, &out).ok());
   EXPECT_EQ(fragment_id, 9u);
+  EXPECT_EQ(epoch, 3u);
   ASSERT_EQ(out.size(), rows.size());
   for (size_t i = 0; i < rows.size(); i++) {
     ASSERT_EQ(out[i].size(), rows[i].size()) << "row " << i;
@@ -316,10 +323,11 @@ TEST(DistWireTest, RowBatchRoundTrip) {
 
   // Sub-range encoding: rows [1, 3).
   buf.clear();
-  EncodeRowBatch(9, rows, 1, 3, &buf);
+  EncodeRowBatch(9, /*epoch=*/1, rows, 1, 3, &buf);
   out.clear();
-  ASSERT_TRUE(DecodeRowBatch(buf, &arena, &fragment_id, &out).ok());
+  ASSERT_TRUE(DecodeRowBatch(buf, &arena, &fragment_id, &epoch, &out).ok());
   ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(epoch, 1u);
   EXPECT_EQ(out[0][0].ToString(), "2");
 }
 
@@ -339,11 +347,12 @@ TEST(DistWireTest, AggPartialRoundTrip) {
   AccumulateRows(rows, group_by, aggs, &arena, &groups);
 
   std::vector<uint8_t> buf;
-  EncodeAggPartial(7, groups, aggs, &buf);
+  EncodeAggPartial(7, /*epoch=*/2, groups, aggs, &buf);
   Arena decode_arena;
   AggPartial partial;
   ASSERT_TRUE(DecodeAggPartial(buf, aggs.size(), &decode_arena, &partial).ok());
   EXPECT_EQ(partial.fragment_id, 7u);
+  EXPECT_EQ(partial.epoch, 2u);
   ASSERT_EQ(partial.groups.size(), 2u);
 
   // Merging the decoded partial into an empty table and finalizing gives the
@@ -372,6 +381,7 @@ TEST(DistWireTest, FragmentDoneAndStatusRoundTrip) {
   std::vector<uint8_t> buf;
   FragmentDoneMsg done;
   done.fragment_id = 2;
+  done.epoch = 4;
   done.rows_out = 12345;
   done.tiles_scanned = 10;
   done.tiles_skipped = 7;
@@ -380,6 +390,7 @@ TEST(DistWireTest, FragmentDoneAndStatusRoundTrip) {
   FragmentDoneMsg done2;
   ASSERT_TRUE(DecodeFragmentDone(buf, &done2).ok());
   EXPECT_EQ(done2.fragment_id, 2u);
+  EXPECT_EQ(done2.epoch, 4u);
   EXPECT_EQ(done2.rows_out, 12345u);
   EXPECT_EQ(done2.tiles_scanned, 10u);
   EXPECT_EQ(done2.tiles_skipped, 7u);
@@ -391,6 +402,25 @@ TEST(DistWireTest, FragmentDoneAndStatusRoundTrip) {
   ASSERT_TRUE(DecodeStatus(buf, &decoded).ok());
   EXPECT_EQ(decoded.code(), StatusCode::kNotFound);
   EXPECT_NE(decoded.ToString().find("shard 3 missing"), std::string::npos);
+}
+
+TEST(DistWireTest, FragmentErrorRoundTrip) {
+  std::vector<uint8_t> buf;
+  FragmentErrorMsg msg;
+  msg.fragment_id = 5;
+  msg.epoch = 2;
+  msg.error = Status::InvalidArgument("bad access path");
+  EncodeFragmentError(msg, &buf);
+  FragmentErrorMsg out;
+  ASSERT_TRUE(DecodeFragmentError(buf, &out).ok());
+  EXPECT_EQ(out.fragment_id, 5u);
+  EXPECT_EQ(out.epoch, 2u);
+  EXPECT_EQ(out.error.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(out.error.message().find("bad access path"), std::string::npos);
+
+  // Truncated payload is rejected, not misread.
+  std::vector<uint8_t> cut(buf.begin(), buf.begin() + buf.size() / 2);
+  EXPECT_FALSE(DecodeFragmentError(cut, &out).ok());
 }
 
 // ---------------------------------------------------------------------------
@@ -428,19 +458,34 @@ std::vector<uint8_t> RealStream() {
   RowSet rows;
   rows.push_back(Row{Value::Int(4), Value::String("wire")});
   rows.push_back(Row{Value::Null(), Value::Float(1.25)});
-  EncodeRowBatch(1, rows, 0, rows.size(), &buf);
+  EncodeRowBatch(1, /*epoch=*/1, rows, 0, rows.size(), &buf);
   AppendFrame(FrameType::kRowBatch, buf, &stream);
 
   buf.clear();
   Arena arena;
   AggGroupMap groups;
   AccumulateRows(rows, {Slot(0)}, {AggSpec::CountStar()}, &arena, &groups);
-  EncodeAggPartial(1, groups, {AggSpec::CountStar()}, &buf);
+  EncodeAggPartial(1, /*epoch=*/1, groups, {AggSpec::CountStar()}, &buf);
   AppendFrame(FrameType::kAggResult, buf, &stream);
 
   buf.clear();
-  EncodeFragmentDone(FragmentDoneMsg{1, 2, 1, 0, 5}, &buf);
+  FragmentDoneMsg done;
+  done.fragment_id = 1;
+  done.epoch = 1;
+  done.rows_out = 2;
+  done.tiles_scanned = 1;
+  done.tiles_skipped = 0;
+  done.wall_nanos = 5;
+  EncodeFragmentDone(done, &buf);
   AppendFrame(FrameType::kFragmentDone, buf, &stream);
+
+  buf.clear();
+  FragmentErrorMsg ferr;
+  ferr.fragment_id = 1;
+  ferr.epoch = 1;
+  ferr.error = Status::NotFound("tile 9 missing");
+  EncodeFragmentError(ferr, &buf);
+  AppendFrame(FrameType::kFragmentError, buf, &stream);
 
   buf.clear();
   EncodeStatus(Status::Internal("boom"), &buf);
@@ -490,8 +535,9 @@ void DrainStream(const uint8_t* data, size_t size) {
       }
       case FrameType::kRowBatch: {
         uint32_t id;
+        uint32_t epoch;
         RowSet rows;
-        (void)DecodeRowBatch(payload, &arena, &id, &rows);
+        (void)DecodeRowBatch(payload, &arena, &id, &epoch, &rows);
         break;
       }
       case FrameType::kAggResult: {
@@ -502,6 +548,11 @@ void DrainStream(const uint8_t* data, size_t size) {
       case FrameType::kFragmentDone: {
         FragmentDoneMsg m;
         (void)DecodeFragmentDone(payload, &m);
+        break;
+      }
+      case FrameType::kFragmentError: {
+        FragmentErrorMsg m;
+        (void)DecodeFragmentError(payload, &m);
         break;
       }
       case FrameType::kError: {
@@ -578,6 +629,81 @@ TEST(DistWireTest, AbsurdLengthRejected) {
   std::vector<uint8_t> decoded;
   EXPECT_FALSE(
       DecodeFrame(bad.data(), bad.size(), &consumed, &type, &decoded).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Socket deadlines
+// ---------------------------------------------------------------------------
+
+/// A quiet peer is bounded by the idle deadline: no bytes at all must fail
+/// in ~idle_timeout_ms, not hang on the (much larger) frame budget.
+TEST(DistWireTest, ReadFrameIdleTimeout) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  FrameType type;
+  std::vector<uint8_t> payload;
+  Status st = ReadFrame(fds[0], /*idle_timeout_ms=*/100,
+                        /*frame_timeout_ms=*/60000, &type, &payload, nullptr);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("idle"), std::string::npos) << st.ToString();
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+/// Regression: a peer that opens a frame header and then stalls must be cut
+/// off by the frame deadline — it must NOT get to ride the idle budget once
+/// the first byte has arrived.
+TEST(DistWireTest, ReadFrameStalledPeerTimesOutOnFrameDeadline) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // 5 bytes of a 17-byte frame header, then silence.
+  std::vector<uint8_t> stream;
+  AppendFrame(FrameType::kRowBatch, Payload(64, 9), &stream);
+  ASSERT_EQ(::write(fds[1], stream.data(), 5), 5);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  FrameType type;
+  std::vector<uint8_t> payload;
+  // Generous idle budget, tight frame budget: the stall must hit the frame
+  // deadline, so the whole call returns in ~200ms, not ~60s.
+  Status st = ReadFrame(fds[0], /*idle_timeout_ms=*/60000,
+                        /*frame_timeout_ms=*/200, &type, &payload, nullptr);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("recv"), std::string::npos) << st.ToString();
+  EXPECT_LT(elapsed, std::chrono::seconds(30));
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+/// A slow-but-progressing peer inside the frame budget still succeeds: the
+/// frame deadline bounds the whole frame, not each byte.
+TEST(DistWireTest, ReadFrameSlowPeerWithinBudgetSucceeds) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::vector<uint8_t> stream;
+  const std::vector<uint8_t> payload_in = Payload(64, 7);
+  AppendFrame(FrameType::kHello, payload_in, &stream);
+
+  std::thread writer([&] {
+    const size_t half = stream.size() / 2;
+    (void)!::write(fds[1], stream.data(), half);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    (void)!::write(fds[1], stream.data() + half, stream.size() - half);
+  });
+  FrameType type;
+  std::vector<uint8_t> payload;
+  Status st = ReadFrame(fds[0], /*idle_timeout_ms=*/10000,
+                        /*frame_timeout_ms=*/10000, &type, &payload, nullptr);
+  writer.join();
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(type, FrameType::kHello);
+  EXPECT_EQ(payload, payload_in);
+  ::close(fds[0]);
+  ::close(fds[1]);
 }
 
 TEST(DistWireTest, UnknownFrameTypeRejected) {
