@@ -1,0 +1,268 @@
+// Multi-tenant service benchmark: a closed-loop multi-client driver over the
+// admission-controlled QueryService, reporting per-query p50/p99 latency and
+// aggregate throughput as the client count sweeps past the group's
+// concurrency slots (queue waits then surface in the tail). Doubles as the
+// CI perf smoke: single-client execution through the service must be
+// bit-identical to direct execution and add no material latency — the binary
+// exits non-zero when identity breaks or the overhead gate trips, and
+// --service-json writes the summary (BENCH_service.json).
+//
+// Usage:
+//   bench_service [--service-json PATH]
+// Environment: JSONTILES_SF / JSONTILES_YELP scale the mixed TPC-H+Yelp
+// workload (bench_common.h defaults).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "service/query_service.h"
+#include "workload/tpch.h"
+#include "workload/tpch_queries.h"
+#include "workload/yelp.h"
+
+namespace {
+
+using namespace jsontiles;         // NOLINT
+using namespace jsontiles::bench;  // NOLINT
+using exec::QueryContext;
+using exec::RowSet;
+
+struct Item {
+  bool yelp;
+  int query;
+};
+
+// The mixed tenant workload: scan-, join- and aggregation-heavy TPC-H plus
+// the nested-JSON Yelp queries.
+constexpr Item kMix[] = {{false, 1}, {false, 3},  {false, 6}, {false, 12},
+                         {false, 18}, {true, 1},  {true, 3},  {true, 5}};
+
+const storage::Relation* g_tpch = nullptr;
+const storage::Relation* g_yelp = nullptr;
+
+RowSet RunItem(const Item& item, QueryContext& ctx) {
+  return item.yelp ? workload::RunYelpQuery(item.query, *g_yelp, ctx)
+                   : workload::RunTpchQuery(item.query, *g_tpch, ctx);
+}
+
+std::string Canonical(const RowSet& rows) {
+  std::string out;
+  for (const auto& row : rows) {
+    for (const auto& v : row) {
+      out += v.is_null() ? "∅" : v.ToString();
+      out += "|";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0;
+  std::sort(sorted.begin(), sorted.end());
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+struct LoadResult {
+  double wall_seconds = 0;
+  std::vector<double> latencies_ms;  // one entry per completed query
+  size_t errors = 0;
+};
+
+/// Closed-loop drive: `clients` threads, each executing the mix `rounds`
+/// times back to back through the service (think: one backend connection per
+/// tenant, always one query in flight or waiting for admission).
+LoadResult DriveClosedLoop(service::QueryService& service, size_t clients,
+                           int rounds) {
+  LoadResult result;
+  std::vector<std::vector<double>> per_client(clients);
+  std::atomic<size_t> errors{0};
+  result.wall_seconds = TimeOnce([&] {
+    std::vector<std::thread> threads;
+    for (size_t c = 0; c < clients; c++) {
+      threads.emplace_back([&, c] {
+        for (int r = 0; r < rounds; r++) {
+          for (size_t i = 0; i < std::size(kMix); i++) {
+            // Stagger the starting offset per client so tenants contend on
+            // different queries, not in lockstep.
+            const Item& item = kMix[(i + c) % std::size(kMix)];
+            const double t = TimeOnce([&] {
+              Status st = service.Submit("bench", {}, [&](QueryContext& ctx) {
+                benchmark::DoNotOptimize(RunItem(item, ctx));
+                return Status::OK();
+              });
+              if (!st.ok()) errors.fetch_add(1);
+            });
+            per_client[c].push_back(t * 1e3);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  });
+  for (auto& v : per_client) {
+    result.latencies_ms.insert(result.latencies_ms.end(), v.begin(), v.end());
+  }
+  result.errors = errors.load();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchObs obs(&argc, argv);
+
+  std::string json_path;
+  for (int i = 1; i < argc; i++) {
+    std::string_view arg = argv[i];
+    if (arg == "--service-json" || arg.rfind("--service-json=", 0) == 0) {
+      size_t eq = arg.find('=');
+      if (eq != std::string_view::npos) {
+        json_path = std::string(arg.substr(eq + 1));
+      } else if (i + 1 < argc) {
+        json_path = argv[++i];
+      } else {
+        std::fprintf(stderr, "missing path after --service-json\n");
+        return 2;
+      }
+    }
+  }
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::fclose(f);
+  }
+
+  workload::TpchOptions tpch_options;
+  tpch_options.scale_factor = TpchScaleFactor();
+  auto tpch_data = workload::GenerateTpch(tpch_options);
+  workload::YelpOptions yelp_options;
+  yelp_options.num_business = YelpBusinesses();
+  auto yelp_docs = workload::GenerateYelp(yelp_options);
+  storage::Loader loader(storage::StorageMode::kTiles, {});
+  auto tpch = loader.Load(tpch_data.combined, "tpch").MoveValueOrDie();
+  auto yelp = loader.Load(yelp_docs, "yelp").MoveValueOrDie();
+  g_tpch = tpch.get();
+  g_yelp = yelp.get();
+
+  // --- Identity + overhead gate: single client, service vs direct. -------
+  bool identical = true;
+  double direct_total = 0, service_total = 0;
+  {
+    service::QueryService service;
+    service::ResourceGroupConfig group;
+    group.concurrency = 4;
+    group.max_queue = 64;
+    if (!service.CreateGroup("bench", group).ok()) return 2;
+    for (const Item& item : kMix) {
+      std::string direct_result, service_result;
+      direct_total += TimeBest([&] {
+        QueryContext ctx;
+        direct_result = Canonical(RunItem(item, ctx));
+      });
+      service_total += TimeBest([&] {
+        Status st = service.Submit("bench", {}, [&](QueryContext& ctx) {
+          service_result = Canonical(RunItem(item, ctx));
+          return Status::OK();
+        });
+        if (!st.ok()) {
+          std::fprintf(stderr, "service execution failed: %s\n",
+                       st.ToString().c_str());
+          identical = false;
+        }
+      });
+      if (direct_result != service_result) {
+        std::fprintf(stderr, "%s %d: service result differs from direct\n",
+                     item.yelp ? "Yelp" : "TPC-H", item.query);
+        identical = false;
+      }
+    }
+  }
+  const double overhead = service_total / direct_total;
+  // Admission is two mutex acquisitions around millisecond-scale queries; a
+  // generous gate absorbs shared-runner noise while still catching a real
+  // regression (e.g. admission serializing execution).
+  const bool overhead_ok = overhead < 1.5;
+
+  // --- Closed-loop client sweep across the 4 concurrency slots. ----------
+  const size_t client_counts[] = {1, 2, 4, 8};
+  struct SweepRow {
+    size_t clients;
+    double qps, p50_ms, p99_ms;
+    size_t errors;
+  };
+  std::vector<SweepRow> sweep;
+  {
+    service::QueryService service;
+    service::ResourceGroupConfig group;
+    group.concurrency = 4;
+    group.max_queue = 64;
+    group.queue_timeout_ms = 600000;
+    if (!service.CreateGroup("bench", group).ok()) return 2;
+    for (size_t clients : client_counts) {
+      LoadResult r = DriveClosedLoop(service, clients, /*rounds=*/2);
+      SweepRow row;
+      row.clients = clients;
+      row.qps = static_cast<double>(r.latencies_ms.size()) / r.wall_seconds;
+      row.p50_ms = Percentile(r.latencies_ms, 0.50);
+      row.p99_ms = Percentile(r.latencies_ms, 0.99);
+      row.errors = r.errors;
+      sweep.push_back(row);
+    }
+  }
+
+  TablePrinter table("Multi-tenant service: closed-loop client sweep");
+  table.SetHeader({"Clients", "Queries", "QPS", "p50 ms", "p99 ms", "Errors"});
+  std::string sweep_json;
+  bool no_errors = true;
+  for (const auto& row : sweep) {
+    no_errors = no_errors && row.errors == 0;
+    table.AddRow({std::to_string(row.clients),
+                  std::to_string(2 * std::size(kMix) * row.clients),
+                  Fmt(row.qps, "%.1f"), Fmt(row.p50_ms, "%.2f"),
+                  Fmt(row.p99_ms, "%.2f"), std::to_string(row.errors)});
+    if (!sweep_json.empty()) sweep_json += ",\n";
+    sweep_json += "    {\"clients\": " + std::to_string(row.clients) +
+                  ", \"qps\": " + Fmt(row.qps, "%.2f") +
+                  ", \"p50_ms\": " + Fmt(row.p50_ms, "%.3f") +
+                  ", \"p99_ms\": " + Fmt(row.p99_ms, "%.3f") +
+                  ", \"errors\": " + std::to_string(row.errors) + "}";
+  }
+  table.Print();
+  std::printf("single-client service/direct overhead: %.3fx (%s)\n", overhead,
+              overhead_ok ? "ok" : "REGRESSION");
+  std::printf("service/direct identity: %s\n", identical ? "PASS" : "FAIL");
+
+  const bool ok = identical && overhead_ok && no_errors;
+  std::string json =
+      "{\n  \"overhead\": " + Fmt(overhead, "%.4f") +
+      ",\n  \"overhead_ok\": " + (overhead_ok ? "true" : "false") +
+      ",\n  \"identical\": " + (identical ? "true" : "false") +
+      ",\n  \"sweep\": [\n" + sweep_json + "\n  ],\n  \"ok\": " +
+      (ok ? "true" : "false") + "\n}\n";
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("service summary written to %s\n", json_path.c_str());
+  }
+  return ok ? 0 : 1;
+}

@@ -42,8 +42,12 @@ void RescueRowStrings(Row* row, Arena* arena) {
 
 // Emit the spill counters on an operator node (only when it actually
 // spilled, so unconstrained plans stay unchanged). Closes the ROADMAP item:
-// EXPLAIN ANALYZE reports spilled bytes once operators spill.
-void ReportSpill(obs::OperatorProfiler& prof, const SpillStats& stats) {
+// EXPLAIN ANALYZE reports spilled bytes once operators spill. Also
+// accumulates the query-level spill total the multi-tenant service exposes
+// as the per-group quota-spill metric.
+void ReportSpill(obs::OperatorProfiler& prof, const SpillStats& stats,
+                 QueryContext& ctx) {
+  ctx.spilled_bytes += stats.spilled_bytes;
   if (stats.spilled_bytes > 0) {
     prof.AddCounter("spilled_bytes",
                     static_cast<int64_t>(stats.spilled_bytes));
@@ -533,9 +537,10 @@ Status AggSpillPartition(SpillFile file, const std::vector<ExprPtr>& group_by,
   }
   std::vector<SpillFile> sub;
   for (size_t p = 0; p < kSpillFanout; p++) {
-    sub.emplace_back(ctx.options().spill_dir, stats);
+    sub.emplace_back(ctx.options().spill_dir, stats, ctx.options().spill_disk);
   }
   JSONTILES_RETURN_NOT_OK(file.ForEach(nullptr, [&](uint64_t h, Row&& row) {
+    if (ctx.cancelled()) return Status::Cancelled("query cancelled");
     return sub[SpillPartitionOf(h, depth)].Add(h, row);
   }));
   file = SpillFile({}, nullptr);
@@ -543,6 +548,7 @@ Status AggSpillPartition(SpillFile file, const std::vector<ExprPtr>& group_by,
     JSONTILES_RETURN_NOT_OK(sub[p].Finish());
   }
   for (size_t p = 0; p < kSpillFanout; p++) {
+    if (ctx.cancelled()) return Status::Cancelled("query cancelled");
     JSONTILES_RETURN_NOT_OK(AggSpillPartition(std::move(sub[p]), group_by,
                                               aggs, ctx, depth + 1, stats,
                                               out));
@@ -559,7 +565,8 @@ Status AggSpill(const RowSet& in, const std::vector<ExprPtr>& group_by,
   JSONTILES_TRACE_SPAN("exec.agg.spill");
   std::vector<SpillFile> parts;
   for (size_t p = 0; p < kSpillFanout; p++) {
-    parts.emplace_back(ctx.options().spill_dir, stats);
+    parts.emplace_back(ctx.options().spill_dir, stats,
+                       ctx.options().spill_disk);
   }
   Arena scratch;  // derived key strings live only until the row is hashed
   size_t since_reset = 0;
@@ -570,6 +577,7 @@ Status AggSpill(const RowSet& in, const std::vector<ExprPtr>& group_by,
     }
     JSONTILES_RETURN_NOT_OK(parts[SpillPartitionOf(h, 0)].Add(h, row));
     if (++since_reset == 4096) {
+      if (ctx.cancelled()) return Status::Cancelled("query cancelled");
       scratch.Reset();
       since_reset = 0;
     }
@@ -578,6 +586,7 @@ Status AggSpill(const RowSet& in, const std::vector<ExprPtr>& group_by,
     JSONTILES_RETURN_NOT_OK(parts[p].Finish());
   }
   for (size_t p = 0; p < kSpillFanout; p++) {
+    if (ctx.cancelled()) return Status::Cancelled("query cancelled");
     JSONTILES_RETURN_NOT_OK(AggSpillPartition(std::move(parts[p]), group_by,
                                               aggs, ctx, 1, stats, out));
   }
@@ -621,7 +630,7 @@ RowSet AggregateExec(const RowSet& in, const std::vector<ExprPtr>& group_by,
     }
     out.push_back(std::move(row));
   }
-  ReportSpill(prof, stats);
+  ReportSpill(prof, stats, ctx);
   prof.set_rows_out(out.size());
   return out;
 }
@@ -879,11 +888,12 @@ Status JoinSpillPartition(SpillFile bfile, SpillFile pfile,
   }
   std::vector<SpillFile> bsub, psub;
   for (size_t p = 0; p < kSpillFanout; p++) {
-    bsub.emplace_back(ctx.options().spill_dir, stats);
-    psub.emplace_back(ctx.options().spill_dir, stats);
+    bsub.emplace_back(ctx.options().spill_dir, stats, ctx.options().spill_disk);
+    psub.emplace_back(ctx.options().spill_dir, stats, ctx.options().spill_disk);
   }
   auto reroute = [&](SpillFile* src, std::vector<SpillFile>& dst) {
     return src->ForEach(nullptr, [&](uint64_t h, Row&& row) {
+      if (ctx.cancelled()) return Status::Cancelled("query cancelled");
       return dst[SpillPartitionOf(h, depth)].Add(h, row);
     });
   };
@@ -896,6 +906,7 @@ Status JoinSpillPartition(SpillFile bfile, SpillFile pfile,
     JSONTILES_RETURN_NOT_OK(psub[p].Finish());
   }
   for (size_t p = 0; p < kSpillFanout; p++) {
+    if (ctx.cancelled()) return Status::Cancelled("query cancelled");
     JSONTILES_RETURN_NOT_OK(JoinSpillPartition(std::move(bsub[p]),
                                                std::move(psub[p]), spec, ctx,
                                                depth + 1, stats, out));
@@ -921,8 +932,10 @@ Status JoinImpl(const RowSet& build, const RowSet& probe, const JoinSpec& spec,
   JSONTILES_TRACE_SPAN("exec.join.spill");
   std::vector<SpillFile> bparts, pparts;
   for (size_t p = 0; p < kSpillFanout; p++) {
-    bparts.emplace_back(ctx.options().spill_dir, stats);
-    pparts.emplace_back(ctx.options().spill_dir, stats);
+    bparts.emplace_back(ctx.options().spill_dir, stats,
+                        ctx.options().spill_disk);
+    pparts.emplace_back(ctx.options().spill_dir, stats,
+                        ctx.options().spill_disk);
   }
   Arena scratch;  // derived key strings live only until the row is hashed
   auto partition_side = [&](const RowSet& rows,
@@ -936,6 +949,7 @@ Status JoinImpl(const RowSet& build, const RowSet& probe, const JoinSpec& spec,
       }
       JSONTILES_RETURN_NOT_OK(parts[SpillPartitionOf(h, 0)].Add(h, row));
       if (++since_reset == 4096) {
+        if (ctx.cancelled()) return Status::Cancelled("query cancelled");
         scratch.Reset();
         since_reset = 0;
       }
@@ -949,6 +963,7 @@ Status JoinImpl(const RowSet& build, const RowSet& probe, const JoinSpec& spec,
     JSONTILES_RETURN_NOT_OK(pparts[p].Finish());
   }
   for (size_t p = 0; p < kSpillFanout; p++) {
+    if (ctx.cancelled()) return Status::Cancelled("query cancelled");
     JSONTILES_RETURN_NOT_OK(JoinSpillPartition(std::move(bparts[p]),
                                                std::move(pparts[p]), spec,
                                                ctx, 1, stats, out));
@@ -984,7 +999,7 @@ RowSet HashJoinExec(const RowSet& build, const RowSet& probe,
     ctx.Cancel(std::move(st));
     return {};
   }
-  ReportSpill(prof, stats);
+  ReportSpill(prof, stats, ctx);
   prof.set_rows_out(out.size());
   return out;
 }

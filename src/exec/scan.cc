@@ -16,7 +16,8 @@
 namespace jsontiles::exec {
 
 QueryContext::QueryContext(ExecOptions options)
-    : options_(std::move(options)), budget_(options_.mem_limit_bytes) {
+    : options_(std::move(options)),
+      budget_(options_.mem_limit_bytes, options_.budget_parent) {
   size_t workers = std::max<size_t>(1, options_.num_threads);
   for (size_t i = 0; i < workers; i++) {
     arenas_.push_back(std::make_unique<Arena>());

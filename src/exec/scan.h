@@ -69,6 +69,18 @@ struct ExecOptions {
   size_t mem_limit_bytes = 0;
   /// Directory for spill temp files; empty = $TMPDIR (else /tmp).
   std::string spill_dir;
+  /// Parent of the query's memory budget (not owned; must outlive every
+  /// budget operation of the query). The multi-tenant service
+  /// (service/query_service.h) points this at the query's resource-group
+  /// quota, making the per-query budget a grandchild of the global budget:
+  /// group exhaustion then refuses operator charges — triggering spill —
+  /// instead of over-committing memory. Null = standalone query budget.
+  MemoryBudget* budget_parent = nullptr;
+  /// Shared spill-disk governor (not owned; null = uncapped). When set,
+  /// every SpillFile block reserves against it before reaching disk, capping
+  /// the aggregate temp-disk of all concurrently spilling queries; a refused
+  /// reserve fails only this query, with a clean ResourceExhausted.
+  DiskBudget* spill_disk = nullptr;
   /// Worker-failure recovery budgets for distributed execution (ignored by
   /// local queries).
   DistRetryPolicy dist_retry;
@@ -121,6 +133,16 @@ class QueryContext {
   /// whose tiles were considered. Unsharded scans touch neither.
   size_t shards_pruned = 0;
   size_t shards_scanned = 0;
+  /// Bytes this query spilled to temp disk across all operators (framed,
+  /// post-compression). Accumulated by the operator that owned the spill, on
+  /// its calling thread — read it only between operators.
+  uint64_t spilled_bytes = 0;
+
+  /// Stamped by the admission layer (service/query_service.h): the resource
+  /// group that admitted this query and how long it waited in the group's
+  /// queue. EXPLAIN ANALYZE appends them as a footer row when set.
+  std::string resource_group;
+  uint64_t queue_wait_nanos = 0;
 
   /// Per-operator profiling sink (EXPLAIN ANALYZE). Null means off: each
   /// operator then pays a single branch. Not owned; the SQL layer attaches

@@ -91,12 +91,18 @@ Status SpillFile::WriteBlock() {
       store_raw ? 0 : static_cast<uint32_t>(comp.size());
   std::memcpy(header, &raw_size, 4);
   std::memcpy(header + 4, &comp_size, 4);
-  JSONTILES_RETURN_NOT_OK(file_.Append(header, sizeof(header)));
   const std::vector<uint8_t>& payload = store_raw ? buf_ : comp;
-  JSONTILES_RETURN_NOT_OK(file_.Append(payload.data(), payload.size()));
-  if (stats_ != nullptr) {
-    stats_->spilled_bytes += sizeof(header) + payload.size();
+  const uint64_t framed = sizeof(header) + payload.size();
+  if (disk_ != nullptr) {
+    if (!disk_->TryReserve(framed)) {
+      return Status::ResourceExhausted(
+          "spill-disk budget exhausted (shared temp-disk governor)");
+    }
+    disk_held_ += framed;
   }
+  JSONTILES_RETURN_NOT_OK(file_.Append(header, sizeof(header)));
+  JSONTILES_RETURN_NOT_OK(file_.Append(payload.data(), payload.size()));
+  if (stats_ != nullptr) stats_->spilled_bytes += framed;
   buf_.clear();
   return Status::OK();
 }

@@ -21,10 +21,12 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "exec/value.h"
 #include "util/arena.h"
+#include "util/resource_governor.h"
 #include "util/status.h"
 #include "util/temp_file.h"
 
@@ -66,12 +68,32 @@ size_t ApproxRowBytes(const Row& row);
 class SpillFile {
  public:
   /// `dir` empty = $TMPDIR (else /tmp). `stats` (may be null) receives the
-  /// bytes/partition counters as blocks reach disk.
-  SpillFile(std::string dir, SpillStats* stats)
-      : dir_(std::move(dir)), stats_(stats) {}
+  /// bytes/partition counters as blocks reach disk. `disk` (may be null) is
+  /// the shared temp-disk governor: every block reserves its framed size
+  /// before the write and the reservation is returned when this run is
+  /// destroyed (or replaced), so concurrent spilling queries share one cap.
+  /// A refused reserve surfaces as ResourceExhausted from Add/Finish.
+  SpillFile(std::string dir, SpillStats* stats, DiskBudget* disk = nullptr)
+      : dir_(std::move(dir)), stats_(stats), disk_(disk) {}
 
-  SpillFile(SpillFile&&) = default;
-  SpillFile& operator=(SpillFile&&) = default;
+  ~SpillFile() { ReleaseDisk(); }
+
+  SpillFile(SpillFile&& other) noexcept { *this = std::move(other); }
+  SpillFile& operator=(SpillFile&& other) noexcept {
+    if (this != &other) {
+      ReleaseDisk();
+      dir_ = std::move(other.dir_);
+      stats_ = std::exchange(other.stats_, nullptr);
+      disk_ = std::exchange(other.disk_, nullptr);
+      disk_held_ = std::exchange(other.disk_held_, 0);
+      file_ = std::move(other.file_);
+      buf_ = std::move(other.buf_);
+      rows_ = std::exchange(other.rows_, 0);
+      raw_bytes_ = std::exchange(other.raw_bytes_, 0);
+      finished_ = std::exchange(other.finished_, false);
+    }
+    return *this;
+  }
   SpillFile(const SpillFile&) = delete;
   SpillFile& operator=(const SpillFile&) = delete;
 
@@ -96,10 +118,16 @@ class SpillFile {
 
  private:
   Status WriteBlock();
+  void ReleaseDisk() {
+    if (disk_ != nullptr && disk_held_ > 0) disk_->Release(disk_held_);
+    disk_held_ = 0;
+  }
 
   std::string dir_;
-  SpillStats* stats_;
-  TempFile file_;  // created lazily by the first WriteBlock
+  SpillStats* stats_ = nullptr;
+  DiskBudget* disk_ = nullptr;
+  uint64_t disk_held_ = 0;  // reserved against disk_, returned on destruction
+  TempFile file_;           // created lazily by the first WriteBlock
   std::vector<uint8_t> buf_;
   uint64_t rows_ = 0;
   uint64_t raw_bytes_ = 0;

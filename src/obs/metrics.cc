@@ -219,4 +219,24 @@ std::string MetricsRegistry::ToJson() const {
          "},\"histograms\":{" + histograms + "}}";
 }
 
+namespace {
+std::string GroupMetricName(std::string_view group, std::string_view name) {
+  std::string full;
+  full.reserve(8 + group.size() + 1 + name.size());
+  full += "service.";
+  full += group;
+  full += ".";
+  full += name;
+  return full;
+}
+}  // namespace
+
+Counter* GroupCounter(std::string_view group, std::string_view name) {
+  return MetricsRegistry::Default().GetCounter(GroupMetricName(group, name));
+}
+
+Gauge* GroupGauge(std::string_view group, std::string_view name) {
+  return MetricsRegistry::Default().GetGauge(GroupMetricName(group, name));
+}
+
 }  // namespace jsontiles::obs

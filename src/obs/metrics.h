@@ -150,6 +150,16 @@ class MetricsRegistry {
 /// metrics dump, the trace exporter and the bench --metrics-json writer.
 void AppendJsonString(std::string_view s, std::string* out);
 
+/// Per-resource-group service metrics, named "service.<group>.<name>"
+/// (e.g. "service.etl.rejected", "service.etl.running"). Group names are
+/// dynamic, so these cannot use the static-caching macros in obs/obs.h —
+/// they take the registry mutex on every call. The admission layer only
+/// touches them on cold paths (admit, reject, query completion), never per
+/// row or batch. Registrations survive group teardown: counters keep their
+/// totals across a drop/recreate of the same group name.
+Counter* GroupCounter(std::string_view group, std::string_view name);
+Gauge* GroupGauge(std::string_view group, std::string_view name);
+
 }  // namespace jsontiles::obs
 
 #endif  // JSONTILES_OBS_METRICS_H_

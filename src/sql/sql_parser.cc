@@ -917,6 +917,13 @@ Result<SqlResult> ExecuteSql(std::string_view statement, const SqlCatalog& catal
                     shards_pruned);
       text += footer;
     }
+    if (!ctx.resource_group.empty()) {
+      std::snprintf(footer, sizeof(footer),
+                    "\nResource group: %s, queue wait: %.3f ms",
+                    ctx.resource_group.c_str(),
+                    static_cast<double>(ctx.queue_wait_nanos) / 1e6);
+      text += footer;
+    }
 
     SqlResult plan;
     plan.column_names.push_back("QUERY PLAN");

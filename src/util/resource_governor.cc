@@ -48,4 +48,32 @@ size_t MemoryBudget::remaining() const {
   return u >= limit_ ? 0 : limit_ - u;
 }
 
+bool DiskBudget::TryReserve(uint64_t bytes) {
+  if (JSONTILES_FAILPOINT_FIRES("service.spill_reserve")) {
+    refused_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  uint64_t cur = used_.load(std::memory_order_relaxed);
+  while (true) {
+    if (limit_ != 0 && (bytes > limit_ || cur > limit_ - bytes)) {
+      refused_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (used_.compare_exchange_weak(cur, cur + bytes,
+                                    std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  const uint64_t now = cur + bytes;
+  uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (peak < now &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+void DiskBudget::Release(uint64_t bytes) {
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
 }  // namespace jsontiles

@@ -60,6 +60,41 @@ class MemoryBudget {
   std::atomic<size_t> peak_{0};
 };
 
+/// Shared spill-disk governor: one flat atomic budget capping the aggregate
+/// temp-file bytes of every concurrently spilling query (the multi-tenant
+/// analogue of Greenplum's workfile manager). SpillFile charges it block by
+/// block as frames reach disk and releases everything when the run is
+/// destroyed, so `used()` tracks live temp-disk exactly. A refused reserve
+/// fails only the query that asked (it surfaces as a clean
+/// ResourceExhausted), never the group or the service. Limit 0 = unlimited.
+class DiskBudget {
+ public:
+  explicit DiskBudget(uint64_t limit_bytes = 0) : limit_(limit_bytes) {}
+
+  DiskBudget(const DiskBudget&) = delete;
+  DiskBudget& operator=(const DiskBudget&) = delete;
+
+  /// Reserve `bytes` of temp disk. False — nothing reserved — when the cap
+  /// would be exceeded (or the "service.spill_reserve" failpoint fires).
+  /// Thread-safe.
+  bool TryReserve(uint64_t bytes);
+
+  /// Return a previous reserve. Thread-safe.
+  void Release(uint64_t bytes);
+
+  uint64_t limit() const { return limit_; }
+  uint64_t used() const { return used_.load(std::memory_order_relaxed); }
+  uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  /// Reserves refused because the cap was reached (observability).
+  uint64_t refused() const { return refused_.load(std::memory_order_relaxed); }
+
+ private:
+  const uint64_t limit_;
+  std::atomic<uint64_t> used_{0};
+  std::atomic<uint64_t> peak_{0};
+  std::atomic<uint64_t> refused_{0};
+};
+
 /// RAII batch of charges against one budget: Grow() accumulates, the
 /// destructor (or ReleaseAll) returns everything. One reservation per
 /// thread — the held total is not atomic, only the budget underneath is.

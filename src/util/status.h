@@ -23,6 +23,14 @@ enum class StatusCode {
   kNotFound,
   kUnsupported,
   kInternal,
+  /// A query was cancelled cooperatively (user request, runaway policy,
+  /// resource-group teardown). Distinct from kInternal so callers can tell a
+  /// deliberate cancellation from a fault.
+  kCancelled,
+  /// An admission or quota decision refused the work cleanly: concurrency
+  /// queue full, admission timeout, memory reserve or spill-disk budget
+  /// exhausted. Retrying later may succeed.
+  kResourceExhausted,
 };
 
 /// Result of a fallible operation: either OK or a code plus message.
@@ -51,6 +59,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -71,6 +85,8 @@ class Status {
       case StatusCode::kNotFound: return "NotFound";
       case StatusCode::kUnsupported: return "Unsupported";
       case StatusCode::kInternal: return "Internal";
+      case StatusCode::kCancelled: return "Cancelled";
+      case StatusCode::kResourceExhausted: return "ResourceExhausted";
     }
     return "Unknown";
   }

@@ -1,0 +1,214 @@
+// Concurrency differential harness: every query executed through the
+// multi-tenant service — N client threads contending for {2,4,8} concurrency
+// slots, under tight and loose group memory quotas — must return results
+// BIT-identical to the same query run alone, directly, with no service. The
+// tight quota forces the spill path through the group-budget hierarchy
+// (quota-induced spill), so identity covers the in-memory and the spilling
+// execution of every Fig-14 workload query (TPC-H 1-22 + Yelp 1-5).
+// Canonicalization is Value::ToString per cell — equal strings mean equal
+// bits (mirrors tests/storage/shard_differential_test.cc).
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "service/query_service.h"
+#include "storage/loader.h"
+#include "workload/tpch.h"
+#include "workload/tpch_queries.h"
+#include "workload/yelp.h"
+
+namespace jsontiles::service {
+namespace {
+
+using exec::ExecOptions;
+using exec::QueryContext;
+using exec::RowSet;
+
+std::string Canonical(const RowSet& rows) {
+  std::string out;
+  for (const auto& row : rows) {
+    for (const auto& v : row) {
+      out += v.is_null() ? "∅" : v.ToString();
+      out += "|";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+const workload::TpchData& Tpch() {
+  static const workload::TpchData data = [] {
+    workload::TpchOptions options;
+    options.scale_factor = 0.004;
+    return workload::GenerateTpch(options);
+  }();
+  return data;
+}
+
+const std::vector<std::string>& Yelp() {
+  static const std::vector<std::string> docs = [] {
+    workload::YelpOptions options;
+    options.num_business = 50;
+    return workload::GenerateYelp(options);
+  }();
+  return docs;
+}
+
+tiles::TileConfig SmallTiles() {
+  tiles::TileConfig config;
+  config.tile_size = 128;
+  return config;
+}
+
+const storage::Relation& TpchRelation() {
+  static std::unique_ptr<storage::Relation> rel = [] {
+    storage::Loader loader(storage::StorageMode::kTiles, SmallTiles());
+    return loader.Load(Tpch().combined, "tpch").MoveValueOrDie();
+  }();
+  return *rel;
+}
+
+const storage::Relation& YelpRelation() {
+  static std::unique_ptr<storage::Relation> rel = [] {
+    storage::Loader loader(storage::StorageMode::kTiles, SmallTiles());
+    return loader.Load(Yelp(), "yelp").MoveValueOrDie();
+  }();
+  return *rel;
+}
+
+/// One work item of the sweep: workload + query number.
+struct WorkItem {
+  bool yelp;
+  int query;
+};
+
+std::vector<WorkItem> Fig14Items() {
+  std::vector<WorkItem> items;
+  for (int q = 1; q <= 22; q++) items.push_back({false, q});
+  for (int q = 1; q <= 5; q++) items.push_back({true, q});
+  return items;
+}
+
+RowSet RunItem(const WorkItem& item, QueryContext& ctx) {
+  return item.yelp ? workload::RunYelpQuery(item.query, YelpRelation(), ctx)
+                   : workload::RunTpchQuery(item.query, TpchRelation(), ctx);
+}
+
+/// Single-query direct baseline (no service, no quota), cached per item.
+const std::string& Baseline(const WorkItem& item) {
+  static std::map<std::pair<bool, int>, std::string> cache;
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  auto& entry = cache[{item.yelp, item.query}];
+  if (entry.empty()) {
+    QueryContext ctx;
+    entry = Canonical(RunItem(item, ctx));
+  }
+  return entry;
+}
+
+constexpr size_t kClientThreads = 4;
+constexpr size_t kSlotCounts[] = {2, 4, 8};
+// 256 KiB forces operator spill on the heavy queries; the spill is induced
+// by the *group* quota through the budget hierarchy, not by a per-query
+// limit — per-query limits stay unlimited and get clamped at admission.
+constexpr size_t kTightQuota = size_t{1} << 18;
+
+TEST(ServiceDifferentialTest, ConcurrentExecutionIsBitIdentical) {
+  const std::vector<WorkItem> items = Fig14Items();
+  for (size_t slots : kSlotCounts) {
+    for (bool tight : {false, true}) {
+      ServiceConfig service_config;
+      service_config.spill_disk_bytes = uint64_t{1} << 30;
+      QueryService service(service_config);
+      ResourceGroupConfig group;
+      group.concurrency = slots;
+      group.max_queue = 64;
+      group.queue_timeout_ms = 120000;
+      group.mem_quota_bytes = tight ? kTightQuota : 0;
+      ASSERT_TRUE(service.CreateGroup("diff", group).ok());
+
+      std::vector<std::string> errors;
+      std::mutex errors_mu;
+      std::vector<std::thread> clients;
+      for (size_t t = 0; t < kClientThreads; t++) {
+        clients.emplace_back([&, t] {
+          // Thread t owns every (kClientThreads)-th item; together the
+          // clients cover the whole Fig-14 sweep, concurrently.
+          for (size_t i = t; i < items.size(); i += kClientThreads) {
+            const WorkItem& item = items[i];
+            std::string got;
+            Status st = service.Submit("diff", {}, [&](QueryContext& ctx) {
+              // Canonicalize INSIDE the query: rows reference the
+              // context's arenas, which die with the submission.
+              got = Canonical(RunItem(item, ctx));
+              return Status::OK();
+            });
+            std::string label = (item.yelp ? "Yelp Y" : "TPC-H Q") +
+                                std::to_string(item.query) + " slots=" +
+                                std::to_string(slots) +
+                                (tight ? " tight" : " loose");
+            if (!st.ok()) {
+              std::lock_guard<std::mutex> lock(errors_mu);
+              errors.push_back(label + ": " + st.ToString());
+            } else if (got != Baseline(item)) {
+              std::lock_guard<std::mutex> lock(errors_mu);
+              errors.push_back(label + ": result differs from baseline");
+            }
+          }
+        });
+      }
+      for (auto& c : clients) c.join();
+      for (const auto& e : errors) ADD_FAILURE() << e;
+
+      auto snap = service.Snapshot("diff").ValueOrDie();
+      EXPECT_EQ(snap.admitted, items.size());
+      EXPECT_EQ(snap.running, 0u);
+      EXPECT_EQ(service.global_budget()->used(), 0u)
+          << "budget leak: slots=" << slots << " tight=" << tight;
+      EXPECT_EQ(service.disk_budget()->used(), 0u)
+          << "spill-disk leak: slots=" << slots << " tight=" << tight;
+      if (tight) {
+        // The tight quota must actually have exercised the spill path —
+        // otherwise this sweep proves less than it claims. Q18's join and
+        // Q1's wide aggregate do not fit in 256 KiB.
+        EXPECT_GT(obs::GroupCounter("diff", "spilled_bytes")->Value(), 0);
+      }
+    }
+  }
+}
+
+// Tighter still: the per-query limit interacts with the group quota (clamp)
+// and the answers stay identical when every admission is clamped.
+TEST(ServiceDifferentialTest, ClampedAdmissionsStayBitIdentical) {
+  QueryService service;
+  ResourceGroupConfig group;
+  group.concurrency = 2;
+  group.mem_quota_bytes = kTightQuota;
+  ASSERT_TRUE(service.CreateGroup("clamp", group).ok());
+
+  for (int q : {1, 3, 18}) {
+    WorkItem item{false, q};
+    ExecOptions options;
+    options.mem_limit_bytes = 64 << 20;  // far above the quota: clamped
+    std::string got;
+    Status st = service.Submit("clamp", options, [&](QueryContext& ctx) {
+      got = Canonical(RunItem(item, ctx));
+      return Status::OK();
+    });
+    ASSERT_TRUE(st.ok()) << "Q" << q << ": " << st.ToString();
+    EXPECT_EQ(got, Baseline(item)) << "Q" << q;
+  }
+  EXPECT_EQ(service.Snapshot("clamp").ValueOrDie().clamped, 3u);
+  EXPECT_EQ(service.global_budget()->used(), 0u);
+}
+
+}  // namespace
+}  // namespace jsontiles::service
