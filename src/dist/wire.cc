@@ -969,7 +969,7 @@ Status DecodeStatus(const std::vector<uint8_t>& payload, Status* decoded) {
   WireReader r(payload.data(), payload.size());
   uint8_t code;
   WIRE_READ(r.U8(&code));
-  WIRE_READ(code >= 1 && code <= static_cast<uint8_t>(StatusCode::kInternal));
+  WIRE_READ(code >= 1 && code <= static_cast<uint8_t>(kMaxStatusCode));
   std::string message;
   WIRE_READ(r.Str(&message));
   WIRE_READ(r.AtEnd());
@@ -993,7 +993,7 @@ Status DecodeFragmentError(const std::vector<uint8_t>& payload,
   WIRE_READ(r.U32(&msg->epoch));
   uint8_t code;
   WIRE_READ(r.U8(&code));
-  WIRE_READ(code >= 1 && code <= static_cast<uint8_t>(StatusCode::kInternal));
+  WIRE_READ(code >= 1 && code <= static_cast<uint8_t>(kMaxStatusCode));
   std::string message;
   WIRE_READ(r.Str(&message));
   WIRE_READ(r.AtEnd());

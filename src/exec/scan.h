@@ -102,6 +102,15 @@ class QueryContext {
   /// refused.
   MemoryBudget* budget() { return &budget_; }
 
+  /// Sever the budget's link to options().budget_parent. A governed session
+  /// keeps the context (its arenas back the result rows) after releasing
+  /// its admission, at which point the parent — the resource-group quota —
+  /// may be dropped at any time; detaching makes any later budget access
+  /// stop at the query level instead of chasing a dangling pointer. Call
+  /// only once every charge taken through the parent has been released
+  /// (Release() guarantees this for admissions).
+  void DetachBudgetParent() { budget_.DetachParent(); }
+
   /// Record a failure and request cancellation; the first status wins.
   /// Thread-safe — workers call this when a morsel fails mid-query.
   void Cancel(Status status);

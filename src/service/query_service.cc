@@ -54,6 +54,11 @@ struct QueryService::Group {
 
   size_t running = 0;  // granted slots (running <= config.concurrency)
   std::deque<Waiter*> queue;
+  /// Threads inside Admit's queue-wait block. A granted or aborted waiter
+  /// that has been woken but not yet reacquired mu_ is in neither `queue`
+  /// nor `active`, yet still dereferences this group once it resumes —
+  /// drains must not erase the group until this reaches zero.
+  size_t waiting = 0;
   std::vector<ActiveQuery*> active;  // admitted queries (subset attached)
   bool dying = false;                // DropGroup in progress: admit nothing
 
@@ -67,6 +72,7 @@ struct QueryService::Group {
   uint64_t timed_out = 0;
   uint64_t cancelled = 0;
   uint64_t clamped = 0;
+  uint64_t defaulted = 0;
 
   void PublishGauges() const {
     obs::GroupGauge(name, "running")->Set(static_cast<double>(running));
@@ -121,13 +127,18 @@ QueryService::~QueryService() {
       if (q->ctx != nullptr && !q->service_cancelled) {
         q->service_cancelled = true;
         group->cancelled++;
+        obs::GroupCounter(name, "cancelled")->Increment();
         q->ctx->Cancel(Status::Cancelled("query service shutting down"));
       }
     }
     group->cv.notify_all();
   }
   for (auto& [name, group] : groups_) {
-    group->cv.wait(lock, [&g = *group] { return g.active.empty(); });
+    // Same drain predicate as DropGroupLocked: granted-but-not-yet-resumed
+    // waiters still hold a slot and dereference the group once they wake.
+    group->cv.wait(lock, [&g = *group] {
+      return g.active.empty() && g.running == 0 && g.waiting == 0;
+    });
   }
   lock.unlock();
   monitor_cv_.notify_all();
@@ -182,8 +193,15 @@ Status QueryService::DropGroupLocked(const std::string& name,
   group->cv.notify_all();
   // Admitted-but-unattached queries cannot be cancelled yet; their Attach
   // will run against a dying group (harmless — the context outlives us via
-  // the admission contract) and Release drains them like any other.
-  group->cv.wait(lock, [group] { return group->active.empty(); });
+  // the admission contract) and Release drains them like any other. Drain
+  // `running` and `waiting` too: a waiter that was just granted a slot (or
+  // aborted) but has not yet reacquired mu_ is in neither `queue` nor
+  // `active`, and erasing the group before it resumes would leave it
+  // dereferencing freed memory.
+  group->cv.wait(lock, [group] {
+    return group->active.empty() && group->running == 0 &&
+           group->waiting == 0;
+  });
   group->PublishGauges();
   groups_.erase(name);  // `it` may be stale after unlocked waits
   return Status::OK();
@@ -223,6 +241,7 @@ Result<GroupSnapshot> QueryService::Snapshot(const std::string& name) const {
   snap.timed_out = g.timed_out;
   snap.cancelled = g.cancelled;
   snap.clamped = g.clamped;
+  snap.defaulted = g.defaulted;
   return snap;
 }
 
@@ -256,6 +275,7 @@ Result<Admission> QueryService::Admit(const std::string& group_name,
     }
     Group::Waiter waiter;
     group->queue.push_back(&waiter);
+    group->waiting++;
     group->PublishGauges();
     const Clock::time_point enqueued = Clock::now();
     const auto deadline = enqueued + std::chrono::milliseconds(
@@ -263,6 +283,12 @@ Result<Admission> QueryService::Admit(const std::string& group_name,
     group->cv.wait_until(lock, deadline, [&waiter] {
       return waiter.granted || waiter.aborted;
     });
+    // From here we hold mu_ until Admit returns, so a drain (which needs
+    // mu_ to evaluate its predicate) can no longer slip in between us
+    // waking and us touching the group — drop the drain guard and tell
+    // sleeping drainers to re-check.
+    group->waiting--;
+    group->cv.notify_all();
     queue_wait_nanos = NanosSince(enqueued);
     if (!waiter.granted) {
       // Timed out or aborted: unlink ourselves (grant may still race in
@@ -329,11 +355,20 @@ Result<Admission> QueryService::Admit(const std::string& group_name,
   if (group->quota.limit() != MemoryBudget::kUnlimited) {
     const size_t headroom = std::max<size_t>(group->quota.remaining(), 1);
     size_t& requested = admission.options_.mem_limit_bytes;
-    if (requested == 0 || requested > headroom) {
+    if (requested > headroom) {
+      // Over-ask: the caller's explicit limit exceeded the quota headroom —
+      // this is the over-admission regression the `clamped` counter tracks.
       requested = headroom;
       admission.clamped_ = true;
       group->clamped++;
       obs::GroupCounter(group_name, "mem_limit_clamped")->Increment();
+    } else if (requested == 0) {
+      // Unlimited request under a limited quota: default it to the headroom
+      // so admitted limits stay within the group, but count it separately —
+      // it is routine, not a caller over-ask.
+      requested = headroom;
+      group->defaulted++;
+      obs::GroupCounter(group_name, "mem_limit_defaulted")->Increment();
     }
   }
   admission.options_.budget_parent = &group->quota;

@@ -97,7 +97,8 @@ struct GroupSnapshot {
   uint64_t rejected = 0;   // queue full + reserve refused
   uint64_t timed_out = 0;  // gave up waiting
   uint64_t cancelled = 0;  // runaway / CancelGroup / DropGroup
-  uint64_t clamped = 0;    // per-query mem limit clamped to the quota
+  uint64_t clamped = 0;    // explicit per-query mem limit over-asked the quota
+  uint64_t defaulted = 0;  // unlimited request defaulted to quota headroom
 };
 
 class QueryService;

@@ -127,6 +127,10 @@ Result<SqlResult> SqlSession::Execute(std::string_view statement) {
   auto result = ExecuteSql(statement, *catalog_, *ctx_, planner_);
   Status cancel_st = ctx_->ConsumeStatus();
   admission.Release();  // slot + reserve returned; ctx_ (arenas) lives on
+  // The released context outlives the admission, but its budget parent
+  // points into the group, which may be dropped before the next statement —
+  // sever the link so a late budget access cannot chase freed memory.
+  ctx_->DetachBudgetParent();
   if (result.ok() && !cancel_st.ok()) return cancel_st;
   return result;
 }

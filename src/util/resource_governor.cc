@@ -25,10 +25,10 @@ bool MemoryBudget::TryChargeLocal(size_t bytes) {
 
 bool MemoryBudget::TryCharge(size_t bytes) {
   if (JSONTILES_FAILPOINT_FIRES("governor.charge")) return false;
-  for (MemoryBudget* b = this; b != nullptr; b = b->parent_) {
+  for (MemoryBudget* b = this; b != nullptr; b = b->parent()) {
     if (b->TryChargeLocal(bytes)) continue;
     // Roll back the levels already charged; the tree ends up unchanged.
-    for (MemoryBudget* r = this; r != b; r = r->parent_) {
+    for (MemoryBudget* r = this; r != b; r = r->parent()) {
       r->used_.fetch_sub(bytes, std::memory_order_relaxed);
     }
     return false;
@@ -37,7 +37,7 @@ bool MemoryBudget::TryCharge(size_t bytes) {
 }
 
 void MemoryBudget::Release(size_t bytes) {
-  for (MemoryBudget* b = this; b != nullptr; b = b->parent_) {
+  for (MemoryBudget* b = this; b != nullptr; b = b->parent()) {
     b->used_.fetch_sub(bytes, std::memory_order_relaxed);
   }
 }

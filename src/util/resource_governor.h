@@ -49,13 +49,22 @@ class MemoryBudget {
   /// Bytes left under the hard limit; SIZE_MAX when unlimited.
   size_t remaining() const;
 
-  MemoryBudget* parent() const { return parent_; }
+  MemoryBudget* parent() const {
+    return parent_.load(std::memory_order_relaxed);
+  }
+
+  /// Sever the link to the parent: later charges/releases stop at this
+  /// node. Call once every charge taken through the parent has been
+  /// released — e.g. when a query context outlives its admission and the
+  /// parent (a resource-group quota) may be destroyed before the context.
+  /// Thread-safe, but not a rollback: it does not return outstanding bytes.
+  void DetachParent() { parent_.store(nullptr, std::memory_order_relaxed); }
 
  private:
   bool TryChargeLocal(size_t bytes);
 
   const size_t limit_;
-  MemoryBudget* const parent_;
+  std::atomic<MemoryBudget*> parent_;
   std::atomic<size_t> used_{0};
   std::atomic<size_t> peak_{0};
 };

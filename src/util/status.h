@@ -33,6 +33,11 @@ enum class StatusCode {
   kResourceExhausted,
 };
 
+/// Highest valid code. The wire layer (dist/wire.cc) validates decoded
+/// status codes against this bound — keep it on the last enumerator so new
+/// codes remain decodable without touching every bounds check.
+inline constexpr StatusCode kMaxStatusCode = StatusCode::kResourceExhausted;
+
 /// Result of a fallible operation: either OK or a code plus message.
 class Status {
  public:

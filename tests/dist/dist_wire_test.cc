@@ -404,6 +404,44 @@ TEST(DistWireTest, FragmentDoneAndStatusRoundTrip) {
   EXPECT_NE(decoded.ToString().find("shard 3 missing"), std::string::npos);
 }
 
+// Regression: every StatusCode — including kCancelled and kResourceExhausted,
+// which workers report from admission/spill paths — must survive the wire.
+// The decoder once bounded codes at kInternal, turning a clean per-query
+// cancellation into a malformed-frame protocol failure at the coordinator.
+TEST(DistWireTest, AllStatusCodesRoundTrip) {
+  for (uint8_t code = 1; code <= static_cast<uint8_t>(kMaxStatusCode);
+       ++code) {
+    const Status original(static_cast<StatusCode>(code), "msg");
+    std::vector<uint8_t> buf;
+    EncodeStatus(original, &buf);
+    Status decoded;
+    ASSERT_TRUE(DecodeStatus(buf, &decoded).ok())
+        << "code " << static_cast<int>(code) << " rejected by DecodeStatus";
+    EXPECT_EQ(decoded.code(), original.code());
+
+    FragmentErrorMsg msg;
+    msg.fragment_id = 1;
+    msg.epoch = 1;
+    msg.error = original;
+    buf.clear();
+    EncodeFragmentError(msg, &buf);
+    FragmentErrorMsg out;
+    ASSERT_TRUE(DecodeFragmentError(buf, &out).ok())
+        << "code " << static_cast<int>(code)
+        << " rejected by DecodeFragmentError";
+    EXPECT_EQ(out.error.code(), original.code());
+  }
+
+  // One past the last valid code is still rejected.
+  std::vector<uint8_t> buf;
+  EncodeStatus(Status(static_cast<StatusCode>(
+                          static_cast<uint8_t>(kMaxStatusCode) + 1),
+                      "bad"),
+               &buf);
+  Status decoded;
+  EXPECT_FALSE(DecodeStatus(buf, &decoded).ok());
+}
+
 TEST(DistWireTest, FragmentErrorRoundTrip) {
   std::vector<uint8_t> buf;
   FragmentErrorMsg msg;

@@ -182,7 +182,11 @@ TEST(ServiceStressTest, ShutdownWhileQueriesInFlight) {
         });
       });
     }
-    while (started.load() < 2) {  // concurrency 2: third waits in the queue
+    // Concurrency 2: wait until the third client is actually in the queue —
+    // not just until two started — or a slow thread could reach Admit after
+    // shutdown began and get NotFound instead of the queued-abort Cancelled.
+    while (started.load() < 2 ||
+           service.Snapshot("g").ValueOrDie().queued < 1) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
     // ~QueryService cancels the running pair, aborts the waiter, drains.

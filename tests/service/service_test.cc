@@ -164,6 +164,8 @@ TEST(QueryServiceTest, MemLimitClampedToGroupQuota) {
 
   const int64_t clamps_before =
       obs::GroupCounter("g", "mem_limit_clamped")->Value();
+  const int64_t defaults_before =
+      obs::GroupCounter("g", "mem_limit_defaulted")->Value();
 
   ExecOptions options;
   options.mem_limit_bytes = 16 << 20;  // asks for 16x the quota
@@ -174,12 +176,17 @@ TEST(QueryServiceTest, MemLimitClampedToGroupQuota) {
   EXPECT_LE(a.options().mem_limit_bytes, size_t{1} << 20);
   EXPECT_GT(a.options().mem_limit_bytes, 0u);
 
-  // An unlimited request under a limited quota is clamped too — the sum of
-  // admitted limits must stay within the group.
+  // An unlimited request under a limited quota is lowered to the headroom
+  // too — the sum of admitted limits must stay within the group — but it is
+  // a routine defaulting, not a caller over-ask, so it must not pollute the
+  // over-admission `clamped` metric.
   ExecOptions unlimited;
   auto admitted2 = service.Admit("g", unlimited);
   ASSERT_TRUE(admitted2.ok());
-  EXPECT_TRUE(admitted2.ValueOrDie().clamped());
+  EXPECT_FALSE(admitted2.ValueOrDie().clamped());
+  EXPECT_GT(admitted2.ValueOrDie().options().mem_limit_bytes, 0u);
+  EXPECT_LE(admitted2.ValueOrDie().options().mem_limit_bytes,
+            size_t{1} << 20);
 
   // A modest request passes through untouched.
   ExecOptions small;
@@ -190,9 +197,57 @@ TEST(QueryServiceTest, MemLimitClampedToGroupQuota) {
   EXPECT_EQ(admitted3.ValueOrDie().options().mem_limit_bytes,
             size_t{1} << 16);
 
-  EXPECT_EQ(service.Snapshot("g").ValueOrDie().clamped, 2u);
+  EXPECT_EQ(service.Snapshot("g").ValueOrDie().clamped, 1u);
+  EXPECT_EQ(service.Snapshot("g").ValueOrDie().defaulted, 1u);
   EXPECT_EQ(obs::GroupCounter("g", "mem_limit_clamped")->Value(),
-            clamps_before + 2);
+            clamps_before + 1);
+  EXPECT_EQ(obs::GroupCounter("g", "mem_limit_defaulted")->Value(),
+            defaults_before + 1);
+}
+
+// Regression: a waiter that ReleaseQuery has just granted (popped from the
+// queue, slot transferred) is in neither `queue` nor `active` until it
+// reacquires the service mutex. DropGroup's drain used to watch only
+// `active`, so a drop landing in that window erased the group — condition
+// variable and all — out from under the granted waiter (use-after-free,
+// caught by ASan). The drain must also wait for the slot and the waiter to
+// come home. Hammer the window: release the held slot and drop the group
+// concurrently, many times.
+TEST(QueryServiceTest, DropGroupRacesWithSlotHandoff) {
+  QueryService service;
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::string name = "race" + std::to_string(iter);
+    ResourceGroupConfig cfg;
+    cfg.concurrency = 1;
+    cfg.max_queue = 4;
+    cfg.queue_timeout_ms = 5000;
+    ASSERT_TRUE(service.CreateGroup(name, cfg).ok());
+
+    auto holder = service.Admit(name, {});
+    ASSERT_TRUE(holder.ok());
+    Admission slot = holder.MoveValueOrDie();
+
+    std::thread waiter([&service, &name] {
+      auto admitted = service.Admit(name, {});
+      if (admitted.ok()) {
+        // Granted before the drop landed: give the slot straight back.
+        admitted.ValueOrDie().Release();
+      } else {
+        EXPECT_EQ(admitted.status().code(), StatusCode::kCancelled)
+            << admitted.status().ToString();
+      }
+    });
+    // The slot is occupied, so the waiter always queues; wait until it has.
+    while (service.Snapshot(name).ValueOrDie().queued == 0) {
+      std::this_thread::yield();
+    }
+
+    std::thread dropper([&service, &name] { (void)service.DropGroup(name); });
+    slot.Release();  // grants the waiter's slot while the drop races in
+    dropper.join();
+    waiter.join();
+    EXPECT_FALSE(service.HasGroup(name));
+  }
 }
 
 TEST(QueryServiceTest, AdmissionReserveRefusedWhenQuotaFull) {
